@@ -1,0 +1,21 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Each benchmark regenerates one paper figure or table through
+``repro.harness.experiments``; results are cached module-wide so the whole
+suite costs roughly one full technique sweep.  Scope defaults to all 22
+workloads; set ``REPRO_WORKLOADS=smoke`` (or a comma list) for a quick pass.
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+
+@pytest.fixture(scope="session")
+def names():
+    return experiments.workload_names()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

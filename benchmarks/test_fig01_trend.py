@@ -1,0 +1,18 @@
+"""Fig 1: growth of GPU codebases and device-function counts."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_series
+from repro.workloads.fig1_data import growth_factor
+
+
+def test_fig01_trend(benchmark):
+    series = run_once(benchmark, ex.fig1_trend)
+    print(format_series(series, ("year", "sloc", "device_functions"),
+                        title="Fig 1 - codebase growth survey"))
+    years = [y for y, _, _ in series]
+    assert years == sorted(years)
+    # Paper shape: log-scale growth over 15 years of CUDA development.
+    assert growth_factor() > 100
+    assert series[-1][2] / series[0][2] > 100

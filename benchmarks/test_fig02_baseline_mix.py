@@ -1,0 +1,18 @@
+"""Fig 2: baseline memory-access mix — spills/fills vs locals vs globals."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig02_baseline_access_mix(benchmark, names):
+    rows = run_once(benchmark, ex.fig2_baseline_access_mix, names)
+    print(format_table(rows, title="Fig 2 - baseline L1D access mix"))
+    average = rows["average"]
+    # Paper: 40.4% of in-core L1D accesses are register spills/fills.
+    assert 0.25 <= average["spill"] <= 0.70
+    assert average["global"] > 0.15
+    # Every stream fraction is a valid proportion.
+    for name, row in rows.items():
+        assert abs(sum(row.values()) - 1.0) < 1e-6, name

@@ -1,0 +1,14 @@
+"""Fig 4: the lightweight call-graph analysis on the paper's example."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+
+
+def test_fig04_callgraph_example(benchmark):
+    result = run_once(benchmark, ex.fig4_callgraph_example)
+    print("Fig 4 - watermarks:", result)
+    # The paper's quoted numbers: Low-watermark 30, High-watermark 56.
+    assert result["low_watermark"] == 30
+    assert result["high_watermark"] == 56
+    assert 30 < result["2xlow_watermark"] <= 56

@@ -1,0 +1,17 @@
+"""Fig 5: the dynamic register-reservation state machine."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+
+
+def test_fig05_policy_state_machine(benchmark):
+    result = run_once(benchmark, ex.fig5_policy_demo)
+    print("Fig 5 - policy demo:", result)
+    # Half the SMs seed Low (level 0), half seed High (top level).
+    assert sorted(result["seeds"]) == [0, 0, 2, 2]
+    # After High measures faster, Low SMs step toward 2xLow.
+    assert all(level >= 1 for level in result["after_measurement"])
+    # The winner is remembered and seeds the next launch of this kernel.
+    assert result["remembered_best"] == 2
+    assert result["next_launch_seeds"] == [2, 2, 2, 2]

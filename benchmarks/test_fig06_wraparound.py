@@ -1,0 +1,19 @@
+"""Fig 6: wrap-around spilling when stack demand exceeds the allocation."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+
+
+def test_fig06_wraparound(benchmark):
+    result = run_once(benchmark, ex.fig6_wraparound_demo)
+    print("Fig 6 - wrap-around demo:", result)
+    # Four 8-register frames into a 20-register stack: the two oldest
+    # frames spill on the way down and fill back on the way up.
+    assert result["spilled_regs"] == 16
+    assert result["filled_regs"] == 16
+
+
+def test_fig06_no_spills_when_capacity_suffices(benchmark):
+    result = run_once(benchmark, ex.fig6_wraparound_demo, capacity=64)
+    assert result == {"spilled_regs": 0, "filled_regs": 0}

@@ -1,0 +1,20 @@
+"""Fig 8 (headline): CARS vs idealized configurations, normalized speedups."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig08_performance(benchmark, names):
+    rows = run_once(benchmark, ex.fig8_performance, names)
+    print(format_table(rows, title="Fig 8 - speedup over baseline"))
+    geo = rows["geomean"]
+    # Paper headline: CARS improves performance by ~26% geomean and
+    # outperforms every idealized configuration.
+    assert geo["cars"] > 1.08
+    assert geo["cars"] >= geo["ideal_vw"]
+    assert geo["cars"] >= geo["best_swl"]
+    assert geo["cars"] >= geo["l1_10mb"] * 0.97  # ties allowed on subsets
+    # No catastrophic slowdown on any single workload.
+    assert all(row["cars"] > 0.9 for n, row in rows.items() if n != "geomean")

@@ -1,0 +1,21 @@
+"""Fig 9: memory-access breakdown, CARS vs baseline."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig09_access_reduction(benchmark, names):
+    rows = run_once(benchmark, ex.fig9_access_reduction, names)
+    print(format_table(rows, title="Fig 9 - L1D accesses (norm. to baseline total)"))
+    spills_before = [r["baseline_spill"] for r in rows.values()]
+    spills_after = [r["cars_spill"] for r in rows.values()]
+    # Paper: the spill/fill share drops by ~40 points on average.
+    avg_drop = sum(b - a for b, a in zip(spills_before, spills_after)) / len(rows)
+    assert avg_drop > 0.25
+    for name, row in rows.items():
+        # CARS never increases spill traffic...
+        assert row["cars_spill"] <= row["baseline_spill"] + 1e-9, name
+        # ...and global accesses are unaffected (CARS only touches locals).
+        assert abs(row["cars_global"] - row["baseline_global"]) < 0.35, name

@@ -1,0 +1,16 @@
+"""Fig 10: the ALL-HIT cache study."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig10_allhit(benchmark, names):
+    rows = run_once(benchmark, ex.fig10_allhit, names)
+    print(format_table(rows, title="Fig 10 - ALL-HIT vs CARS"))
+    geo = rows["geomean"]
+    # Paper: ALL-HIT explains most of CARS's win (it removes spill misses
+    # but still pays spill bandwidth); CARS matches or beats it overall.
+    assert geo["all_hit"] > 1.0
+    assert geo["cars"] >= geo["all_hit"] * 0.95

@@ -1,0 +1,26 @@
+"""Fig 11: PTA global/local bandwidth over time, baseline vs CARS."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_series
+
+
+def test_fig11_bandwidth_timeline(benchmark):
+    result = run_once(benchmark, ex.fig11_bandwidth_timeline)
+    print(format_series(result["baseline_series"][:16],
+                        ("cycle", "global_sectors", "local_sectors"),
+                        title="Fig 11 - baseline timeline (first buckets)"))
+    print(format_series(result["cars_series"][:16],
+                        ("cycle", "global_sectors", "local_sectors"),
+                        title="Fig 11 - CARS timeline (first buckets)"))
+    print("avg global BW: baseline=%.4f cars=%.4f (x%.2f)" % (
+        result["baseline_avg_global_bw"], result["cars_avg_global_bw"],
+        result["cars_avg_global_bw"] / result["baseline_avg_global_bw"]))
+    # Paper: with spill interference gone, PTA's average global bandwidth
+    # rises (98% on the V100; directionally reproduced here).
+    assert result["cars_avg_global_bw"] > result["baseline_avg_global_bw"]
+    # Baseline timeline must carry substantial local (spill) traffic.
+    base_local = sum(l for _, _, l in result["baseline_series"])
+    cars_local = sum(l for _, _, l in result["cars_series"])
+    assert cars_local < base_local

@@ -1,0 +1,16 @@
+"""Fig 12: L1D MPKI, baseline vs CARS."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig12_mpki(benchmark, names):
+    rows = run_once(benchmark, ex.fig12_mpki, names)
+    print(format_table(rows, title="Fig 12 - L1D MPKI"))
+    # Paper: 35% average MPKI reduction.
+    reduction = rows["average_reduction"]["cars"]
+    assert reduction > 0.2
+    for name in names:
+        assert rows[name]["cars"] <= rows[name]["baseline"] * 1.25, name

@@ -1,0 +1,20 @@
+"""Fig 13: instruction-frequency breakdown, normalized to the baseline."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig13_instruction_mix(benchmark, names):
+    rows = run_once(benchmark, ex.fig13_instruction_mix, names)
+    print(format_table(rows, title="Fig 13 - instruction mix (norm. to baseline)"))
+    for name, row in rows.items():
+        # CARS eliminates spill/fill instructions...
+        assert row["cars_spill"] <= row["baseline_spill"] + 1e-9, name
+        # ...replacing them with (cheaper, fewer) stack renames.
+        if row["baseline_spill"] > 0.02:
+            assert row["cars_stack"] > 0, name
+            assert row["cars_stack"] < row["baseline_spill"], name
+        # The useful work (ALU + globals) is unchanged.
+        assert abs(row["cars_alu"] - row["baseline_alu"]) < 0.05, name

@@ -1,0 +1,18 @@
+"""Fig 15: energy efficiency, normalized to the baseline."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig15_energy(benchmark, names):
+    rows = run_once(benchmark, ex.fig15_energy, names)
+    print(format_table(rows, title="Fig 15 - energy efficiency (norm.)"))
+    geo = rows["geomean"]
+    # Paper: CARS is ~28% more energy efficient and the energy gain is at
+    # least on par with the performance gain (less data movement + less
+    # static leakage).
+    assert geo["cars"] > 1.08
+    assert geo["cars"] >= geo["ideal_vw"]
+    assert geo["cars"] >= geo["best_swl"]

@@ -1,0 +1,21 @@
+"""Fig 17: sensitivity to L1D cache bandwidth (port scaling)."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig17_port_scaling(benchmark, names):
+    rows = run_once(benchmark, ex.fig17_port_scaling, names)
+    print(format_table(rows, title="Fig 17 - L1 bandwidth scaling (norm. to 1x baseline)"))
+    geo = rows["geomean"]
+    # Paper: extra ports barely help the baseline (1.02-1.03x) because
+    # miss bandwidth is unchanged; CARS's advantage persists at every
+    # bandwidth level.
+    assert geo["baseline_8x"] < geo["cars_1x"]
+    for factor in (2, 4, 8):
+        assert geo[f"baseline_{factor}x"] >= 0.97
+        assert geo[f"cars_{factor}x"] >= geo[f"baseline_{factor}x"]
+    # Baseline port scaling saturates quickly (small marginal gains).
+    assert geo["baseline_8x"] / geo["baseline_2x"] < 1.25

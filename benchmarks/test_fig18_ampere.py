@@ -1,0 +1,16 @@
+"""Fig 18: CARS on the Ampere (RTX 3070-like) configuration."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_fig18_ampere(benchmark, names):
+    rows = run_once(benchmark, ex.fig18_ampere, names)
+    print(format_table(rows, title="Fig 18 - CARS speedup on Ampere"))
+    geo = rows["geomean"]["cars"]
+    # Paper: "CARS' overall speedup is resilient on a more recent
+    # architecture."
+    assert geo > 1.05
+    assert all(row["cars"] > 0.85 for n, row in rows.items() if n != "geomean")

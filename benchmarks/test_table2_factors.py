@@ -1,0 +1,22 @@
+"""Table II: diagnosed main speedup factor per workload."""
+
+from conftest import run_once
+
+from repro.harness import experiments as ex
+from repro.harness.tables import format_table
+
+
+def test_table2_speedup_factors(benchmark, names):
+    rows = run_once(benchmark, ex.table2_speedup_factors, names)
+    print(format_table(rows, title="Table II - main speedup factors"))
+    # The diagnosis must agree with the paper's class for a solid majority
+    # of workloads (exact boundary cases may differ on a scaled machine).
+    matches = sum(
+        1 for row in rows.values()
+        if row["paper"] and (
+            row["diagnosed"] == row["paper"]
+            # capacity vs capacity+contention is a soft boundary.
+            or ("capacity" in row["diagnosed"] and "capacity" in row["paper"])
+        )
+    )
+    assert matches >= int(0.6 * len(rows)), f"{matches}/{len(rows)} matched"

@@ -1,0 +1,70 @@
+"""Watching the concurrency/stack-depth tradeoff and the Fig 5 policy.
+
+Builds one kernel whose High-watermark cannot fit every warp, then runs it
+under Low-watermark, 2xLow, High-watermark, and the dynamic policy — over
+two launches, so the cross-launch memory (the paper's "best-performing
+allocation ... starting point for the next invocation") is visible.
+
+    python examples/allocation_policy.py
+"""
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.cars.allocation import plan_allocation
+from repro.cars.policy import PolicyMemory
+from repro.config import volta
+from repro.frontend import builder as b
+from repro.harness.runner import run_baseline, run_workload
+from repro.core.techniques import CARS, CARS_HIGH, CARS_LOW, cars_nxlow
+from repro.workloads import KernelLaunch, SynthKernel, build_workload
+
+
+def main():
+    spec = SynthKernel(
+        name="deep",
+        depth=9,
+        fru_chain=(6, 6, 5, 5, 5, 4, 4, 4, 4),
+        iters=6,
+        grid_blocks=24,
+        threads_per_block=128,  # 4 warps/block: High-watermark can't fit all
+        alu_per_level=1,
+    )
+    workload = build_workload("policy-demo", "examples", [spec])
+    module = workload.module()
+    analysis = analyze_kernel(build_call_graph(module), "deep")
+    cfg = volta()
+    plan = plan_allocation(analysis, cfg, warps_per_block=4, shared_mem_bytes=0)
+
+    print("== static analysis ==")
+    print(f"  kernel FRU      : {analysis.kernel_fru}")
+    print(f"  Low-watermark   : {analysis.low_watermark}")
+    print(f"  High-watermark  : {analysis.high_watermark}")
+    print(f"  guaranteed/warp : {plan.guaranteed_regs_per_warp}")
+    print(f"  decision        : {'dynamic' if plan.dynamic else 'static'} "
+          f"over ladder {plan.levels}")
+
+    base = run_baseline(workload)
+    print("\n== allocation mechanisms (speedup over baseline) ==")
+    for label, tech in (
+        ("Low-watermark", CARS_LOW),
+        ("2xLow", cars_nxlow(2)),
+        ("High-watermark", CARS_HIGH),
+    ):
+        r = run_workload(workload, tech)
+        print(f"  {label:16s}: {base.cycles / r.cycles:.3f}x "
+              f"(traps={r.stats.traps}, ctx-switches={r.stats.context_switches})")
+
+    memory = PolicyMemory()
+    first = run_workload(workload, CARS, policy_memory=memory)
+    second = run_workload(workload, CARS, policy_memory=memory)
+    print("\n== dynamic policy across launches ==")
+    print(f"  launch 1 (half-Low/half-High seed): "
+          f"{base.cycles / first.cycles:.3f}x, traps={first.stats.traps}")
+    print(f"  launch 2 (seeded at remembered best {memory.best_level('deep')}): "
+          f"{base.cycles / second.cycles:.3f}x, traps={second.stats.traps}")
+    levels = [lvl for _, lvl, _ in second.stats.allocation_log]
+    print(f"  launch 2 block levels: {sorted(set(levels))} "
+          f"({len(levels)} blocks)")
+
+
+if __name__ == "__main__":
+    main()

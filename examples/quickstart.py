@@ -1,0 +1,85 @@
+"""Quickstart: write a GPU kernel with device functions, run it through the
+baseline ABI and CARS, and compare.
+
+    python examples/quickstart.py
+
+Walks the whole pipeline: DSL -> compiler (ABI spills at R16) -> functional
+emulation (traces) -> timing simulation under both techniques.
+"""
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.frontend import builder as b
+from repro.harness.runner import run_baseline, run_workload
+from repro.core.techniques import CARS
+from repro.workloads import KernelLaunch, Workload
+
+OUT = 1 << 20
+
+
+def build_program():
+    """A kernel that calls a small math library (not inlined)."""
+    prog = b.program()
+
+    # __device__ int poly(int x, int a) - keeps `t` live across the call.
+    b.device(prog, "horner", ["x", "a"], [
+        b.let("t", b.mad(b.v("x"), 5, b.v("a"))),
+        b.let("u", b.call("magnitude", b.v("t"))),
+        b.ret(b.v("t") + b.v("u")),
+    ], reg_pressure=6)
+
+    # __device__ int magnitude(int v)
+    b.device(prog, "magnitude", ["vv"], [
+        b.let("s", b.mufu(b.v("vv"))),
+        b.ret(b.v("s") ^ b.v("vv")),
+    ], reg_pressure=4)
+
+    # __global__ void main(int* data, int* out)
+    b.kernel(prog, "main", ["data", "out"], [
+        b.let("i", b.gid()),
+        b.let("acc", b.load(b.v("data") + (b.v("i") & 1023))),
+        b.for_("it", 0, 6, [
+            b.let("acc", b.v("acc") + b.call("horner", b.v("it"), b.v("acc"))),
+        ]),
+        b.store(b.v("out") + b.v("i"), b.v("acc")),
+    ])
+    return prog
+
+
+def main():
+    workload = Workload(
+        name="quickstart",
+        suite="examples",
+        program=build_program(),
+        launches=[KernelLaunch("main", grid_blocks=8, threads_per_block=64,
+                               params=(0, OUT))],
+    )
+
+    module = workload.module()
+    print("== compiled binary ==")
+    for func in module.functions.values():
+        print(f"  {func.name:10s} regs={func.num_regs:3d} "
+              f"callee_saved={func.callee_saved} fru={func.fru}")
+    print(f"  linker worst-case regs/warp: {module.worst_case_regs['main']}")
+
+    analysis = analyze_kernel(build_call_graph(module), "main")
+    print("\n== call-graph analysis (Fig 4 machinery) ==")
+    print(f"  kernel FRU          : {analysis.kernel_fru}")
+    print(f"  Low-watermark       : {analysis.low_watermark}")
+    print(f"  High-watermark      : {analysis.high_watermark}")
+    print(f"  allocation ladder   : {analysis.allocation_levels()}")
+
+    base = run_baseline(workload)
+    cars = run_workload(workload, CARS)
+    print("\n== timing ==")
+    print(f"  baseline cycles     : {base.cycles}")
+    print(f"  CARS cycles         : {cars.cycles}")
+    print(f"  speedup             : {base.cycles / cars.cycles:.2f}x")
+    print(f"  baseline spill share: {base.stats.spill_fraction():.0%} of L1D accesses")
+    print(f"  CARS spill share    : {cars.stats.spill_fraction():.0%}")
+    print(f"  MPKI                : {base.stats.mpki():.0f} -> {cars.stats.mpki():.0f}")
+    print(f"  energy efficiency   : "
+          f"{cars.energy_efficiency() / base.energy_efficiency():.2f}x baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Recursion under CARS: Fibonacci with growing call depth.
+
+The paper (Sections III-C, VI-C): recursive call graphs have no static
+MaxStackDepth, so High-watermark assumes one iteration of the cycle.  With
+a shallow input FIB never traps; increasing the input depth exhausts the
+register stack and triggers the wrap-around spills of Fig 6.
+
+    python examples/recursion.py
+"""
+
+import dataclasses
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.config import volta
+from repro.frontend import builder as b
+from repro.harness.runner import run_baseline, run_workload
+from repro.core.techniques import CARS
+from repro.workloads import KernelLaunch, Workload
+
+OUT = 1 << 20
+
+#: A register-lean GPU so deep recursion actually exhausts the per-warp
+#: stack (the default scaled config has space to spare for this kernel).
+CONFIG = dataclasses.replace(volta(), registers_per_sm=384)
+
+
+def build_program(depth: int):
+    prog = b.program()
+    b.device(prog, "fib", ["n"], [
+        b.if_(b.v("n") < 2, [b.ret(b.v("n"))]),
+        b.let("p", b.call("fib", b.v("n") - 1)),
+        b.let("q", b.call("fib", b.v("n") - 2)),
+        b.ret(b.v("p") + b.v("q")),
+    ], reg_pressure=5)
+    b.kernel(prog, "main", ["data", "out"], [
+        b.let("i", b.gid()),
+        b.store(b.v("out") + b.v("i"), b.call("fib", b.c(depth))),
+    ])
+    return prog
+
+
+def run_depth(depth: int):
+    workload = Workload(
+        name=f"fib{depth}",
+        suite="examples",
+        program=build_program(depth),
+        launches=[KernelLaunch("main", grid_blocks=8, threads_per_block=64,
+                               params=(0, OUT))],
+    )
+    module = workload.module()
+    analysis = analyze_kernel(build_call_graph(module), "main")
+    base = run_baseline(workload, CONFIG)
+    cars = run_workload(workload, CARS, CONFIG)
+    return analysis, base, cars, workload
+
+
+def main():
+    print("The static analysis sees one cycle iteration, so the watermark")
+    print("is independent of the true dynamic depth:\n")
+    header = f"{'depth':>5} {'dyn depth':>9} {'high-wm':>8} {'traps':>7} " \
+             f"{'bytes/call':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for depth in (4, 8, 14):
+        analysis, base, cars, workload = run_depth(depth)
+        dyn_depth = workload.measured_call_depth()
+        print(f"{depth:>5} {dyn_depth:>9} {analysis.high_watermark:>8} "
+              f"{cars.stats.traps:>7} "
+              f"{cars.stats.bytes_spilled_per_call():>10.2f} "
+              f"{base.cycles / cars.cycles:>7.2f}x")
+    print("\nShallow recursion stays entirely in the register file; deeper")
+    print("inputs overflow the per-warp stack and fall back to the Fig 6")
+    print("wrap-around spills — correctness is preserved either way, as the")
+    print("paper demonstrates with its FIB workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the environment lacks
+the `wheel` package required by PEP 517 editable builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""CARS: Concurrency-Aware Register Stacks for Efficient GPU Function Calls.
+
+A full-system Python reproduction of the MICRO 2024 paper: GPU toolchain
+(kernel DSL, ABI compiler, linker, LTO inliner), functional SIMT emulator,
+cycle-level timing model, the CARS register-stack mechanism, energy model,
+the paper's 22 workloads, and a harness regenerating every figure/table.
+
+Public entry points:
+
+* ``repro.frontend.builder`` — write kernels.
+* ``repro.workloads`` — the Table I suite and the synthesizer.
+* ``repro.harness`` — run techniques and regenerate experiments.
+* ``repro.core.techniques`` — the studied configurations.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "callgraph",
+    "cars",
+    "config",
+    "core",
+    "emu",
+    "frontend",
+    "harness",
+    "isa",
+    "mem",
+    "metrics",
+    "power",
+    "workloads",
+]

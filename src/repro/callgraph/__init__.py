@@ -1,0 +1,18 @@
+"""Link-time call-graph analysis (FRU, MaxStackDepth, watermarks)."""
+
+from .graph import CallGraph, build_call_graph
+from .analysis import (
+    KernelStackAnalysis,
+    analyze_kernel,
+    analyze_module_kernels,
+    max_stack_depth,
+)
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "KernelStackAnalysis",
+    "analyze_kernel",
+    "analyze_module_kernels",
+    "max_stack_depth",
+]

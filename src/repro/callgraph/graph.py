@@ -1,0 +1,97 @@
+"""Call-graph construction from a linked module.
+
+Reproduces the information the paper extracts with ``nvlink
+--dump-callgraph`` plus SASS/ELF static analysis (Section V-C): nodes are
+functions annotated with their FRU; edges are static call sites (indirect
+sites contribute one edge per candidate target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.program import Module
+
+
+@dataclass
+class CallGraph:
+    """Static call graph for one linked module.
+
+    Attributes:
+        edges: caller -> set of possible callees.
+        fru: Function Register Usage per node.
+        kernels: the ``__global__`` roots.
+    """
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    fru: Dict[str, int] = field(default_factory=dict)
+    kernels: Tuple[str, ...] = ()
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges.get(name, set())
+
+    def reachable(self, root: str) -> Set[str]:
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for callee in self.callees(node):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def recursive_nodes(self) -> Set[str]:
+        """Nodes that participate in a cycle (recursion)."""
+        # Tarjan-free approach: a node is recursive if it can reach itself.
+        recursive: Set[str] = set()
+        for root in self.edges:
+            stack = list(self.callees(root))
+            seen: Set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node == root:
+                    recursive.add(root)
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self.callees(node))
+        return recursive
+
+    def is_cyclic(self, root: str) -> bool:
+        """True when the subgraph reachable from *root* contains a cycle."""
+        reach = self.reachable(root)
+        recursive = self.recursive_nodes()
+        return bool(reach & recursive)
+
+    def max_call_depth(self, root: str) -> int:
+        """Longest acyclic call chain below *root* (0 for a leaf kernel).
+
+        Cycles contribute a single iteration, per the paper's recursion
+        treatment (Section III-C).
+        """
+
+        def depth(node: str, path: FrozenSet[str]) -> int:
+            best = 0
+            for callee in self.callees(node):
+                if callee in path:
+                    continue
+                best = max(best, 1 + depth(callee, path | {callee}))
+            return best
+
+        return depth(root, frozenset({root}))
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    """Construct the call graph of a linked module."""
+    graph = CallGraph()
+    for func in module.functions.values():
+        targets: Set[str] = set()
+        for site in func.callees():
+            targets.update(site)
+        graph.edges[func.name] = targets
+        graph.fru[func.name] = func.fru
+    graph.kernels = tuple(f.name for f in module.kernels())
+    return graph

@@ -1,0 +1,21 @@
+"""CARS: Concurrency-Aware Register Stacks — the paper's contribution."""
+
+from .register_stack import (
+    Frame,
+    RegisterRenamer,
+    RegisterStackError,
+    WarpRegisterStack,
+)
+from .allocation import AllocationPlan, plan_allocation
+from .policy import DynamicReservationPolicy, PolicyMemory
+
+__all__ = [
+    "Frame",
+    "RegisterRenamer",
+    "RegisterStackError",
+    "WarpRegisterStack",
+    "AllocationPlan",
+    "plan_allocation",
+    "DynamicReservationPolicy",
+    "PolicyMemory",
+]

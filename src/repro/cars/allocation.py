@@ -1,0 +1,87 @@
+"""Launch-time register-stack allocation (Section III-B).
+
+At kernel launch the other occupancy limiters (shared memory, block slots,
+warp slots) are known, so CARS can compute the register space guaranteed to
+be available per warp.  If that space already covers High-watermark, every
+warp simply gets it ("there is register space to spare").  Otherwise the
+dynamic selection mechanism (:mod:`repro.cars.policy`) walks the allocation
+ladder between Low- and High-watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..callgraph.analysis import KernelStackAnalysis
+from ..config.gpu_config import GPUConfig
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """The launch-time decision for one kernel.
+
+    Attributes:
+        levels: regs/warp ladder (Low ... High); a single entry means the
+            decision is static.
+        static_level: index into ``levels`` when no dynamic selection is
+            needed (call-free kernel, or space to spare); None when the
+            dynamic state machine must choose.
+        guaranteed_regs_per_warp: register space per warp implied by the
+            *other* occupancy limits.
+    """
+
+    levels: List[int]
+    static_level: Optional[int]
+    guaranteed_regs_per_warp: int
+
+    @property
+    def dynamic(self) -> bool:
+        return self.static_level is None
+
+
+def _warps_limit_without_registers(
+    config: GPUConfig, warps_per_block: int, shared_mem_bytes: int
+) -> int:
+    """Max concurrent warps/SM considering every limiter except registers."""
+    blocks_by_slots = config.max_blocks_per_sm
+    blocks_by_warps = config.max_warps_per_sm // warps_per_block
+    if shared_mem_bytes > 0:
+        blocks_by_smem = config.shared_mem_per_sm // shared_mem_bytes
+    else:
+        blocks_by_smem = blocks_by_slots
+    blocks = max(1, min(blocks_by_slots, blocks_by_warps, blocks_by_smem))
+    return blocks * warps_per_block
+
+
+def plan_allocation(
+    analysis: KernelStackAnalysis,
+    config: GPUConfig,
+    warps_per_block: int,
+    shared_mem_bytes: int,
+) -> AllocationPlan:
+    """Make the launch-time allocation decision for one kernel."""
+    warps = _warps_limit_without_registers(config, warps_per_block, shared_mem_bytes)
+    guaranteed = config.registers_per_sm // warps
+
+    if not analysis.has_calls:
+        # Function-free kernels are untouched: base frame only.
+        return AllocationPlan(
+            levels=[analysis.kernel_fru],
+            static_level=0,
+            guaranteed_regs_per_warp=guaranteed,
+        )
+
+    levels = analysis.allocation_levels()
+    if guaranteed >= analysis.high_watermark:
+        # Space to spare: every warp gets the large allocation.
+        return AllocationPlan(
+            levels=[max(guaranteed, analysis.high_watermark)],
+            static_level=0,
+            guaranteed_regs_per_warp=guaranteed,
+        )
+    return AllocationPlan(
+        levels=levels,
+        static_level=None,
+        guaranteed_regs_per_warp=guaranteed,
+    )

@@ -1,0 +1,128 @@
+"""The dynamic register-reservation state machine (Fig 5).
+
+When High-watermark would limit occupancy, CARS seeds half the SMs in
+Low-watermark mode and half in High-watermark mode, measures per-thread-
+block performance for each allocation level, and moves each SM's level one
+step toward whatever is measured best as new blocks spawn.  At kernel end
+the best-performing level is remembered per kernel name and seeds the next
+invocation of the same kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class _LevelStats:
+    blocks: int = 0
+    total_runtime: int = 0
+
+    @property
+    def average(self) -> float:
+        return self.total_runtime / self.blocks if self.blocks else float("inf")
+
+
+class PolicyMemory:
+    """Cross-launch memory: best-performing level per kernel name."""
+
+    def __init__(self) -> None:
+        self._best_level: Dict[str, int] = {}
+        self._level_history: Dict[str, List[int]] = {}
+
+    def best_level(self, kernel: str) -> Optional[int]:
+        return self._best_level.get(kernel)
+
+    def remember(self, kernel: str, level: int) -> None:
+        self._best_level[kernel] = level
+        self._level_history.setdefault(kernel, []).append(level)
+
+    def history(self, kernel: str) -> List[int]:
+        return list(self._level_history.get(kernel, ()))
+
+
+class DynamicReservationPolicy:
+    """Per-kernel-launch instance of the Fig 5 state machine."""
+
+    def __init__(
+        self,
+        kernel: str,
+        levels: List[int],
+        num_sms: int,
+        memory: Optional[PolicyMemory] = None,
+    ) -> None:
+        if not levels:
+            raise ValueError("empty allocation ladder")
+        self.kernel = kernel
+        self.levels = levels
+        self.num_sms = num_sms
+        self.memory = memory
+        self.stats: Dict[int, _LevelStats] = {}
+        self._sm_level: List[int] = []
+        top = len(levels) - 1
+        seed = memory.best_level(kernel) if memory is not None else None
+        if seed is not None and 0 <= seed <= top:
+            # A previous invocation of this kernel chose a winner: start
+            # every SM there (Fig 5's cross-launch arrow).
+            self._sm_level = [seed] * num_sms
+        else:
+            # Half the SMs start Low, half start High.
+            half = num_sms // 2
+            self._sm_level = [0] * (num_sms - half) + [top] * half
+
+    # ------------------------------------------------------------------
+
+    def level_for_new_block(self, sm_id: int) -> int:
+        """Allocation level a newly spawned block on *sm_id* should use."""
+        self._adjust(sm_id)
+        return self._sm_level[sm_id]
+
+    def regs_for_level(self, level: int) -> int:
+        return self.levels[level]
+
+    def record_block(self, sm_id: int, level: int, runtime: int) -> None:
+        entry = self.stats.setdefault(level, _LevelStats())
+        entry.blocks += 1
+        entry.total_runtime += runtime
+
+    # ------------------------------------------------------------------
+
+    def _measured_levels(self) -> List[int]:
+        return [lvl for lvl, s in self.stats.items() if s.blocks > 0]
+
+    def best_measured_level(self) -> Optional[int]:
+        measured = self._measured_levels()
+        if not measured:
+            return None
+        return min(measured, key=lambda lvl: self.stats[lvl].average)
+
+    def _adjust(self, sm_id: int) -> None:
+        """Move this SM's level one step toward the best measured level.
+
+        The comparison only starts once at least one block has completed
+        from each of the two seed populations (the paper waits for one
+        High- and one Low-watermark block before engaging the machine).
+        """
+        measured = self._measured_levels()
+        if len(measured) < 2:
+            return
+        current = self._sm_level[sm_id]
+        best = self.best_measured_level()
+        if best is None or best == current:
+            return
+        # "If the current selection performs worse than the recorded
+        # performance of a higher or lower allocation, adjust accordingly."
+        current_avg = self.stats.get(current, _LevelStats()).average
+        if self.stats[best].average < current_avg:
+            step = 1 if best > current else -1
+            self._sm_level[sm_id] = current + step
+
+    def finalize(self) -> int:
+        """Kernel end: remember the winner for the next invocation."""
+        best = self.best_measured_level()
+        if best is None:
+            best = self._sm_level[0]
+        if self.memory is not None:
+            self.memory.remember(self.kernel, best)
+        return best

@@ -1,0 +1,208 @@
+"""Per-warp register stacks: RFP/RSP renaming and circular frame residency.
+
+Two cooperating models live here:
+
+* :class:`RegisterRenamer` — the paper's base+offset renaming (Section
+  III-A, Fig 3b): callee-saved architectural registers R16..R16+k are
+  redirected to ``RFP + (r - 16)`` inside the warp's stack region.  The
+  timing model doesn't need physical indices, but the renamer is the core
+  mechanism of the paper, so it is implemented and property-tested in full.
+
+* :class:`WarpRegisterStack` — frame accounting with the circular
+  wrap-around eviction of Fig 6: when a call's frame does not fit, frames
+  are spilled from the *bottom* of the stack (oldest first) and filled back
+  when control returns to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import CALLEE_SAVED_BASE
+
+
+class RegisterStackError(Exception):
+    """Raised on stack protocol violations (return without call, ...)."""
+
+
+class RegisterRenamer:
+    """Base+offset physical register indexing with a register stack.
+
+    The baseline index for warp *i*'s architectural register *j* is
+    ``base[i] + j``.  With CARS, callee-saved registers that have been
+    pushed for the current frame are instead renamed into the stack region
+    at ``base[i] + RFP + (j - 16)`` (all offsets here are relative to the
+    warp's base, which never changes during the block's life).
+    """
+
+    def __init__(self, kernel_frame_regs: int, stack_regs: int) -> None:
+        if kernel_frame_regs <= 0:
+            raise ValueError("kernel frame must be positive")
+        if stack_regs < 0:
+            raise ValueError("stack size cannot be negative")
+        self.kernel_frame_regs = kernel_frame_regs
+        self.stack_regs = stack_regs
+        # RSP/RFP are offsets into the stack region (which begins right
+        # after the kernel frame, contiguous with the base allotment).
+        self.rsp = 0
+        self.rfp = 0
+        self._saved_rfps: List[int] = []
+        self._frame_pushed: List[int] = []  # pushed registers per frame
+
+    @property
+    def stack_base(self) -> int:
+        return self.kernel_frame_regs
+
+    @property
+    def frame_live_regs(self) -> int:
+        """Registers currently renamed for the active frame."""
+        return self.rsp - self.rfp
+
+    def physical_index(self, arch_reg: int) -> int:
+        """Physical index (warp-relative) for *arch_reg* (Section III-A)."""
+        renamed_span = self.rsp - self.rfp
+        if (
+            arch_reg >= CALLEE_SAVED_BASE
+            and arch_reg < CALLEE_SAVED_BASE + renamed_span
+        ):
+            return self.stack_base + self.rfp + (arch_reg - CALLEE_SAVED_BASE)
+        return arch_reg
+
+    def call(self) -> None:
+        """Function call: save the caller's RFP on the stack, point the RFP
+        at the free region above the stack pointer."""
+        self._saved_rfps.append(self.rfp)
+        self._frame_pushed.append(0)
+        self.rsp += 1  # the saved-RFP slot
+        self.rfp = self.rsp
+
+    def push(self, count: int) -> None:
+        """Prologue push: rename *count* callee-saved registers."""
+        if not self._saved_rfps:
+            raise RegisterStackError("PUSH outside any call frame")
+        if count < 0:
+            raise ValueError("negative push count")
+        self.rsp += count
+        self._frame_pushed[-1] += count
+
+    def pop(self, count: int) -> None:
+        """Epilogue pop: restore names (no data movement, Section IV-A)."""
+        if not self._frame_pushed or self._frame_pushed[-1] < count:
+            raise RegisterStackError("POP exceeds frame's pushed registers")
+        # Names are restored lazily: the span shrinks at frame release so
+        # divergent epilogues can re-execute the pop without moving RSP.
+
+    def ret(self) -> None:
+        """Frame release: RSP returns to the RFP, caller's RFP restored."""
+        if not self._saved_rfps:
+            raise RegisterStackError("RET without a matching CALL")
+        self.rsp = self.rfp - 1  # release the frame and the saved-RFP slot
+        self.rfp = self._saved_rfps.pop()
+        self._frame_pushed.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._saved_rfps)
+
+
+@dataclass
+class Frame:
+    """One function activation on the hardware register stack.
+
+    ``start`` is the frame's offset in the *logical* (unbounded) register
+    stack — stable for the frame's lifetime, so spilled registers always
+    map to the same local-memory addresses and fills can hit in cache.
+    """
+
+    start: int
+    fru: int  # resident registers (logical size minus overflow)
+    logical_fru: int  # full frame size, including overflow
+    resident: bool = True
+
+
+class WarpRegisterStack:
+    """Frame residency with wrap-around spilling (Fig 6).
+
+    ``call(fru)`` reserves a frame, spilling from the *bottom* of the stack
+    (oldest frames first) when free space is insufficient; ``ret()``
+    releases the top frame and reports the frame to fill back when the
+    newly exposed frame was spilled.  All counts are warp-wide registers.
+
+    Invariant: resident frames always form a contiguous suffix of the
+    stack (eviction is strictly oldest-first), which guarantees a frame
+    exposed by ``ret`` always fits when refilled.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self.frames: List[Frame] = []
+        self.spills = 0  # cumulative registers spilled (traps)
+        self.fills = 0  # cumulative registers filled back
+        self._next_start = 0
+
+    @property
+    def resident_regs(self) -> int:
+        return sum(f.fru for f in self.frames if f.resident)
+
+    @property
+    def total_regs(self) -> int:
+        return sum(f.logical_fru for f in self.frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def free_regs(self) -> int:
+        return self.capacity - self.resident_regs
+
+    def call(self, fru: int) -> List[Tuple[int, int]]:
+        """Enter a frame of size *fru*.
+
+        Returns the (start, count) register ranges that had to be spilled
+        to local memory — empty when the frame fits (no trap).
+        """
+        if fru < 0:
+            raise ValueError("negative FRU")
+        spilled: List[Tuple[int, int]] = []
+        # Evict the oldest resident frames (wrap-around, Fig 6) until the
+        # new frame fits.  A frame larger than the whole stack region still
+        # enters after everything else is evicted; its overflow is counted
+        # as spilled since those registers can never be renamed.
+        demand = min(fru, self.capacity)
+        for frame in self.frames:
+            if self.free_regs() >= demand:
+                break
+            if frame.resident:
+                frame.resident = False
+                spilled.append((frame.start, frame.fru))
+        overflow = max(0, fru - self.capacity)
+        resident_part = fru - overflow
+        start = self._next_start
+        if overflow:
+            spilled.append((start + resident_part, overflow))
+        self.frames.append(
+            Frame(start=start, fru=resident_part, logical_fru=fru, resident=True)
+        )
+        self._next_start += fru
+        self.spills += sum(count for _, count in spilled)
+        return spilled
+
+    def ret(self) -> Optional[Tuple[int, int]]:
+        """Leave the top frame.
+
+        Returns the (start, count) range to fill back from local memory
+        when the newly exposed frame was spilled, else None.
+        """
+        if not self.frames:
+            raise RegisterStackError("return from an empty register stack")
+        popped = self.frames.pop()
+        self._next_start -= popped.logical_fru
+        if self.frames and not self.frames[-1].resident:
+            frame = self.frames[-1]
+            frame.resident = True
+            self.fills += frame.fru
+            return (frame.start, frame.fru)
+        return None

@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro analyze --workload MST
+    python -m repro run --workload MST --technique cars [--config ampere]
+    python -m repro regen [output.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .callgraph import analyze_kernel, build_call_graph
+from .config import PRESETS
+from .core.techniques import (
+    ALL_HIT,
+    BASELINE,
+    CARS,
+    CARS_HIGH,
+    CARS_LOW,
+    IDEAL_VW,
+    L1_HUGE,
+    LTO,
+)
+from .harness.runner import run_baseline, run_best_swl, run_workload
+from .workloads import WORKLOAD_NAMES, make_workload
+
+TECHNIQUES = {
+    t.name: t
+    for t in (BASELINE, IDEAL_VW, L1_HUGE, ALL_HIT, LTO, CARS, CARS_LOW, CARS_HIGH)
+}
+
+
+def _cmd_list(_args) -> int:
+    print("workloads (Table I):")
+    for name in WORKLOAD_NAMES:
+        workload = make_workload(name)
+        print(f"  {name:14s} {workload.suite:10s} depth={workload.paper_call_depth:2d} "
+              f"cpki={workload.paper_cpki:6.2f}  [{workload.bottleneck}]")
+    print("\ntechniques:", ", ".join(sorted(TECHNIQUES)), "+ best_swl")
+    print("configs   :", ", ".join(sorted(PRESETS)))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    workload = make_workload(args.workload)
+    module = workload.module()
+    graph = build_call_graph(module)
+    print(f"{args.workload}: {len(module.functions)} functions, "
+          f"{module.code_bytes} code bytes")
+    for kernel in module.kernels():
+        analysis = analyze_kernel(graph, kernel.name)
+        print(f"  kernel {kernel.name}: fru={analysis.kernel_fru} "
+              f"low={analysis.low_watermark} high={analysis.high_watermark} "
+              f"cyclic={analysis.cyclic} ladder={analysis.allocation_levels()}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = make_workload(args.workload)
+    config = PRESETS[args.config]
+    baseline = run_baseline(workload, config)
+    if args.technique == "best_swl":
+        result = run_best_swl(workload, config)
+    else:
+        result = run_workload(workload, TECHNIQUES[args.technique], config)
+    stats = result.stats
+    print(f"workload={args.workload} technique={args.technique} config={args.config}")
+    print(f"  cycles            : {stats.cycles}")
+    print(f"  speedup vs base   : {baseline.cycles / stats.cycles:.3f}x")
+    print(f"  warp instructions : {stats.warp_instructions}")
+    print(f"  IPC               : {stats.ipc():.3f}")
+    print(f"  L1D accesses      : {stats.total_l1_accesses} "
+          f"(spill share {stats.spill_fraction():.0%})")
+    print(f"  MPKI              : {stats.mpki():.1f}")
+    print(f"  traps             : {stats.traps} "
+          f"(ctx switches {stats.context_switches})")
+    print(f"  energy efficiency : "
+          f"{result.energy_efficiency() / baseline.energy_efficiency():.3f}x baseline")
+    return 0
+
+
+def _cmd_regen(args) -> int:
+    from .harness.regenerate import main as regen_main
+
+    return regen_main([args.output] if args.output else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CARS (MICRO 2024) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, techniques, configs")
+
+    analyze = sub.add_parser("analyze", help="call-graph analysis of a workload")
+    analyze.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+
+    run = sub.add_parser("run", help="simulate one (workload, technique)")
+    run.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    run.add_argument("--technique", default="cars",
+                     choices=sorted(TECHNIQUES) + ["best_swl"])
+    run.add_argument("--config", default="volta", choices=sorted(PRESETS))
+
+    regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
+    regen.add_argument("output", nargs="?", default="")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "analyze": _cmd_analyze,
+        "run": _cmd_run,
+        "regen": _cmd_regen,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

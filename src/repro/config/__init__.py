@@ -1,0 +1,5 @@
+"""Simulated GPU configurations (scaled V100 / RTX 3070 and ideal variants)."""
+
+from .gpu_config import CacheConfig, GPUConfig, volta, ampere, huge_l1, PRESETS
+
+__all__ = ["CacheConfig", "GPUConfig", "volta", "ampere", "huge_l1", "PRESETS"]

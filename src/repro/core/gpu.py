@@ -1,0 +1,120 @@
+"""Top-level GPU timing simulator.
+
+Drives the per-SM pipelines and the shared memory hierarchy cycle by cycle,
+with event-driven fast-forwarding across idle stretches (the wake heap
+records every future time anything can change).  One :class:`GPU` instance
+simulates one kernel launch; the harness strings launches together and
+merges their statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..config.gpu_config import GPUConfig
+from ..emu.trace import KernelTrace
+from ..mem.subsystem import MemorySubsystem, MemRequest
+from ..metrics.counters import SimStats
+from .sm import SM, SimulationError
+from .techniques import LaunchContext
+
+
+class GPU:
+    """Simulates one kernel launch under one technique."""
+
+    def __init__(self, config: GPUConfig, ctx: LaunchContext, stats: SimStats) -> None:
+        self.config = config
+        self.ctx = ctx
+        self.stats = stats
+        self.mem = MemorySubsystem(config, stats, self._on_load_complete)
+        self.sms = [
+            SM(sm_id, config, ctx, self.mem, stats, self)
+            for sm_id in range(config.num_sms)
+        ]
+        self._wake: List[int] = []
+        self._warp_counter = itertools.count()
+        self._pending: Deque = deque()
+        self._blocks_remaining = 0
+        self._cycle = 0
+
+    # -- services used by the SMs ---------------------------------------
+
+    def next_warp_index(self) -> int:
+        return next(self._warp_counter)
+
+    def push_wake(self, cycle: int) -> None:
+        heapq.heappush(self._wake, cycle)
+
+    def block_finished(self, sm: SM, cycle: int) -> None:
+        self._blocks_remaining -= 1
+        self._assign_blocks(cycle)
+
+    # -- launch ----------------------------------------------------------
+
+    def _assign_blocks(self, cycle: int) -> None:
+        progress = True
+        while self._pending and progress:
+            progress = False
+            for sm in self.sms:
+                if not self._pending:
+                    break
+                if sm.can_accept_block():
+                    sm.add_block(self._pending.popleft(), cycle)
+                    progress = True
+        self.push_wake(cycle + 1)
+
+    def run(self, trace: KernelTrace, max_cycles: int = 50_000_000) -> int:
+        """Simulate the launch to completion; returns total cycles."""
+        self._pending = deque(trace.blocks)
+        self._blocks_remaining = len(trace.blocks)
+        self._assign_blocks(0)
+        cycle = 0
+        while self._blocks_remaining > 0:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"kernel {trace.kernel!r} exceeded {max_cycles} cycles"
+                )
+            self.mem.tick(cycle)
+            issued = 0
+            for sm in self.sms:
+                issued += sm.tick(cycle)
+            if issued:
+                self.stats.issue_cycles += 1
+                cycle += 1
+                continue
+            # Nothing issued: fast-forward to the next possible event.
+            next_cycle = self._next_event_after(cycle)
+            if next_cycle is None:
+                if self._blocks_remaining > 0:
+                    raise SimulationError(
+                        f"deadlock at cycle {cycle}: no future events but "
+                        f"{self._blocks_remaining} blocks unfinished"
+                    )
+                break
+            self.stats.idle_cycles += next_cycle - cycle
+            cycle = next_cycle
+        self.stats.cycles = cycle
+        self.ctx.finalize()
+        return cycle
+
+    def _next_event_after(self, cycle: int) -> Optional[int]:
+        if self.mem.has_queued_work():
+            return cycle + 1
+        candidates = []
+        mem_next = self.mem.next_event_cycle()
+        if mem_next is not None:
+            candidates.append(max(mem_next, cycle + 1))
+        wake = self._wake
+        while wake and wake[0] <= cycle:
+            heapq.heappop(wake)
+        if wake:
+            candidates.append(wake[0])
+        return min(candidates) if candidates else None
+
+    # -- memory completion -------------------------------------------------
+
+    def _on_load_complete(self, request: MemRequest, cycle: int) -> None:
+        self.sms[request.sm_id].complete_load(request, cycle)

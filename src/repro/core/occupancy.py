@@ -1,0 +1,61 @@
+"""Occupancy calculation (Section II).
+
+Four factors limit thread blocks per SM: thread/warp slots, block slots,
+register usage, and shared memory.  Blocks are all-or-nothing: a block is
+resident only when every one of its warps fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.gpu_config import GPUConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Blocks/warps resident per SM and the binding limiter."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limiter: str
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+
+def compute_occupancy(
+    config: GPUConfig,
+    regs_per_warp: int,
+    warps_per_block: int,
+    shared_mem_bytes: int,
+) -> Occupancy:
+    """Blocks per SM for a kernel with the given per-warp register demand."""
+    if warps_per_block <= 0:
+        raise ValueError("warps_per_block must be positive")
+    if config.unlimited_occupancy:
+        # Idealized Virtual Warps: registers, shared memory and block slots
+        # are unlimited; only warp slots remain (hardware contexts).
+        blocks = max(1, config.max_warps_per_sm // warps_per_block)
+        return Occupancy(blocks, warps_per_block, "warp-slots")
+
+    limits = {
+        "block-slots": config.max_blocks_per_sm,
+        "warp-slots": config.max_warps_per_sm // warps_per_block,
+    }
+    if shared_mem_bytes > 0:
+        limits["shared-memory"] = config.shared_mem_per_sm // shared_mem_bytes
+    if regs_per_warp > 0:
+        limits["registers"] = config.registers_per_sm // (
+            regs_per_warp * warps_per_block
+        )
+    limiter = min(limits, key=limits.get)
+    blocks = max(0, limits[limiter])
+    if blocks == 0:
+        raise ValueError(
+            f"kernel cannot fit a single block on an SM "
+            f"(limited by {limiter}: regs/warp={regs_per_warp}, "
+            f"warps/block={warps_per_block}, smem={shared_mem_bytes})"
+        )
+    return Occupancy(blocks, warps_per_block, limiter)

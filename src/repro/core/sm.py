@@ -1,0 +1,427 @@
+"""Streaming-multiprocessor timing model.
+
+Implements the pipeline stages Fig 7 modifies: greedy-then-oldest issue
+schedulers with a scoreboard, the LSU path into the shared memory subsystem,
+barrier tracking, and — under CARS — the issue-stage *stalled-warp list*,
+the *warp status check* release path, and barrier-deadlock context switching
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..config.gpu_config import GPUConfig
+from ..emu.trace import BlockTrace
+from ..mem.subsystem import MemorySubsystem, MemRequest
+from ..metrics.counters import BlockRecord, SimStats, STREAM_SPILL
+from .techniques import LaunchContext
+from .uop import Uop, UopKind, mem_uop
+from .warp import NEVER, WarpCtx
+
+
+class SimulationError(Exception):
+    """Raised when the timing model wedges (deadlock, runaway switches)."""
+
+
+class BlockRun:
+    """A thread block resident on an SM."""
+
+    __slots__ = (
+        "trace",
+        "warps",
+        "alive",
+        "arrived",
+        "level",
+        "regs_per_warp",
+        "start_cycle",
+    )
+
+    def __init__(self, trace: BlockTrace, warps: List[WarpCtx], level: int,
+                 regs_per_warp: int, start_cycle: int) -> None:
+        self.trace = trace
+        self.warps = warps
+        self.alive = len(warps)
+        self.arrived = 0  # warps waiting at the current barrier
+        self.level = level
+        self.regs_per_warp = regs_per_warp
+        self.start_cycle = start_cycle
+
+    def inactive_count(self) -> int:
+        return sum(1 for w in self.warps if w.stalled or w.switched_out)
+
+
+class SM:
+    """One streaming multiprocessor replaying warp traces."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        ctx: LaunchContext,
+        mem: MemorySubsystem,
+        stats: SimStats,
+        gpu,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.ctx = ctx
+        self.mem = mem
+        self.stats = stats
+        self.gpu = gpu
+        self.blocks: List[BlockRun] = []
+        self.warps: List[WarpCtx] = []
+        self.reg_free = config.registers_per_sm
+        self.stalled: Deque[WarpCtx] = deque()
+        self._last_issued: List[Optional[WarpCtx]] = [None] * config.schedulers_per_sm
+        self._rr_pointer = [0] * config.schedulers_per_sm  # LRR state
+        self._next_slot = 0
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+
+    def can_accept_block(self) -> bool:
+        return len(self.blocks) < self.ctx.occupancy.blocks_per_sm
+
+    def add_block(self, trace: BlockTrace, cycle: int) -> None:
+        level, regs_per_warp = self.ctx.stack_level_for_block(self.sm_id)
+        warps: List[WarpCtx] = []
+        block = BlockRun(trace, warps, level, regs_per_warp, cycle)
+        for warp_trace in trace.warps:
+            warp = WarpCtx(
+                slot=self._next_slot,
+                global_index=self.gpu.next_warp_index(),
+                records=warp_trace.records,
+                block=block,
+            )
+            self._next_slot += 1
+            warps.append(warp)
+            if self.ctx.manages_registers:
+                if self.reg_free >= regs_per_warp:
+                    self.reg_free -= regs_per_warp
+                    warp.alloc_regs = regs_per_warp
+                    self.ctx.attach_warp(warp, regs_per_warp)
+                else:
+                    warp.stalled = True
+                    self.stalled.append(warp)
+        block.alive = len(warps)
+        self.blocks.append(block)
+        self.warps = [w for w in self.warps if not w.done] + warps
+
+    def _finish_warp(self, warp: WarpCtx, cycle: int) -> None:
+        warp.done = True
+        block = warp.block
+        block.alive -= 1
+        if self.ctx.manages_registers and warp.alloc_regs:
+            self.reg_free += warp.alloc_regs
+            warp.alloc_regs = 0
+            self._release_stalled(cycle)  # the warp-status-check unit
+        if block.alive == 0:
+            self._finish_block(block, cycle)
+        else:
+            self._check_barrier(block, cycle)
+
+    def _finish_block(self, block: BlockRun, cycle: int) -> None:
+        self.blocks.remove(block)
+        runtime = cycle - block.start_cycle
+        self.stats.blocks.append(
+            BlockRecord(
+                sm_id=self.sm_id,
+                block_id=block.trace.block_id,
+                kernel=self.ctx.trace.kernel,
+                start_cycle=block.start_cycle,
+                end_cycle=cycle,
+                alloc_regs_per_warp=block.regs_per_warp,
+                alloc_level=block.level,
+            )
+        )
+        self.ctx.block_done(self.sm_id, block.level, runtime)
+        self.warps = [w for w in self.warps if not w.done]
+        self.gpu.block_finished(self, cycle)
+
+    def _release_stalled(self, cycle: int) -> None:
+        """Activate stalled warps (first-fit in arrival order) as register
+        space frees up — the warp-status-check release path."""
+        for warp in list(self.stalled):
+            demand = warp.block.regs_per_warp
+            if self.reg_free < demand:
+                continue
+            self._activate(warp, cycle)
+
+    # ------------------------------------------------------------------
+    # Barriers and context switching
+    # ------------------------------------------------------------------
+
+    def _arrive_barrier(self, warp: WarpCtx, cycle: int) -> None:
+        warp.waiting_barrier = True
+        block = warp.block
+        block.arrived += 1
+        self._check_barrier(block, cycle)
+
+    def _check_barrier(self, block: BlockRun, cycle: int) -> None:
+        if block.arrived == 0:
+            return
+        inactive = block.inactive_count()
+        waiting_needed = block.alive - inactive
+        if block.arrived >= block.alive:
+            self._release_barrier(block, cycle)
+        elif block.arrived >= waiting_needed and inactive > 0:
+            # Every runnable warp is parked at the barrier while siblings
+            # still wait for registers: trap to a context switch
+            # (Section IV-B's deadlock-avoidance path).
+            self._context_switch(block, cycle)
+
+    def _release_barrier(self, block: BlockRun, cycle: int) -> None:
+        block.arrived = 0
+        for warp in block.warps:
+            if warp.waiting_barrier:
+                warp.waiting_barrier = False
+                warp.next_issue = max(warp.next_issue, cycle + 1)
+            if warp.switched_out and warp not in self.stalled:
+                # A context-switch victim resumes competing for registers
+                # once the barrier that forced it out has opened.
+                self.stalled.append(warp)
+        self.gpu.push_wake(cycle + 1)
+        self._release_stalled(cycle)
+
+    def _context_switch(self, block: BlockRun, cycle: int) -> None:
+        victim = None
+        for warp in block.warps:
+            if warp.waiting_barrier and warp.alloc_regs and not warp.switched_out:
+                victim = warp
+                break
+        beneficiary = None
+        for warp in self.stalled:
+            if warp.block is block:
+                beneficiary = warp
+                break
+        if victim is None or beneficiary is None:
+            raise SimulationError(
+                f"SM{self.sm_id}: barrier deadlock without a context-switch "
+                f"candidate (block {block.trace.block_id})"
+            )
+        self.stats.context_switches += 1
+        if self.stats.context_switches > self.config.cars_max_context_switches * max(
+            1, len(self.blocks)
+        ):
+            raise SimulationError("context-switch livelock suspected")
+        saved = victim.alloc_regs
+        self.stats.context_switch_regs += saved
+        # The switch engine spills the victim's register state; the cost is
+        # charged to the beneficiary's issue stream (it runs next).
+        stores = [
+            mem_uop(
+                beneficiary.switch_sectors(i), STREAM_SPILL, True, (), (), "SPILL_ST"
+            )
+            for i in range(saved)
+        ]
+        for uop in reversed(stores):
+            beneficiary.uops.appendleft(uop)
+        self.reg_free += victim.alloc_regs
+        victim.alloc_regs = 0
+        victim.switched_out = True
+        victim.needs_fill = True
+        # Activate the beneficiary directly (it is the warp the barrier is
+        # waiting for; FCFS release could be blocked by a larger-demand
+        # warp from another block at the queue head).
+        self._activate(beneficiary, cycle)
+
+    def _activate(self, warp: WarpCtx, cycle: int) -> None:
+        demand = warp.block.regs_per_warp
+        if self.reg_free < demand:
+            raise SimulationError(
+                f"SM{self.sm_id}: context switch freed too few registers"
+            )
+        self.stalled.remove(warp)
+        self.reg_free -= demand
+        warp.alloc_regs = demand
+        warp.stalled = False
+        warp.switched_out = False
+        if warp.cars is None:
+            self.ctx.attach_warp(warp, demand)
+        if warp.needs_fill:
+            self._inject_switch_fill(warp)
+        warp.next_issue = max(warp.next_issue, cycle + 1)
+        self.gpu.push_wake(cycle + 1)
+
+    def _inject_switch_fill(self, warp: WarpCtx) -> None:
+        """Refill a previously switched-out warp's register state."""
+        warp.needs_fill = False
+        count = warp.alloc_regs
+        self.stats.context_switch_regs += count
+        fills = [
+            mem_uop(warp.switch_sectors(i), STREAM_SPILL, False, (), (), "SPILL_LD")
+            for i in range(count)
+        ]
+        if fills:
+            fills[-1].blocking = True
+        for uop in reversed(fills):
+            warp.uops.appendleft(uop)
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> int:
+        issued = 0
+        limit = self.config.warp_limit
+        eligible = self.warps
+        if limit is not None:
+            # Static wavefront limiter: schedule at most `limit` warps.
+            # Warps parked at a barrier do not consume a slot, otherwise a
+            # block with more warps than the limit could never release it.
+            eligible = [
+                w for w in self.warps if not w.done and not w.waiting_barrier
+            ][:limit]
+        for sched in range(self.config.schedulers_per_sm):
+            warp = self._pick_warp(sched, eligible, cycle)
+            if warp is not None:
+                self._issue(warp, cycle)
+                self._last_issued[sched] = warp
+                issued += 1
+        return issued
+
+    def _pick_warp(
+        self, sched: int, eligible: List[WarpCtx], cycle: int
+    ) -> Optional[WarpCtx]:
+        n = self.config.schedulers_per_sm
+        if self.config.scheduler == "lrr":
+            return self._pick_lrr(sched, eligible, cycle)
+        # Greedy-then-oldest: stick with the last warp while it can issue.
+        last = self._last_issued[sched]
+        if last is not None and not last.done and self._ready(last, cycle):
+            if last.slot % n == sched:
+                if self.config.warp_limit is None or last in eligible:
+                    return last
+        for warp in eligible:
+            if warp.slot % n != sched:
+                continue
+            if self._ready(warp, cycle):
+                return warp
+        return None
+
+    def _pick_lrr(
+        self, sched: int, eligible: List[WarpCtx], cycle: int
+    ) -> Optional[WarpCtx]:
+        """Loose round-robin: rotate through this scheduler's warps."""
+        n = self.config.schedulers_per_sm
+        mine = [w for w in eligible if w.slot % n == sched]
+        if not mine:
+            return None
+        start = self._rr_pointer[sched] % len(mine)
+        for offset in range(len(mine)):
+            warp = mine[(start + offset) % len(mine)]
+            if self._ready(warp, cycle):
+                self._rr_pointer[sched] = (start + offset + 1) % len(mine)
+                return warp
+        return None
+
+    def _ready(self, warp: WarpCtx, cycle: int) -> bool:
+        if (
+            warp.done
+            or warp.stalled
+            or warp.switched_out
+            or warp.waiting_barrier
+            or warp.next_issue > cycle
+        ):
+            return False
+        if not warp.uops:
+            if not self._refill(warp):
+                return False
+            if warp.next_issue > cycle:  # fetch stall applied during refill
+                return False
+        head = warp.uops[0]
+        if head.kind == UopKind.MEM:
+            if (
+                not head.is_store
+                and warp.outstanding_loads >= self.config.max_outstanding_loads
+            ):
+                return False
+        ready_at = warp.deps_ready_cycle(head)
+        if ready_at > cycle:
+            self.gpu.push_wake(ready_at)
+            return False
+        return True
+
+    def _refill(self, warp: WarpCtx) -> bool:
+        """Expand the next trace record into µops."""
+        if warp.cursor >= len(warp.records):
+            return False
+        rec = warp.records[warp.cursor]
+        warp.cursor += 1
+        self.stats.warp_instructions += 1
+        penalty = self.ctx.fetch_penalty
+        if penalty:
+            warp.fetch_debt += penalty
+            if warp.fetch_debt >= 1.0:
+                stall = int(warp.fetch_debt)
+                warp.fetch_debt -= stall
+                warp.next_issue += stall
+                self.stats.fetch_stall_cycles += stall
+                self.gpu.push_wake(warp.next_issue)
+        uops = self.ctx.expand(warp, rec)
+        warp.uops.extend(uops)
+        return bool(warp.uops)
+
+    def _issue(self, warp: WarpCtx, cycle: int) -> None:
+        uop = warp.uops.popleft()
+        stats = self.stats
+        stats.micro_ops += 1
+        stats.issued_by_kind[uop.mix] += 1
+        kind = uop.kind
+        if kind == UopKind.EXEC:
+            done_at = cycle + uop.latency
+            for reg in uop.dst:
+                warp.reg_ready[reg] = done_at
+            warp.next_issue = cycle + 1
+            if uop.dst:
+                self.gpu.push_wake(done_at)
+        elif kind == UopKind.MEM:
+            request = MemRequest(
+                warp,
+                uop.dst,
+                len(uop.sectors),
+                uop.is_store,
+                uop.stream,
+                self.sm_id,
+            )
+            if not uop.is_store:
+                warp.outstanding_loads += 1
+                for reg in uop.dst:
+                    warp.reg_ready[reg] = NEVER
+                if uop.blocking:
+                    warp.next_issue = NEVER
+                else:
+                    warp.next_issue = cycle + 1
+            else:
+                warp.next_issue = cycle + 1
+            self.mem.access(self.sm_id, uop.sectors, request)
+        elif kind == UopKind.CTRL:
+            warp.next_issue = cycle + uop.latency
+            self.gpu.push_wake(warp.next_issue)
+        elif kind == UopKind.BAR:
+            warp.next_issue = cycle + 1
+            self._arrive_barrier(warp, cycle)
+        else:  # EXIT
+            self._finish_warp(warp, cycle)
+
+    # ------------------------------------------------------------------
+    # Memory completion (called by the GPU's completion callback)
+    # ------------------------------------------------------------------
+
+    def complete_load(self, request: MemRequest, cycle: int) -> None:
+        warp: WarpCtx = request.warp
+        warp.outstanding_loads -= 1
+        for reg in request.dst:
+            warp.reg_ready[reg] = cycle
+        if warp.next_issue >= NEVER:  # blocking fill finished
+            warp.next_issue = cycle + 1
+        self.gpu.push_wake(cycle + 1)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.blocks)

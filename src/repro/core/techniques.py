@@ -1,0 +1,383 @@
+"""Techniques studied (Section V-D): trace-to-µop expansion per ABI model.
+
+Every technique replays the same dynamic traces through the same SM timing
+model; what differs is
+
+* which binary produced the trace (baseline vs fully-inlined LTO),
+* the hardware config (L1 size/ports, force-hit, occupancy limits), and
+* how the ABI records (CALL/RET/PUSH/POP) expand:
+  - **baseline** — PUSH/POP become local-memory spill/fill accesses,
+  - **CARS** — PUSH/POP become 1-cycle renames; CALL/RET drive the per-warp
+    register stack, trapping to memory only on overflow (Fig 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from ..callgraph.analysis import KernelStackAnalysis
+from ..cars.allocation import AllocationPlan, plan_allocation
+from ..cars.policy import DynamicReservationPolicy, PolicyMemory
+from ..cars.register_stack import WarpRegisterStack
+from ..config.gpu_config import GPUConfig
+from ..emu.trace import KernelTrace, TraceKind, TraceRecord
+from ..metrics.counters import SimStats, STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
+from .occupancy import Occupancy, compute_occupancy
+from .uop import Uop, UopKind, bar_uop, ctrl_uop, exec_uop, exit_uop, mem_uop
+from .warp import WarpCtx
+
+
+class LaunchContext:
+    """Per-(kernel-launch x technique) state driving µop expansion."""
+
+    #: When True the SM manages a register pool and may stall warps
+    #: (CARS's issue-stage stalled-warp list).
+    manages_registers = False
+
+    def __init__(self, trace: KernelTrace, config: GPUConfig, stats: SimStats) -> None:
+        self.trace = trace
+        self.config = config
+        self.stats = stats
+        self.warps_per_block = trace.threads_per_block // 32
+        self.occupancy = self._occupancy()
+        # Front-end pressure: binaries larger than the i-cache pay an
+        # amortized fetch penalty per instruction (Fig 16's LTO downside).
+        code = max(1, trace.code_bytes)
+        miss_rate = max(0.0, 1.0 - config.icache_bytes / code)
+        self.fetch_penalty = miss_rate * config.icache_miss_penalty
+
+    # -- occupancy ------------------------------------------------------
+
+    def scheduler_regs_per_warp(self) -> int:
+        """Per-warp register demand the block scheduler sees."""
+        raise NotImplementedError
+
+    def _occupancy(self) -> Occupancy:
+        return compute_occupancy(
+            self.config,
+            self.scheduler_regs_per_warp(),
+            self.warps_per_block,
+            self.trace.shared_mem_bytes,
+        )
+
+    # -- CARS hooks (no-ops for static techniques) ----------------------
+
+    def stack_level_for_block(self, sm_id: int):
+        """(level_index, regs_per_warp) for a block spawning on *sm_id*."""
+        return 0, self.scheduler_regs_per_warp()
+
+    def attach_warp(self, warp: WarpCtx, regs_per_warp: int) -> None:
+        """Initialize per-warp ABI state once registers are allocated."""
+
+    def block_done(self, sm_id: int, level: int, runtime: int) -> None:
+        pass
+
+    def finalize(self) -> None:
+        pass
+
+    # -- expansion -------------------------------------------------------
+
+    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+        raise NotImplementedError
+
+    def _expand_common(self, warp: WarpCtx, rec: TraceRecord, extra: int) -> List[Uop]:
+        """Records whose expansion is technique-independent."""
+        cfg = self.config
+        kind = rec.kind
+        if kind == TraceKind.ALU:
+            return [exec_uop(cfg.alu_latency + extra, rec.dst, rec.srcs, "ALU")]
+        if kind == TraceKind.FPU:
+            return [exec_uop(cfg.fpu_latency + extra, rec.dst, rec.srcs, "FPU")]
+        if kind == TraceKind.SFU:
+            return [exec_uop(cfg.sfu_latency + extra, rec.dst, rec.srcs, "SFU")]
+        if kind == TraceKind.SMEM:
+            return [exec_uop(cfg.smem_latency + extra, rec.dst, rec.srcs, "SMEM")]
+        if kind == TraceKind.BRANCH:
+            return [ctrl_uop(cfg.ctrl_latency + extra, "BRANCH")]
+        if kind == TraceKind.GLOBAL_LD:
+            return [
+                mem_uop(rec.sectors, STREAM_GLOBAL, False, rec.dst, rec.srcs, "GLOBAL_LD")
+            ]
+        if kind == TraceKind.GLOBAL_ST:
+            return [
+                mem_uop(rec.sectors, STREAM_GLOBAL, True, (), rec.srcs, "GLOBAL_ST")
+            ]
+        if kind == TraceKind.LOCAL_LD:
+            return [
+                mem_uop(
+                    warp.local_sectors(rec.local_offset),
+                    STREAM_LOCAL,
+                    False,
+                    rec.dst,
+                    (),
+                    "LOCAL_LD",
+                )
+            ]
+        if kind == TraceKind.LOCAL_ST:
+            return [
+                mem_uop(
+                    warp.local_sectors(rec.local_offset),
+                    STREAM_LOCAL,
+                    True,
+                    (),
+                    rec.srcs,
+                    "LOCAL_ST",
+                )
+            ]
+        if kind == TraceKind.BAR:
+            return [bar_uop()]
+        if kind == TraceKind.EXIT:
+            return [exit_uop()]
+        raise ValueError(f"unexpected record kind {kind!r}")
+
+
+class BaselineContext(LaunchContext):
+    """Contemporary ABI: spills/fills are local-memory instructions."""
+
+    def scheduler_regs_per_warp(self) -> int:
+        # The linker's worst-case register usage over the call graph.
+        return self.trace.regs_per_warp_baseline
+
+    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+        kind = rec.kind
+        stats = self.stats
+        if kind == TraceKind.CALL:
+            stats.calls += 1
+            warp.frame_starts.append(warp.spill_depth)
+            warp.spill_depth += rec.push_count
+            return [ctrl_uop(self.config.ctrl_latency, "CALL")]
+        if kind == TraceKind.RET:
+            stats.returns += 1
+            if rec.frame_release and warp.frame_starts:
+                warp.spill_depth = warp.frame_starts.pop()
+            return [ctrl_uop(self.config.ctrl_latency, "RET")]
+        if kind == TraceKind.PUSH:
+            stats.pushes += 1
+            stats.push_regs += rec.reg_count
+            start = warp.frame_starts[-1] if warp.frame_starts else 0
+            return [
+                mem_uop(
+                    warp.spill_sectors(start + i),
+                    STREAM_SPILL,
+                    True,
+                    (),
+                    (rec.srcs[i],),
+                    "SPILL_ST",
+                )
+                for i in range(rec.reg_count)
+            ]
+        if kind == TraceKind.POP:
+            stats.pops += 1
+            stats.pop_regs += rec.reg_count
+            start = warp.frame_starts[-1] if warp.frame_starts else 0
+            return [
+                mem_uop(
+                    warp.spill_sectors(start + i),
+                    STREAM_SPILL,
+                    False,
+                    (rec.dst[i],),
+                    (),
+                    "SPILL_LD",
+                )
+                for i in range(rec.reg_count)
+            ]
+        return self._expand_common(warp, rec, extra=0)
+
+
+class CarsContext(LaunchContext):
+    """CARS: in-register stacks with renaming, traps, and dynamic policy."""
+
+    manages_registers = True
+
+    def __init__(
+        self,
+        trace: KernelTrace,
+        config: GPUConfig,
+        stats: SimStats,
+        analysis: KernelStackAnalysis,
+        mode: str = "dynamic",
+        policy_memory: Optional[PolicyMemory] = None,
+    ) -> None:
+        self.analysis = analysis
+        self.mode = mode
+        super().__init__(trace, config, stats)
+        self.plan = plan_allocation(
+            analysis, config, self.warps_per_block, trace.shared_mem_bytes
+        )
+        self.policy: Optional[DynamicReservationPolicy] = None
+        self._static_regs: Optional[int] = None
+        if mode == "dynamic":
+            if self.plan.dynamic:
+                self.policy = DynamicReservationPolicy(
+                    trace.kernel, self.plan.levels, config.num_sms, policy_memory
+                )
+            else:
+                self._static_regs = self.plan.levels[self.plan.static_level]
+        elif mode == "low":
+            self._static_regs = analysis.low_watermark
+        elif mode == "high":
+            self._static_regs = analysis.high_watermark
+        elif mode.startswith("nxlow"):
+            n = int(mode[len("nxlow"):])
+            self._static_regs = analysis.nxlow_watermark(n)
+        else:
+            raise ValueError(f"unknown CARS mode {mode!r}")
+        if not analysis.has_calls:
+            # Function-free programs are untouched by CARS.
+            self._static_regs = analysis.kernel_fru
+            self.policy = None
+
+    def scheduler_regs_per_warp(self) -> int:
+        # The global block scheduler is unmodified: it sees the kernel's own
+        # frame (embedded in the launch parameters, Section IV-A); extra
+        # stack space is claimed inside the SM, stalling overflow warps.
+        return self.analysis.kernel_fru
+
+    def stack_level_for_block(self, sm_id: int):
+        if self.policy is not None:
+            level = self.policy.level_for_new_block(sm_id)
+            regs = self.policy.regs_for_level(level)
+        else:
+            level = 0
+            regs = self._static_regs
+        regs = max(regs, self.analysis.kernel_fru)
+        self.stats.allocation_log.append((self.trace.kernel, level, regs))
+        return level, regs
+
+    def attach_warp(self, warp: WarpCtx, regs_per_warp: int) -> None:
+        stack_capacity = max(0, regs_per_warp - self.analysis.kernel_fru)
+        warp.cars = WarpRegisterStack(stack_capacity)
+
+    def block_done(self, sm_id: int, level: int, runtime: int) -> None:
+        if self.policy is not None:
+            self.policy.record_block(sm_id, level, runtime)
+
+    def finalize(self) -> None:
+        if self.policy is not None:
+            self.policy.finalize()
+
+    # -- expansion -------------------------------------------------------
+
+    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+        cfg = self.config
+        stats = self.stats
+        extra = cfg.cars_extra_pipeline_cycles
+        kind = rec.kind
+        if kind == TraceKind.CALL:
+            stats.calls += 1
+            uops = [ctrl_uop(cfg.ctrl_latency + extra, "CALL")]
+            spilled = warp.cars.call(rec.fru)
+            if spilled:
+                stats.traps += 1
+                for start, count in spilled:
+                    stats.trap_spilled_regs += count
+                    for i in range(count):
+                        uops.append(
+                            mem_uop(
+                                warp.trap_sectors(start + i),
+                                STREAM_SPILL,
+                                True,
+                                (),
+                                (),
+                                "SPILL_ST",
+                            )
+                        )
+            return uops
+        if kind == TraceKind.RET:
+            stats.returns += 1
+            uops = [ctrl_uop(cfg.ctrl_latency + extra, "RET")]
+            if rec.frame_release:
+                filled = warp.cars.ret()
+                if filled is not None:
+                    start, count = filled
+                    stats.trap_filled_regs += count
+                    for i in range(count):
+                        fill = mem_uop(
+                            warp.trap_sectors(start + i),
+                            STREAM_SPILL,
+                            False,
+                            (),
+                            (),
+                            "SPILL_LD",
+                        )
+                        uops.append(fill)
+                    # The caller cannot proceed until its frame is back in
+                    # the register file: the last fill blocks the warp.
+                    uops[-1].blocking = True
+            return uops
+        if kind == TraceKind.PUSH:
+            stats.pushes += 1
+            stats.push_regs += rec.reg_count
+            return [
+                exec_uop(cfg.stack_op_latency + extra, (), rec.srcs, "STACK")
+            ]
+        if kind == TraceKind.POP:
+            stats.pops += 1
+            stats.pop_regs += rec.reg_count
+            return [exec_uop(cfg.stack_op_latency + extra, rec.dst, (), "STACK")]
+        # The added issue/operand-collector stage is charged to the ops whose
+        # paths CARS modifies (calls, stack ops, branches through the SIMT
+        # stack).  Plain ALU dependency chains keep their baseline latency —
+        # the paper itself argues the renaming mux "is unlikely to affect
+        # the SM's critical path" (Section IV-C).
+        common_extra = extra if kind == TraceKind.BRANCH else 0
+        return self._expand_common(warp, rec, extra=common_extra)
+
+
+@dataclass(frozen=True)
+class Technique:
+    """A named (config transform, binary choice, ABI model) bundle."""
+
+    name: str
+    abi: str = "baseline"  # "baseline" | "cars"
+    use_inlined: bool = False
+    cars_mode: str = "dynamic"
+    config_fn: Optional[Callable[[GPUConfig], GPUConfig]] = None
+
+    def adjust_config(self, config: GPUConfig) -> GPUConfig:
+        return self.config_fn(config) if self.config_fn else config
+
+    def make_context(
+        self,
+        trace: KernelTrace,
+        config: GPUConfig,
+        stats: SimStats,
+        analysis: Optional[KernelStackAnalysis] = None,
+        policy_memory: Optional[PolicyMemory] = None,
+    ) -> LaunchContext:
+        if self.abi == "cars":
+            if analysis is None:
+                raise ValueError("CARS requires a call-graph analysis")
+            return CarsContext(
+                trace, config, stats, analysis, self.cars_mode, policy_memory
+            )
+        return BaselineContext(trace, config, stats)
+
+
+# -- the paper's studied configurations -------------------------------------
+
+BASELINE = Technique("baseline")
+IDEAL_VW = Technique(
+    "ideal_vw", config_fn=lambda c: c.with_unlimited_occupancy()
+)
+L1_HUGE = Technique(
+    "l1_10mb", config_fn=lambda c: c.with_l1_size(2 * 1024 * 1024)
+)
+ALL_HIT = Technique("all_hit", config_fn=lambda c: c.with_force_hit())
+LTO = Technique("lto", use_inlined=True)
+CARS = Technique("cars", abi="cars")
+CARS_LOW = Technique("cars_low", abi="cars", cars_mode="low")
+CARS_HIGH = Technique("cars_high", abi="cars", cars_mode="high")
+
+
+def swl(limit: int) -> Technique:
+    """Static Wavefront Limiter at a fixed warp count."""
+    return Technique(
+        f"swl_{limit}", config_fn=lambda c, l=limit: c.with_warp_limit(l)
+    )
+
+
+def cars_nxlow(n: int) -> Technique:
+    """CARS pinned at the NxLow-watermark allocation."""
+    return Technique(f"cars_nxlow{n}", abi="cars", cars_mode=f"nxlow{n}")

@@ -1,0 +1,110 @@
+"""Per-warp timing context."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from .uop import Uop
+
+#: Sector address space carved out for per-warp local memory (spills,
+#: genuine locals, CARS trap region).  Global data sectors from the
+#: emulator are word_addr // 8 and stay far below this base.
+LOCAL_SECTOR_BASE = 1 << 40
+#: Sector window reserved per warp.
+LOCAL_SECTOR_WINDOW = 1 << 16
+#: Offsets of the three local sub-regions (in sectors).
+SPILL_REGION = 0  # baseline ABI spill stack
+LOCAL_REGION = 1 << 12  # genuine local-memory accesses
+TRAP_REGION = 1 << 13  # CARS wrap-around trap spills
+SWITCH_REGION = 1 << 14  # CARS context-switch save area
+
+#: "Not ready" sentinel for registers with an outstanding load.
+NEVER = 1 << 60
+
+
+class WarpCtx:
+    """Timing state of one resident warp."""
+
+    __slots__ = (
+        "slot",
+        "global_index",
+        "records",
+        "cursor",
+        "uops",
+        "reg_ready",
+        "next_issue",
+        "waiting_barrier",
+        "done",
+        "outstanding_loads",
+        "fetch_debt",
+        "frame_starts",
+        "spill_depth",
+        "cars",
+        "stalled",
+        "switched_out",
+        "needs_fill",
+        "alloc_regs",
+        "local_base",
+        "block",
+    )
+
+    def __init__(self, slot: int, global_index: int, records: List, block) -> None:
+        self.slot = slot
+        self.global_index = global_index
+        self.records = records
+        self.cursor = 0
+        self.uops: Deque[Uop] = deque()
+        self.reg_ready: Dict[int, int] = {}
+        self.next_issue = 0
+        self.waiting_barrier = False
+        self.done = False
+        self.outstanding_loads = 0
+        self.fetch_debt = 0.0
+        self.frame_starts: List[int] = []  # baseline spill-stack frames
+        self.spill_depth = 0  # registers currently on the in-memory stack
+        self.cars = None  # WarpRegisterStack under CARS, else None
+        self.stalled = False  # CARS: waiting for register allocation
+        self.switched_out = False  # CARS: state spilled at a barrier
+        self.needs_fill = False  # CARS: must refill state when resumed
+        self.alloc_regs = 0  # registers held from the SM pool (CARS)
+        self.local_base = LOCAL_SECTOR_BASE + global_index * LOCAL_SECTOR_WINDOW
+        self.block = block
+
+    # ------------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """No expanded uops pending and no records left."""
+        return not self.uops and self.cursor >= len(self.records)
+
+    def deps_ready_cycle(self, uop: Uop) -> int:
+        """Earliest cycle at which *uop*'s operands are all available."""
+        ready = 0
+        reg_ready = self.reg_ready
+        for reg in uop.srcs:
+            t = reg_ready.get(reg, 0)
+            if t > ready:
+                ready = t
+        for reg in uop.dst:
+            t = reg_ready.get(reg, 0)
+            if t > ready:
+                ready = t
+        return ready
+
+    def spill_sectors(self, reg_slot: int):
+        """Four 32B sectors covering one warp-wide spilled register."""
+        base = self.local_base + SPILL_REGION + 4 * reg_slot
+        return (base, base + 1, base + 2, base + 3)
+
+    def local_sectors(self, offset: int):
+        base = self.local_base + LOCAL_REGION + 4 * (offset % (1 << 10))
+        return (base, base + 1, base + 2, base + 3)
+
+    def trap_sectors(self, reg_slot: int):
+        base = self.local_base + TRAP_REGION + 4 * (reg_slot % (1 << 10))
+        return (base, base + 1, base + 2, base + 3)
+
+    def switch_sectors(self, reg_slot: int):
+        base = self.local_base + SWITCH_REGION + 4 * (reg_slot % (1 << 10))
+        return (base, base + 1, base + 2, base + 3)

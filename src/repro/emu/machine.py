@@ -1,0 +1,643 @@
+"""Functional SIMT emulator.
+
+Executes a linked module warp by warp (32 lanes of int64 state), handling
+structured divergence through the SIMT reconvergence stack, the full
+function-call ABI (PUSH/POP of callee-saved blocks, divergent returns,
+indirect calls that fan a warp out to several callees), barriers, and the
+three memory spaces.  Its output is the dynamic :class:`~repro.emu.trace`
+stream that the timing model replays — the role NVBit traces play in the
+paper's methodology (Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..isa.instructions import WARP_SIZE, MAX_REGS, NUM_PREDS
+from ..isa.opcodes import CmpOp, Opcode
+from ..isa.program import Function, Module
+from ..frontend import abi
+from .memory import GlobalMemory, LocalMemory, SharedMemory, coalesce_sectors
+from .simt_stack import SimtEntry, make_call, make_ssy
+from .trace import BlockTrace, KernelTrace, TraceKind, TraceRecord, WarpTrace
+
+
+class EmulationError(Exception):
+    """Raised when a program misbehaves at emulation time."""
+
+
+_TRACE_KIND_BY_OPCLASS = {
+    "alu": TraceKind.ALU,
+    "fpu": TraceKind.FPU,
+    "sfu": TraceKind.SFU,
+}
+
+_MUFU_MULT = np.int64(0x9E3779B1)
+_SHIFT_MASK = np.int64(63)
+
+
+class _Frame:
+    """One function activation: saved callee-saved register values."""
+
+    __slots__ = ("func_name", "saved")
+
+    def __init__(self, func_name: str) -> None:
+        self.func_name = func_name
+        # Each entry: (start, count, values[count, WARP_SIZE])
+        self.saved: List[Tuple[int, int, np.ndarray]] = []
+
+
+class WarpState:
+    """Architectural state of one warp during emulation."""
+
+    def __init__(self, warp_id: int, block_id: int, module: Module, kernel: Function,
+                 threads_per_block: int, grid_blocks: int) -> None:
+        self.warp_id = warp_id
+        self.block_id = block_id
+        self.module = module
+        self.func = kernel
+        self.pc = 0
+        self.regs = np.zeros((MAX_REGS, WARP_SIZE), dtype=np.int64)
+        self.preds = np.zeros((NUM_PREDS, WARP_SIZE), dtype=bool)
+        self.active = np.ones(WARP_SIZE, dtype=bool)
+        self.exited = np.zeros(WARP_SIZE, dtype=bool)
+        self.simt: List[SimtEntry] = []
+        self.frames: List[_Frame] = []
+        self.local = LocalMemory()
+        self.trace = WarpTrace(warp_id)
+        self.done = False
+        self.executed = 0
+        lanes = np.arange(WARP_SIZE, dtype=np.int64)
+        self.regs[abi.REG_TID] = warp_id * WARP_SIZE + lanes
+        self.regs[abi.REG_BID] = block_id
+        self.regs[abi.REG_NTID] = threads_per_block
+        self.regs[abi.REG_NCTAID] = grid_blocks
+
+    @property
+    def call_depth(self) -> int:
+        return len(self.frames)
+
+
+class Emulator:
+    """Drives warps of a kernel launch and collects their traces."""
+
+    def __init__(
+        self,
+        module: Module,
+        gmem: Optional[GlobalMemory] = None,
+        max_warp_instructions: int = 2_000_000,
+        max_call_depth: int = 512,
+    ) -> None:
+        self.module = module
+        self.gmem = gmem if gmem is not None else GlobalMemory()
+        self.max_warp_instructions = max_warp_instructions
+        self.max_call_depth = max_call_depth
+
+    # ------------------------------------------------------------------
+    # Launch API
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel_name: str,
+        grid_blocks: int,
+        threads_per_block: int,
+        params: Sequence[int] = (),
+    ) -> KernelTrace:
+        """Run a kernel over the whole grid and return its trace."""
+        kernel = self.module.kernel(kernel_name)
+        if threads_per_block % WARP_SIZE != 0:
+            raise EmulationError("threads_per_block must be a multiple of 32")
+        if len(params) > abi.MAX_REG_ARGS:
+            raise EmulationError("too many kernel parameters")
+        blocks = [
+            self._run_block(kernel, block_id, threads_per_block, grid_blocks, params)
+            for block_id in range(grid_blocks)
+        ]
+        return KernelTrace(
+            kernel=kernel_name,
+            blocks=blocks,
+            threads_per_block=threads_per_block,
+            regs_per_warp_baseline=self.module.worst_case_regs.get(
+                kernel_name, kernel.num_regs
+            ),
+            shared_mem_bytes=kernel.shared_mem_bytes,
+            code_bytes=self.module.code_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Block / warp driving
+    # ------------------------------------------------------------------
+
+    def _run_block(
+        self,
+        kernel: Function,
+        block_id: int,
+        threads_per_block: int,
+        grid_blocks: int,
+        params: Sequence[int],
+    ) -> BlockTrace:
+        num_warps = threads_per_block // WARP_SIZE
+        shared = SharedMemory(max(kernel.shared_mem_bytes, 4))
+        warps = [
+            WarpState(w, block_id, self.module, kernel, threads_per_block, grid_blocks)
+            for w in range(num_warps)
+        ]
+        for warp in warps:
+            for i, value in enumerate(params):
+                warp.regs[abi.ARG_REG_BASE + i] = value
+
+        # Run every warp to its next barrier (or completion), then release.
+        while True:
+            progressed = False
+            at_barrier = 0
+            for warp in warps:
+                if warp.done:
+                    continue
+                status = self._run_warp(warp, shared)
+                progressed = True
+                if status == "bar":
+                    at_barrier += 1
+            live = sum(1 for w in warps if not w.done)
+            if live == 0:
+                break
+            if at_barrier != live:
+                raise EmulationError(
+                    f"block {block_id}: barrier divergence "
+                    f"({at_barrier}/{live} warps at the barrier)"
+                )
+            if not progressed:  # pragma: no cover - defensive
+                raise EmulationError(f"block {block_id}: no progress")
+        return BlockTrace(block_id, [w.trace for w in warps])
+
+    def _run_warp(self, warp: WarpState, shared: SharedMemory) -> str:
+        """Execute until the warp hits a barrier or finishes."""
+        while not warp.done:
+            if warp.executed >= self.max_warp_instructions:
+                raise EmulationError(
+                    f"warp {warp.warp_id}: exceeded "
+                    f"{self.max_warp_instructions} dynamic instructions"
+                )
+            inst = warp.func.instructions[warp.pc]
+            warp.executed += 1
+            if inst.op is Opcode.BAR:
+                self._record(warp, TraceRecord(TraceKind.BAR, active=self._nactive(warp)))
+                warp.pc += 1
+                return "bar"
+            self._step(warp, inst, shared)
+        return "done"
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _nactive(self, warp: WarpState) -> int:
+        return int(warp.active.sum())
+
+    def _record(self, warp: WarpState, record: TraceRecord) -> None:
+        warp.trace.records.append(record)
+
+    def _write(self, warp: WarpState, reg: int, values: np.ndarray) -> None:
+        np.copyto(warp.regs[reg], values, where=warp.active)
+
+    def _step(self, warp: WarpState, inst, shared: SharedMemory) -> None:
+        op = inst.op
+        handler = _HANDLERS.get(op)
+        if handler is None:
+            raise EmulationError(f"unhandled opcode {op}")
+        handler(self, warp, inst, shared)
+
+    # --- ALU family ---
+
+    def _exec_alu(self, warp: WarpState, inst, shared) -> None:
+        regs = warp.regs
+        op = inst.op
+        s = inst.srcs
+        if op is Opcode.MOV:
+            result = regs[s[0]]
+        elif op is Opcode.MOVI:
+            result = np.full(WARP_SIZE, inst.imm, dtype=np.int64)
+        elif op is Opcode.IADD or op is Opcode.FADD:
+            result = regs[s[0]] + regs[s[1]]
+        elif op is Opcode.ISUB:
+            result = regs[s[0]] - regs[s[1]]
+        elif op is Opcode.IMUL or op is Opcode.FMUL:
+            result = regs[s[0]] * regs[s[1]]
+        elif op is Opcode.IMAD or op is Opcode.FFMA:
+            result = regs[s[0]] * regs[s[1]] + regs[s[2]]
+        elif op is Opcode.IMIN:
+            result = np.minimum(regs[s[0]], regs[s[1]])
+        elif op is Opcode.IMAX:
+            result = np.maximum(regs[s[0]], regs[s[1]])
+        elif op is Opcode.AND:
+            result = regs[s[0]] & regs[s[1]]
+        elif op is Opcode.OR:
+            result = regs[s[0]] | regs[s[1]]
+        elif op is Opcode.XOR:
+            result = regs[s[0]] ^ regs[s[1]]
+        elif op is Opcode.SHL:
+            result = regs[s[0]] << (regs[s[1]] & _SHIFT_MASK)
+        elif op is Opcode.SHR:
+            result = regs[s[0]] >> (regs[s[1]] & _SHIFT_MASK)
+        elif op is Opcode.MUFU:
+            x = regs[s[0]]
+            result = ((x ^ (x >> np.int64(7))) * _MUFU_MULT) & np.int64(0x7FFFFFFF)
+        elif op is Opcode.SEL:
+            result = np.where(warp.preds[inst.psrc], regs[s[0]], regs[s[1]])
+        else:  # pragma: no cover - defensive
+            raise EmulationError(f"not an ALU op: {op}")
+        self._write(warp, inst.dst[0], result)
+        kind = _TRACE_KIND_BY_OPCLASS.get(inst.op_class.value, TraceKind.ALU)
+        self._record(
+            warp,
+            TraceRecord(kind, dst=inst.dst, srcs=inst.srcs, active=self._nactive(warp)),
+        )
+        warp.pc += 1
+
+    def _exec_setp(self, warp: WarpState, inst, shared) -> None:
+        a = warp.regs[inst.srcs[0]]
+        b = warp.regs[inst.srcs[1]]
+        cmp_op = CmpOp(inst.imm)
+        if cmp_op is CmpOp.EQ:
+            result = a == b
+        elif cmp_op is CmpOp.NE:
+            result = a != b
+        elif cmp_op is CmpOp.LT:
+            result = a < b
+        elif cmp_op is CmpOp.LE:
+            result = a <= b
+        elif cmp_op is CmpOp.GT:
+            result = a > b
+        else:
+            result = a >= b
+        np.copyto(warp.preds[inst.pdst], result, where=warp.active)
+        self._record(
+            warp,
+            TraceRecord(TraceKind.ALU, srcs=inst.srcs, active=self._nactive(warp)),
+        )
+        warp.pc += 1
+
+    # --- memory ---
+
+    def _exec_ldg(self, warp: WarpState, inst, shared) -> None:
+        addrs = warp.regs[inst.srcs[0]] + np.int64(inst.imm)
+        active_addrs = addrs[warp.active]
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        if active_addrs.size:
+            values[warp.active] = self.gmem.load(active_addrs)
+        self._write(warp, inst.dst[0], values)
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.GLOBAL_LD,
+                dst=inst.dst,
+                srcs=inst.srcs,
+                sectors=coalesce_sectors(active_addrs),
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    def _exec_stg(self, warp: WarpState, inst, shared) -> None:
+        addrs = warp.regs[inst.srcs[0]] + np.int64(inst.imm)
+        values = warp.regs[inst.srcs[1]]
+        active_addrs = addrs[warp.active]
+        if active_addrs.size:
+            self.gmem.store(active_addrs, values[warp.active])
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.GLOBAL_ST,
+                srcs=inst.srcs,
+                sectors=coalesce_sectors(active_addrs),
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    def _exec_lds(self, warp: WarpState, inst, shared) -> None:
+        addrs = warp.regs[inst.srcs[0]] + np.int64(inst.imm)
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        if warp.active.any():
+            values[warp.active] = shared.load(addrs[warp.active])
+        self._write(warp, inst.dst[0], values)
+        self._record(
+            warp,
+            TraceRecord(TraceKind.SMEM, dst=inst.dst, srcs=inst.srcs,
+                        active=self._nactive(warp)),
+        )
+        warp.pc += 1
+
+    def _exec_sts(self, warp: WarpState, inst, shared) -> None:
+        addrs = warp.regs[inst.srcs[0]] + np.int64(inst.imm)
+        values = warp.regs[inst.srcs[1]]
+        if warp.active.any():
+            shared.store(addrs[warp.active], values[warp.active])
+        self._record(
+            warp,
+            TraceRecord(TraceKind.SMEM, srcs=inst.srcs, active=self._nactive(warp)),
+        )
+        warp.pc += 1
+
+    def _exec_ldl(self, warp: WarpState, inst, shared) -> None:
+        values = warp.local.load(inst.imm)
+        self._write(warp, inst.dst[0], values)
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.LOCAL_LD,
+                dst=inst.dst,
+                local_offset=inst.imm,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    def _exec_stl(self, warp: WarpState, inst, shared) -> None:
+        warp.local.store(inst.imm, warp.regs[inst.srcs[0]], warp.active)
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.LOCAL_ST,
+                srcs=inst.srcs,
+                local_offset=inst.imm,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    # --- register stack (ABI save/restore) ---
+
+    def _exec_push(self, warp: WarpState, inst, shared) -> None:
+        start, count = inst.push_regs
+        if not warp.frames:
+            raise EmulationError(f"{warp.func.name}: PUSH outside any frame")
+        warp.frames[-1].saved.append(
+            (start, count, warp.regs[start : start + count].copy())
+        )
+        regs = tuple(range(start, start + count))
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.PUSH, srcs=regs, reg_count=count,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    def _exec_pop(self, warp: WarpState, inst, shared) -> None:
+        start, count = inst.push_regs
+        if not warp.frames:
+            raise EmulationError(f"{warp.func.name}: POP outside any frame")
+        frame = warp.frames[-1]
+        for s_start, s_count, values in reversed(frame.saved):
+            if s_start == start and s_count == count:
+                # Masked, non-destructive restore: lanes still inside the
+                # function (divergent early return) keep their live values.
+                for i in range(count):
+                    np.copyto(warp.regs[start + i], values[i], where=warp.active)
+                break
+        else:
+            raise EmulationError(
+                f"{warp.func.name}: POP R{start}x{count} with no matching PUSH"
+            )
+        regs = tuple(range(start, start + count))
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.POP, dst=regs, reg_count=count,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.pc += 1
+
+    # --- calls / returns ---
+
+    def _enter_function(
+        self, warp: WarpState, target: str, ret_pc: Optional[int], to_dispatch: bool
+    ) -> None:
+        if warp.call_depth >= self.max_call_depth:
+            raise EmulationError(
+                f"call depth exceeded {self.max_call_depth} "
+                f"(unbounded recursion in {warp.func.name}?)"
+            )
+        callee = self.module.function(target)
+        warp.frames.append(_Frame(target))
+        entry = make_call(
+            warp.active,
+            None if to_dispatch else ret_pc,
+            ret_func=warp.func.name,
+            frame_index=len(warp.frames) - 1,
+        )
+        warp.simt.append(entry)
+        saved = callee.callee_saved[1] if callee.callee_saved else 0
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.CALL,
+                callee=target,
+                fru=callee.fru,
+                push_count=saved,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.func = callee
+        warp.pc = 0
+
+    def _exec_call(self, warp: WarpState, inst, shared) -> None:
+        self._enter_function(warp, inst.target, warp.pc + 1, to_dispatch=False)
+
+    def _exec_calli(self, warp: WarpState, inst, shared) -> None:
+        targets = inst.call_targets
+        sel = warp.regs[inst.srcs[0]] % len(targets)
+        active_sel = sel[warp.active]
+        unique = np.unique(active_sel)
+        if unique.size == 1:
+            self._enter_function(
+                warp, targets[int(unique[0])], warp.pc + 1, to_dispatch=False
+            )
+            return
+        # Threads of the same warp call different functions: serialize the
+        # groups through a dispatch scope (paper Section III-C case 3).
+        dispatch = make_ssy(warp.active, warp.pc + 1)
+        groups = []
+        for idx in unique:
+            mask = warp.active & (sel == idx)
+            groups.append((int(idx), mask))
+        for idx, mask in groups[1:]:
+            dispatch.pending.append((0, mask, targets[idx]))
+        warp.simt.append(dispatch)
+        first_idx, first_mask = groups[0]
+        warp.active = first_mask.copy()
+        self._enter_function(warp, targets[first_idx], None, to_dispatch=True)
+
+    def _exec_ret(self, warp: WarpState, inst, shared) -> None:
+        entry = self._innermost_call(warp)
+        entry.done = entry.done | warp.active
+        release = entry.all_done
+        self._record(
+            warp,
+            TraceRecord(
+                TraceKind.RET,
+                callee=warp.func.name,
+                fru=warp.func.fru,
+                frame_release=release,
+                active=self._nactive(warp),
+            ),
+        )
+        warp.active = np.zeros(WARP_SIZE, dtype=bool)
+        self._advance(warp)
+
+    def _innermost_call(self, warp: WarpState) -> SimtEntry:
+        for entry in reversed(warp.simt):
+            if entry.is_call:
+                return entry
+        raise EmulationError(f"{warp.func.name}: RET with no call scope")
+
+    def _exec_exit(self, warp: WarpState, inst, shared) -> None:
+        self._record(warp, TraceRecord(TraceKind.EXIT, active=self._nactive(warp)))
+        warp.exited |= warp.active
+        warp.active = np.zeros(WARP_SIZE, dtype=bool)
+        self._advance(warp)
+
+    # --- structured divergence ---
+
+    def _exec_ssy(self, warp: WarpState, inst, shared) -> None:
+        warp.simt.append(make_ssy(warp.active, warp.func.label_index(inst.target)))
+        self._record(warp, TraceRecord(TraceKind.BRANCH, active=self._nactive(warp)))
+        warp.pc += 1
+
+    def _exec_bra(self, warp: WarpState, inst, shared) -> None:
+        self._record(warp, TraceRecord(TraceKind.BRANCH, active=self._nactive(warp)))
+        warp.pc = warp.func.label_index(inst.target)
+
+    def _exec_cbra(self, warp: WarpState, inst, shared) -> None:
+        pred = warp.preds[inst.psrc]
+        taken = warp.active & pred
+        not_taken = warp.active & ~pred
+        self._record(
+            warp, TraceRecord(TraceKind.BRANCH, active=self._nactive(warp))
+        )
+        target = warp.func.label_index(inst.target)
+        if not taken.any():
+            warp.pc += 1
+            return
+        if not not_taken.any():
+            warp.pc = target
+            return
+        scope = self._innermost_ssy(warp)
+        scope.pending.append((warp.pc + 1, not_taken.copy(), None))
+        warp.active = taken.copy()
+        warp.pc = target
+
+    def _innermost_ssy(self, warp: WarpState) -> SimtEntry:
+        # The compiler emits SSY before any potentially-divergent branch, so
+        # the top of the SIMT stack must be a reconvergence scope here.
+        if warp.simt and not warp.simt[-1].is_call:
+            return warp.simt[-1]
+        raise EmulationError(
+            f"{warp.func.name}: divergent branch outside an SSY scope"
+        )
+
+    def _exec_sync(self, warp: WarpState, inst, shared) -> None:
+        self._record(warp, TraceRecord(TraceKind.BRANCH, active=self._nactive(warp)))
+        if not warp.simt or warp.simt[-1].is_call:
+            raise EmulationError(f"{warp.func.name}: SYNC outside an SSY scope")
+        entry = warp.simt[-1]
+        entry.done = entry.done | warp.active
+        warp.active = np.zeros(WARP_SIZE, dtype=bool)
+        self._advance(warp)
+
+    def _exec_nop(self, warp: WarpState, inst, shared) -> None:
+        self._record(warp, TraceRecord(TraceKind.ALU, active=self._nactive(warp)))
+        warp.pc += 1
+
+    # --- the unwinder ---
+
+    def _advance(self, warp: WarpState) -> None:
+        """Resume the next runnable lane group after lanes left the scope."""
+        while warp.simt:
+            entry = warp.simt[-1]
+            if not entry.is_call:
+                if entry.pending:
+                    pc, mask, enter_func = entry.pending.pop()
+                    warp.active = mask.copy()
+                    if enter_func is not None:
+                        self._enter_function(warp, enter_func, None, to_dispatch=True)
+                    else:
+                        warp.pc = pc
+                    return
+                if entry.done.any():
+                    warp.active = entry.done.copy()
+                    warp.pc = entry.reconv_pc
+                    warp.simt.pop()
+                    return
+                warp.simt.pop()
+                continue
+            # Call scope: every lane that entered must have returned.
+            if not entry.all_done:  # pragma: no cover - defensive
+                raise EmulationError(
+                    f"{warp.func.name}: unwinding a call scope with "
+                    f"lanes still inside"
+                )
+            warp.frames.pop()
+            warp.func = self.module.function(entry.ret_func)
+            warp.simt.pop()
+            if entry.reconv_pc is None:
+                # Return to a CALLI dispatch scope: credit the lanes and
+                # let the loop pick the next group (or reconverge).
+                if not warp.simt or warp.simt[-1].is_call:
+                    raise EmulationError("dispatch scope missing on return")
+                warp.simt[-1].done = warp.simt[-1].done | entry.mask
+                continue
+            warp.active = entry.mask.copy()
+            warp.pc = entry.reconv_pc
+            return
+        # Stack empty: the warp is finished once every lane has exited.
+        warp.done = True
+        if not warp.exited.all():
+            raise EmulationError(
+                f"warp {warp.warp_id}: finished with lanes that never exited"
+            )
+
+
+_HANDLERS = {
+    Opcode.MOV: Emulator._exec_alu,
+    Opcode.MOVI: Emulator._exec_alu,
+    Opcode.IADD: Emulator._exec_alu,
+    Opcode.ISUB: Emulator._exec_alu,
+    Opcode.IMUL: Emulator._exec_alu,
+    Opcode.IMAD: Emulator._exec_alu,
+    Opcode.IMIN: Emulator._exec_alu,
+    Opcode.IMAX: Emulator._exec_alu,
+    Opcode.AND: Emulator._exec_alu,
+    Opcode.OR: Emulator._exec_alu,
+    Opcode.XOR: Emulator._exec_alu,
+    Opcode.SHL: Emulator._exec_alu,
+    Opcode.SHR: Emulator._exec_alu,
+    Opcode.SEL: Emulator._exec_alu,
+    Opcode.FADD: Emulator._exec_alu,
+    Opcode.FMUL: Emulator._exec_alu,
+    Opcode.FFMA: Emulator._exec_alu,
+    Opcode.MUFU: Emulator._exec_alu,
+    Opcode.SETP: Emulator._exec_setp,
+    Opcode.LDG: Emulator._exec_ldg,
+    Opcode.STG: Emulator._exec_stg,
+    Opcode.LDS: Emulator._exec_lds,
+    Opcode.STS: Emulator._exec_sts,
+    Opcode.LDL: Emulator._exec_ldl,
+    Opcode.STL: Emulator._exec_stl,
+    Opcode.PUSH: Emulator._exec_push,
+    Opcode.POP: Emulator._exec_pop,
+    Opcode.CALL: Emulator._exec_call,
+    Opcode.CALLI: Emulator._exec_calli,
+    Opcode.RET: Emulator._exec_ret,
+    Opcode.EXIT: Emulator._exec_exit,
+    Opcode.SSY: Emulator._exec_ssy,
+    Opcode.BRA: Emulator._exec_bra,
+    Opcode.CBRA: Emulator._exec_cbra,
+    Opcode.SYNC: Emulator._exec_sync,
+    Opcode.NOP: Emulator._exec_nop,
+}

@@ -1,0 +1,90 @@
+"""SIMT reconvergence stack entries.
+
+The emulator models the hardware structure the paper augments: a per-warp
+stack tracking control-flow divergence.  Entries are either reconvergence
+scopes (pushed by SSY) or function-call scopes (pushed by CALL) — the
+latter carry the 1-bit call marker CARS adds so register frames are only
+released when every thread has returned (Section IV-B2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class SimtEntry:
+    """One reconvergence-stack entry.
+
+    Attributes:
+        is_call: the paper's added call bit (True for CALL scopes).
+        mask: lanes that entered this scope.
+        done: lanes that finished it (SYNCed, or returned for call scopes).
+        reconv_pc: where done lanes reconverge (SSY scopes) / return
+            (call scopes; None when the call returns to a CALLI dispatch
+            scope instead of a plain pc).
+        pending: deferred lane groups: (pc, mask, enter_func).  For plain
+            divergence ``enter_func`` is None; for CALLI dispatch scopes it
+            names the function each group must still enter.
+        ret_func: function to restore on return (call scopes).
+        frame_index: index of the register frame this call scope owns.
+    """
+
+    __slots__ = (
+        "is_call",
+        "mask",
+        "done",
+        "reconv_pc",
+        "pending",
+        "ret_func",
+        "frame_index",
+    )
+
+    def __init__(
+        self,
+        is_call: bool,
+        mask: np.ndarray,
+        reconv_pc: Optional[int],
+        ret_func: Optional[str] = None,
+        frame_index: int = -1,
+    ) -> None:
+        self.is_call = is_call
+        self.mask = mask.copy()
+        self.done = np.zeros_like(mask)
+        self.reconv_pc = reconv_pc
+        self.pending: List[Tuple[int, np.ndarray, Optional[str]]] = []
+        self.ret_func = ret_func
+        self.frame_index = frame_index
+
+    @property
+    def all_done(self) -> bool:
+        return bool(np.array_equal(self.done, self.mask))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "CALL" if self.is_call else "SSY"
+        return (
+            f"<{kind} mask={int(self.mask.sum())} done={int(self.done.sum())} "
+            f"pending={len(self.pending)} reconv={self.reconv_pc}>"
+        )
+
+
+def make_ssy(mask: np.ndarray, reconv_pc: int) -> SimtEntry:
+    """A reconvergence (SSY) scope for the active lanes."""
+    return SimtEntry(is_call=False, mask=mask, reconv_pc=reconv_pc)
+
+
+def make_call(
+    mask: np.ndarray,
+    ret_pc: Optional[int],
+    ret_func: str,
+    frame_index: int,
+) -> SimtEntry:
+    """A function-call scope (carries the paper's call bit)."""
+    return SimtEntry(
+        is_call=True,
+        mask=mask,
+        reconv_pc=ret_pc,
+        ret_func=ret_func,
+        frame_index=frame_index,
+    )

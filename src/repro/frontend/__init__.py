@@ -1,0 +1,18 @@
+"""Kernel DSL, compiler, linker, and LTO inliner (the GPU toolchain substrate)."""
+
+from .ast import DslError, FunctionDef, ProgramDef
+from .linker import compile_program, link, BYTES_PER_INSTRUCTION
+from .inliner import inline_program
+from . import abi, builder
+
+__all__ = [
+    "DslError",
+    "FunctionDef",
+    "ProgramDef",
+    "compile_program",
+    "link",
+    "inline_program",
+    "abi",
+    "builder",
+    "BYTES_PER_INSTRUCTION",
+]

@@ -1,0 +1,41 @@
+"""The GPU function-call ABI constants.
+
+Mirrors the contemporary NVIDIA ABI the paper profiles (Section II):
+
+* a handful of read-only special registers,
+* arguments and return values in caller-saved registers,
+* a contiguous callee-saved block starting at R16 that callees must
+  spill/fill (the traffic CARS eliminates).
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import CALLEE_SAVED_BASE
+
+#: Read-only special registers, set by hardware at launch.
+REG_TID = 0  # thread index within the block
+REG_BID = 1  # block index within the grid
+REG_NTID = 2  # threads per block
+REG_NCTAID = 3  # blocks in the grid
+
+SPECIAL_REGS = {
+    "tid": REG_TID,
+    "bid": REG_BID,
+    "ntid": REG_NTID,
+    "nctaid": REG_NCTAID,
+}
+
+#: Argument / return-value registers (caller-saved).
+ARG_REG_BASE = 4
+MAX_REG_ARGS = 8  # R4..R11
+RETURN_REG = 4
+
+#: Scratch caller-saved registers usable for expression temporaries.
+TEMP_REG_BASE = 12
+TEMP_REG_COUNT = 4  # R12..R15
+
+#: First callee-saved register (re-exported for convenience).
+CALLEE_SAVED_START = CALLEE_SAVED_BASE
+
+#: Bytes per register lane (4B x 32 lanes = 128B per warp register).
+BYTES_PER_REG_LANE = 4

@@ -1,0 +1,341 @@
+"""AST for the mini CUDA-like kernel DSL.
+
+Workloads and examples write device code against this AST (usually through
+the operator-overloaded expression nodes and the helpers in
+:mod:`repro.frontend.builder`).  The compiler in :mod:`repro.frontend.lower`
+turns it into mini-ISA functions that follow the GPU function-call ABI the
+paper studies.
+
+Expressions are side-effect free except :class:`CallExpr` (device-function
+call) and :class:`LoadGlobal`/:class:`LoadShared`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..isa.opcodes import CmpOp, Opcode
+
+
+class DslError(Exception):
+    """Raised for malformed DSL programs."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions; provides operator sugar."""
+
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.IADD, self, wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.IADD, wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.ISUB, self, wrap(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.ISUB, wrap(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.IMUL, self, wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.IMUL, wrap(other), self)
+
+    def __and__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.AND, self, wrap(other))
+
+    def __or__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.OR, self, wrap(other))
+
+    def __xor__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.XOR, self, wrap(other))
+
+    def __lshift__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.SHL, self, wrap(other))
+
+    def __rshift__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(Opcode.SHR, self, wrap(other))
+
+    # Comparisons build Cmp nodes (predicates), usable in If/While.
+    def __eq__(self, other: "ExprLike") -> "Cmp":  # type: ignore[override]
+        return Cmp(CmpOp.EQ, self, wrap(other))
+
+    def __ne__(self, other: "ExprLike") -> "Cmp":  # type: ignore[override]
+        return Cmp(CmpOp.NE, self, wrap(other))
+
+    def __lt__(self, other: "ExprLike") -> "Cmp":
+        return Cmp(CmpOp.LT, self, wrap(other))
+
+    def __le__(self, other: "ExprLike") -> "Cmp":
+        return Cmp(CmpOp.LE, self, wrap(other))
+
+    def __gt__(self, other: "ExprLike") -> "Cmp":
+        return Cmp(CmpOp.GT, self, wrap(other))
+
+    def __ge__(self, other: "ExprLike") -> "Cmp":
+        return Cmp(CmpOp.GE, self, wrap(other))
+
+    __hash__ = object.__hash__
+
+
+ExprLike = Union[Expr, int]
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Coerce a Python int into a :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise DslError(f"cannot use {value!r} as a DSL expression")
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    value: int
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A named local variable (assigned via Let/Assign) or parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True, eq=False)
+class Special(Expr):
+    """A hardware special value: 'tid', 'bid', 'ntid', 'nctaid'."""
+
+    kind: str
+
+    KINDS = ("tid", "bid", "ntid", "nctaid")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise DslError(f"unknown special {self.kind!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    op: Opcode
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Mad(Expr):
+    """Fused multiply-add ``a * b + c`` (integer or float flavour)."""
+
+    a: Expr
+    b: Expr
+    c: Expr
+    float_flavour: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class FloatOp(Expr):
+    """FADD/FMUL — latency-class floats (values remain integers)."""
+
+    op: Opcode
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Mufu(Expr):
+    """Special-function-unit op (rsqrt/sin/...); ``fn`` selects which."""
+
+    fn: int
+    arg: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Cmp(Expr):
+    op: CmpOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Select(Expr):
+    """``cond ? if_true : if_false`` without divergence."""
+
+    cond: "Cmp"
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class LoadGlobal(Expr):
+    addr: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class LoadShared(Expr):
+    addr: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class LoadLocal(Expr):
+    """Genuine (non-spill) thread-private local-memory load."""
+
+    offset: int
+
+
+@dataclass(frozen=True, eq=False)
+class CallExpr(Expr):
+    """Direct device-function call returning a value."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class IndirectCallExpr(Expr):
+    """Indirect call: selects one of ``candidates`` by ``selector`` value.
+
+    Models virtual functions / function pointers.  The static candidate list
+    is what the paper's call-graph analysis uses for indirect call sites.
+    """
+
+    candidates: Tuple[str, ...]
+    selector: Expr
+    args: Tuple[Expr, ...]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    """Bind or rebind a local variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreGlobal(Stmt):
+    addr: Expr
+    value: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class StoreShared(Stmt):
+    addr: Expr
+    value: Expr
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class StoreLocal(Stmt):
+    """Genuine (non-spill) thread-private local-memory store."""
+
+    offset: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Cmp
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Cmp
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var in range(start, stop, step)`` counted loop."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effects (calls)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Barrier(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Function definitions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef:
+    """A DSL function (kernel or device function).
+
+    Attributes:
+        name: symbol name.
+        params: parameter names (passed in registers per the ABI).
+        body: statement list.
+        is_kernel: marks ``__global__`` entry points.
+        shared_mem_bytes: static shared memory demand (kernels only).
+        reg_pressure: minimum callee-saved register count the compiler must
+            allocate for this function.  Real compilers derive this from the
+            live values in the function body; the synthesizer uses it to
+            control per-function FRU exactly (padding with live-across-call
+            values when the body alone would not demand that many).
+    """
+
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    is_kernel: bool = False
+    shared_mem_bytes: int = 0
+    reg_pressure: int = 0
+
+
+@dataclass
+class ProgramDef:
+    """A collection of DSL functions compiled/linked together."""
+
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def add(self, func: FunctionDef) -> FunctionDef:
+        if any(f.name == func.name for f in self.functions):
+            raise DslError(f"duplicate function {func.name!r}")
+        self.functions.append(func)
+        return func
+
+    def get(self, name: str) -> FunctionDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise DslError(f"unknown function {name!r}")

@@ -1,0 +1,254 @@
+"""Convenience constructors for writing DSL programs.
+
+Examples and workload generators use these helpers rather than raw AST
+nodes::
+
+    from repro.frontend import builder as b
+
+    prog = b.program()
+    leaf = b.device(prog, "leaf", ["x"], [
+        b.ret(b.v("x") * 3 + 1),
+    ], reg_pressure=6)
+    b.kernel(prog, "main", ["data"], [
+        b.let("i", b.tid()),
+        b.store(b.v("data") + b.v("i"), b.call("leaf", b.v("i"))),
+    ])
+    module = b.compile(prog)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Module
+from .ast import (
+    Barrier,
+    CallExpr,
+    Cmp,
+    Const,
+    Expr,
+    ExprLike,
+    ExprStmt,
+    FloatOp,
+    For,
+    FunctionDef,
+    If,
+    IndirectCallExpr,
+    Let,
+    LoadGlobal,
+    LoadLocal,
+    LoadShared,
+    Mad,
+    Mufu,
+    ProgramDef,
+    Return,
+    Special,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    StoreShared,
+    Var,
+    While,
+    wrap,
+)
+from .linker import compile_program
+
+
+def program() -> ProgramDef:
+    """Create an empty DSL program."""
+    return ProgramDef()
+
+
+def kernel(
+    prog: ProgramDef,
+    name: str,
+    params: Sequence[str],
+    body: Sequence[Stmt],
+    shared_mem_bytes: int = 0,
+    reg_pressure: int = 0,
+) -> FunctionDef:
+    """Define a ``__global__`` kernel entry point."""
+    return prog.add(
+        FunctionDef(
+            name=name,
+            params=list(params),
+            body=list(body),
+            is_kernel=True,
+            shared_mem_bytes=shared_mem_bytes,
+            reg_pressure=reg_pressure,
+        )
+    )
+
+
+def device(
+    prog: ProgramDef,
+    name: str,
+    params: Sequence[str],
+    body: Sequence[Stmt],
+    reg_pressure: int = 0,
+) -> FunctionDef:
+    """Define a ``__device__`` function."""
+    return prog.add(
+        FunctionDef(
+            name=name,
+            params=list(params),
+            body=list(body),
+            is_kernel=False,
+            reg_pressure=reg_pressure,
+        )
+    )
+
+
+def compile(prog: ProgramDef) -> Module:  # noqa: A001 - deliberate DSL verb
+    """Compile and link the program into an ISA module."""
+    return compile_program(prog)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+def v(name: str) -> Var:
+    """Reference a local variable by name."""
+    return Var(name)
+
+
+def c(value: int) -> Const:
+    """An integer constant."""
+    return Const(value)
+
+
+def tid() -> Special:
+    """Thread index within the block (R0)."""
+    return Special("tid")
+
+
+def bid() -> Special:
+    """Block index within the grid (R1)."""
+    return Special("bid")
+
+
+def ntid() -> Special:
+    """Threads per block (R2)."""
+    return Special("ntid")
+
+
+def nctaid() -> Special:
+    """Blocks in the grid (R3)."""
+    return Special("nctaid")
+
+
+def gid() -> Expr:
+    """Global thread index: ``bid * ntid + tid``."""
+    return Mad(Special("bid"), Special("ntid"), Special("tid"))
+
+
+def load(addr: ExprLike, offset: int = 0) -> LoadGlobal:
+    """Global-memory load at ``addr + offset``."""
+    return LoadGlobal(wrap(addr), offset)
+
+
+def load_shared(addr: ExprLike, offset: int = 0) -> LoadShared:
+    """Shared-memory load."""
+    return LoadShared(wrap(addr), offset)
+
+
+def load_local(offset: int) -> LoadLocal:
+    """Genuine (non-spill) local-memory load at a static offset."""
+    return LoadLocal(offset)
+
+
+def call(func: str, *args: ExprLike) -> CallExpr:
+    """Direct device-function call expression."""
+    return CallExpr(func, tuple(wrap(a) for a in args))
+
+
+def icall(candidates: Sequence[str], selector: ExprLike, *args: ExprLike) -> IndirectCallExpr:
+    """Indirect call: dispatch on ``selector`` among ``candidates``."""
+    return IndirectCallExpr(
+        tuple(candidates), wrap(selector), tuple(wrap(a) for a in args)
+    )
+
+
+def fadd(a: ExprLike, b_: ExprLike) -> FloatOp:
+    """Float-latency add (values stay integral)."""
+    return FloatOp(Opcode.FADD, wrap(a), wrap(b_))
+
+
+def fmul(a: ExprLike, b_: ExprLike) -> FloatOp:
+    """Float-latency multiply."""
+    return FloatOp(Opcode.FMUL, wrap(a), wrap(b_))
+
+
+def ffma(a: ExprLike, b_: ExprLike, c_: ExprLike) -> Mad:
+    """Fused multiply-add on the FP pipe."""
+    return Mad(wrap(a), wrap(b_), wrap(c_), float_flavour=True)
+
+
+def mad(a: ExprLike, b_: ExprLike, c_: ExprLike) -> Mad:
+    """Integer multiply-add ``a*b + c``."""
+    return Mad(wrap(a), wrap(b_), wrap(c_))
+
+
+def mufu(arg: ExprLike, fn: int = 0) -> Mufu:
+    """Special-function-unit op (transcendental latency class)."""
+    return Mufu(fn, wrap(arg))
+
+
+# -- statements ----------------------------------------------------------------
+
+
+def let(name: str, value: ExprLike) -> Let:
+    """Bind or rebind a local variable."""
+    return Let(name, wrap(value))
+
+
+def store(addr: ExprLike, value: ExprLike, offset: int = 0) -> StoreGlobal:
+    """Global-memory store."""
+    return StoreGlobal(wrap(addr), wrap(value), offset)
+
+
+def store_shared(addr: ExprLike, value: ExprLike, offset: int = 0) -> StoreShared:
+    """Shared-memory store."""
+    return StoreShared(wrap(addr), wrap(value), offset)
+
+
+def store_local(offset: int, value: ExprLike) -> StoreLocal:
+    """Genuine local-memory store at a static offset."""
+    return StoreLocal(offset, wrap(value))
+
+
+def if_(cond: Cmp, then_body: Sequence[Stmt], else_body: Sequence[Stmt] = ()) -> If:
+    """Structured if/else (lowered to SSY/CBRA/SYNC)."""
+    return If(cond, tuple(then_body), tuple(else_body))
+
+
+def while_(cond: Cmp, body: Sequence[Stmt]) -> While:
+    """Structured while loop."""
+    return While(cond, tuple(body))
+
+
+def for_(
+    var: str,
+    start: ExprLike,
+    stop: ExprLike,
+    body: Sequence[Stmt],
+    step: ExprLike = 1,
+) -> For:
+    """Counted loop ``for var in range(start, stop, step)``."""
+    return For(var, wrap(start), wrap(stop), wrap(step), tuple(body))
+
+
+def ret(value: Optional[ExprLike] = None) -> Return:
+    """Return from the enclosing function (or end the kernel)."""
+    return Return(wrap(value) if value is not None else None)
+
+
+def do(expr: Expr) -> ExprStmt:
+    """Evaluate an expression for its side effects (calls)."""
+    return ExprStmt(expr)
+
+
+def barrier() -> Barrier:
+    """Block-wide barrier (BAR)."""
+    return Barrier()

@@ -1,0 +1,44 @@
+"""Compiler driver and linker.
+
+``compile_program`` lowers and register-allocates every DSL function, then
+links them into a :class:`repro.isa.Module`.  The linker reproduces the
+baseline GPU toolchain behaviour the paper describes (Section II): after
+each device function is compiled and labeled with its register usage, the
+per-kernel *worst-case* register usage over the reachable call graph
+determines the warp's static register allotment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.instructions import Instruction
+from ..isa.program import Function, Module
+from ..isa.validator import validate_module
+from .ast import ProgramDef
+from .lower import lower_function
+from .regalloc import allocate_registers
+
+#: Contemporary GPU instructions are wide: 16 bytes each (Volta/Hopper).
+BYTES_PER_INSTRUCTION = 16
+
+
+def compile_program(program: ProgramDef) -> Module:
+    """Compile and link a DSL program into a validated ISA module."""
+    module = Module()
+    for func_def in program.functions:
+        lowered = lower_function(func_def)
+        module.add(allocate_registers(lowered))
+    link(module)
+    validate_module(module)
+    return module
+
+
+def link(module: Module) -> None:
+    """Compute per-kernel worst-case register usage and the code footprint."""
+    worst: Dict[str, int] = {}
+    for kernel in module.kernels():
+        names = module.reachable(kernel.name)
+        worst[kernel.name] = max(module.function(n).num_regs for n in names)
+    module.worst_case_regs = worst
+    module.code_bytes = module.total_static_instructions * BYTES_PER_INSTRUCTION

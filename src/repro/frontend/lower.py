@@ -1,0 +1,355 @@
+"""Lowering from the DSL AST to linear mini-ISA code over virtual registers.
+
+The output of this pass uses *virtual* register numbers ``VREG_BASE + i``
+alongside pre-colored architectural registers (the ABI's special, argument
+and return registers).  :mod:`repro.frontend.regalloc` then assigns virtual
+registers to architectural ones, splitting them between caller-saved
+scratch and the contiguous callee-saved block at R16 per the ABI.
+
+Control flow is lowered structurally with SSY/CBRA/SYNC, matching the
+reconvergence-stack discipline the emulator implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import CmpOp, Opcode
+from . import abi
+from .ast import (
+    BinOp,
+    Barrier,
+    CallExpr,
+    Cmp,
+    Const,
+    DslError,
+    Expr,
+    ExprStmt,
+    FloatOp,
+    For,
+    FunctionDef,
+    If,
+    IndirectCallExpr,
+    Let,
+    LoadGlobal,
+    LoadLocal,
+    LoadShared,
+    Mad,
+    Mufu,
+    Return,
+    Select,
+    Special,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    StoreShared,
+    Var,
+    While,
+    wrap,
+)
+
+#: Virtual registers are numbered from here; anything below is pre-colored.
+VREG_BASE = 1 << 16
+
+#: Fixed predicate register used for all compare/branch pairs (each SETP is
+#: immediately consumed, so one predicate suffices).
+PRED = 0
+
+_NEGATED = {
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.GE: CmpOp.LT,
+}
+
+
+@dataclass
+class LoweredFunction:
+    """Linear code over virtual registers, before register allocation."""
+
+    name: str
+    code: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    num_vregs: int = 0
+    is_kernel: bool = False
+    shared_mem_bytes: int = 0
+    reg_pressure: int = 0
+    has_calls: bool = False
+
+
+class _Lowerer:
+    def __init__(self, func: FunctionDef) -> None:
+        self.func = func
+        self.out = LoweredFunction(
+            name=func.name,
+            is_kernel=func.is_kernel,
+            shared_mem_bytes=func.shared_mem_bytes,
+            reg_pressure=func.reg_pressure,
+        )
+        self._vars: Dict[str, int] = {}
+        self._next_vreg = VREG_BASE
+        self._next_label = 0
+        self._returned_at_top = False
+
+    # -- helpers ----------------------------------------------------------
+
+    def _vreg(self) -> int:
+        reg = self._next_vreg
+        self._next_vreg += 1
+        return reg
+
+    def _label(self, hint: str) -> str:
+        name = f".{hint}_{self._next_label}"
+        self._next_label += 1
+        return name
+
+    def _emit(self, inst: Instruction) -> None:
+        self.out.code.append(inst)
+
+    def _mark(self, label: str) -> None:
+        self.out.labels[label] = len(self.out.code)
+
+    def _var_reg(self, name: str) -> int:
+        if name not in self._vars:
+            self._vars[name] = self._vreg()
+        return self._vars[name]
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, node: Expr) -> int:
+        """Lower *node*, returning the register holding its value."""
+        if isinstance(node, Const):
+            dst = self._vreg()
+            self._emit(Instruction(Opcode.MOVI, dst=(dst,), imm=node.value))
+            return dst
+        if isinstance(node, Var):
+            if node.name not in self._vars:
+                raise DslError(f"{self.func.name}: use of unbound variable {node.name!r}")
+            return self._vars[node.name]
+        if isinstance(node, Special):
+            return abi.SPECIAL_REGS[node.kind]
+        if isinstance(node, BinOp):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            dst = self._vreg()
+            self._emit(Instruction(node.op, dst=(dst,), srcs=(left, right)))
+            return dst
+        if isinstance(node, FloatOp):
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            dst = self._vreg()
+            self._emit(Instruction(node.op, dst=(dst,), srcs=(left, right)))
+            return dst
+        if isinstance(node, Mad):
+            a, b, c = self.expr(node.a), self.expr(node.b), self.expr(node.c)
+            dst = self._vreg()
+            op = Opcode.FFMA if node.float_flavour else Opcode.IMAD
+            self._emit(Instruction(op, dst=(dst,), srcs=(a, b, c)))
+            return dst
+        if isinstance(node, Mufu):
+            arg = self.expr(node.arg)
+            dst = self._vreg()
+            self._emit(Instruction(Opcode.MUFU, dst=(dst,), srcs=(arg,), imm=node.fn))
+            return dst
+        if isinstance(node, Select):
+            true_reg = self.expr(node.if_true)
+            false_reg = self.expr(node.if_false)
+            self._setp(node.cond)
+            dst = self._vreg()
+            self._emit(
+                Instruction(Opcode.SEL, dst=(dst,), srcs=(true_reg, false_reg), psrc=PRED)
+            )
+            return dst
+        if isinstance(node, LoadGlobal):
+            addr = self.expr(node.addr)
+            dst = self._vreg()
+            self._emit(Instruction(Opcode.LDG, dst=(dst,), srcs=(addr,), imm=node.offset))
+            return dst
+        if isinstance(node, LoadShared):
+            addr = self.expr(node.addr)
+            dst = self._vreg()
+            self._emit(Instruction(Opcode.LDS, dst=(dst,), srcs=(addr,), imm=node.offset))
+            return dst
+        if isinstance(node, LoadLocal):
+            dst = self._vreg()
+            self._emit(Instruction(Opcode.LDL, dst=(dst,), imm=node.offset))
+            return dst
+        if isinstance(node, CallExpr):
+            return self._call(Instruction(Opcode.CALL, target=node.func), node.args)
+        if isinstance(node, IndirectCallExpr):
+            sel = self.expr(node.selector)
+            return self._call(
+                Instruction(
+                    Opcode.CALLI, srcs=(sel,), call_targets=tuple(node.candidates)
+                ),
+                node.args,
+                extra_live=(sel,),
+            )
+        if isinstance(node, Cmp):
+            # A bare comparison used as a value: materialize 0/1 via SEL.
+            return self.expr(Select(node, Const(1), Const(0)))
+        raise DslError(f"cannot lower expression {node!r}")
+
+    def _call(
+        self,
+        call_inst: Instruction,
+        args: Tuple[Expr, ...],
+        extra_live: Tuple[int, ...] = (),
+    ) -> int:
+        if len(args) > abi.MAX_REG_ARGS:
+            raise DslError(
+                f"{self.func.name}: {len(args)} args exceeds the "
+                f"{abi.MAX_REG_ARGS}-register argument limit"
+            )
+        arg_regs = [self.expr(a) for a in args]
+        for i, reg in enumerate(arg_regs):
+            self._emit(
+                Instruction(Opcode.MOV, dst=(abi.ARG_REG_BASE + i,), srcs=(reg,))
+            )
+        # Indirect calls read the selector register; rebuild the CALL with
+        # the selector moved last so liveness keeps it until the call.
+        if call_inst.op is Opcode.CALLI:
+            self._emit(
+                Instruction(
+                    Opcode.CALLI,
+                    srcs=call_inst.srcs,
+                    call_targets=call_inst.call_targets,
+                )
+            )
+        else:
+            self._emit(call_inst)
+        self.out.has_calls = True
+        result = self._vreg()
+        self._emit(Instruction(Opcode.MOV, dst=(result,), srcs=(abi.RETURN_REG,)))
+        return result
+
+    def _setp(self, cond: Cmp, negate: bool = False) -> None:
+        op = _NEGATED[cond.op] if negate else cond.op
+        left = self.expr(cond.left)
+        right = self.expr(cond.right)
+        self._emit(Instruction(Opcode.SETP, pdst=PRED, srcs=(left, right), imm=int(op)))
+
+    # -- statements ---------------------------------------------------------
+
+    def stmts(self, body) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: Stmt) -> None:
+        if isinstance(node, Let):
+            value = self.expr(node.value)
+            dst = self._var_reg(node.name)
+            self._emit(Instruction(Opcode.MOV, dst=(dst,), srcs=(value,)))
+            return
+        if isinstance(node, StoreGlobal):
+            addr = self.expr(node.addr)
+            value = self.expr(node.value)
+            self._emit(
+                Instruction(Opcode.STG, srcs=(addr, value), imm=node.offset)
+            )
+            return
+        if isinstance(node, StoreShared):
+            addr = self.expr(node.addr)
+            value = self.expr(node.value)
+            self._emit(Instruction(Opcode.STS, srcs=(addr, value), imm=node.offset))
+            return
+        if isinstance(node, StoreLocal):
+            value = self.expr(node.value)
+            self._emit(Instruction(Opcode.STL, srcs=(value,), imm=node.offset))
+            return
+        if isinstance(node, ExprStmt):
+            self.expr(node.expr)
+            return
+        if isinstance(node, Barrier):
+            self._emit(Instruction(Opcode.BAR))
+            return
+        if isinstance(node, Return):
+            if node.value is not None:
+                value = self.expr(node.value)
+                self._emit(
+                    Instruction(Opcode.MOV, dst=(abi.RETURN_REG,), srcs=(value,))
+                )
+            # The epilogue (POP + RET / EXIT) is appended per return site by
+            # the allocator, once the callee-saved set is known.
+            self._emit(Instruction(Opcode.NOP, imm=_RETURN_MARKER))
+            return
+        if isinstance(node, If):
+            self._lower_if(node)
+            return
+        if isinstance(node, While):
+            self._lower_while(node)
+            return
+        if isinstance(node, For):
+            self._lower_for(node)
+            return
+        raise DslError(f"cannot lower statement {node!r}")
+
+    def _lower_if(self, node: If) -> None:
+        then_label = self._label("then")
+        end_label = self._label("endif")
+        self._setp(node.cond)
+        self._emit(Instruction(Opcode.SSY, target=end_label))
+        self._emit(Instruction(Opcode.CBRA, psrc=PRED, target=then_label))
+        self.stmts(node.else_body)
+        self._emit(Instruction(Opcode.SYNC))
+        self._mark(then_label)
+        self.stmts(node.then_body)
+        self._emit(Instruction(Opcode.SYNC))
+        self._mark(end_label)
+
+    def _lower_while(self, node: While) -> None:
+        head_label = self._label("loop")
+        exit_label = self._label("exit")
+        end_label = self._label("endloop")
+        self._emit(Instruction(Opcode.SSY, target=end_label))
+        self._mark(head_label)
+        self._setp(node.cond, negate=True)
+        self._emit(Instruction(Opcode.CBRA, psrc=PRED, target=exit_label))
+        self.stmts(node.body)
+        self._emit(Instruction(Opcode.BRA, target=head_label))
+        self._mark(exit_label)
+        self._emit(Instruction(Opcode.SYNC))
+        self._mark(end_label)
+
+    def _lower_for(self, node: For) -> None:
+        self.stmt(Let(node.var, node.start))
+        cond = Cmp(CmpOp.LT, Var(node.var), wrap(node.stop))
+        body = list(node.body) + [Let(node.var, Var(node.var) + wrap(node.step))]
+        self._lower_while(While(cond, tuple(body)))
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self) -> LoweredFunction:
+        if len(self.func.params) > abi.MAX_REG_ARGS:
+            raise DslError(f"{self.func.name}: too many parameters")
+        # Copy incoming arguments out of the volatile argument registers.
+        for i, name in enumerate(self.func.params):
+            dst = self._var_reg(name)
+            self._emit(
+                Instruction(Opcode.MOV, dst=(dst,), srcs=(abi.ARG_REG_BASE + i,))
+            )
+        self.stmts(self.func.body)
+        # Implicit return at the end of the body.
+        last = self.out.code[-1] if self.out.code else None
+        if last is None or last.op is not Opcode.NOP or last.imm != _RETURN_MARKER:
+            self._emit(Instruction(Opcode.NOP, imm=_RETURN_MARKER))
+        self.out.num_vregs = self._next_vreg - VREG_BASE
+        return self.out
+
+
+#: Sentinel in NOP.imm marking a return site to be expanded by the allocator.
+_RETURN_MARKER = -0xBEEF
+
+
+def lower_function(func: FunctionDef) -> LoweredFunction:
+    """Lower a single DSL function to linear virtual-register code."""
+    return _Lowerer(func).run()
+
+
+def is_return_marker(inst: Instruction) -> bool:
+    """True for the NOP sentinel marking a return site."""
+    return inst.op is Opcode.NOP and inst.imm == _RETURN_MARKER

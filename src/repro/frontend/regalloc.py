@@ -1,0 +1,255 @@
+"""Register allocation implementing the GPU function-call ABI.
+
+Virtual registers produced by :mod:`repro.frontend.lower` are assigned to:
+
+* caller-saved scratch (R12..R15) when their live range does not cross a
+  call site, or
+* the contiguous callee-saved block starting at R16 when it does (or when
+  scratch runs out) — exactly the registers the ABI obliges the callee to
+  spill/fill, and the ones CARS renames instead.
+
+Device functions get a prologue ``PUSH R16..R16+n-1`` and every return site
+gets the matching ``POP`` before ``RET``; kernels push nothing (they have no
+caller to preserve registers for).  The per-function FRU (Function Register
+Usage, Section III of the paper) falls out of this pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import Instruction, CALLEE_SAVED_BASE, MAX_REGS
+from ..isa.opcodes import Opcode, is_call
+from ..isa.program import Function, IsaError
+from . import abi
+from .lower import LoweredFunction, VREG_BASE, is_return_marker
+
+
+def _successors(code: List[Instruction], labels: Dict[str, int]) -> List[List[int]]:
+    """Conservative CFG successors per instruction index."""
+    succs: List[List[int]] = []
+    n = len(code)
+    for i, inst in enumerate(code):
+        out: List[int] = []
+        if inst.op is Opcode.BRA:
+            out.append(labels[inst.target])
+        elif inst.op is Opcode.CBRA:
+            out.append(labels[inst.target])
+            if i + 1 < n:
+                out.append(i + 1)
+        elif inst.op is Opcode.SSY:
+            # Reconvergence point is a possible continuation.
+            out.append(labels[inst.target])
+            if i + 1 < n:
+                out.append(i + 1)
+        elif inst.op in (Opcode.RET, Opcode.EXIT):
+            pass
+        elif is_return_marker(inst):
+            pass
+        else:
+            if i + 1 < n:
+                out.append(i + 1)
+        succs.append(out)
+    return succs
+
+
+def _liveness(
+    code: List[Instruction], succs: List[List[int]]
+) -> Tuple[List[Set[int]], List[Set[int]]]:
+    """Backward dataflow: per-instruction live-in/live-out virtual registers."""
+    n = len(code)
+    uses: List[Set[int]] = []
+    defs: List[Set[int]] = []
+    for inst in code:
+        uses.append({r for r in inst.srcs if r >= VREG_BASE})
+        defs.append({r for r in inst.dst if r >= VREG_BASE})
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out: Set[int] = set()
+            for s in succs[i]:
+                out |= live_in[s]
+            new_in = uses[i] | (out - defs[i])
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i] = out
+                live_in[i] = new_in
+                changed = True
+    return live_in, live_out
+
+
+@dataclass
+class _Interval:
+    vreg: int
+    start: int
+    end: int
+    cross_call: bool
+
+
+def _intervals(
+    code: List[Instruction],
+    live_in: List[Set[int]],
+    live_out: List[Set[int]],
+) -> List[_Interval]:
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    cross: Set[int] = set()
+
+    def touch(vreg: int, i: int) -> None:
+        if vreg not in first:
+            first[vreg] = i
+        last[vreg] = i
+
+    for i, inst in enumerate(code):
+        for vreg in live_in[i]:
+            touch(vreg, i)
+        for vreg in live_out[i]:
+            touch(vreg, i)
+        for vreg in inst.dst:
+            if vreg >= VREG_BASE:
+                touch(vreg, i)
+        for vreg in inst.srcs:
+            if vreg >= VREG_BASE:
+                touch(vreg, i)
+        if is_call(inst.op):
+            cross |= live_out[i]
+    return sorted(
+        (
+            _Interval(v, first[v], last[v], v in cross)
+            for v in first
+        ),
+        key=lambda iv: (iv.start, iv.end),
+    )
+
+
+class _LinearScan:
+    """Linear-scan assignment within one register pool."""
+
+    def __init__(self, pool: List[int]) -> None:
+        self._free = list(reversed(pool))  # pop() takes the lowest number
+        self._active: List[Tuple[int, int]] = []  # (end, reg)
+
+    def allocate(self, interval: _Interval) -> Optional[int]:
+        self._expire(interval.start)
+        if not self._free:
+            return None
+        reg = self._free.pop()
+        self._active.append((interval.end, reg))
+        self._active.sort()
+        return reg
+
+    def _expire(self, point: int) -> None:
+        while self._active and self._active[0][0] < point:
+            _, reg = self._active.pop(0)
+            self._free.append(reg)
+            self._free.sort(reverse=True)
+
+
+def allocate_registers(lowered: LoweredFunction) -> Function:
+    """Assign virtual registers and materialize the final ABI function."""
+    code = lowered.code
+    succs = _successors(code, lowered.labels)
+    live_in, live_out = _liveness(code, succs)
+    intervals = _intervals(code, live_in, live_out)
+
+    scratch_pool = list(
+        range(abi.TEMP_REG_BASE, abi.TEMP_REG_BASE + abi.TEMP_REG_COUNT)
+    )
+    callee_pool = list(range(CALLEE_SAVED_BASE, MAX_REGS))
+    scratch = _LinearScan(scratch_pool)
+    callee = _LinearScan(callee_pool)
+
+    mapping: Dict[int, int] = {}
+    max_callee_used = -1
+    for interval in intervals:
+        reg: Optional[int] = None
+        if not interval.cross_call:
+            reg = scratch.allocate(interval)
+        if reg is None:
+            reg = callee.allocate(interval)
+        if reg is None:
+            raise IsaError(
+                f"{lowered.name}: out of registers "
+                f"(needs more than {MAX_REGS} architectural registers)"
+            )
+        mapping[interval.vreg] = reg
+        if reg >= CALLEE_SAVED_BASE:
+            max_callee_used = max(max_callee_used, reg)
+
+    callee_count = 0
+    if max_callee_used >= 0:
+        callee_count = max_callee_used - CALLEE_SAVED_BASE + 1
+    if not lowered.is_kernel:
+        callee_count = max(callee_count, lowered.reg_pressure)
+    if CALLEE_SAVED_BASE + callee_count > MAX_REGS:
+        raise IsaError(f"{lowered.name}: callee-saved demand exceeds the ISA limit")
+
+    def remap(reg: int) -> int:
+        return mapping[reg] if reg >= VREG_BASE else reg
+
+    needs_push = (not lowered.is_kernel) and callee_count > 0
+    new_code: List[Instruction] = []
+    index_map: List[int] = []  # old index -> new index
+
+    if needs_push:
+        new_code.append(
+            Instruction(Opcode.PUSH, push_regs=(CALLEE_SAVED_BASE, callee_count))
+        )
+
+    for inst in code:
+        index_map.append(len(new_code))
+        if is_return_marker(inst):
+            if needs_push:
+                new_code.append(
+                    Instruction(
+                        Opcode.POP, push_regs=(CALLEE_SAVED_BASE, callee_count)
+                    )
+                )
+            new_code.append(
+                Instruction(Opcode.EXIT if lowered.is_kernel else Opcode.RET)
+            )
+            continue
+        new_code.append(
+            Instruction(
+                op=inst.op,
+                dst=tuple(remap(r) for r in inst.dst),
+                srcs=tuple(remap(r) for r in inst.srcs),
+                imm=inst.imm,
+                target=inst.target,
+                pdst=inst.pdst,
+                psrc=inst.psrc,
+                push_regs=inst.push_regs,
+                is_spill=inst.is_spill,
+                call_targets=inst.call_targets,
+            )
+        )
+
+    labels = {
+        name: (index_map[idx] if idx < len(index_map) else len(new_code))
+        for name, idx in lowered.labels.items()
+    }
+
+    used_regs = [r for inst in new_code for r in inst.dst + inst.srcs]
+    high = max(used_regs) if used_regs else abi.TEMP_REG_BASE
+    num_regs = max(high + 1, CALLEE_SAVED_BASE)
+    if callee_count:
+        num_regs = max(num_regs, CALLEE_SAVED_BASE + callee_count)
+    if lowered.is_kernel:
+        num_regs = max(num_regs, CALLEE_SAVED_BASE + lowered.reg_pressure)
+
+    func = Function(
+        name=lowered.name,
+        instructions=new_code,
+        labels=labels,
+        num_regs=num_regs,
+        callee_saved=(CALLEE_SAVED_BASE, callee_count) if needs_push else None,
+        is_kernel=lowered.is_kernel,
+        shared_mem_bytes=lowered.shared_mem_bytes,
+    )
+    # FRU: kernels contribute their whole frame; device functions contribute
+    # their callee-saved block plus one slot for the caller's saved RFP.
+    func.fru = num_regs if lowered.is_kernel else callee_count + 1
+    return func

@@ -1,0 +1,24 @@
+"""Experiment harness: runners, per-figure experiments, table formatting."""
+
+from .runner import (
+    RunResult,
+    SWL_SWEEP,
+    geomean,
+    run_baseline,
+    run_best_swl,
+    run_workload,
+)
+from . import experiments
+from .tables import format_table, format_series
+
+__all__ = [
+    "RunResult",
+    "SWL_SWEEP",
+    "geomean",
+    "run_baseline",
+    "run_best_swl",
+    "run_workload",
+    "experiments",
+    "format_table",
+    "format_series",
+]

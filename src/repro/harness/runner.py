@@ -1,0 +1,103 @@
+"""Experiment runner: (workload x technique) -> statistics.
+
+Mirrors the paper's methodology: every technique replays the same traces
+on the same (scaled) hardware configuration; results are normalized to the
+baseline run on that configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..callgraph import analyze_kernel, build_call_graph
+from ..cars.policy import PolicyMemory
+from ..config.gpu_config import GPUConfig
+from ..config import volta
+from ..core.gpu import GPU
+from ..core.techniques import BASELINE, Technique, swl
+from ..metrics.counters import SimStats
+from ..power.model import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..workloads.spec import Workload
+
+#: SWL warp counts the paper sweeps for Best-SWL.
+SWL_SWEEP = (1, 2, 3, 4, 8, 16)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, technique) simulation."""
+
+    workload: str
+    technique: str
+    config: GPUConfig
+    stats: SimStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    def energy(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
+        return model.energy(self.stats, self.config)
+
+    def energy_efficiency(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
+        return model.efficiency(self.stats, self.config)
+
+
+def run_workload(
+    workload: Workload,
+    technique: Technique,
+    config: Optional[GPUConfig] = None,
+    policy_memory: Optional[PolicyMemory] = None,
+) -> RunResult:
+    """Simulate every kernel launch of *workload* under *technique*."""
+    base_config = config if config is not None else volta()
+    cfg = technique.adjust_config(base_config)
+    module = workload.module(inlined=technique.use_inlined)
+    traces = workload.traces(inlined=technique.use_inlined)
+    graph = build_call_graph(module) if technique.abi == "cars" else None
+    memory = policy_memory if policy_memory is not None else PolicyMemory()
+
+    total = SimStats()
+    for trace in traces:
+        kernel_stats = SimStats()
+        analysis = analyze_kernel(graph, trace.kernel) if graph is not None else None
+        ctx = technique.make_context(trace, cfg, kernel_stats, analysis, memory)
+        GPU(cfg, ctx, kernel_stats).run(trace)
+        total.merge_kernel(kernel_stats)
+    return RunResult(workload.name, technique.name, cfg, total)
+
+
+def run_best_swl(
+    workload: Workload,
+    config: Optional[GPUConfig] = None,
+    sweep: Sequence[int] = SWL_SWEEP,
+) -> RunResult:
+    """The paper's Best-SWL: sweep warp limits, keep the fastest."""
+    best: Optional[RunResult] = None
+    cfg = config if config is not None else volta()
+    for limit in sweep:
+        if limit > cfg.max_warps_per_sm:
+            continue
+        result = run_workload(workload, swl(limit), cfg)
+        if best is None or result.cycles < best.cycles:
+            best = result
+    assert best is not None
+    return RunResult(best.workload, "best_swl", best.config, best.stats)
+
+
+def run_baseline(workload: Workload, config: Optional[GPUConfig] = None) -> RunResult:
+    """Simulate *workload* under the baseline ABI."""
+    return run_workload(workload, BASELINE, config)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a dict-of-dicts as an aligned text table.
+
+    Row order follows insertion order; columns default to the union of the
+    row keys (first-seen order).
+    """
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = []
+        for row in rows.values():
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    header = ["workload"] + list(columns)
+    body = [[name] + [fmt(row.get(col, "")) for col in columns]
+            for name, row in rows.items()]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(series: Sequence[tuple], headers: Sequence[str], title: str = "") -> str:
+    """Render a list of tuples (a timeline/series) as a text table."""
+    rows = {str(i): dict(zip(headers, row)) for i, row in enumerate(series)}
+    return format_table(rows, columns=list(headers), title=title)

@@ -1,0 +1,246 @@
+"""Textual assembly: disassembler and (round-trip) assembler.
+
+The format is line-oriented SASS-like text, one instruction per line, with
+labels as ``.name:`` lines.  ``assemble_function(disassemble_function(f))``
+reproduces *f* exactly — handy for debugging compiled output, writing
+hand-crafted test kernels, and golden-file tests.
+
+Example::
+
+    .func mid regs=18 callee_saved=16:2
+        PUSH [R16..R17]
+        MOV R16, R4
+        IADD R12, R16, R16
+        CALL leaf
+        POP [R16..R17]
+        RET
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .program import Function, IsaError, Module
+
+
+def _operands(inst: Instruction) -> str:
+    parts: List[str] = []
+    if inst.op in (Opcode.PUSH, Opcode.POP):
+        start, count = inst.push_regs
+        return f"[R{start}..R{start + count - 1}]"
+    if inst.pdst is not None:
+        parts.append(f"P{inst.pdst}")
+    parts.extend(f"R{r}" for r in inst.dst)
+    parts.extend(f"R{r}" for r in inst.srcs)
+    if inst.psrc is not None:
+        parts.append(f"@P{inst.psrc}")
+    if inst.imm is not None:
+        parts.append(f"#{inst.imm}")
+    if inst.target is not None:
+        parts.append(inst.target)
+    if inst.call_targets:
+        parts.append("{" + ",".join(inst.call_targets) + "}")
+    if inst.is_spill:
+        parts.append("!spill")
+    return ", ".join(parts)
+
+
+def disassemble_function(func: Function) -> str:
+    """Render *func* as assembly text."""
+    header = f".func {func.name} regs={func.num_regs}"
+    if func.is_kernel:
+        header += " kernel"
+        if func.shared_mem_bytes:
+            header += f" smem={func.shared_mem_bytes}"
+    if func.callee_saved is not None:
+        start, count = func.callee_saved
+        header += f" callee_saved={start}:{count}"
+    lines = [header]
+    labels_at: Dict[int, List[str]] = {}
+    for label, index in func.labels.items():
+        labels_at.setdefault(index, []).append(label)
+    for index, inst in enumerate(func.instructions):
+        for label in sorted(labels_at.get(index, ())):
+            lines.append(f"{label}:")
+        operands = _operands(inst)
+        lines.append(f"    {inst.op.value}" + (f" {operands}" if operands else ""))
+    for label in sorted(labels_at.get(len(func.instructions), ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"
+
+
+def disassemble_module(module: Module) -> str:
+    """Render every function of *module*."""
+    return "\n".join(
+        disassemble_function(func) for func in module.functions.values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assembler
+# ---------------------------------------------------------------------------
+
+
+def _parse_reg(token: str) -> int:
+    if not token.startswith("R") or not token[1:].isdigit():
+        raise IsaError(f"bad register token {token!r}")
+    return int(token[1:])
+
+
+def _parse_operands(op: Opcode, text: str) -> Instruction:
+    dst: List[int] = []
+    srcs: List[int] = []
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    pdst: Optional[int] = None
+    psrc: Optional[int] = None
+    push_regs: Optional[Tuple[int, int]] = None
+    call_targets: Tuple[str, ...] = ()
+    is_spill = False
+
+    # Candidate-target braces contain commas; extract them before splitting.
+    if "{" in text:
+        open_idx = text.index("{")
+        close_idx = text.index("}", open_idx)
+        call_targets = tuple(
+            t.strip() for t in text[open_idx + 1 : close_idx].split(",") if t.strip()
+        )
+        text = text[:open_idx] + text[close_idx + 1 :]
+    tokens = [t.strip() for t in text.split(",")] if text.strip() else []
+    # PUSH/POP use the bracket range syntax, possibly containing "..".
+    if op in (Opcode.PUSH, Opcode.POP):
+        joined = text.strip()
+        if not (joined.startswith("[R") and joined.endswith("]")):
+            raise IsaError(f"{op.value}: bad register range {joined!r}")
+        lo, hi = joined[1:-1].split("..")
+        start = _parse_reg(lo)
+        end = _parse_reg(hi)
+        return Instruction(op=op, push_regs=(start, end - start + 1))
+
+    reg_tokens: List[str] = []
+    for token in tokens:
+        if not token:
+            continue
+        if token.startswith("@P"):
+            psrc = int(token[2:])
+        elif token.startswith("P") and token[1:].isdigit():
+            pdst = int(token[1:])
+        elif token.startswith("#"):
+            imm = int(token[1:])
+        elif token == "!spill":
+            is_spill = True
+        elif token.startswith("R") and token[1:].isdigit():
+            reg_tokens.append(token)
+        else:
+            if target is not None:
+                raise IsaError(f"{op.value}: multiple targets in {text!r}")
+            target = token
+
+    # Split registers into dst/srcs by opcode shape.
+    from .validator import _SHAPES  # shared shape table
+
+    shape = _SHAPES.get(op)
+    regs = [_parse_reg(t) for t in reg_tokens]
+    if shape is not None:
+        n_dst, n_src = shape
+        if len(regs) != n_dst + n_src:
+            raise IsaError(
+                f"{op.value}: expected {n_dst + n_src} registers, got {len(regs)}"
+            )
+        dst = regs[:n_dst]
+        srcs = regs[n_dst:]
+    else:
+        srcs = regs
+
+    return Instruction(
+        op=op,
+        dst=tuple(dst),
+        srcs=tuple(srcs),
+        imm=imm,
+        target=target,
+        pdst=pdst,
+        psrc=psrc,
+        push_regs=push_regs,
+        call_targets=call_targets,
+        is_spill=is_spill,
+    )
+
+
+def assemble_function(text: str) -> Function:
+    """Parse one ``.func`` block back into a :class:`Function`."""
+    lines = [line.rstrip() for line in text.splitlines()]
+    lines = [line for line in lines if line.strip() and not line.strip().startswith(";")]
+    if not lines or not lines[0].startswith(".func "):
+        raise IsaError("assembly must start with a .func header")
+    header = lines[0].split()
+    name = header[1]
+    num_regs = 0
+    is_kernel = False
+    shared = 0
+    callee_saved: Optional[Tuple[int, int]] = None
+    for field in header[2:]:
+        if field == "kernel":
+            is_kernel = True
+        elif field.startswith("regs="):
+            num_regs = int(field[5:])
+        elif field.startswith("smem="):
+            shared = int(field[5:])
+        elif field.startswith("callee_saved="):
+            start, count = field[len("callee_saved="):].split(":")
+            callee_saved = (int(start), int(count))
+        else:
+            raise IsaError(f"unknown .func field {field!r}")
+
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for line in lines[1:]:
+        stripped = line.strip()
+        if stripped.endswith(":") and not stripped.startswith("."):
+            raise IsaError(f"labels must begin with '.': {stripped!r}")
+        if stripped.endswith(":"):
+            labels[stripped[:-1]] = len(instructions)
+            continue
+        mnemonic, _, rest = stripped.partition(" ")
+        try:
+            op = Opcode(mnemonic)
+        except ValueError:
+            raise IsaError(f"unknown opcode {mnemonic!r}") from None
+        instructions.append(_parse_operands(op, rest))
+
+    func = Function(
+        name=name,
+        instructions=instructions,
+        labels=labels,
+        num_regs=num_regs,
+        callee_saved=callee_saved,
+        is_kernel=is_kernel,
+        shared_mem_bytes=shared,
+    )
+    func.fru = num_regs if is_kernel else (
+        (callee_saved[1] + 1) if callee_saved else 1
+    )
+    return func
+
+
+def assemble_module(text: str) -> Module:
+    """Parse a multi-function listing into a linked module."""
+    module = Module()
+    blocks = []
+    current: List[str] = []
+    for line in text.splitlines():
+        if line.startswith(".func ") and current:
+            blocks.append("\n".join(current))
+            current = [line]
+        else:
+            current.append(line)
+    if current:
+        blocks.append("\n".join(current))
+    for block in blocks:
+        if block.strip():
+            module.add(assemble_function(block))
+    from ..frontend.linker import link
+
+    link(module)
+    return module

@@ -1,0 +1,190 @@
+"""Instruction representation for the mini-ISA.
+
+Instructions are warp-level: the functional emulator applies them to 32-lane
+register vectors under an active mask.  Register operands are plain integers
+(architectural register numbers 0..255); predicate registers are 0..7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import Opcode, op_class, OpClass
+
+#: Number of threads per warp (fixed, as on NVIDIA hardware).
+WARP_SIZE = 32
+
+#: Architectural register-count ceiling (8-bit register identifiers).
+MAX_REGS = 256
+
+#: First callee-saved architectural register.  The paper profiles the NVIDIA
+#: ABI and finds callee-saved registers form a contiguous block from R16.
+CALLEE_SAVED_BASE = 16
+
+#: Number of predicate registers per thread.
+NUM_PREDS = 8
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    Fields not applicable to an opcode are left at their defaults; the
+    :mod:`repro.isa.validator` enforces per-opcode shape.
+
+    Attributes:
+        op: the opcode.
+        dst: destination registers (usually 0 or 1).
+        srcs: source registers.
+        imm: immediate operand (offsets, comparison selector, constants).
+        target: label name for branches/SSY, callee name for CALL.
+        pdst: destination predicate register (SETP).
+        psrc: source predicate register (CBRA, SEL).
+        push_regs: for PUSH/POP — the contiguous (start, count) register
+            range being saved/restored; always starts at or above
+            CALLEE_SAVED_BASE for ABI-generated code.
+        is_spill: for LDL/STL — True when the access implements an ABI
+            spill/fill (as opposed to a genuine local-array access).
+        call_targets: for CALLI — the static over-approximation of possible
+            callees (used by the call-graph analysis for indirect calls).
+    """
+
+    op: Opcode
+    dst: Tuple[int, ...] = ()
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    pdst: Optional[int] = None
+    psrc: Optional[int] = None
+    push_regs: Optional[Tuple[int, int]] = None
+    is_spill: bool = False
+    call_targets: Tuple[str, ...] = ()
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.op)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.dst:
+            parts.append("R" + ",R".join(str(r) for r in self.dst))
+        if self.pdst is not None:
+            parts.append(f"P{self.pdst}")
+        if self.srcs:
+            parts.append("R" + ",R".join(str(r) for r in self.srcs))
+        if self.psrc is not None:
+            parts.append(f"@P{self.psrc}")
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(self.target)
+        if self.push_regs is not None:
+            start, count = self.push_regs
+            parts.append(f"[R{start}..R{start + count - 1}]")
+        return " ".join(parts)
+
+
+def alu(op: Opcode, dst: int, *srcs: int, imm: Optional[int] = None) -> Instruction:
+    """Build an ALU/FPU instruction ``dst <- op(srcs, imm)``."""
+    return Instruction(op=op, dst=(dst,), srcs=tuple(srcs), imm=imm)
+
+
+def movi(dst: int, imm: int) -> Instruction:
+    """``dst <- imm``."""
+    return Instruction(op=Opcode.MOVI, dst=(dst,), imm=imm)
+
+
+def setp(pdst: int, cmp_op: int, a: int, b: int) -> Instruction:
+    """Predicate compare: ``P[pdst] <- cmp(a, b)``."""
+    return Instruction(op=Opcode.SETP, pdst=pdst, srcs=(a, b), imm=cmp_op)
+
+
+def ldg(dst: int, addr: int, offset: int = 0) -> Instruction:
+    """Global load ``dst <- [addr + offset]``."""
+    return Instruction(op=Opcode.LDG, dst=(dst,), srcs=(addr,), imm=offset)
+
+
+def stg(addr: int, value: int, offset: int = 0) -> Instruction:
+    """Global store ``[addr + offset] <- value``."""
+    return Instruction(op=Opcode.STG, srcs=(addr, value), imm=offset)
+
+
+def ldl(dst: int, offset: int, is_spill: bool = False) -> Instruction:
+    """Local load from a static offset."""
+    return Instruction(op=Opcode.LDL, dst=(dst,), imm=offset, is_spill=is_spill)
+
+
+def stl(offset: int, value: int, is_spill: bool = False) -> Instruction:
+    """Local store to a static offset."""
+    return Instruction(op=Opcode.STL, srcs=(value,), imm=offset, is_spill=is_spill)
+
+
+def lds(dst: int, addr: int, offset: int = 0) -> Instruction:
+    """Shared load."""
+    return Instruction(op=Opcode.LDS, dst=(dst,), srcs=(addr,), imm=offset)
+
+
+def sts(addr: int, value: int, offset: int = 0) -> Instruction:
+    """Shared store."""
+    return Instruction(op=Opcode.STS, srcs=(addr, value), imm=offset)
+
+
+def push(start: int, count: int) -> Instruction:
+    """Push ``count`` registers starting at ``start`` onto the register stack."""
+    return Instruction(op=Opcode.PUSH, push_regs=(start, count))
+
+
+def pop(start: int, count: int) -> Instruction:
+    """Pop ``count`` registers starting at ``start`` from the register stack."""
+    return Instruction(op=Opcode.POP, push_regs=(start, count))
+
+
+def call(target: str) -> Instruction:
+    """Direct call to *target*."""
+    return Instruction(op=Opcode.CALL, target=target)
+
+
+def calli(addr_reg: int, call_targets: Tuple[str, ...]) -> Instruction:
+    """Indirect call through a register, with static candidates."""
+    return Instruction(op=Opcode.CALLI, srcs=(addr_reg,), call_targets=call_targets)
+
+
+def ret() -> Instruction:
+    """Return from a device function."""
+    return Instruction(op=Opcode.RET)
+
+
+def bra(target: str) -> Instruction:
+    """Unconditional branch."""
+    return Instruction(op=Opcode.BRA, target=target)
+
+
+def cbra(psrc: int, target: str) -> Instruction:
+    """Conditional (possibly divergent) branch on a predicate."""
+    return Instruction(op=Opcode.CBRA, psrc=psrc, target=target)
+
+
+def ssy(target: str) -> Instruction:
+    """Push a reconvergence point."""
+    return Instruction(op=Opcode.SSY, target=target)
+
+
+def sync() -> Instruction:
+    """Reconverge at the enclosing SSY target."""
+    return Instruction(op=Opcode.SYNC)
+
+
+def bar() -> Instruction:
+    """Block-wide barrier."""
+    return Instruction(op=Opcode.BAR)
+
+
+def exit_() -> Instruction:
+    """Kernel exit."""
+    return Instruction(op=Opcode.EXIT)
+
+
+def nop() -> Instruction:
+    """No-op."""
+    return Instruction(op=Opcode.NOP)

@@ -1,0 +1,191 @@
+"""Opcode definitions for the warp-level mini-ISA.
+
+The ISA is a deliberately small SASS-like instruction set: enough to express
+the compiled output of the kernel DSL (``repro.frontend``), including the
+function-call ABI the paper studies (contiguous callee-saved spills starting
+at R16, CALL/RET, structured SIMT divergence via SSY/CBRA/SYNC).
+
+Each opcode carries a *class* used by the timing model to pick latency and
+execution resources, and a set of boolean traits queried throughout the
+code base (``is_mem``, ``is_call`` ...).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Execution-resource class of an instruction."""
+
+    ALU = "alu"  # integer / logic pipeline
+    FPU = "fpu"  # floating-point pipeline (same issue port, longer latency)
+    SFU = "sfu"  # special-function unit (transcendentals)
+    MEM = "mem"  # load/store unit -> L1D
+    SMEM = "smem"  # shared-memory access (on-chip, no L1D traffic)
+    CTRL = "ctrl"  # branches, calls, barriers
+    STACK = "stack"  # PUSH/POP abstract spill/fill ops
+    NOP = "nop"
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the emulator and timing model."""
+
+    # --- integer ALU ---
+    MOV = "MOV"  # dst <- src
+    MOVI = "MOVI"  # dst <- imm
+    IADD = "IADD"
+    ISUB = "ISUB"
+    IMUL = "IMUL"
+    IMAD = "IMAD"  # dst <- s0 * s1 + s2
+    IMIN = "IMIN"
+    IMAX = "IMAX"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SHL = "SHL"
+    SHR = "SHR"
+    SETP = "SETP"  # pdst <- cmp(s0, s1); cmp_op in imm field
+    SEL = "SEL"  # dst <- pred ? s0 : s1
+
+    # --- floating point (lanes carry int64 values; FP ops are latency
+    #     classes, arithmetic is done in integer domain for determinism) ---
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FFMA = "FFMA"
+
+    # --- special function unit ---
+    MUFU = "MUFU"  # generic transcendental; imm selects the function
+
+    # --- memory ---
+    LDG = "LDG"  # global load:  dst <- [s0 + imm]
+    STG = "STG"  # global store: [s0 + imm] <- s1
+    LDL = "LDL"  # local load   (fills in the baseline ABI)
+    STL = "STL"  # local store  (spills in the baseline ABI)
+    LDS = "LDS"  # shared load
+    STS = "STS"  # shared store
+
+    # --- abstract register-stack ops (compiler-emitted prologue/epilogue) ---
+    PUSH = "PUSH"  # push a contiguous range of callee-saved registers
+    POP = "POP"  # pop it back
+
+    # --- control ---
+    SSY = "SSY"  # push reconvergence point
+    CBRA = "CBRA"  # conditional (possibly divergent) branch on predicate
+    BRA = "BRA"  # unconditional branch
+    SYNC = "SYNC"  # reconverge at the SSY target
+    CALL = "CALL"  # direct call
+    CALLI = "CALLI"  # indirect call through a register (function table)
+    RET = "RET"
+    BAR = "BAR"  # block-wide barrier
+    EXIT = "EXIT"
+    NOP = "NOP"
+
+
+_ALU_OPS = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.MOVI,
+        Opcode.IADD,
+        Opcode.ISUB,
+        Opcode.IMUL,
+        Opcode.IMAD,
+        Opcode.IMIN,
+        Opcode.IMAX,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SETP,
+        Opcode.SEL,
+    }
+)
+_FPU_OPS = frozenset({Opcode.FADD, Opcode.FMUL, Opcode.FFMA})
+_SFU_OPS = frozenset({Opcode.MUFU})
+_MEM_OPS = frozenset({Opcode.LDG, Opcode.STG, Opcode.LDL, Opcode.STL})
+_SMEM_OPS = frozenset({Opcode.LDS, Opcode.STS})
+_STACK_OPS = frozenset({Opcode.PUSH, Opcode.POP})
+_CTRL_OPS = frozenset(
+    {
+        Opcode.SSY,
+        Opcode.CBRA,
+        Opcode.BRA,
+        Opcode.SYNC,
+        Opcode.CALL,
+        Opcode.CALLI,
+        Opcode.RET,
+        Opcode.BAR,
+        Opcode.EXIT,
+    }
+)
+
+_LOAD_OPS = frozenset({Opcode.LDG, Opcode.LDL, Opcode.LDS})
+_STORE_OPS = frozenset({Opcode.STG, Opcode.STL, Opcode.STS})
+_GLOBAL_OPS = frozenset({Opcode.LDG, Opcode.STG})
+_LOCAL_OPS = frozenset({Opcode.LDL, Opcode.STL})
+_CALL_OPS = frozenset({Opcode.CALL, Opcode.CALLI})
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the execution-resource class of *op*."""
+    if op in _ALU_OPS:
+        return OpClass.ALU
+    if op in _FPU_OPS:
+        return OpClass.FPU
+    if op in _SFU_OPS:
+        return OpClass.SFU
+    if op in _MEM_OPS:
+        return OpClass.MEM
+    if op in _SMEM_OPS:
+        return OpClass.SMEM
+    if op in _STACK_OPS:
+        return OpClass.STACK
+    if op in _CTRL_OPS:
+        return OpClass.CTRL
+    return OpClass.NOP
+
+
+def is_mem(op: Opcode) -> bool:
+    """True for L1D-bound memory ops (global + local)."""
+    return op in _MEM_OPS
+
+
+def is_load(op: Opcode) -> bool:
+    """True for load opcodes (global/local/shared)."""
+    return op in _LOAD_OPS
+
+
+def is_store(op: Opcode) -> bool:
+    """True for store opcodes."""
+    return op in _STORE_OPS
+
+
+def is_global_mem(op: Opcode) -> bool:
+    """True for LDG/STG."""
+    return op in _GLOBAL_OPS
+
+
+def is_local_mem(op: Opcode) -> bool:
+    """True for LDL/STL."""
+    return op in _LOCAL_OPS
+
+
+def is_call(op: Opcode) -> bool:
+    """True for CALL/CALLI."""
+    return op in _CALL_OPS
+
+
+def is_branch(op: Opcode) -> bool:
+    """True for BRA/CBRA."""
+    return op in (Opcode.BRA, Opcode.CBRA)
+
+
+# Comparison selectors used in SETP's ``imm`` field.
+class CmpOp(enum.IntEnum):
+    EQ = 0
+    NE = 1
+    LT = 2
+    LE = 3
+    GT = 4
+    GE = 5

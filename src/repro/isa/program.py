@@ -1,0 +1,129 @@
+"""Program containers: functions, kernels, and linked modules.
+
+A :class:`Function` is a flat instruction list with a label table.  A
+:class:`Module` groups functions, designates kernel entry points, and carries
+the per-function register-usage metadata the linker and the call-graph
+analysis consume (mirroring the nvlink ``--dump-callgraph`` + SASS analysis
+the paper performs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction, CALLEE_SAVED_BASE, MAX_REGS
+from .opcodes import Opcode, is_call
+
+
+class IsaError(Exception):
+    """Raised for malformed programs."""
+
+
+@dataclass
+class Function:
+    """A compiled device function or kernel.
+
+    Attributes:
+        name: unique symbol name within a module.
+        instructions: the flat instruction list.
+        labels: label name -> instruction index.
+        num_regs: architectural registers used (R0..num_regs-1).
+        callee_saved: (start, count) contiguous callee-saved block this
+            function saves/restores, or None when it saves nothing.  For
+            ABI-conforming code the start is CALLEE_SAVED_BASE.
+        is_kernel: True for ``__global__`` entry points.
+        shared_mem_bytes: static shared-memory demand (kernels only).
+        fru: Function Register Usage — the extra registers this function
+            pushes on entry (the paper's FRU).  Filled by the compiler; for
+            kernels it is the full register demand of the kernel frame.
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    num_regs: int = 0
+    callee_saved: Optional[Tuple[int, int]] = None
+    is_kernel: bool = False
+    shared_mem_bytes: int = 0
+    fru: int = 0
+
+    def label_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IsaError(f"{self.name}: unknown label {label!r}") from None
+
+    def callees(self) -> List[Tuple[str, ...]]:
+        """Static call sites: one tuple of candidate targets per call."""
+        sites: List[Tuple[str, ...]] = []
+        for inst in self.instructions:
+            if inst.op is Opcode.CALL:
+                sites.append((inst.target,))
+            elif inst.op is Opcode.CALLI:
+                sites.append(tuple(inst.call_targets))
+        return sites
+
+    @property
+    def static_size(self) -> int:
+        return len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Module:
+    """A linked module: functions plus kernel entry points.
+
+    The linker (see :mod:`repro.frontend.linker`) computes
+    ``worst_case_regs`` per kernel — the baseline GPU's per-warp register
+    allocation, taken as the maximum register usage over the reachable call
+    graph (Section II of the paper).
+    """
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    worst_case_regs: Dict[str, int] = field(default_factory=dict)
+    code_bytes: int = 0
+
+    def add(self, func: Function) -> None:
+        if func.name in self.functions:
+            raise IsaError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IsaError(f"unknown function {name!r}") from None
+
+    def kernels(self) -> List[Function]:
+        return [f for f in self.functions.values() if f.is_kernel]
+
+    def kernel(self, name: str) -> Function:
+        func = self.function(name)
+        if not func.is_kernel:
+            raise IsaError(f"{name!r} is not a kernel")
+        return func
+
+    def reachable(self, root: str) -> List[str]:
+        """Function names reachable from *root* (root first, DFS order)."""
+        seen: List[str] = []
+        seen_set = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen_set:
+                continue
+            seen_set.add(name)
+            seen.append(name)
+            func = self.function(name)
+            for site in func.callees():
+                for target in site:
+                    if target not in seen_set:
+                        stack.append(target)
+        return seen
+
+    @property
+    def total_static_instructions(self) -> int:
+        return sum(len(f) for f in self.functions.values())

@@ -1,0 +1,149 @@
+"""Static validation of programs.
+
+The validator enforces the structural invariants the rest of the system
+relies on: operand shapes per opcode, label resolution, register bounds,
+ABI conformance of PUSH/POP ranges, and balanced SSY/SYNC nesting on every
+straight-line path (a conservative structural check, since the compiler only
+emits structured control flow).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import Instruction, CALLEE_SAVED_BASE, MAX_REGS, NUM_PREDS
+from .opcodes import Opcode
+from .program import Function, IsaError, Module
+
+# Opcodes and their required operand shapes: (n_dst, n_src).
+_SHAPES = {
+    Opcode.MOV: (1, 1),
+    Opcode.MOVI: (1, 0),
+    Opcode.IADD: (1, 2),
+    Opcode.ISUB: (1, 2),
+    Opcode.IMUL: (1, 2),
+    Opcode.IMAD: (1, 3),
+    Opcode.IMIN: (1, 2),
+    Opcode.IMAX: (1, 2),
+    Opcode.AND: (1, 2),
+    Opcode.OR: (1, 2),
+    Opcode.XOR: (1, 2),
+    Opcode.SHL: (1, 2),
+    Opcode.SHR: (1, 2),
+    Opcode.SEL: (1, 2),
+    Opcode.FADD: (1, 2),
+    Opcode.FMUL: (1, 2),
+    Opcode.FFMA: (1, 3),
+    Opcode.MUFU: (1, 1),
+    Opcode.LDG: (1, 1),
+    Opcode.STG: (0, 2),
+    Opcode.LDL: (1, 0),
+    Opcode.STL: (0, 1),
+    Opcode.LDS: (1, 1),
+    Opcode.STS: (0, 2),
+    Opcode.CALLI: (0, 1),
+}
+
+_NEEDS_TARGET = {Opcode.SSY, Opcode.CBRA, Opcode.BRA, Opcode.CALL}
+
+
+def validate_function(func: Function) -> None:
+    """Raise :class:`IsaError` if *func* is malformed."""
+    if not func.instructions:
+        raise IsaError(f"{func.name}: empty function")
+
+    last_op = func.instructions[-1].op
+    if func.is_kernel:
+        if last_op is not Opcode.EXIT:
+            raise IsaError(f"{func.name}: kernel must end with EXIT")
+    else:
+        if last_op is not Opcode.RET:
+            raise IsaError(f"{func.name}: device function must end with RET")
+
+    for idx, inst in enumerate(func.instructions):
+        _validate_instruction(func, idx, inst)
+
+    if func.callee_saved is not None:
+        start, count = func.callee_saved
+        if start < CALLEE_SAVED_BASE:
+            raise IsaError(
+                f"{func.name}: callee-saved block starts at R{start}, "
+                f"below the ABI base R{CALLEE_SAVED_BASE}"
+            )
+        if start + count > MAX_REGS:
+            raise IsaError(f"{func.name}: callee-saved block exceeds R{MAX_REGS - 1}")
+
+    if func.num_regs > MAX_REGS:
+        raise IsaError(
+            f"{func.name}: uses {func.num_regs} registers, "
+            f"exceeding the {MAX_REGS}-register ISA limit"
+        )
+
+
+def _validate_instruction(func: Function, idx: int, inst: Instruction) -> None:
+    where = f"{func.name}[{idx}] {inst.op.value}"
+
+    shape = _SHAPES.get(inst.op)
+    if shape is not None:
+        n_dst, n_src = shape
+        if len(inst.dst) != n_dst:
+            raise IsaError(f"{where}: expected {n_dst} dst regs, got {len(inst.dst)}")
+        if len(inst.srcs) != n_src:
+            raise IsaError(f"{where}: expected {n_src} src regs, got {len(inst.srcs)}")
+
+    for reg in inst.dst + inst.srcs:
+        if not 0 <= reg < MAX_REGS:
+            raise IsaError(f"{where}: register R{reg} out of range")
+        if reg >= func.num_regs:
+            raise IsaError(
+                f"{where}: R{reg} exceeds declared num_regs={func.num_regs}"
+            )
+
+    for preg in (inst.pdst, inst.psrc):
+        if preg is not None and not 0 <= preg < NUM_PREDS:
+            raise IsaError(f"{where}: predicate P{preg} out of range")
+
+    if inst.op is Opcode.SETP and inst.pdst is None:
+        raise IsaError(f"{where}: SETP requires a destination predicate")
+    if inst.op is Opcode.CBRA and inst.psrc is None:
+        raise IsaError(f"{where}: CBRA requires a source predicate")
+    if inst.op is Opcode.SEL and inst.psrc is None:
+        raise IsaError(f"{where}: SEL requires a source predicate")
+
+    if inst.op in _NEEDS_TARGET:
+        if inst.target is None:
+            raise IsaError(f"{where}: missing target")
+        if inst.op is not Opcode.CALL and inst.target not in func.labels:
+            raise IsaError(f"{where}: unresolved label {inst.target!r}")
+
+    if inst.op in (Opcode.PUSH, Opcode.POP):
+        if inst.push_regs is None:
+            raise IsaError(f"{where}: missing register range")
+        start, count = inst.push_regs
+        if count <= 0:
+            raise IsaError(f"{where}: non-positive register count")
+        if start + count > MAX_REGS:
+            raise IsaError(f"{where}: register range exceeds R{MAX_REGS - 1}")
+
+    if inst.op is Opcode.CALLI and not inst.call_targets:
+        raise IsaError(f"{where}: CALLI requires static candidate targets")
+
+    if inst.op in (Opcode.LDL, Opcode.STL, Opcode.LDS, Opcode.STS, Opcode.LDG, Opcode.STG):
+        if inst.imm is None:
+            raise IsaError(f"{where}: memory op requires an offset immediate")
+
+
+def validate_module(module: Module) -> None:
+    """Validate every function and cross-function references."""
+    if not module.functions:
+        raise IsaError("empty module")
+    for func in module.functions.values():
+        validate_function(func)
+        for site in func.callees():
+            for target in site:
+                if target not in module.functions:
+                    raise IsaError(f"{func.name}: call to unknown function {target!r}")
+                if module.functions[target].is_kernel:
+                    raise IsaError(f"{func.name}: cannot call kernel {target!r}")
+    if not module.kernels():
+        raise IsaError("module has no kernel entry point")

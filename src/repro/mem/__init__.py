@@ -1,0 +1,6 @@
+"""Timing-model memory hierarchy (sectored L1D per SM, shared L2, DRAM)."""
+
+from .cache import SectorCache
+from .subsystem import MemorySubsystem, MemRequest
+
+__all__ = ["SectorCache", "MemorySubsystem", "MemRequest"]

@@ -1,0 +1,94 @@
+"""Timing-model caches: sector-granular, set-associative, true-LRU.
+
+A "sectored" simplification of the V100 hierarchy: the 32B sector is both
+the allocation and transfer unit (tags are per sector rather than per 128B
+line).  Capacity and bandwidth behaviour — the two interference channels
+the paper analyses — are preserved; spatial-prefetch effects of full-line
+fills are not (see DESIGN.md fidelity notes).
+
+Sectors carry a dirty bit: local-memory (spill) stores are cached
+write-back in the L1 (thread-private data needs no coherence), so their
+lower-level traffic is eviction write-backs, not write-throughs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config.gpu_config import CacheConfig
+
+
+class SectorCache:
+    """Set-associative LRU cache over sector addresses, with dirty bits."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # sector -> [lru_tick, dirty]
+        self._sets: List[Dict[int, List[int]]] = [
+            dict() for _ in range(config.num_sets)
+        ]
+        self._tick = 0
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _set_for(self, sector: int) -> Dict[int, List[int]]:
+        # Fibonacci set hashing (GPU caches hash set indices too) so
+        # power-of-two-strided streams — e.g. per-warp local-memory
+        # windows — don't alias into the same sets.
+        hashed = (sector * 0x9E3779B1) >> 12
+        return self._sets[hashed % len(self._sets)]
+
+    def lookup(self, sector: int, update_lru: bool = True, set_dirty: bool = False) -> bool:
+        """Probe for *sector*; refresh LRU order on hit."""
+        self.lookups += 1
+        self._tick += 1
+        entries = self._set_for(sector)
+        entry = entries.get(sector)
+        if entry is not None:
+            self.hits += 1
+            if update_lru:
+                entry[0] = self._tick
+            if set_dirty:
+                entry[1] = 1
+            return True
+        return False
+
+    def insert(self, sector: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Fill *sector*; returns the evicted ``(sector, was_dirty)`` if any."""
+        self._tick += 1
+        entries = self._set_for(sector)
+        entry = entries.get(sector)
+        if entry is not None:
+            entry[0] = self._tick
+            if dirty:
+                entry[1] = 1
+            return None
+        victim: Optional[Tuple[int, bool]] = None
+        if len(entries) >= self.config.assoc:
+            victim_sector = min(entries, key=lambda s: entries[s][0])
+            victim = (victim_sector, bool(entries[victim_sector][1]))
+            del entries[victim_sector]
+            self.evictions += 1
+            if victim[1]:
+                self.dirty_evictions += 1
+        entries[sector] = [self._tick, 1 if dirty else 0]
+        self.insertions += 1
+        return victim
+
+    def contains(self, sector: int) -> bool:
+        return sector in self._set_for(sector)
+
+    def is_dirty(self, sector: int) -> bool:
+        entry = self._set_for(sector).get(sector)
+        return bool(entry and entry[1])
+
+    def flush(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

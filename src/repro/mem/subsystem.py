@@ -1,0 +1,240 @@
+"""Cycle-level memory hierarchy: per-SM L1D -> shared L2 -> DRAM.
+
+Models the two interference channels the paper identifies:
+
+* **bandwidth** — each L1D services at most ``ports`` sector lookups per
+  cycle; spill/fill sectors compete with global sectors for those slots;
+* **capacity** — sector-granular LRU caches with finite MSHRs; spill
+  working sets evict global data.
+
+The ALL-HIT study (Fig 10) is reproduced by ``l1_force_hit``: spill/fill
+sectors always hit (no insertions, no L2 traffic) while still consuming an
+L1 port slot and paying the hit latency, exactly as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..config.gpu_config import GPUConfig
+from ..metrics.counters import SimStats, STREAM_GLOBAL as STREAM_GLOBAL_TAG, STREAM_SPILL
+from .cache import SectorCache
+
+
+class MemRequest:
+    """One warp-level memory instruction in flight.
+
+    ``remaining`` counts unserviced sectors; the owner is notified through
+    the subsystem's completion callback once it reaches zero (loads only —
+    stores complete at issue).
+    """
+
+    __slots__ = ("warp", "dst", "remaining", "is_store", "stream", "sm_id")
+
+    def __init__(self, warp, dst, remaining, is_store, stream, sm_id) -> None:
+        self.warp = warp
+        self.dst = dst
+        self.remaining = remaining
+        self.is_store = is_store
+        self.stream = stream
+        self.sm_id = sm_id
+
+
+_EV_HIT = 0  # payload: MemRequest
+_EV_FILL = 1  # payload: (sm_id, sector)
+
+
+class MemorySubsystem:
+    """Shared memory hierarchy for all SMs of the simulated GPU."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        stats: SimStats,
+        on_complete: Callable[[MemRequest, int], None],
+    ) -> None:
+        self.config = config
+        self.stats = stats
+        self.on_complete = on_complete
+        n = config.num_sms
+        self.l1 = [SectorCache(config.l1) for _ in range(n)]
+        self.l1_queues: List[Deque[Tuple[int, MemRequest]]] = [deque() for _ in range(n)]
+        self.l1_mshrs: List[Dict[int, List[MemRequest]]] = [dict() for _ in range(n)]
+        self.l2 = SectorCache(config.l2)
+        # (sector, sm_id, is_store); sm_id is -1 for stores.
+        self.l2_queue: Deque[Tuple[int, int, bool]] = deque()
+        self.l2_mshr: Dict[int, List[int]] = {}
+        self.dram_queue: Deque[int] = deque()
+        self._events: List[Tuple[int, int, int, object]] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # SM-facing API
+    # ------------------------------------------------------------------
+
+    def access(self, sm_id: int, sectors: Tuple[int, ...], request: MemRequest) -> None:
+        """Enqueue a memory instruction's sectors at the SM's L1D."""
+        queue = self.l1_queues[sm_id]
+        for sector in sectors:
+            queue.append((sector, request))
+
+    def busy(self) -> bool:
+        """True while any queue or in-flight event remains."""
+        if self._events or self.l2_queue or self.dram_queue:
+            return True
+        if any(self.l1_queues) or any(self.l1_mshrs):
+            return True
+        return bool(self.l2_mshr)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest scheduled completion, or None when nothing is in flight."""
+        return self._events[0][0] if self._events else None
+
+    def has_queued_work(self) -> bool:
+        """True when a queue can make progress on the very next cycle."""
+        return bool(self.l2_queue or self.dram_queue or any(self.l1_queues))
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        self._drain_events(cycle)
+        for sm_id in range(self.config.num_sms):
+            self._tick_l1(sm_id, cycle)
+        self._tick_l2(cycle)
+        self._tick_dram(cycle)
+
+    def _schedule(self, t: int, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+
+    def _drain_events(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            t, _, kind, payload = heapq.heappop(events)
+            if kind == _EV_HIT:
+                self._complete_sector(payload, t)
+            else:
+                sm_id, sector = payload
+                self._fill_l1(sm_id, sector, t)
+
+    def _tick_l1(self, sm_id: int, cycle: int) -> None:
+        queue = self.l1_queues[sm_id]
+        cache = self.l1[sm_id]
+        mshrs = self.l1_mshrs[sm_id]
+        cfg = self.config
+        for _ in range(cfg.l1.ports):
+            if not queue:
+                return
+            sector, request = queue.popleft()
+            if cfg.l1_force_hit and request.stream == STREAM_SPILL:
+                # ALL-HIT: spill/fill sectors always hit; they consume the
+                # port and the hit latency but never traverse the cache.
+                self.stats.record_l1_access(request.stream, request.is_store, True, cycle)
+                if not request.is_store:
+                    self._schedule(cycle + cfg.l1.hit_latency, _EV_HIT, request)
+                continue
+            if request.is_store:
+                local = request.stream != STREAM_GLOBAL_TAG
+                hit = cache.lookup(sector, set_dirty=local)
+                self.stats.record_l1_access(request.stream, True, hit, cycle)
+                if local:
+                    # Thread-private (spill/local) data is cached write-back:
+                    # it occupies L1 capacity (the paper's capacity-
+                    # interference channel) and only reaches the L2 as
+                    # eviction write-backs.
+                    if not hit:
+                        self._insert_l1(sm_id, sector, dirty=True)
+                else:
+                    # Global stores: write-through with allocate.
+                    self._insert_l1(sm_id, sector, dirty=False)
+                    self.l2_queue.append((sector, -1, True))
+                continue
+            if cache.lookup(sector):
+                self.stats.record_l1_access(request.stream, False, True, cycle)
+                self._schedule(cycle + cfg.l1.hit_latency, _EV_HIT, request)
+                continue
+            waiters = mshrs.get(sector)
+            if waiters is not None:
+                self.stats.record_l1_access(request.stream, False, False, cycle)
+                waiters.append(request)  # merged miss
+                continue
+            if len(mshrs) >= cfg.l1.mshrs:
+                # No MSHR free: replay the access next cycle (not recorded —
+                # it is the same access being retried, not a new one).
+                queue.appendleft((sector, request))
+                return
+            self.stats.record_l1_access(request.stream, False, False, cycle)
+            mshrs[sector] = [request]
+            self.l2_queue.append((sector, sm_id, False))
+
+    def _tick_l2(self, cycle: int) -> None:
+        cfg = self.config
+        for _ in range(cfg.l2.ports):
+            if not self.l2_queue:
+                return
+            sector, sm_id, is_store = self.l2_queue.popleft()
+            if is_store:
+                self.stats.l2_accesses += 1
+                self.l2.insert(sector)
+                self.stats.l2_hits += 1
+                continue
+            if self.l2.lookup(sector):
+                self.stats.l2_accesses += 1
+                self.stats.l2_hits += 1
+                self._schedule(
+                    cycle + cfg.l2.hit_latency, _EV_FILL, (sm_id, sector)
+                )
+                continue
+            waiters = self.l2_mshr.get(sector)
+            if waiters is not None:
+                self.stats.l2_accesses += 1
+                self.stats.l2_misses += 1
+                waiters.append(sm_id)
+                continue
+            if len(self.l2_mshr) >= cfg.l2.mshrs:
+                # Replay next cycle; not a new access.
+                self.l2_queue.appendleft((sector, sm_id, False))
+                return
+            self.stats.l2_accesses += 1
+            self.stats.l2_misses += 1
+            self.l2_mshr[sector] = [sm_id]
+            self.dram_queue.append(sector)
+
+    def _tick_dram(self, cycle: int) -> None:
+        cfg = self.config
+        for _ in range(cfg.dram_ports):
+            if not self.dram_queue:
+                return
+            sector = self.dram_queue.popleft()
+            self.stats.dram_accesses += 1
+            self._schedule(cycle + cfg.dram_latency, _EV_FILL, (-2, sector))
+
+    # ------------------------------------------------------------------
+    # Fill paths
+    # ------------------------------------------------------------------
+
+    def _insert_l1(self, sm_id: int, sector: int, dirty: bool) -> None:
+        """Fill the L1, pushing any dirty victim down as a write-back."""
+        victim = self.l1[sm_id].insert(sector, dirty=dirty)
+        if victim is not None and victim[1]:
+            self.l2_queue.append((victim[0], -1, True))
+
+    def _fill_l1(self, sm_id: int, sector: int, cycle: int) -> None:
+        if sm_id == -2:
+            # DRAM return: fill the L2 and fan out to waiting SMs.
+            self.l2.insert(sector)
+            for waiter_sm in self.l2_mshr.pop(sector, ()):
+                self._fill_l1(waiter_sm, sector, cycle)
+            return
+        self._insert_l1(sm_id, sector, dirty=False)
+        for request in self.l1_mshrs[sm_id].pop(sector, ()):
+            self._complete_sector(request, cycle)
+
+    def _complete_sector(self, request: MemRequest, cycle: int) -> None:
+        request.remaining -= 1
+        if request.remaining == 0 and not request.is_store:
+            self.on_complete(request, cycle)

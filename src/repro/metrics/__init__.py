@@ -1,0 +1,21 @@
+"""Statistics, derived metrics, and report formatting."""
+
+from .counters import (
+    BlockRecord,
+    SimStats,
+    STREAM_GLOBAL,
+    STREAM_LOCAL,
+    STREAM_SPILL,
+    TIMELINE_BUCKET,
+)
+from .report import run_report
+
+__all__ = [
+    "BlockRecord",
+    "SimStats",
+    "STREAM_GLOBAL",
+    "STREAM_LOCAL",
+    "STREAM_SPILL",
+    "TIMELINE_BUCKET",
+    "run_report",
+]

@@ -1,0 +1,223 @@
+"""Simulation statistics.
+
+One :class:`SimStats` instance accumulates everything a run produces; the
+experiment harness and the power model read from it.  Counter names match
+the paper's reporting: memory accesses are broken down into register
+spills/fills, other locals, and globals (Figs 2/9), misses feed MPKI
+(Fig 12), the instruction mix feeds Fig 13, and the bandwidth timeline
+feeds Fig 11.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Access-stream tags (what generated an L1D access).
+STREAM_SPILL = "spill"  # ABI register spill/fill traffic
+STREAM_LOCAL = "local"  # genuine local-memory traffic
+STREAM_GLOBAL = "global"  # global loads/stores
+
+#: Timeline bucket width in cycles (Fig 11 resolution).
+TIMELINE_BUCKET = 512
+
+
+@dataclass
+class BlockRecord:
+    """Completion record for one thread block (feeds the CARS policy)."""
+
+    sm_id: int
+    block_id: int
+    kernel: str
+    start_cycle: int
+    end_cycle: int
+    alloc_regs_per_warp: int
+    alloc_level: int
+
+    @property
+    def runtime(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class SimStats:
+    """Mutable accumulator for one simulation run."""
+
+    def __init__(self) -> None:
+        self.cycles: int = 0
+        self.warp_instructions: int = 0  # trace records issued
+        self.micro_ops: int = 0  # after ABI expansion
+        self.issued_by_kind: Counter = Counter()  # TraceKind name -> count
+        # L1D, keyed by stream tag.
+        self.l1_accesses: Counter = Counter()
+        self.l1_hits: Counter = Counter()
+        self.l1_misses: Counter = Counter()
+        self.l1_store_sectors: Counter = Counter()
+        self.l1_load_sectors: Counter = Counter()
+        # Lower levels.
+        self.l2_accesses: int = 0
+        self.l2_hits: int = 0
+        self.l2_misses: int = 0
+        self.dram_accesses: int = 0
+        # Call machinery.
+        self.calls: int = 0
+        self.returns: int = 0
+        self.pushes: int = 0
+        self.pops: int = 0
+        self.push_regs: int = 0
+        self.pop_regs: int = 0
+        # CARS events.
+        self.traps: int = 0
+        self.trap_spilled_regs: int = 0
+        self.trap_filled_regs: int = 0
+        self.context_switches: int = 0
+        self.context_switch_regs: int = 0
+        self.stalled_warp_cycles: int = 0
+        # Scheduling.
+        self.issue_cycles: int = 0  # cycles with at least one issue
+        self.idle_cycles: int = 0
+        self.barrier_wait_cycles: int = 0
+        self.fetch_stall_cycles: int = 0
+        self.blocks: List[BlockRecord] = []
+        # Fig 11 timeline: bucket -> [global_sectors, local_sectors].
+        self.timeline: Dict[int, List[int]] = {}
+        # Per-kernel allocation decisions (CARS).
+        self.allocation_log: List[Tuple[str, int, int]] = []  # kernel, level, regs
+
+    # ------------------------------------------------------------------
+    # Recording helpers
+    # ------------------------------------------------------------------
+
+    def record_l1_access(
+        self, stream: str, is_store: bool, hit: bool, cycle: int
+    ) -> None:
+        self.l1_accesses[stream] += 1
+        if hit:
+            self.l1_hits[stream] += 1
+        else:
+            self.l1_misses[stream] += 1
+        if is_store:
+            self.l1_store_sectors[stream] += 1
+        else:
+            self.l1_load_sectors[stream] += 1
+        bucket = cycle // TIMELINE_BUCKET
+        entry = self.timeline.get(bucket)
+        if entry is None:
+            entry = [0, 0]
+            self.timeline[bucket] = entry
+        if stream == STREAM_GLOBAL:
+            entry[0] += 1
+        else:
+            entry[1] += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def total_l1_accesses(self) -> int:
+        return sum(self.l1_accesses.values())
+
+    @property
+    def total_l1_misses(self) -> int:
+        return sum(self.l1_misses.values())
+
+    def l1_miss_rate(self) -> float:
+        total = self.total_l1_accesses
+        return self.total_l1_misses / total if total else 0.0
+
+    def mpki(self) -> float:
+        """L1D misses per thousand warp instructions (Fig 12)."""
+        if self.warp_instructions == 0:
+            return 0.0
+        return 1000.0 * self.total_l1_misses / self.warp_instructions
+
+    def access_breakdown(self) -> Dict[str, float]:
+        """Fraction of L1D accesses by stream (Figs 2 and 9)."""
+        total = self.total_l1_accesses
+        if total == 0:
+            return {STREAM_SPILL: 0.0, STREAM_LOCAL: 0.0, STREAM_GLOBAL: 0.0}
+        return {
+            stream: self.l1_accesses[stream] / total
+            for stream in (STREAM_SPILL, STREAM_LOCAL, STREAM_GLOBAL)
+        }
+
+    def spill_fraction(self) -> float:
+        return self.access_breakdown()[STREAM_SPILL]
+
+    def ipc(self) -> float:
+        return self.warp_instructions / self.cycles if self.cycles else 0.0
+
+    def global_bandwidth_timeline(self) -> List[Tuple[int, int, int]]:
+        """(bucket_start_cycle, global_sectors, local_sectors) series."""
+        return [
+            (bucket * TIMELINE_BUCKET, counts[0], counts[1])
+            for bucket, counts in sorted(self.timeline.items())
+        ]
+
+    def average_global_bandwidth(self) -> float:
+        """Mean global sectors per cycle over the whole run (Fig 11)."""
+        total = sum(counts[0] for counts in self.timeline.values())
+        return total / self.cycles if self.cycles else 0.0
+
+    def instruction_mix(self) -> Dict[str, int]:
+        """Issued micro-op counts by kind (Fig 13)."""
+        return dict(self.issued_by_kind)
+
+    def trap_fraction(self) -> float:
+        """Fraction of calls that invoked the trap handler (Table III)."""
+        return self.traps / self.calls if self.calls else 0.0
+
+    def bytes_spilled_per_call(self) -> float:
+        """Per-thread bytes spilled+filled per function call (Table III).
+
+        Includes trap spills/fills and context switches, per the paper.
+        """
+        if self.calls == 0:
+            return 0.0
+        regs = (
+            self.trap_spilled_regs
+            + self.trap_filled_regs
+            + self.context_switch_regs
+        )
+        return 4.0 * regs / self.calls
+
+    def merge_kernel(self, other: "SimStats") -> None:
+        """Accumulate a subsequent kernel launch into this run's totals."""
+        offset = self.cycles
+        self.cycles += other.cycles
+        self.warp_instructions += other.warp_instructions
+        self.micro_ops += other.micro_ops
+        self.issued_by_kind.update(other.issued_by_kind)
+        self.l1_accesses.update(other.l1_accesses)
+        self.l1_hits.update(other.l1_hits)
+        self.l1_misses.update(other.l1_misses)
+        self.l1_store_sectors.update(other.l1_store_sectors)
+        self.l1_load_sectors.update(other.l1_load_sectors)
+        self.l2_accesses += other.l2_accesses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.dram_accesses += other.dram_accesses
+        self.calls += other.calls
+        self.returns += other.returns
+        self.pushes += other.pushes
+        self.pops += other.pops
+        self.push_regs += other.push_regs
+        self.pop_regs += other.pop_regs
+        self.traps += other.traps
+        self.trap_spilled_regs += other.trap_spilled_regs
+        self.trap_filled_regs += other.trap_filled_regs
+        self.context_switches += other.context_switches
+        self.context_switch_regs += other.context_switch_regs
+        self.stalled_warp_cycles += other.stalled_warp_cycles
+        self.issue_cycles += other.issue_cycles
+        self.idle_cycles += other.idle_cycles
+        self.barrier_wait_cycles += other.barrier_wait_cycles
+        self.fetch_stall_cycles += other.fetch_stall_cycles
+        self.blocks.extend(other.blocks)
+        self.allocation_log.extend(other.allocation_log)
+        offset_buckets = offset // TIMELINE_BUCKET
+        for bucket, counts in other.timeline.items():
+            entry = self.timeline.setdefault(bucket + offset_buckets, [0, 0])
+            entry[0] += counts[0]
+            entry[1] += counts[1]

@@ -1,0 +1,53 @@
+"""Human-readable single-run reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config.gpu_config import GPUConfig
+from .counters import SimStats, STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
+
+
+def run_report(
+    stats: SimStats,
+    config: GPUConfig,
+    title: str = "simulation",
+    baseline: Optional[SimStats] = None,
+) -> str:
+    """Render one run's statistics (optionally relative to a baseline)."""
+    lines: List[str] = [f"== {title} ({config.name}) =="]
+    lines.append(f"cycles             : {stats.cycles}")
+    if baseline is not None and stats.cycles:
+        lines.append(
+            f"speedup vs baseline: {baseline.cycles / stats.cycles:.3f}x"
+        )
+    lines.append(f"warp instructions  : {stats.warp_instructions}")
+    lines.append(f"micro-ops issued   : {stats.micro_ops}")
+    lines.append(f"IPC                : {stats.ipc():.3f}")
+    breakdown = stats.access_breakdown()
+    lines.append(
+        "L1D accesses       : "
+        f"{stats.total_l1_accesses} "
+        f"(spill {breakdown[STREAM_SPILL]:.0%}, "
+        f"local {breakdown[STREAM_LOCAL]:.0%}, "
+        f"global {breakdown[STREAM_GLOBAL]:.0%})"
+    )
+    lines.append(f"L1D miss rate      : {stats.l1_miss_rate():.1%}")
+    lines.append(f"MPKI               : {stats.mpki():.1f}")
+    lines.append(
+        f"L2 / DRAM accesses : {stats.l2_accesses} / {stats.dram_accesses}"
+    )
+    lines.append(f"calls / returns    : {stats.calls} / {stats.returns}")
+    if stats.traps or stats.context_switches:
+        lines.append(
+            f"CARS traps         : {stats.traps} "
+            f"({stats.trap_fraction():.3%} of calls, "
+            f"{stats.bytes_spilled_per_call():.2f} B/call); "
+            f"context switches {stats.context_switches}"
+        )
+    lines.append(
+        f"blocks retired     : {len(stats.blocks)} "
+        f"(idle cycles {stats.idle_cycles}, "
+        f"fetch stalls {stats.fetch_stall_cycles})"
+    )
+    return "\n".join(lines) + "\n"

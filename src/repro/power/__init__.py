@@ -1,0 +1,5 @@
+"""Event-based energy model (AccelWattch substitute)."""
+
+from .model import EnergyModel, DEFAULT_ENERGY_MODEL
+
+__all__ = ["EnergyModel", "DEFAULT_ENERGY_MODEL"]

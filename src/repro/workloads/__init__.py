@@ -1,0 +1,22 @@
+"""The 22 Table I workloads, the synthesizer, and the Fig 1 survey data."""
+
+from .spec import KernelLaunch, Workload
+from .synth import SynthKernel, build_kernel, build_workload, OUT_BASE
+from .suite import SMOKE_NAMES, WORKLOAD_NAMES, full_suite, make_workload
+from .fig1_data import FIG1_SURVEY, SuiteStats, growth_factor
+
+__all__ = [
+    "KernelLaunch",
+    "Workload",
+    "SynthKernel",
+    "build_kernel",
+    "build_workload",
+    "OUT_BASE",
+    "SMOKE_NAMES",
+    "WORKLOAD_NAMES",
+    "full_suite",
+    "make_workload",
+    "FIG1_SURVEY",
+    "SuiteStats",
+    "growth_factor",
+]

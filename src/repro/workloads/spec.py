@@ -1,0 +1,99 @@
+"""Workload abstraction: a DSL program plus its launch schedule.
+
+A :class:`Workload` owns compilation (baseline and LTO-inlined binaries)
+and trace generation (the NVBit stage), caching both so the many techniques
+of an experiment replay identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..emu.machine import Emulator
+from ..emu.memory import GlobalMemory
+from ..emu.trace import KernelTrace
+from ..frontend.ast import ProgramDef
+from ..frontend.inliner import inline_program
+from ..frontend.linker import compile_program
+from ..isa.program import Module
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel launch in a workload's schedule."""
+
+    kernel: str
+    grid_blocks: int
+    threads_per_block: int
+    params: Tuple[int, ...] = ()
+
+
+@dataclass
+class Workload:
+    """A benchmark: program + launches + paper metadata (Table I / II).
+
+    Attributes:
+        name: short name matching the paper's Table I.
+        suite: originating benchmark suite.
+        program: the DSL source.
+        launches: the kernel launch schedule.
+        setup: optional global-memory initializer run before tracing.
+        paper_call_depth / paper_cpki: Table I reference values.
+        bottleneck: Table II main-speedup-factor class.
+    """
+
+    name: str
+    suite: str
+    program: ProgramDef
+    launches: List[KernelLaunch]
+    setup: Optional[Callable[[GlobalMemory], None]] = None
+    paper_call_depth: int = 0
+    paper_cpki: float = 0.0
+    bottleneck: str = ""
+    max_warp_instructions: int = 2_000_000
+    _modules: Dict[bool, Module] = field(default_factory=dict, repr=False)
+    _traces: Dict[bool, List[KernelTrace]] = field(default_factory=dict, repr=False)
+
+    def module(self, inlined: bool = False) -> Module:
+        """Compile (and cache) the baseline or fully-inlined binary."""
+        if inlined not in self._modules:
+            program = inline_program(self.program) if inlined else self.program
+            self._modules[inlined] = compile_program(program)
+        return self._modules[inlined]
+
+    def traces(self, inlined: bool = False) -> List[KernelTrace]:
+        """Generate (and cache) dynamic traces for every launch."""
+        if inlined not in self._traces:
+            module = self.module(inlined)
+            gmem = GlobalMemory()
+            if self.setup is not None:
+                self.setup(gmem)
+            emulator = Emulator(
+                module, gmem=gmem, max_warp_instructions=self.max_warp_instructions
+            )
+            self._traces[inlined] = [
+                emulator.launch(
+                    launch.kernel,
+                    launch.grid_blocks,
+                    launch.threads_per_block,
+                    launch.params,
+                )
+                for launch in self.launches
+            ]
+        return self._traces[inlined]
+
+    def measured_cpki(self) -> float:
+        """Dynamic CPKI over the whole schedule (Table I)."""
+        traces = self.traces()
+        instructions = sum(t.dynamic_instructions for t in traces)
+        if instructions == 0:
+            return 0.0
+        from ..emu.trace import TraceKind
+
+        calls = sum(t.count(TraceKind.CALL) for t in traces)
+        return 1000.0 * calls / instructions
+
+    def measured_call_depth(self) -> int:
+        """Deepest dynamic call nesting over the schedule (Table I)."""
+        return max((t.max_dynamic_call_depth() for t in self.traces()), default=0)

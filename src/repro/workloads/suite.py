@@ -1,0 +1,238 @@
+"""The 22 function-calling workloads of Table I.
+
+Each entry is a synthetic analogue of the paper's workload, parameterized
+to land in the same regime: its Table I call depth, approximately its
+Table I CPKI, and its Table II bottleneck class (see DESIGN.md).  The
+paper's values are attached for the Table I reproduction benchmark.
+
+The Table II class maps onto the generator's global-access pattern:
+
+    * ``bandwidth``             -> ``small_hot``   (footprint fits the L1)
+    * ``capacity+contention``   -> ``warp_window`` (per-warp windows)
+    * ``capacity``              -> ``big_random``  (region >> L1)
+    * ``low-occupancy``         -> ``small_hot`` with a tiny grid
+    * ``low-spill``             -> sparse calls (``call_period`` >> 1)
+
+Callee-saved pressure (``fru_chain``) is kept small (2-8 registers), as
+profiled SASS shows for real device functions; deep library chains
+(Rapids) do global work inside their functions (``loads_in_function``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from .spec import Workload
+from .synth import SynthKernel, build_workload
+
+#: Region sizes (words; 4B each).  The scaled L1 is 32KB = 8192 words.
+REGION_SMALL = 2 * 1024  # 8KB hot region: fits the L1 easily
+REGION_MEDIUM = 16 * 1024  # 64KB: 2x L1 (warp windows thrash)
+REGION_LARGE = 32 * 1024  # 128KB: 4x L1 (SWL cannot help)
+REGION_HUGE = 64 * 1024  # 256KB: matches the whole L2
+
+
+def _pta() -> Workload:
+    """Points-to Analysis: many kernels, deep chains, heavy spill traffic.
+
+    The multi-kernel structure feeds Fig 14 (per-kernel allocation study);
+    K1 carries barriers + the deepest chain — the paper's one context-
+    switching kernel.
+    """
+    deep = (5, 5, 4, 4, 4, 3, 3, 3, 3)
+    kernels = [
+        SynthKernel(name="K1", depth=9, fru_chain=deep, iters=6, barrier_iters=1,
+                    grid_blocks=24, threads_per_block=128, alu_per_level=0,
+                    kernel_alu_per_iter=1),
+        SynthKernel(name="K2", depth=1, fru_chain=(3,), iters=2,
+                    grid_blocks=16, alu_per_level=1),
+        SynthKernel(name="K3", depth=2, fru_chain=(4, 3), iters=4,
+                    barrier_iters=1, threads_per_block=128, grid_blocks=12),
+        SynthKernel(name="K4", depth=9, fru_chain=deep, iters=8,
+                    grid_blocks=24, alu_per_level=0, kernel_alu_per_iter=1),
+        SynthKernel(name="K5", depth=8, fru_chain=deep, iters=8,
+                    grid_blocks=24, alu_per_level=0, kernel_alu_per_iter=1),
+        SynthKernel(name="K6", depth=7, fru_chain=deep, iters=6,
+                    grid_blocks=24, alu_per_level=0, kernel_alu_per_iter=1),
+        SynthKernel(name="K7", depth=1, calls_per_iter=0, iters=2,
+                    grid_blocks=12, kernel_alu_per_iter=2),
+        SynthKernel(name="K8", depth=3, fru_chain=(4, 4, 3), iters=5,
+                    grid_blocks=12),
+    ]
+    return build_workload(
+        "PTA", "LoneStar", kernels,
+        bottleneck="bandwidth", paper_call_depth=9, paper_cpki=46.11,
+    )
+
+
+def _simple(name, suite, spec, bottleneck, depth, cpki) -> Workload:
+    return build_workload(name, suite, [spec], bottleneck, depth, cpki)
+
+
+@lru_cache(maxsize=None)
+def make_workload(name: str) -> Workload:
+    """Construct one Table I workload by name (cached)."""
+    builders = {
+        "PTA": _pta,
+        "DMR": lambda: _simple(
+            "DMR", "LoneStar",
+            SynthKernel(depth=1, fru_chain=(6,), iters=8, calls_per_iter=2,
+                        pattern="warp_window", region_words=REGION_HUGE,
+                        window_words=2048, alu_per_level=8,
+                        kernel_alu_per_iter=4),
+            "capacity+contention", 1, 11.61),
+        "MST": lambda: _simple(
+            "MST", "LoneStar",
+            SynthKernel(depth=5, fru_chain=(6, 5, 4, 4, 3), iters=8,
+                        pattern="warp_window", region_words=REGION_HUGE,
+                        window_words=2048, alu_per_level=2,
+                        loads_in_function=1),
+            "capacity+contention", 5, 20.75),
+        "SSSP": lambda: _simple(
+            "SSSP", "LoneStar",
+            SynthKernel(depth=3, fru_chain=(5, 4, 4), iters=8, call_period=2,
+                        pattern="small_hot", alu_per_level=12,
+                        kernel_alu_per_iter=8),
+            "bandwidth", 3, 6.30),
+        "CFD": lambda: _simple(
+            "CFD", "Rodinia",
+            SynthKernel(depth=3, fru_chain=(6, 5, 4), iters=8,
+                        pattern="warp_window", region_words=REGION_HUGE,
+                        window_words=2048, alu_per_level=4,
+                        local_array=True),
+            "capacity+contention", 3, 17.48),
+        "TRAF": lambda: _simple(
+            "TRAF", "ParaPoly",
+            SynthKernel(depth=3, fru_chain=(4, 3, 3), iters=8, call_period=4,
+                        use_indirect=True, pattern="small_hot",
+                        alu_per_level=16, kernel_alu_per_iter=16,
+                        divergent=True),
+            "bandwidth", 3, 3.13),
+        "GOL": lambda: _simple(
+            "GOL", "ParaPoly",
+            SynthKernel(depth=1, fru_chain=(8,), iters=8, calls_per_iter=2,
+                        pattern="warp_window", region_words=REGION_LARGE,
+                        window_words=1024, kernel_reg_pressure=100,
+                        threads_per_block=128, grid_blocks=12,
+                        alu_per_level=8),
+            "capacity+contention", 1, 7.05),
+        "NBD": lambda: _simple(
+            "NBD", "ParaPoly",
+            SynthKernel(depth=2, fru_chain=(5, 4), iters=8,
+                        pattern="small_hot", alu_per_level=3,
+                        kernel_alu_per_iter=6),
+            "bandwidth", 2, 21.40),
+        "COLI": lambda: _simple(
+            "COLI", "ParaPoly",
+            SynthKernel(depth=3, fru_chain=(4, 4, 3), iters=7,
+                        use_indirect=True, pattern="small_hot",
+                        alu_per_level=3, divergent=True),
+            "bandwidth", 3, 19.54),
+        "STUT": lambda: _simple(
+            "STUT", "ParaPoly",
+            SynthKernel(depth=3, fru_chain=(6, 5, 4), iters=7,
+                        pattern="warp_window", region_words=REGION_HUGE,
+                        window_words=2048, alu_per_level=6),
+            "capacity+contention", 3, 10.94),
+        "RAY": lambda: _simple(
+            "RAY", "ParaPoly",
+            SynthKernel(depth=4, fru_chain=(5, 4, 4, 3), iters=7,
+                        use_indirect=True, pattern="small_hot",
+                        alu_per_level=3, divergent=True),
+            "bandwidth", 4, 19.71),
+        "LULESH": lambda: _simple(
+            "LULESH", "DOE",
+            SynthKernel(depth=3, fru_chain=(3, 3, 2), iters=8, call_period=8,
+                        pattern="small_hot", region_words=REGION_SMALL,
+                        alu_per_level=20, kernel_alu_per_iter=24,
+                        local_array=True),
+            "low-spill", 3, 2.84),
+        "FIB": lambda: _simple(
+            "FIB", "Recursive",
+            SynthKernel(recursion_depth=8, depth=8, fru_chain=(4,), iters=2,
+                        pattern="small_hot", kernel_alu_per_iter=4,
+                        alu_per_level=2),
+            "bandwidth", 8, 22.41),
+        "Bert_LT": lambda: _simple(
+            "Bert_LT", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(5, 4, 4, 3, 3), iters=8,
+                        pattern="big_random", region_words=REGION_LARGE,
+                        shared_mem_bytes=8 * 1024, alu_per_level=4,
+                        threads_per_block=128, grid_blocks=12),
+            "capacity", 5, 17.01),
+        "Bert_AtScore": lambda: _simple(
+            "Bert_AtScore", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(5, 4, 4, 3, 3), iters=6,
+                        grid_blocks=3, pattern="small_hot",
+                        alu_per_level=4, loads_in_function=1),
+            "low-occupancy", 5, 17.62),
+        "Bert_AtOp": lambda: _simple(
+            "Bert_AtOp", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(5, 4, 4, 3, 3), iters=6,
+                        grid_blocks=4, pattern="small_hot",
+                        alu_per_level=4, loads_in_function=1),
+            "low-occupancy", 5, 17.48),
+        "Bert_FC": lambda: _simple(
+            "Bert_FC", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(5, 4, 4, 3, 3), iters=8,
+                        pattern="big_random", region_words=REGION_LARGE,
+                        shared_mem_bytes=8 * 1024, threads_per_block=128,
+                        grid_blocks=12, alu_per_level=4),
+            "capacity", 5, 17.01),
+        "Resnet_FP": lambda: _simple(
+            "Resnet_FP", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(6, 5, 4, 4, 3), iters=6,
+                        pattern="warp_window", region_words=REGION_MEDIUM,
+                        shared_mem_bytes=4 * 1024, alu_per_level=4),
+            "capacity+contention", 5, 17.04),
+        "Resnet_WG": lambda: _simple(
+            "Resnet_WG", "MLPerf",
+            SynthKernel(depth=5, fru_chain=(6, 5, 4, 4, 3), iters=8,
+                        pattern="big_random", region_words=REGION_LARGE,
+                        shared_mem_bytes=8 * 1024, threads_per_block=128,
+                        grid_blocks=12, alu_per_level=4),
+            "capacity", 5, 16.91),
+        "SVR": lambda: _simple(
+            "SVR", "Rapids",
+            SynthKernel(depth=17, fru_chain=(4, 4, 3, 3, 3, 3, 3, 3, 3, 3,
+                                             3, 3, 3, 3, 3, 3, 3),
+                        iters=5, pattern="small_hot", alu_per_level=1,
+                        loads_in_function=1, grid_blocks=28),
+            "bandwidth", 17, 47.03),
+        "KMEAN": lambda: _simple(
+            "KMEAN", "Rapids",
+            SynthKernel(depth=14, fru_chain=(4, 4, 3, 3, 3, 3, 3, 3, 3, 3,
+                                             3, 3, 3, 3),
+                        iters=5, pattern="small_hot", alu_per_level=1,
+                        loads_in_function=1, grid_blocks=28),
+            "bandwidth", 14, 41.23),
+        "RF": lambda: _simple(
+            "RF", "Rapids",
+            SynthKernel(depth=17, fru_chain=(4, 4, 3, 3, 3, 3, 3, 3, 3, 3,
+                                             3, 3, 3, 3, 3, 3, 3),
+                        iters=5, pattern="small_hot", alu_per_level=1,
+                        loads_in_function=1, divergent=True, grid_blocks=28),
+            "bandwidth", 17, 47.11),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}") from None
+
+
+#: Table I order.
+WORKLOAD_NAMES = [
+    "PTA", "DMR", "MST", "SSSP", "CFD", "TRAF", "GOL", "NBD", "COLI",
+    "STUT", "RAY", "LULESH", "FIB", "Bert_LT", "Bert_AtScore", "Bert_AtOp",
+    "Bert_FC", "Resnet_FP", "Resnet_WG", "SVR", "KMEAN", "RF",
+]
+
+
+def full_suite() -> List[Workload]:
+    """All 22 Table I workloads."""
+    return [make_workload(name) for name in WORKLOAD_NAMES]
+
+
+#: A small representative subset used by fast tests.
+SMOKE_NAMES = ["SSSP", "MST", "FIB"]

@@ -1,0 +1,305 @@
+"""Synthetic workload generator.
+
+Each of the paper's 22 workloads is reproduced by a parameterized kernel
+whose call structure, register pressure, memory behaviour, and occupancy
+are controlled directly (see DESIGN.md's substitution table).
+
+Call-structure knobs (Table I):
+    * ``depth`` / ``fru_chain`` — static call-chain depth and per-level
+      callee-saved pressure;
+    * ``call_period`` / ``alu_per_level`` — dynamic call density (CPKI);
+    * ``use_indirect`` — virtual-function dispatch (ParaPoly);
+    * ``recursion_depth`` — FIB-style recursion;
+    * ``loads_in_function`` — global loads inside device functions (library
+      code does real memory work between calls).
+
+Memory-pattern knobs (Table II bottleneck classes):
+    * ``pattern="small_hot"`` — a small shared region that fits the L1;
+      only spill traffic pressures the cache (**bandwidth** class).
+    * ``pattern="warp_window"`` — per-warp drifting windows whose combined
+      footprint thrashes the L1 but shrinks with fewer warps
+      (**capacity+contention**: Best-SWL and a huge L1 both help).
+    * ``pattern="big_random"`` — lane-hashed access over a region several
+      times the L1; only more capacity helps (**capacity**: the Bert class,
+      where Best-SWL "fails to accommodate" the footprint).
+
+Occupancy knobs: ``grid_blocks``, ``threads_per_block``,
+``shared_mem_bytes``, ``kernel_reg_pressure``; plus ``barrier_iters`` for
+block-wide barriers (the context-switch pressure of Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..frontend import builder as b
+from ..frontend.ast import Expr, ProgramDef, Stmt
+from .spec import KernelLaunch, Workload
+
+#: Word address where the output array starts (away from the data array).
+OUT_BASE = 1 << 22
+
+PATTERNS = ("small_hot", "warp_window", "big_random")
+
+
+@dataclass(frozen=True)
+class SynthKernel:
+    """Parameters for one generated kernel."""
+
+    name: str = "main"
+    depth: int = 3
+    fru_chain: Tuple[int, ...] = ()  # reg_pressure per level; default 4s
+    iters: int = 6
+    call_period: int = 1  # call the chain every N iterations
+    calls_per_iter: int = 1
+    alu_per_level: int = 2
+    kernel_alu_per_iter: int = 2
+    loads_in_function: int = 0  # hot loads per chain level
+    # Kernel-level global stream.
+    pattern: str = "small_hot"
+    region_words: int = 2048  # power of two
+    window_words: int = 1024  # per-warp window (warp_window pattern)
+    loads_per_iter: int = 3
+    stores_per_iter: int = 1
+    # Occupancy.
+    kernel_reg_pressure: int = 0
+    grid_blocks: int = 16
+    threads_per_block: int = 64
+    shared_mem_bytes: int = 0
+    barrier_iters: int = 0  # barrier every iteration when nonzero
+    use_indirect: bool = False
+    divergent: bool = False
+    local_array: bool = False  # genuine (non-spill) local memory
+    recursion_depth: int = 0  # FIB-style; replaces the call chain
+
+    def level_pressure(self, level: int) -> int:
+        if self.fru_chain:
+            return self.fru_chain[min(level, len(self.fru_chain) - 1)]
+        return 4
+
+
+def _function_load(spec: SynthKernel, k: int) -> Expr:
+    """A lane-hashed load within the shared hot region (device code)."""
+    mask = min(spec.region_words, 2048) - 1
+    index = (b.v("t") * 2654435761 + k * 97) & mask
+    return b.load(b.v("data") + index)
+
+
+def _chain_function(
+    prog: ProgramDef, spec: SynthKernel, level: int, suffix: str = ""
+) -> str:
+    """Generate chain level *level*; returns the function name."""
+    name = f"{spec.name}_f{level}{suffix}"
+    # Two parallel dependency chains (t, w) keep per-warp ILP realistic.
+    body: List[Stmt] = [
+        b.let("t", b.v("x") * 3 + b.v("a")),
+        b.let("w", b.v("a") * 7 + 13),
+    ]
+    for k in range(spec.alu_per_level):
+        target = "t" if k % 2 == 0 else "w"
+        body.append(b.let(target, b.mad(b.v(target), 5, b.v("x") + k)))
+    for k in range(spec.loads_in_function):
+        body.append(b.let("w", b.v("w") ^ _function_load(spec, level * 7 + k)))
+    body.append(b.let("t", b.v("t") ^ (b.v("w") >> 1)))
+    if level + 1 < spec.depth:
+        callee = _chain_function(prog, spec, level + 1, suffix)
+        body.append(b.let("r", b.call(callee, b.v("t"), b.v("x"), b.v("data"))))
+    else:
+        body.append(b.let("u", b.mufu(b.v("t"))))
+        body.append(b.let("r", b.v("t") ^ b.v("u")))
+    # `t` stays live across the call, forcing callee-saved usage.
+    body.append(b.ret(b.v("r") + b.v("t")))
+    b.device(
+        prog, name, ["x", "a", "data"], body,
+        reg_pressure=spec.level_pressure(level),
+    )
+    return name
+
+
+def _recursive_function(prog: ProgramDef, spec: SynthKernel) -> str:
+    """FIB-style binary recursion."""
+    name = f"{spec.name}_fib"
+    body: List[Stmt] = [b.let("w", b.v("n") * 3 + 1)]
+    for k in range(4 * spec.alu_per_level):
+        body.append(b.let("w", b.mad(b.v("w"), 5, b.v("n") + k)))
+    body.extend(
+        [
+            b.if_(
+                b.v("n") < 2,
+                [b.ret(b.v("n") + (b.v("w") & 0))],
+            ),
+            b.let("p", b.call(name, b.v("n") - 1)),
+            b.let("q", b.call(name, b.v("n") - 2)),
+            b.ret(b.v("p") + b.v("q") + (b.v("w") & 0)),
+        ]
+    )
+    b.device(prog, name, ["n"], body, reg_pressure=spec.level_pressure(0))
+    return name
+
+
+def _indirect_variants(prog: ProgramDef, spec: SynthKernel) -> List[str]:
+    """Virtual-function-style targets with differing register demand."""
+    names = []
+    base_chain = spec.fru_chain or (4,) * max(1, spec.depth)
+    for variant, pressure_delta in (("a", 0), ("b", 1), ("c", 2)):
+        sub = SynthKernel(
+            name=f"{spec.name}_v{variant}",
+            depth=max(1, spec.depth),
+            fru_chain=tuple(p + pressure_delta for p in base_chain),
+            alu_per_level=spec.alu_per_level,
+            loads_in_function=spec.loads_in_function,
+            region_words=spec.region_words,
+        )
+        names.append(_chain_function(prog, sub, 0))
+    return names
+
+
+def _kernel_load_index(spec: SynthKernel, k: int) -> Expr:
+    """Kernel-level global index per the workload's Table II class."""
+    mask = spec.region_words - 1
+    if spec.pattern == "small_hot":
+        if k % 2 == 0:
+            # Warp-uniform window + lane offset: coalesced, always hot.
+            return ((b.v("it") * 197 + k * 1031) & (mask - 31)) + (b.v("i") & 31)
+        # Lane-hashed but inside the small hot region: fans across sectors.
+        return (b.v("acc") * 2654435761 + b.v("i") * 97 + k * 31) & mask
+    if spec.pattern == "warp_window":
+        wmask = spec.window_words - 1
+        # Per-warp drifting window: combined footprint thrashes, fewer
+        # warps (SWL) or a larger L1 both restore locality.
+        warp = b.v("i") >> 5
+        base = (warp * spec.window_words) & mask
+        if k % 2 == 0:
+            return base + (((b.v("it") * 67 + k * 257) & (wmask - 31)) + (b.v("i") & 31))
+        return base + ((b.v("acc") * 2654435761 + b.v("i") * 13 + k) & wmask)
+    if spec.pattern == "big_random":
+        # Lane-hashed over the full region: only capacity helps.
+        return (b.v("acc") * 2654435761 + b.v("i") * 97 + k * 131) & mask
+    raise ValueError(f"unknown pattern {spec.pattern!r}")
+
+
+def build_kernel(prog: ProgramDef, spec: SynthKernel) -> None:
+    """Generate one kernel (and its callees) into *prog*."""
+    mask = spec.region_words - 1
+    if spec.region_words & mask:
+        raise ValueError("region_words must be a power of two")
+    if spec.pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {spec.pattern!r}")
+
+    if spec.calls_per_iter == 0:
+        call_expr = None  # a function-free kernel (CARS leaves it alone)
+    elif spec.recursion_depth > 0:
+        entry = _recursive_function(prog, spec)
+        call_expr = b.call(entry, b.c(spec.recursion_depth))
+    elif spec.use_indirect:
+        targets = _indirect_variants(prog, spec)
+        call_expr = b.icall(targets, b.v("x"), b.v("x"), b.v("acc"), b.v("data"))
+    else:
+        entry = _chain_function(prog, spec, 0)
+        call_expr = b.call(entry, b.v("x"), b.v("acc"), b.v("data"))
+
+    body: List[Stmt] = [
+        b.let("i", b.gid()),
+        b.let("acc", b.load(b.v("data") + (b.v("i") & mask))),
+        b.let("acc2", b.v("i") * 31 + 5),  # independent second chain (ILP)
+    ]
+    if spec.divergent:
+        body.append(
+            b.if_(
+                (b.v("i") & 1) < 1,
+                [b.let("acc", b.v("acc") * 3 + 1)],
+                [b.let("acc", b.v("acc") + 7)],
+            )
+        )
+    if spec.local_array:
+        body.append(b.store_local(0, b.v("acc")))
+
+    loop_body: List[Stmt] = []
+    for k in range(spec.loads_per_iter):
+        loop_body.append(
+            b.let("x", b.load(b.v("data") + _kernel_load_index(spec, k)))
+        )
+        target = "acc" if k % 2 == 0 else "acc2"
+        loop_body.append(b.let(target, b.v(target) ^ b.v("x")))
+    for k in range(spec.kernel_alu_per_iter):
+        target = "acc" if k % 2 == 0 else "acc2"
+        loop_body.append(b.let(target, b.mad(b.v(target), 3, b.v("i") + k)))
+
+    call_stmts: List[Stmt] = []
+    if call_expr is not None:
+        for _ in range(spec.calls_per_iter):
+            call_stmts.append(b.let("x", b.v("acc") & mask))
+            call_stmts.append(b.let("acc", b.v("acc") + call_expr))
+    if call_stmts:
+        if spec.call_period > 1:
+            loop_body.append(
+                b.if_((b.v("it") & (spec.call_period - 1)) == 0, call_stmts)
+            )
+        else:
+            loop_body.extend(call_stmts)
+
+    if spec.local_array:
+        loop_body.append(b.let("acc", b.v("acc") + b.load_local(0)))
+        loop_body.append(b.store_local(0, b.v("acc")))
+    if spec.shared_mem_bytes:
+        loop_body.append(b.store_shared(b.tid(), b.v("acc")))
+        loop_body.append(b.let("acc", b.v("acc") + b.load_shared(b.tid() ^ 1)))
+    for store_idx in range(spec.stores_per_iter):
+        loop_body.append(
+            b.store(
+                b.v("out") + ((b.v("i") * 17 + b.v("it") + store_idx) & mask),
+                b.v("acc"),
+            )
+        )
+    if spec.barrier_iters:
+        loop_body.append(b.barrier())
+
+    body.append(b.for_("it", 0, spec.iters, loop_body))
+    body.append(b.store(b.v("out") + b.v("i"), b.v("acc") + b.v("acc2")))
+    b.kernel(
+        prog,
+        spec.name,
+        ["data", "out"],
+        body,
+        shared_mem_bytes=spec.shared_mem_bytes,
+        reg_pressure=spec.kernel_reg_pressure,
+    )
+
+
+def build_workload(
+    name: str,
+    suite: str,
+    kernels: List[SynthKernel],
+    bottleneck: str = "",
+    paper_call_depth: int = 0,
+    paper_cpki: float = 0.0,
+    repeats: int = 1,
+) -> Workload:
+    """Assemble a multi-kernel workload from synthesis specs.
+
+    ``repeats`` re-runs the launch schedule, as iterative applications do;
+    CARS's cross-launch policy memory (Fig 5) converges on the repeat.
+    """
+    prog = b.program()
+    launches = []
+    for spec in kernels:
+        build_kernel(prog, spec)
+        launches.append(
+            KernelLaunch(
+                kernel=spec.name,
+                grid_blocks=spec.grid_blocks,
+                threads_per_block=spec.threads_per_block,
+                params=(0, OUT_BASE),
+            )
+        )
+    launches = launches * max(1, repeats)
+    return Workload(
+        name=name,
+        suite=suite,
+        program=prog,
+        launches=launches,
+        paper_call_depth=paper_call_depth,
+        paper_cpki=paper_cpki,
+        bottleneck=bottleneck,
+    )

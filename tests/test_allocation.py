@@ -1,0 +1,67 @@
+"""Launch-time allocation plan tests (Section III-B)."""
+
+import pytest
+
+from repro.callgraph.analysis import KernelStackAnalysis
+from repro.cars.allocation import plan_allocation
+from repro.config import volta
+import dataclasses
+
+
+def analysis(kernel_fru=20, max_fru=10, depth=56, cyclic=False, has_calls=True):
+    return KernelStackAnalysis(
+        kernel="k",
+        kernel_fru=kernel_fru,
+        max_fru=max_fru,
+        max_stack_depth=depth,
+        cyclic=cyclic,
+        has_calls=has_calls,
+    )
+
+
+class TestPlanAllocation:
+    def test_call_free_kernel_untouched(self):
+        plan = plan_allocation(analysis(has_calls=False, max_fru=0, depth=20),
+                               volta(), warps_per_block=2, shared_mem_bytes=0)
+        assert not plan.dynamic
+        assert plan.levels == [20]
+
+    def test_space_to_spare_goes_static_high(self):
+        # Tiny demand: guaranteed regs/warp >> high watermark.
+        cfg = dataclasses.replace(volta(), registers_per_sm=100_000)
+        plan = plan_allocation(analysis(), cfg, 2, 0)
+        assert not plan.dynamic
+        assert plan.levels[plan.static_level] >= 56
+
+    def test_constrained_kernel_goes_dynamic(self):
+        cfg = dataclasses.replace(volta(), registers_per_sm=256)
+        plan = plan_allocation(analysis(), cfg, 2, 0)
+        assert plan.dynamic
+        assert plan.levels[0] == 30  # low watermark
+        assert plan.levels[-1] == 56  # high watermark
+
+    def test_shared_memory_limits_raise_guaranteed_regs(self):
+        cfg = volta()
+        # Shared memory limits blocks to 2 -> few warps -> many regs each.
+        plan_smem = plan_allocation(
+            analysis(), cfg, warps_per_block=2,
+            shared_mem_bytes=cfg.shared_mem_per_sm // 2,
+        )
+        plan_free = plan_allocation(analysis(), cfg, 2, 0)
+        assert (
+            plan_smem.guaranteed_regs_per_warp
+            > plan_free.guaranteed_regs_per_warp
+        )
+
+    def test_guaranteed_regs_formula(self):
+        cfg = volta()
+        plan = plan_allocation(analysis(), cfg, warps_per_block=2,
+                               shared_mem_bytes=0)
+        blocks = min(cfg.max_blocks_per_sm, cfg.max_warps_per_sm // 2)
+        assert plan.guaranteed_regs_per_warp == cfg.registers_per_sm // (blocks * 2)
+
+    def test_dynamic_plan_has_monotone_ladder(self):
+        cfg = dataclasses.replace(volta(), registers_per_sm=256)
+        plan = plan_allocation(analysis(), cfg, 2, 0)
+        assert plan.levels == sorted(plan.levels)
+        assert len(set(plan.levels)) == len(plan.levels)

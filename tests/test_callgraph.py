@@ -1,0 +1,164 @@
+"""Call-graph analysis tests, including the paper's Fig 4 example."""
+
+import pytest
+
+from repro.callgraph import (
+    CallGraph,
+    KernelStackAnalysis,
+    analyze_kernel,
+    analyze_module_kernels,
+    build_call_graph,
+    max_stack_depth,
+)
+from repro.frontend import builder as b
+
+
+def graph_from(edges, fru, kernels=("k",)):
+    g = CallGraph()
+    g.edges = {n: set(t) for n, t in edges.items()}
+    for node in fru:
+        g.edges.setdefault(node, set())
+    g.fru = dict(fru)
+    g.kernels = tuple(kernels)
+    return g
+
+
+class TestFig4Example:
+    """The paper's worked example: Low-watermark = 30, High-watermark = 56.
+
+    Kernel FRU = 20; the largest single function FRU = 10; the heaviest
+    root-to-leaf chain demands 56 registers.
+    """
+
+    def setup_method(self):
+        self.graph = graph_from(
+            edges={
+                "k": {"f1", "f2"},
+                "f1": {"f3"},
+                "f2": {"f3", "f4"},
+                "f3": set(),
+                "f4": {"f5"},
+                "f5": set(),
+            },
+            fru={"k": 20, "f1": 8, "f2": 10, "f3": 9, "f4": 10, "f5": 6},
+        )
+
+    def test_max_stack_depth_is_heaviest_chain(self):
+        # k(20) + f2(10) + f4(10) + f5(6) = 46; vs k+f2+f3 = 39; k+f1+f3=37.
+        assert max_stack_depth(self.graph, "k") == 46
+
+    def test_low_watermark(self):
+        analysis = analyze_kernel(self.graph, "k")
+        assert analysis.low_watermark == 20 + 10
+
+    def test_high_watermark_equals_max_stack_depth(self):
+        analysis = analyze_kernel(self.graph, "k")
+        assert analysis.high_watermark == 46
+
+    def test_nxlow_is_capped_at_high(self):
+        analysis = analyze_kernel(self.graph, "k")
+        assert analysis.nxlow_watermark(2) == 40
+        assert analysis.nxlow_watermark(3) == 46  # capped
+        assert analysis.nxlow_watermark(100) == 46
+
+    def test_allocation_levels_ladder(self):
+        analysis = analyze_kernel(self.graph, "k")
+        levels = analysis.allocation_levels()
+        assert levels[0] == analysis.low_watermark
+        assert levels[-1] == analysis.high_watermark
+        assert levels == sorted(levels)
+
+    def test_nxlow_requires_positive_n(self):
+        analysis = analyze_kernel(self.graph, "k")
+        with pytest.raises(ValueError):
+            analysis.nxlow_watermark(0)
+
+
+class TestRecursion:
+    def test_cycle_detected(self):
+        g = graph_from({"k": {"f"}, "f": {"f"}}, {"k": 10, "f": 4})
+        assert analyze_kernel(g, "k").cyclic
+
+    def test_mutual_recursion_detected(self):
+        g = graph_from(
+            {"k": {"a"}, "a": {"b"}, "b": {"a"}},
+            {"k": 10, "a": 3, "b": 4},
+        )
+        assert analyze_kernel(g, "k").cyclic
+
+    def test_recursive_depth_counts_one_iteration(self):
+        # Section III-C: assume one iteration of recursive components.
+        g = graph_from({"k": {"f"}, "f": {"f"}}, {"k": 10, "f": 4})
+        assert max_stack_depth(g, "k") == 14
+
+    def test_acyclic_not_flagged(self):
+        g = graph_from({"k": {"f"}, "f": set()}, {"k": 10, "f": 4})
+        assert not analyze_kernel(g, "k").cyclic
+
+
+class TestCallFreeKernels:
+    def test_no_calls_analysis(self):
+        g = graph_from({"k": set()}, {"k": 24})
+        analysis = analyze_kernel(g, "k")
+        assert not analysis.has_calls
+        assert analysis.low_watermark == 24  # max_fru is 0
+        assert analysis.allocation_levels() == [24]
+        assert analysis.nxlow_watermark(4) == 24
+
+
+class TestGraphBuilding:
+    def _module(self):
+        prog = b.program()
+        b.device(prog, "leaf", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=4)
+        b.device(prog, "mid", ["x"], [
+            b.ret(b.call("leaf", b.v("x")) + 1),
+        ], reg_pressure=2)
+        b.device(prog, "va", ["x"], [b.ret(b.v("x"))], reg_pressure=3)
+        b.device(prog, "vb", ["x"], [b.ret(b.v("x") * 2)], reg_pressure=5)
+        b.kernel(prog, "main", ["d"], [
+            b.let("r", b.call("mid", b.load(b.v("d")))),
+            b.let("s", b.icall(["va", "vb"], b.v("r"), b.v("r"))),
+            b.store(b.v("d"), b.v("s")),
+        ])
+        return b.compile(prog)
+
+    def test_edges_from_compiled_module(self):
+        graph = build_call_graph(self._module())
+        assert graph.edges["main"] == {"mid", "va", "vb"}
+        assert graph.edges["mid"] == {"leaf"}
+        assert graph.kernels == ("main",)
+
+    def test_indirect_sites_use_max_register_candidate(self):
+        """Section III-C case 3: the analysis covers every candidate, so the
+        heaviest one dominates MaxStackDepth through the max()."""
+        graph = build_call_graph(self._module())
+        analysis = analyze_kernel(graph, "main")
+        # vb has more pressure than va; the chain mid->leaf competes too.
+        vb_chain = graph.fru["main"] + graph.fru["vb"]
+        mid_chain = graph.fru["main"] + graph.fru["mid"] + graph.fru["leaf"]
+        assert analysis.max_stack_depth == max(vb_chain, mid_chain)
+
+    def test_fru_matches_compiled_functions(self):
+        module = self._module()
+        graph = build_call_graph(module)
+        for name, func in module.functions.items():
+            assert graph.fru[name] == func.fru
+
+    def test_analyze_module_kernels(self):
+        graph = build_call_graph(self._module())
+        result = analyze_module_kernels(graph)
+        assert set(result) == {"main"}
+        assert isinstance(result["main"], KernelStackAnalysis)
+
+    def test_unknown_kernel_raises(self):
+        graph = build_call_graph(self._module())
+        with pytest.raises(KeyError):
+            analyze_kernel(graph, "ghost")
+
+    def test_max_call_depth(self):
+        graph = build_call_graph(self._module())
+        assert graph.max_call_depth("main") == 2  # main -> mid -> leaf
+
+    def test_reachable(self):
+        graph = build_call_graph(self._module())
+        assert graph.reachable("mid") == {"mid", "leaf"}

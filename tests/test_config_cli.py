@@ -1,0 +1,85 @@
+"""Config presets, transforms, and CLI plumbing."""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.config import PRESETS, ampere, huge_l1, volta
+
+
+class TestPresets:
+    def test_volta_defaults(self):
+        cfg = volta()
+        assert cfg.num_sms >= 2  # the dynamic policy needs >= 2 SMs
+        assert cfg.l1.size_bytes < cfg.registers_per_sm * 128  # regs matter
+        assert cfg.warp_limit is None
+        assert not cfg.l1_force_hit
+        assert not cfg.unlimited_occupancy
+
+    def test_ampere_differs_in_occupancy_tradeoff(self):
+        v, a = volta(), ampere()
+        assert a.num_sms > v.num_sms
+        assert a.registers_per_sm / a.max_warps_per_sm > 0
+        # Fewer register slots per warp slot than Volta: the shift behind
+        # Fig 18's MST watermark flip.
+        assert (a.registers_per_sm / a.max_warps_per_sm
+                > v.registers_per_sm / v.max_warps_per_sm)
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"volta", "ampere"}
+
+    def test_huge_l1(self):
+        assert huge_l1().l1.size_bytes == 2 * 1024 * 1024
+        assert huge_l1(ampere()).num_sms == ampere().num_sms
+
+
+class TestTransforms:
+    def test_with_l1_size_only_changes_l1(self):
+        cfg = volta().with_l1_size(64 * 1024)
+        assert cfg.l1.size_bytes == 64 * 1024
+        assert cfg.l1.assoc == volta().l1.assoc
+        assert cfg.l2 == volta().l2
+        assert cfg.name != volta().name  # distinct cache key
+
+    def test_with_ports(self):
+        cfg = volta().with_l1_ports(16)
+        assert cfg.l1.ports == 16
+
+    def test_with_warp_limit(self):
+        assert volta().with_warp_limit(3).warp_limit == 3
+
+    def test_with_force_hit(self):
+        assert volta().with_force_hit().l1_force_hit
+
+    def test_with_unlimited_occupancy(self):
+        assert volta().with_unlimited_occupancy().unlimited_occupancy
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            volta().num_sms = 2
+
+    def test_cache_geometry(self):
+        cfg = volta().l1
+        assert cfg.num_sectors == cfg.size_bytes // 32
+        assert cfg.num_sets * cfg.assoc <= cfg.num_sectors
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--workload", "SSSP"])
+        assert args.technique == "cars"
+        assert args.config == "volta"
+
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "PTA" in out and "techniques" in out
+
+    def test_analyze_command(self, capsys):
+        assert cli_main(["analyze", "--workload", "SSSP"]) == 0
+        out = capsys.readouterr().out
+        assert "low=" in out and "high=" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--workload", "NOPE"])

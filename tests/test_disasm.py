@@ -1,0 +1,126 @@
+"""Assembler/disassembler round-trip tests."""
+
+import pytest
+
+from repro.emu import Emulator, GlobalMemory
+from repro.frontend import builder as b
+from repro.isa import IsaError, Opcode, validate_module
+from repro.isa.disasm import (
+    assemble_function,
+    assemble_module,
+    disassemble_function,
+    disassemble_module,
+)
+from repro.workloads import make_workload
+
+import numpy as np
+
+
+def _compiled():
+    prog = b.program()
+    b.device(prog, "leaf", ["x"], [b.ret(b.v("x") * 3 + 1)], reg_pressure=4)
+    b.kernel(prog, "main", ["out"], [
+        b.let("i", b.gid()),
+        b.if_(b.v("i") < 8, [b.let("i", b.v("i") + 100)]),
+        b.store(b.v("out") + b.v("i"), b.call("leaf", b.v("i"))),
+    ])
+    return b.compile(prog)
+
+
+class TestRoundTrip:
+    def test_function_round_trip_exact(self):
+        module = _compiled()
+        for func in module.functions.values():
+            text = disassemble_function(func)
+            parsed = assemble_function(text)
+            assert parsed.name == func.name
+            assert parsed.num_regs == func.num_regs
+            assert parsed.callee_saved == func.callee_saved
+            assert parsed.is_kernel == func.is_kernel
+            assert parsed.labels == func.labels
+            assert parsed.instructions == func.instructions
+
+    def test_module_round_trip_validates(self):
+        module = _compiled()
+        text = disassemble_module(module)
+        rebuilt = assemble_module(text)
+        validate_module(rebuilt)
+        assert set(rebuilt.functions) == set(module.functions)
+        assert rebuilt.worst_case_regs == module.worst_case_regs
+
+    def test_round_trip_preserves_semantics(self):
+        module = _compiled()
+        rebuilt = assemble_module(disassemble_module(module))
+        gmem_a, gmem_b = GlobalMemory(), GlobalMemory()
+        Emulator(module, gmem=gmem_a).launch("main", 1, 32, (0,))
+        Emulator(rebuilt, gmem=gmem_b).launch("main", 1, 32, (0,))
+        assert np.array_equal(gmem_a.read_array(0, 120), gmem_b.read_array(0, 120))
+
+    def test_workload_kernels_round_trip(self):
+        module = make_workload("SSSP").module()
+        for func in module.functions.values():
+            parsed = assemble_function(disassemble_function(func))
+            assert parsed.instructions == func.instructions
+
+
+class TestHandWrittenAssembly:
+    def test_minimal_kernel(self):
+        text = """
+.func main regs=16 kernel
+    MOVI R12, #42
+    STG R4, R12, #0
+    EXIT
+"""
+        func = assemble_function(text)
+        assert func.is_kernel
+        assert func.instructions[0].op is Opcode.MOVI
+        assert func.instructions[0].imm == 42
+
+    def test_push_range_syntax(self):
+        func = assemble_function(
+            ".func f regs=20 callee_saved=16:3\n"
+            "    PUSH [R16..R18]\n"
+            "    POP [R16..R18]\n"
+            "    RET\n"
+        )
+        assert func.instructions[0].push_regs == (16, 3)
+
+    def test_calli_targets(self):
+        func = assemble_function(
+            ".func f regs=16\n    CALLI R4, {a,b}\n    RET\n"
+        )
+        assert func.instructions[0].call_targets == ("a", "b")
+
+    def test_labels(self):
+        func = assemble_function(
+            ".func f regs=16\n.top:\n    BRA .top\n    RET\n"
+        )
+        assert func.labels == {".top": 0}
+
+    def test_comments_ignored(self):
+        func = assemble_function(
+            ".func f regs=16\n    ; a comment\n    RET\n"
+        )
+        assert len(func.instructions) == 1
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(IsaError):
+            assemble_function("RET\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IsaError):
+            assemble_function(".func f regs=16\n    FROB R1\n")
+
+    def test_bad_register_count(self):
+        with pytest.raises(IsaError):
+            assemble_function(".func f regs=16\n    IADD R1, R2\n    RET\n")
+
+    def test_bad_range(self):
+        with pytest.raises(IsaError):
+            assemble_function(".func f regs=16\n    PUSH R16\n    RET\n")
+
+    def test_unknown_header_field(self):
+        with pytest.raises(IsaError):
+            assemble_function(".func f regs=16 wat=1\n    RET\n")

@@ -1,0 +1,102 @@
+"""Functional-memory tests: sparse global pages, shared, local."""
+
+import numpy as np
+import pytest
+
+from repro.emu.memory import (
+    GlobalMemory,
+    LocalMemory,
+    PAGE_WORDS,
+    SharedMemory,
+    coalesce_sectors,
+    default_fill,
+)
+
+
+class TestGlobalMemory:
+    def test_cross_page_write_read(self):
+        gmem = GlobalMemory()
+        base = PAGE_WORDS - 8  # straddles a page boundary
+        values = np.arange(16, dtype=np.int64) * 7
+        gmem.write_array(base, values)
+        assert np.array_equal(gmem.read_array(base, 16), values)
+
+    def test_uninitialized_reads_are_deterministic(self):
+        a = GlobalMemory().read_array(12345, 8)
+        c = GlobalMemory().read_array(12345, 8)
+        assert np.array_equal(a, c)
+
+    def test_uninitialized_values_bounded(self):
+        values = GlobalMemory().read_array(0, 1024)
+        assert (values >= 0).all()
+        assert (values < 2**31).all()
+
+    def test_scatter_gather(self):
+        gmem = GlobalMemory()
+        addrs = np.array([5, 10_000, 123, PAGE_WORDS * 3], dtype=np.int64)
+        vals = np.array([1, 2, 3, 4], dtype=np.int64)
+        gmem.store(addrs, vals)
+        assert np.array_equal(gmem.load(addrs), vals)
+
+    def test_duplicate_addresses_last_wins_consistently(self):
+        gmem = GlobalMemory()
+        addrs = np.array([7, 7], dtype=np.int64)
+        gmem.store(addrs, np.array([1, 2], dtype=np.int64))
+        got = int(gmem.load(np.array([7], dtype=np.int64))[0])
+        assert got in (1, 2)
+
+    def test_negative_address_rejected(self):
+        gmem = GlobalMemory()
+        with pytest.raises(ValueError):
+            gmem.load(np.array([-1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            gmem.store(np.array([-5], dtype=np.int64),
+                       np.array([0], dtype=np.int64))
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        smem = SharedMemory(256)  # 64 words
+        addrs = np.arange(10, dtype=np.int64)
+        smem.store(addrs, addrs * 3)
+        assert np.array_equal(smem.load(addrs), addrs * 3)
+
+    def test_wraps_within_size(self):
+        smem = SharedMemory(64)  # 16 words
+        smem.store(np.array([3], dtype=np.int64), np.array([9], dtype=np.int64))
+        assert int(smem.load(np.array([3 + 16], dtype=np.int64))[0]) == 9
+
+
+class TestLocalMemory:
+    def test_masked_store(self):
+        local = LocalMemory(words=16)
+        values = np.arange(32, dtype=np.int64)
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        local.store(2, values, mask)
+        got = local.load(2)
+        assert np.array_equal(got[:4], values[:4])
+        assert (got[4:] == 0).all()
+
+    def test_offsets_wrap(self):
+        local = LocalMemory(words=8)
+        values = np.full(32, 5, dtype=np.int64)
+        local.store(9, values, np.ones(32, dtype=bool))
+        assert (local.load(1) == 5).all()
+
+
+class TestCoalescing:
+    def test_empty(self):
+        assert coalesce_sectors(np.array([], dtype=np.int64)) == ()
+
+    def test_one_sector_for_contiguous_8_words(self):
+        assert coalesce_sectors(np.arange(8, dtype=np.int64)) == (0,)
+
+    def test_full_warp_contiguous_is_4_sectors(self):
+        assert len(coalesce_sectors(np.arange(32, dtype=np.int64))) == 4
+
+    def test_default_fill_vectorized_matches_scalar(self):
+        addrs = np.array([0, 1, 99999], dtype=np.int64)
+        batch = default_fill(addrs)
+        singles = [default_fill(np.array([a], dtype=np.int64))[0] for a in addrs]
+        assert list(batch) == singles

@@ -1,0 +1,100 @@
+"""Per-opcode emulator semantics not covered by the larger flows."""
+
+import numpy as np
+
+from repro.emu import Emulator, GlobalMemory
+from repro.frontend import builder as b
+
+
+def run(prog, threads=32, params=(0,)):
+    gmem = GlobalMemory()
+    Emulator(b.compile(prog), gmem=gmem).launch("main", 1, threads, params)
+    return gmem
+
+
+class TestArithmeticOps:
+    def test_min_max(self):
+        from repro.frontend.ast import BinOp
+        from repro.isa.opcodes import Opcode
+
+        prog = b.program()
+        i = b.gid()
+        body = [
+            b.let("lo", BinOp(Opcode.IMIN, b.gid(), b.c(10))),
+            b.let("hi", BinOp(Opcode.IMAX, b.gid(), b.c(10))),
+            b.store(b.v("out") + b.gid(), b.v("lo") * 100 + b.v("hi")),
+        ]
+        b.kernel(prog, "main", ["out"], body)
+        got = run(prog).read_array(0, 32)
+        lanes = np.arange(32)
+        expected = np.minimum(lanes, 10) * 100 + np.maximum(lanes, 10)
+        assert np.array_equal(got, expected)
+
+    def test_float_flavoured_ops_are_deterministic_integers(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("x", b.fadd(b.gid(), 3)),
+            b.let("y", b.fmul(b.v("x"), 2)),
+            b.let("z", b.ffma(b.v("y"), 3, b.v("x"))),
+            b.store(b.v("out") + b.gid(), b.v("z")),
+        ])
+        got = run(prog).read_array(0, 32)
+        x = np.arange(32) + 3
+        assert np.array_equal(got, (x * 2) * 3 + x)
+
+    def test_mufu_deterministic_and_lanewise(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.mufu(b.gid())),
+        ])
+        a = run(prog).read_array(0, 32)
+        c = run(prog).read_array(0, 32)
+        assert np.array_equal(a, c)
+        assert len(set(a.tolist())) > 16  # lane-dependent values
+
+    def test_all_comparison_operators(self):
+        prog = b.program()
+        i = b.gid()
+        b.kernel(prog, "main", ["out"], [
+            b.let("r",
+                  ((b.gid() < 5)) + ((b.gid() <= 5)) * 10
+                  + ((b.gid() > 5)) * 100 + ((b.gid() >= 5)) * 1000
+                  + ((b.gid() == 5)) * 10000 + ((b.gid() != 5)) * 100000),
+            b.store(b.v("out") + b.gid(), b.v("r")),
+        ])
+        got = run(prog).read_array(0, 32)
+        lanes = np.arange(32)
+        expected = ((lanes < 5).astype(int) + (lanes <= 5) * 10
+                    + (lanes > 5) * 100 + (lanes >= 5) * 1000
+                    + (lanes == 5) * 10000 + (lanes != 5) * 100000)
+        assert np.array_equal(got, expected)
+
+
+class TestSharedMemoryDivergence:
+    def test_shared_store_respects_active_mask(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.do(b.call("init", b.tid())) if False else b.let("i", b.tid()),
+            b.store_shared(b.v("i"), b.c(7)),
+            b.if_(b.v("i") < 4, [b.store_shared(b.v("i"), b.c(99))]),
+            b.store(b.v("out") + b.v("i"), b.load_shared(b.v("i"))),
+        ], shared_mem_bytes=256)
+        got = run(prog).read_array(0, 32)
+        expected = np.where(np.arange(32) < 4, 99, 7)
+        assert np.array_equal(got, expected)
+
+
+class TestGlobalMemoryDivergence:
+    def test_store_under_mask_leaves_other_lanes_untouched(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["data"], [
+            b.let("i", b.tid()),
+            b.if_(b.v("i") < 16, [b.store(b.v("data") + b.v("i"), b.c(-1))]),
+        ])
+        gmem = GlobalMemory()
+        base_vals = np.arange(100, 132)
+        gmem.write_array(0, base_vals)
+        Emulator(b.compile(prog), gmem=gmem).launch("main", 1, 32, (0,))
+        got = gmem.read_array(0, 32)
+        assert (got[:16] == -1).all()
+        assert np.array_equal(got[16:], base_vals[16:])

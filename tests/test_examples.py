@@ -1,0 +1,36 @@
+"""The shipped examples must keep running (import-and-main smoke tests)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs_and_reports_speedup():
+    result = _run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "speedup" in result.stdout
+    assert "Low-watermark" in result.stdout
+    # The quickstart's call-heavy kernel must show a CARS win.
+    line = [l for l in result.stdout.splitlines() if "speedup" in l][0]
+    speedup = float(line.split(":")[1].strip().rstrip("x"))
+    assert speedup > 1.0
+
+
+def test_raytracer_runs_and_dispatches_virtually():
+    result = _run_example("raytracer.py")
+    assert result.returncode == 0, result.stderr
+    assert "CPKI" in result.stdout
+    assert "LTO residual calls" in result.stdout

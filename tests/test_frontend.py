@@ -1,0 +1,195 @@
+"""Compiler tests: lowering, register allocation, ABI conformance, linking."""
+
+import pytest
+
+from repro.frontend import builder as b
+from repro.frontend.ast import DslError
+from repro.frontend.linker import BYTES_PER_INSTRUCTION, compile_program
+from repro.isa import CALLEE_SAVED_BASE, Opcode, validate_module
+from repro.isa.program import IsaError
+
+
+def _single_device_program(body, params=("x",), reg_pressure=0):
+    prog = b.program()
+    b.device(prog, "f", list(params), body, reg_pressure=reg_pressure)
+    b.kernel(prog, "main", ["data"], [
+        b.let("r", b.call("f", b.load(b.v("data")))),
+        b.store(b.v("data"), b.v("r")),
+    ])
+    return b.compile(prog)
+
+
+class TestAbiConformance:
+    def test_callee_saved_block_is_contiguous_from_r16(self):
+        module = _single_device_program([
+            b.let("t", b.v("x") * 2),
+            b.let("u", b.call("g", b.v("t"))) if False else b.let("u", b.v("t") + 1),
+            b.ret(b.v("t") + b.v("u")),
+        ])
+        func = module.function("f")
+        if func.callee_saved is not None:
+            start, count = func.callee_saved
+            assert start == CALLEE_SAVED_BASE
+            assert count >= 0
+
+    def test_prologue_pushes_epilogue_pops(self):
+        prog = b.program()
+        b.device(prog, "g", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=3)
+        b.device(prog, "f", ["x"], [
+            b.let("t", b.v("x") * 2),
+            b.let("u", b.call("g", b.v("t"))),
+            b.ret(b.v("t") + b.v("u")),  # t lives across the call
+        ])
+        b.kernel(prog, "main", ["d"], [
+            b.store(b.v("d"), b.call("f", b.load(b.v("d")))),
+        ])
+        module = b.compile(prog)
+        f = module.function("f")
+        ops = [inst.op for inst in f.instructions]
+        assert ops[0] is Opcode.PUSH
+        assert Opcode.POP in ops
+        # POP must match PUSH's range and precede RET.
+        push = f.instructions[0]
+        pops = [i for i in f.instructions if i.op is Opcode.POP]
+        assert all(p.push_regs == push.push_regs for p in pops)
+        assert ops[-1] is Opcode.RET
+        assert ops[-2] is Opcode.POP
+
+    def test_kernel_never_pushes(self):
+        module = _single_device_program([b.ret(b.v("x") + 1)])
+        kernel = module.kernel("main")
+        assert kernel.callee_saved is None
+        assert all(i.op is not Opcode.PUSH for i in kernel.instructions)
+        assert kernel.instructions[-1].op is Opcode.EXIT
+
+    def test_reg_pressure_pads_callee_saved(self):
+        module = _single_device_program([b.ret(b.v("x") + 1)], reg_pressure=9)
+        func = module.function("f")
+        assert func.callee_saved == (CALLEE_SAVED_BASE, 9)
+        assert func.num_regs >= CALLEE_SAVED_BASE + 9
+
+    def test_fru_is_callee_saved_plus_rfp_slot(self):
+        module = _single_device_program([b.ret(b.v("x") + 1)], reg_pressure=5)
+        assert module.function("f").fru == 6  # 5 saved + 1 RFP slot
+
+    def test_kernel_fru_is_its_frame(self):
+        module = _single_device_program([b.ret(b.v("x") + 1)])
+        kernel = module.kernel("main")
+        assert kernel.fru == kernel.num_regs
+
+    def test_values_live_across_calls_use_callee_saved(self):
+        prog = b.program()
+        b.device(prog, "g", ["x"], [b.ret(b.v("x") + 1)])
+        b.device(prog, "f", ["x"], [
+            b.let("keep", b.v("x") * 7),
+            b.let("r", b.call("g", b.v("x"))),
+            b.ret(b.v("keep") + b.v("r")),
+        ])
+        b.kernel(prog, "main", ["d"], [
+            b.store(b.v("d"), b.call("f", b.load(b.v("d")))),
+        ])
+        module = b.compile(prog)
+        f = module.function("f")
+        assert f.callee_saved is not None and f.callee_saved[1] >= 1
+
+
+class TestLinker:
+    def test_worst_case_regs_is_max_over_call_graph(self):
+        prog = b.program()
+        b.device(prog, "big", ["x"], [b.ret(b.v("x"))], reg_pressure=40)
+        b.device(prog, "small", ["x"], [b.ret(b.v("x"))], reg_pressure=2)
+        b.kernel(prog, "main", ["d"], [
+            b.let("a", b.call("big", b.c(1))),
+            b.let("c", b.call("small", b.c(2))),
+            b.store(b.v("d"), b.v("a") + b.v("c")),
+        ])
+        module = b.compile(prog)
+        expected = max(module.function(n).num_regs for n in ("main", "big", "small"))
+        assert module.worst_case_regs["main"] == expected
+        assert module.worst_case_regs["main"] >= CALLEE_SAVED_BASE + 40
+
+    def test_code_bytes_uses_16_byte_instructions(self):
+        module = _single_device_program([b.ret(b.v("x") + 1)])
+        assert module.code_bytes == module.total_static_instructions * 16
+        assert BYTES_PER_INSTRUCTION == 16
+
+    def test_compiled_module_validates(self):
+        module = _single_device_program([b.ret(b.v("x") * 3)])
+        validate_module(module)  # should not raise
+
+
+class TestLoweringErrors:
+    def test_unbound_variable_rejected(self):
+        prog = b.program()
+        b.kernel(prog, "main", [], [b.store(b.c(0), b.v("nope"))])
+        with pytest.raises(DslError):
+            b.compile(prog)
+
+    def test_too_many_args_rejected(self):
+        prog = b.program()
+        b.device(prog, "f", [f"p{i}" for i in range(9)], [b.ret(b.c(0))])
+        b.kernel(prog, "main", [], [
+            b.do(b.call("f", *[b.c(i) for i in range(9)])),
+        ])
+        with pytest.raises(DslError):
+            b.compile(prog)
+
+    def test_duplicate_function_rejected(self):
+        prog = b.program()
+        b.kernel(prog, "main", [], [b.ret()])
+        with pytest.raises(DslError):
+            b.kernel(prog, "main", [], [b.ret()])
+
+    def test_call_to_unknown_function_rejected(self):
+        prog = b.program()
+        b.kernel(prog, "main", [], [b.do(b.call("ghost"))])
+        with pytest.raises(IsaError):
+            b.compile(prog)
+
+
+class TestControlFlowLowering:
+    def test_if_produces_ssy_cbra_sync(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["d"], [
+            b.let("x", b.load(b.v("d"))),
+            b.if_(b.v("x") < 5, [b.let("x", b.v("x") + 1)]),
+            b.store(b.v("d"), b.v("x")),
+        ])
+        module = b.compile(prog)
+        ops = [i.op for i in module.kernel("main").instructions]
+        assert Opcode.SSY in ops
+        assert Opcode.CBRA in ops
+        assert ops.count(Opcode.SYNC) == 2  # one per arm
+
+    def test_while_produces_loop_structure(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["d"], [
+            b.let("x", b.load(b.v("d"))),
+            b.while_(b.v("x") > 0, [b.let("x", b.v("x") - 1)]),
+            b.store(b.v("d"), b.v("x")),
+        ])
+        module = b.compile(prog)
+        ops = [i.op for i in module.kernel("main").instructions]
+        assert Opcode.SSY in ops and Opcode.BRA in ops and Opcode.SYNC in ops
+
+    def test_for_desugars_to_while(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["d"], [
+            b.let("s", b.c(0)),
+            b.for_("i", 0, 4, [b.let("s", b.v("s") + b.v("i"))]),
+            b.store(b.v("d"), b.v("s")),
+        ])
+        module = b.compile(prog)  # compiles and validates
+        assert module.kernel("main").static_size > 5
+
+    def test_labels_resolve_within_function(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["d"], [
+            b.if_(b.load(b.v("d")) == 0, [b.store(b.v("d"), b.c(1))],
+                  [b.store(b.v("d"), b.c(2))]),
+        ])
+        module = b.compile(prog)
+        kernel = module.kernel("main")
+        for inst in kernel.instructions:
+            if inst.op in (Opcode.SSY, Opcode.CBRA, Opcode.BRA):
+                assert inst.target in kernel.labels

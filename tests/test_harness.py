@@ -1,0 +1,167 @@
+"""Harness tests: runner, geomean, experiments plumbing, table formatting."""
+
+import math
+
+import pytest
+
+from repro.config import volta
+from repro.core.techniques import BASELINE, CARS, CARS_HIGH
+from repro.frontend import builder as b
+from repro.harness import experiments as ex
+from repro.harness.runner import (
+    RunResult,
+    SWL_SWEEP,
+    geomean,
+    run_baseline,
+    run_best_swl,
+    run_workload,
+)
+from repro.harness.tables import format_series, format_table
+from repro.workloads import KernelLaunch, Workload
+
+
+def _tiny_workload(name="tiny"):
+    prog = b.program()
+    b.device(prog, "leaf", ["x"], [b.ret(b.v("x") * 2 + 1)], reg_pressure=4)
+    b.kernel(prog, "main", ["out"], [
+        b.let("i", b.gid()),
+        b.store(b.v("out") + b.v("i"), b.call("leaf", b.v("i"))),
+    ])
+    return Workload(name=name, suite="t", program=prog,
+                    launches=[KernelLaunch("main", 4, 64, (1 << 20,))])
+
+
+class TestGeomean:
+    def test_matches_math(self):
+        values = [1.2, 0.9, 2.0]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert abs(geomean(values) - expected) < 1e-12
+
+    def test_single_value(self):
+        assert geomean([1.5]) == pytest.approx(1.5)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestRunner:
+    def test_run_result_speedup(self):
+        wl = _tiny_workload()
+        base = run_baseline(wl)
+        cars = run_workload(wl, CARS_HIGH)
+        assert cars.speedup_over(base) == base.cycles / cars.cycles
+        assert base.speedup_over(base) == 1.0
+
+    def test_swl_sweep_is_papers(self):
+        assert tuple(SWL_SWEEP) == (1, 2, 3, 4, 8, 16)
+
+    def test_best_swl_is_min_cycles(self):
+        wl = _tiny_workload("tiny-swl")
+        best = run_best_swl(wl, sweep=(1, 16))
+        one = run_workload(wl, __import__("repro.core.techniques",
+                                          fromlist=["swl"]).swl(1))
+        sixteen = run_workload(wl, __import__("repro.core.techniques",
+                                              fromlist=["swl"]).swl(16))
+        assert best.cycles == min(one.cycles, sixteen.cycles)
+        assert best.technique == "best_swl"
+
+    def test_multi_launch_stats_merge(self):
+        wl = _tiny_workload("tiny-multi")
+        wl.launches = wl.launches * 2
+        double = run_baseline(wl)
+        single = run_baseline(_tiny_workload("tiny-single"))
+        assert double.stats.warp_instructions == 2 * single.stats.warp_instructions
+        assert double.cycles > single.cycles
+
+    def test_energy_accessors(self):
+        wl = _tiny_workload("tiny-en")
+        result = run_baseline(wl)
+        assert result.energy() > 0
+        assert result.energy_efficiency() > 0
+
+
+class TestExperimentScope:
+    def test_default_scope_is_full_suite(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        assert len(ex.workload_names()) == 22
+
+    def test_smoke_scope(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "smoke")
+        assert ex.workload_names() == ["SSSP", "MST", "FIB"]
+
+    def test_csv_scope(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "PTA, FIB")
+        assert ex.workload_names() == ["PTA", "FIB"]
+
+    def test_unknown_scope_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "NOPE")
+        with pytest.raises(KeyError):
+            ex.workload_names()
+
+
+class TestExperimentFunctions:
+    """Cheap experiments run end-to-end on a single small workload."""
+
+    def test_fig4_matches_paper(self):
+        result = ex.fig4_callgraph_example()
+        assert result == {
+            "low_watermark": 30,
+            "high_watermark": 56,
+            "2xlow_watermark": 40,
+        }
+
+    def test_fig5_policy_demo(self):
+        result = ex.fig5_policy_demo()
+        assert result["remembered_best"] == 2
+        assert result["next_launch_seeds"] == [2, 2, 2, 2]
+
+    def test_fig6_wraparound(self):
+        result = ex.fig6_wraparound_demo(capacity=20, frus=(8, 8, 8))
+        assert result["spilled_regs"] == result["filled_regs"] == 8
+
+    def test_fig1_trend(self):
+        series = ex.fig1_trend()
+        assert len(series) >= 5
+
+    def test_fig8_on_one_workload(self):
+        rows = ex.fig8_performance(["SSSP"])
+        assert set(rows) == {"SSSP", "geomean"}
+        assert rows["SSSP"]["cars"] > 0.9
+
+    def test_cache_hits_across_figures(self):
+        ex.fig8_performance(["SSSP"])
+        before = dict(ex._CACHE)
+        ex.fig12_mpki(["SSSP"])  # reuses baseline + cars runs
+        for key in (("SSSP", "baseline", volta().name),
+                    ("SSSP", "cars", volta().name)):
+            assert key in before
+
+    def test_clear_cache(self):
+        ex.fig8_performance(["SSSP"])
+        ex.clear_cache()
+        assert not ex._CACHE
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            {"a": {"x": 1.5, "y": "hi"}, "bb": {"x": 2.25, "y": "yo"}},
+            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "workload" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_missing_cells(self):
+        text = format_table({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "x" in text and "y" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table({})
+
+    def test_format_series(self):
+        text = format_series([(0, 1), (512, 3)], ("cycle", "value"))
+        assert "cycle" in text and "512" in text

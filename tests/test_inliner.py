@@ -1,0 +1,157 @@
+"""Inliner (LTO) tests: semantic equivalence and inlining policy."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Emulator, GlobalMemory, TraceKind
+from repro.frontend import builder as b
+from repro.frontend.ast import DslError
+from repro.frontend.inliner import inline_program
+
+
+def _run(prog, kernel="main", threads=32, params=(0,), blocks=1):
+    module = b.compile(prog)
+    gmem = GlobalMemory()
+    trace = Emulator(module, gmem=gmem).launch(kernel, blocks, threads, params)
+    return trace, gmem
+
+
+def _equivalent(make_prog, out_words=32, threads=32):
+    """Original and fully-inlined programs must compute identical outputs."""
+    _, gmem_orig = _run(make_prog())
+    inlined = inline_program(make_prog())
+    trace, gmem_inl = _run(inlined)
+    a = gmem_orig.read_array(0, out_words)
+    c = gmem_inl.read_array(0, out_words)
+    assert np.array_equal(a, c), f"{a} != {c}"
+    return inlined, trace
+
+
+class TestSemanticEquivalence:
+    def test_simple_chain(self):
+        def make():
+            prog = b.program()
+            b.device(prog, "leaf", ["x"], [b.ret(b.v("x") * 3 + 1)], reg_pressure=3)
+            b.device(prog, "mid", ["x"], [
+                b.let("t", b.call("leaf", b.v("x"))),
+                b.ret(b.v("t") + b.call("leaf", b.v("t") + 2)),
+            ])
+            b.kernel(prog, "main", ["out"], [
+                b.let("i", b.gid()),
+                b.store(b.v("out") + b.v("i"), b.call("mid", b.v("i"))),
+            ])
+            return prog
+
+        inlined, trace = _equivalent(make)
+        assert trace.count(TraceKind.CALL) == 0
+
+    def test_calls_inside_control_flow(self):
+        def make():
+            prog = b.program()
+            b.device(prog, "f", ["x"], [b.ret(b.v("x") ^ 0x2A)], reg_pressure=2)
+            b.kernel(prog, "main", ["out"], [
+                b.let("i", b.gid()),
+                b.let("s", b.c(0)),
+                b.for_("k", 0, 3, [
+                    b.if_((b.v("i") & 1) == 0, [
+                        b.let("s", b.v("s") + b.call("f", b.v("k"))),
+                    ], [
+                        b.let("s", b.v("s") - 1),
+                    ]),
+                ]),
+                b.store(b.v("out") + b.v("i"), b.v("s")),
+            ])
+            return prog
+
+        inlined, trace = _equivalent(make)
+        assert trace.count(TraceKind.CALL) == 0
+
+    def test_call_free_kernel_unchanged(self):
+        def make():
+            prog = b.program()
+            b.kernel(prog, "main", ["out"], [
+                b.store(b.v("out") + b.gid(), b.gid() * 2),
+            ])
+            return prog
+
+        _equivalent(make)
+
+
+class TestInliningPolicy:
+    def test_recursive_functions_not_inlined(self):
+        prog = b.program()
+        b.device(prog, "fib", ["n"], [
+            b.if_(b.v("n") < 2, [b.ret(b.v("n"))]),
+            b.ret(b.call("fib", b.v("n") - 1) + b.call("fib", b.v("n") - 2)),
+        ], reg_pressure=3)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("fib", b.c(6))),
+        ])
+        inlined = inline_program(prog)
+        names = {f.name for f in inlined.functions}
+        assert "fib" in names  # kept as a runtime call
+        trace, gmem = _run(inlined)
+        assert trace.count(TraceKind.CALL) > 0
+        assert (gmem.read_array(0, 32) == 8).all()
+
+    def test_indirect_targets_not_inlined(self):
+        prog = b.program()
+        b.device(prog, "fa", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=2)
+        b.device(prog, "fb", ["x"], [b.ret(b.v("x") + 2)], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.store(b.v("out") + b.v("i"),
+                    b.icall(["fa", "fb"], b.v("i"), b.v("i"))),
+        ])
+        inlined = inline_program(prog)
+        names = {f.name for f in inlined.functions}
+        assert {"fa", "fb"} <= names
+        trace, gmem = _run(inlined)
+        i = np.arange(32)
+        assert np.array_equal(gmem.read_array(0, 32), i + 1 + (i & 1))
+
+    def test_early_return_functions_not_inlined(self):
+        prog = b.program()
+        b.device(prog, "clamp", ["x"], [
+            b.if_(b.v("x") > 10, [b.ret(b.c(10))]),
+            b.ret(b.v("x")),
+        ], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("clamp", b.gid())),
+        ])
+        inlined = inline_program(prog)
+        assert "clamp" in {f.name for f in inlined.functions}
+        _, gmem = _run(inlined)
+        assert np.array_equal(gmem.read_array(0, 32), np.minimum(np.arange(32), 10))
+
+    def test_unreferenced_device_functions_dropped(self):
+        prog = b.program()
+        b.device(prog, "leaf", ["x"], [b.ret(b.v("x"))], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("leaf", b.gid())),
+        ])
+        inlined = inline_program(prog)
+        assert {f.name for f in inlined.functions} == {"main"}
+
+    def test_inlined_binary_is_larger(self):
+        prog = b.program()
+        b.device(prog, "leaf", ["x"], [
+            b.let("t", b.v("x") * 3),
+            b.let("u", b.mufu(b.v("t"))),
+            b.ret(b.v("t") + b.v("u")),
+        ], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("a", b.call("leaf", b.v("i"))),
+            b.let("bb", b.call("leaf", b.v("a"))),
+            b.let("cc", b.call("leaf", b.v("bb"))),
+            b.store(b.v("out") + b.v("i"), b.v("cc")),
+        ])
+        baseline = b.compile(prog)
+        inlined_mod = b.compile(inline_program(prog))
+        # Three call sites each clone the body: footprint grows.
+        assert inlined_mod.code_bytes > 0
+        assert (
+            inlined_mod.kernel("main").static_size
+            > baseline.kernel("main").static_size
+        )

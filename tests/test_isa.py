@@ -1,0 +1,220 @@
+"""Unit tests for the mini-ISA: opcodes, instruction builders, containers."""
+
+import pytest
+
+from repro.isa import (
+    CALLEE_SAVED_BASE,
+    CmpOp,
+    Function,
+    Instruction,
+    IsaError,
+    MAX_REGS,
+    Module,
+    OpClass,
+    Opcode,
+    WARP_SIZE,
+    alu,
+    bra,
+    call,
+    calli,
+    cbra,
+    exit_,
+    is_branch,
+    is_call,
+    is_global_mem,
+    is_load,
+    is_local_mem,
+    is_mem,
+    is_store,
+    ldg,
+    ldl,
+    movi,
+    op_class,
+    pop,
+    push,
+    ret,
+    setp,
+    ssy,
+    stg,
+    stl,
+    sync,
+)
+
+
+class TestOpcodeClasses:
+    def test_alu_ops_classified(self):
+        for op in (Opcode.IADD, Opcode.MOV, Opcode.SETP, Opcode.SEL):
+            assert op_class(op) is OpClass.ALU
+
+    def test_fpu_ops_classified(self):
+        for op in (Opcode.FADD, Opcode.FMUL, Opcode.FFMA):
+            assert op_class(op) is OpClass.FPU
+
+    def test_sfu_classified(self):
+        assert op_class(Opcode.MUFU) is OpClass.SFU
+
+    def test_mem_ops(self):
+        assert is_mem(Opcode.LDG)
+        assert is_mem(Opcode.STL)
+        assert not is_mem(Opcode.LDS)  # shared memory is not L1D-bound
+        assert not is_mem(Opcode.IADD)
+
+    def test_load_store_split(self):
+        assert is_load(Opcode.LDG) and not is_store(Opcode.LDG)
+        assert is_store(Opcode.STG) and not is_load(Opcode.STG)
+        assert is_load(Opcode.LDS)
+        assert is_store(Opcode.STS)
+
+    def test_global_vs_local(self):
+        assert is_global_mem(Opcode.LDG) and is_global_mem(Opcode.STG)
+        assert is_local_mem(Opcode.LDL) and is_local_mem(Opcode.STL)
+        assert not is_global_mem(Opcode.LDL)
+        assert not is_local_mem(Opcode.STG)
+
+    def test_call_ops(self):
+        assert is_call(Opcode.CALL)
+        assert is_call(Opcode.CALLI)
+        assert not is_call(Opcode.RET)
+
+    def test_branch_ops(self):
+        assert is_branch(Opcode.BRA)
+        assert is_branch(Opcode.CBRA)
+        assert not is_branch(Opcode.SSY)
+
+    def test_stack_class(self):
+        assert op_class(Opcode.PUSH) is OpClass.STACK
+        assert op_class(Opcode.POP) is OpClass.STACK
+
+    def test_ctrl_class(self):
+        for op in (Opcode.CALL, Opcode.RET, Opcode.BAR, Opcode.EXIT, Opcode.SYNC):
+            assert op_class(op) is OpClass.CTRL
+
+
+class TestInstructionBuilders:
+    def test_alu_builder(self):
+        inst = alu(Opcode.IADD, 5, 1, 2)
+        assert inst.dst == (5,)
+        assert inst.srcs == (1, 2)
+
+    def test_movi_builder(self):
+        inst = movi(4, 42)
+        assert inst.imm == 42
+        assert inst.dst == (4,)
+
+    def test_setp_builder(self):
+        inst = setp(0, int(CmpOp.LT), 1, 2)
+        assert inst.pdst == 0
+        assert inst.imm == int(CmpOp.LT)
+
+    def test_memory_builders(self):
+        assert ldg(1, 2, 8).imm == 8
+        assert stg(1, 2).srcs == (1, 2)
+        assert ldl(1, 4, is_spill=True).is_spill
+        assert not stl(4, 1).is_spill
+
+    def test_push_pop_builders(self):
+        p = push(16, 4)
+        assert p.push_regs == (16, 4)
+        q = pop(16, 4)
+        assert q.op is Opcode.POP
+
+    def test_call_builders(self):
+        assert call("f").target == "f"
+        ci = calli(4, ("f", "g"))
+        assert ci.call_targets == ("f", "g")
+        assert ci.srcs == (4,)
+
+    def test_control_builders(self):
+        assert bra("L").target == "L"
+        assert cbra(0, "L").psrc == 0
+        assert ssy("L").op is Opcode.SSY
+        assert sync().op is Opcode.SYNC
+        assert ret().op is Opcode.RET
+        assert exit_().op is Opcode.EXIT
+
+    def test_str_formats_without_error(self):
+        for inst in (alu(Opcode.IMAD, 5, 1, 2, 3), push(16, 2), call("f")):
+            assert inst.op.value in str(inst)
+
+    def test_instruction_is_frozen(self):
+        inst = movi(1, 2)
+        with pytest.raises(AttributeError):
+            inst.imm = 3
+
+
+class TestConstants:
+    def test_warp_size_is_32(self):
+        assert WARP_SIZE == 32
+
+    def test_register_limit_is_256(self):
+        assert MAX_REGS == 256
+
+    def test_callee_saved_base_matches_paper(self):
+        # The paper profiles the NVIDIA ABI: callee-saved starts at R16.
+        assert CALLEE_SAVED_BASE == 16
+
+
+def _kernel(instructions, labels=None, num_regs=32):
+    return Function(
+        name="k",
+        instructions=instructions,
+        labels=labels or {},
+        num_regs=num_regs,
+        is_kernel=True,
+    )
+
+
+class TestFunctionContainer:
+    def test_label_index(self):
+        func = _kernel([movi(1, 0), exit_()], labels={"L": 1})
+        assert func.label_index("L") == 1
+
+    def test_unknown_label_raises(self):
+        func = _kernel([exit_()])
+        with pytest.raises(IsaError):
+            func.label_index("nope")
+
+    def test_callees_lists_static_sites(self):
+        func = _kernel([call("f"), calli(4, ("g", "h")), exit_()], num_regs=32)
+        assert func.callees() == [("f",), ("g", "h")]
+
+    def test_static_size(self):
+        func = _kernel([movi(1, 0), exit_()])
+        assert func.static_size == 2
+        assert len(func) == 2
+
+
+class TestModuleContainer:
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add(_kernel([exit_()]))
+        with pytest.raises(IsaError):
+            module.add(_kernel([exit_()]))
+
+    def test_unknown_function_raises(self):
+        module = Module()
+        with pytest.raises(IsaError):
+            module.function("missing")
+
+    def test_kernel_accessor_rejects_device_functions(self):
+        module = Module()
+        dev = Function(name="d", instructions=[ret()], num_regs=16)
+        module.add(dev)
+        with pytest.raises(IsaError):
+            module.kernel("d")
+
+    def test_reachable_traverses_call_graph(self):
+        module = Module()
+        module.add(_kernel([call("a"), exit_()]))
+        module.add(Function(name="a", instructions=[call("b"), ret()], num_regs=16))
+        module.add(Function(name="b", instructions=[ret()], num_regs=16))
+        module.add(Function(name="orphan", instructions=[ret()], num_regs=16))
+        names = module.reachable("k")
+        assert set(names) == {"k", "a", "b"}
+        assert names[0] == "k"
+
+    def test_total_static_instructions(self):
+        module = Module()
+        module.add(_kernel([movi(1, 0), exit_()]))
+        module.add(Function(name="a", instructions=[ret()], num_regs=16))
+        assert module.total_static_instructions == 3

@@ -1,0 +1,243 @@
+"""Memory-hierarchy timing tests: caches, MSHRs, write-back, ALL-HIT."""
+
+import pytest
+
+from repro.config import volta
+from repro.config.gpu_config import CacheConfig
+from repro.mem.cache import SectorCache
+from repro.mem.subsystem import MemorySubsystem, MemRequest
+from repro.metrics.counters import (
+    SimStats,
+    STREAM_GLOBAL,
+    STREAM_LOCAL,
+    STREAM_SPILL,
+)
+
+
+class TestSectorCache:
+    def test_miss_then_hit(self):
+        cache = SectorCache(CacheConfig(size_bytes=1024, assoc=2))
+        assert not cache.lookup(5)
+        cache.insert(5)
+        assert cache.lookup(5)
+
+    def test_lru_eviction(self):
+        cache = SectorCache(CacheConfig(size_bytes=64, assoc=2))  # 2 sectors, 1 set
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)  # 0 is now MRU
+        victim = cache.insert(2)
+        assert victim is not None and victim[0] == 1
+
+    def test_dirty_bit_tracked(self):
+        cache = SectorCache(CacheConfig(size_bytes=64, assoc=2))
+        cache.insert(0, dirty=True)
+        assert cache.is_dirty(0)
+        cache.insert(1)
+        assert not cache.is_dirty(1)
+
+    def test_dirty_victim_reported(self):
+        cache = SectorCache(CacheConfig(size_bytes=64, assoc=1))
+        cache.insert(0, dirty=True)
+        victim = cache.insert(64)  # maps to a different set? force same:
+        # with one set per... use sectors mapping to same set instead.
+        cache2 = SectorCache(CacheConfig(size_bytes=32, assoc=1))  # 1 sector
+        cache2.insert(7, dirty=True)
+        victim = cache2.insert(9)
+        assert victim == (7, True)
+        assert cache2.dirty_evictions == 1
+
+    def test_store_hit_sets_dirty(self):
+        cache = SectorCache(CacheConfig(size_bytes=64, assoc=2))
+        cache.insert(0)
+        cache.lookup(0, set_dirty=True)
+        assert cache.is_dirty(0)
+
+    def test_occupancy_never_exceeds_capacity(self):
+        config = CacheConfig(size_bytes=256, assoc=2)  # 8 sectors
+        cache = SectorCache(config)
+        for sector in range(100):
+            cache.insert(sector)
+        assert cache.occupancy <= config.num_sectors
+
+    def test_power_of_two_strides_do_not_alias(self):
+        """XOR-fold set hashing: 2^16-strided streams (per-warp local
+        windows) must spread across sets."""
+        config = CacheConfig(size_bytes=64 * 1024, assoc=4)
+        cache = SectorCache(config)
+        base = 1 << 40
+        for warp in range(16):
+            for slot in range(8):
+                cache.insert(base + warp * (1 << 16) + slot)
+        # 128 insertions into a 2048-sector cache: nothing should evict.
+        assert cache.evictions == 0
+
+    def test_flush(self):
+        cache = SectorCache(CacheConfig(size_bytes=1024, assoc=2))
+        cache.insert(1)
+        cache.flush()
+        assert not cache.contains(1)
+
+
+def _subsystem(config=None):
+    cfg = config if config is not None else volta()
+    stats = SimStats()
+    completed = []
+    subsystem = MemorySubsystem(cfg, stats, lambda req, t: completed.append((req, t)))
+    return cfg, stats, subsystem, completed
+
+
+def _drain(subsystem, cycles=3000):
+    t = 0
+    while subsystem.busy() and t < cycles:
+        subsystem.tick(t)
+        t += 1
+    return t
+
+
+class TestMemorySubsystem:
+    def test_load_miss_completes_after_full_latency(self):
+        cfg, stats, subsystem, completed = _subsystem()
+        warp = object()
+        req = MemRequest(warp, (5,), 1, False, STREAM_GLOBAL, 0)
+        subsystem.access(0, (100,), req)
+        _drain(subsystem)
+        assert len(completed) == 1
+        _, t = completed[0]
+        assert t >= cfg.l2.hit_latency  # at least L2 latency (it missed L1)
+        assert stats.l1_misses[STREAM_GLOBAL] == 1
+        assert stats.dram_accesses == 1
+
+    def test_second_access_hits_in_l1(self):
+        cfg, stats, subsystem, completed = _subsystem()
+        warp = object()
+        subsystem.access(0, (100,), MemRequest(warp, (1,), 1, False, STREAM_GLOBAL, 0))
+        _drain(subsystem)
+        subsystem.access(0, (100,), MemRequest(warp, (2,), 1, False, STREAM_GLOBAL, 0))
+        start = 1000
+        t = start
+        while subsystem.busy():
+            subsystem.tick(t)
+            t += 1
+        assert stats.l1_hits[STREAM_GLOBAL] == 1
+        # Hit completes after exactly the hit latency (+1 processing cycle).
+        assert completed[-1][1] - start <= cfg.l1.hit_latency + 2
+
+    def test_mshr_merging(self):
+        cfg, stats, subsystem, completed = _subsystem()
+        warp = object()
+        for i in range(4):
+            subsystem.access(
+                0, (100,), MemRequest(warp, (i,), 1, False, STREAM_GLOBAL, 0)
+            )
+        _drain(subsystem)
+        assert len(completed) == 4
+        assert stats.dram_accesses == 1  # merged into one fill
+
+    def test_request_with_multiple_sectors_completes_once(self):
+        cfg, stats, subsystem, completed = _subsystem()
+        req = MemRequest(object(), (1,), 4, False, STREAM_GLOBAL, 0)
+        subsystem.access(0, (100, 101, 102, 103), req)
+        _drain(subsystem)
+        assert len(completed) == 1
+        assert req.remaining == 0
+
+    def test_stores_never_complete_via_callback(self):
+        cfg, stats, subsystem, completed = _subsystem()
+        req = MemRequest(object(), (), 1, True, STREAM_GLOBAL, 0)
+        subsystem.access(0, (100,), req)
+        _drain(subsystem)
+        assert completed == []
+        assert stats.l1_store_sectors[STREAM_GLOBAL] == 1
+
+    def test_global_store_write_through_reaches_l2(self):
+        cfg, stats, subsystem, _ = _subsystem()
+        subsystem.access(
+            0, (100,), MemRequest(object(), (), 1, True, STREAM_GLOBAL, 0)
+        )
+        _drain(subsystem)
+        assert stats.l2_accesses == 1
+
+    def test_local_store_write_back_stays_in_l1(self):
+        cfg, stats, subsystem, _ = _subsystem()
+        subsystem.access(
+            0, (100,), MemRequest(object(), (), 1, True, STREAM_SPILL, 0)
+        )
+        _drain(subsystem)
+        assert stats.l2_accesses == 0  # no write-through for locals
+        assert subsystem.l1[0].is_dirty(100)
+
+    def test_spill_store_then_fill_hits(self):
+        """The baseline spill/fill pattern: push writes, pop reads back."""
+        cfg, stats, subsystem, completed = _subsystem()
+        subsystem.access(
+            0, (100,), MemRequest(object(), (), 1, True, STREAM_SPILL, 0)
+        )
+        _drain(subsystem)
+        subsystem.access(
+            0, (100,), MemRequest(object(), (1,), 1, False, STREAM_SPILL, 0)
+        )
+        t = 1000
+        while subsystem.busy():
+            subsystem.tick(t)
+            t += 1
+        assert stats.l1_hits[STREAM_SPILL] == 1  # the fill hit
+        # The only recorded miss is the initial store's allocate.
+        assert stats.l1_misses[STREAM_SPILL] == 1
+
+    def test_dirty_eviction_writes_back_to_l2(self):
+        import dataclasses
+        cfg = dataclasses.replace(
+            volta(), l1=CacheConfig(size_bytes=32, assoc=1)  # one sector
+        )
+        _, stats, subsystem, _ = _subsystem(cfg)
+        subsystem.access(0, (1,), MemRequest(object(), (), 1, True, STREAM_LOCAL, 0))
+        subsystem.access(0, (2,), MemRequest(object(), (), 1, True, STREAM_LOCAL, 0))
+        _drain(subsystem)
+        assert stats.l2_accesses >= 1  # the write-back of sector 1
+
+    def test_all_hit_spills_bypass_cache(self):
+        cfg = volta().with_force_hit()
+        _, stats, subsystem, completed = _subsystem(cfg)
+        subsystem.access(
+            0, (100,), MemRequest(object(), (1,), 1, False, STREAM_SPILL, 0)
+        )
+        _drain(subsystem)
+        assert stats.l1_hits[STREAM_SPILL] == 1
+        assert stats.l1_misses[STREAM_SPILL] == 0
+        assert stats.l2_accesses == 0
+        assert len(completed) == 1
+
+    def test_all_hit_globals_still_miss(self):
+        cfg = volta().with_force_hit()
+        _, stats, subsystem, _ = _subsystem(cfg)
+        subsystem.access(
+            0, (100,), MemRequest(object(), (1,), 1, False, STREAM_GLOBAL, 0)
+        )
+        _drain(subsystem)
+        assert stats.l1_misses[STREAM_GLOBAL] == 1
+
+    def test_port_limit_throttles(self):
+        cfg, stats, subsystem, _ = _subsystem()
+        sectors = tuple(range(100, 140))
+        req = MemRequest(object(), (1,), len(sectors), False, STREAM_GLOBAL, 0)
+        subsystem.access(0, sectors, req)
+        subsystem.tick(0)
+        processed = stats.total_l1_accesses
+        assert processed == cfg.l1.ports  # only `ports` sectors per cycle
+
+    def test_mshr_full_stalls_but_recovers(self):
+        import dataclasses
+        cfg = dataclasses.replace(
+            volta(),
+            l1=CacheConfig(size_bytes=32 * 1024, assoc=4, mshrs=2, ports=8),
+        )
+        _, stats, subsystem, completed = _subsystem(cfg)
+        for i in range(6):
+            subsystem.access(
+                0, (100 + i,), MemRequest(object(), (i,), 1, False, STREAM_GLOBAL, 0)
+            )
+        _drain(subsystem)
+        assert len(completed) == 6  # everything eventually completes
+        # Replays must not double-count accesses.
+        assert stats.l1_accesses[STREAM_GLOBAL] == 6

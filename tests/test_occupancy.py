@@ -1,0 +1,70 @@
+"""Occupancy-calculator tests (Section II's four limiting factors)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import volta
+from repro.core.occupancy import compute_occupancy
+
+
+class TestLimiters:
+    def test_block_slot_limit(self):
+        cfg = volta()
+        occ = compute_occupancy(cfg, regs_per_warp=8, warps_per_block=1,
+                                shared_mem_bytes=0)
+        assert occ.blocks_per_sm == cfg.max_blocks_per_sm
+        assert occ.limiter == "block-slots"
+
+    def test_warp_slot_limit(self):
+        cfg = volta()
+        occ = compute_occupancy(cfg, regs_per_warp=8, warps_per_block=8,
+                                shared_mem_bytes=0)
+        assert occ.blocks_per_sm == cfg.max_warps_per_sm // 8
+        assert occ.limiter == "warp-slots"
+
+    def test_register_limit(self):
+        cfg = volta()
+        regs = cfg.registers_per_sm // 4  # 2 blocks of 2 warps fit
+        occ = compute_occupancy(cfg, regs_per_warp=regs, warps_per_block=2,
+                                shared_mem_bytes=0)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 2
+
+    def test_shared_memory_limit(self):
+        cfg = volta()
+        smem = cfg.shared_mem_per_sm // 2
+        occ = compute_occupancy(cfg, regs_per_warp=8, warps_per_block=2,
+                                shared_mem_bytes=smem)
+        assert occ.limiter == "shared-memory"
+        assert occ.blocks_per_sm == 2
+
+    def test_warps_per_sm_product(self):
+        occ = compute_occupancy(volta(), 16, 4, 0)
+        assert occ.warps_per_sm == occ.blocks_per_sm * 4
+
+
+class TestIdealVirtualWarps:
+    def test_unlimited_ignores_registers_and_smem(self):
+        cfg = volta().with_unlimited_occupancy()
+        occ = compute_occupancy(cfg, regs_per_warp=10_000, warps_per_block=2,
+                                shared_mem_bytes=10**9)
+        assert occ.blocks_per_sm == cfg.max_warps_per_sm // 2
+        assert occ.limiter == "warp-slots"
+
+
+class TestErrors:
+    def test_unschedulable_kernel_raises(self):
+        cfg = volta()
+        with pytest.raises(ValueError):
+            compute_occupancy(cfg, regs_per_warp=cfg.registers_per_sm + 1,
+                              warps_per_block=1, shared_mem_bytes=0)
+
+    def test_zero_warps_per_block_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(volta(), 8, 0, 0)
+
+    def test_oversized_shared_memory_raises(self):
+        cfg = volta()
+        with pytest.raises(ValueError):
+            compute_occupancy(cfg, 8, 2, cfg.shared_mem_per_sm * 2)

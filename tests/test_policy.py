@@ -1,0 +1,114 @@
+"""Dynamic reservation policy tests (the Fig 5 state machine)."""
+
+import pytest
+
+from repro.cars.policy import DynamicReservationPolicy, PolicyMemory
+
+
+LEVELS = [30, 40, 56]  # low, 2xlow, high
+
+
+class TestSeeding:
+    def test_half_sms_low_half_high(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4)
+        levels = [policy.level_for_new_block(sm) for sm in range(4)]
+        assert levels.count(0) == 2
+        assert levels.count(len(LEVELS) - 1) == 2
+
+    def test_odd_sm_count(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=5)
+        levels = [policy.level_for_new_block(sm) for sm in range(5)]
+        assert levels.count(0) == 3 and levels.count(2) == 2
+
+    def test_remembered_level_seeds_next_launch(self):
+        memory = PolicyMemory()
+        memory.remember("k", 1)
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4, memory=memory)
+        assert all(policy.level_for_new_block(sm) == 1 for sm in range(4))
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicReservationPolicy("k", [], num_sms=4)
+
+
+class TestAdjustment:
+    def test_no_adjustment_before_both_seeds_measured(self):
+        # "Once one thread block from each of High- and Low-watermark is
+        # complete, CARS begins employing the state machine."
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4)
+        policy.record_block(0, 0, runtime=1000)  # only Low measured
+        assert policy.level_for_new_block(0) == 0
+        assert policy.level_for_new_block(3) == 2
+
+    def test_low_sms_step_up_when_high_wins(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4)
+        policy.record_block(0, 0, runtime=2000)  # Low is slow
+        policy.record_block(3, 2, runtime=1000)  # High is fast
+        # A new block on a Low SM moves one step toward High (2xLow).
+        assert policy.level_for_new_block(0) == 1
+
+    def test_high_sms_step_down_when_low_wins(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4)
+        policy.record_block(0, 0, runtime=1000)
+        policy.record_block(3, 2, runtime=3000)
+        assert policy.level_for_new_block(3) == 1
+
+    def test_steps_are_single_level(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=2)
+        policy.record_block(0, 0, runtime=5000)
+        policy.record_block(1, 2, runtime=1000)
+        assert policy.level_for_new_block(0) == 1  # not straight to 2
+
+    def test_converges_to_best_level(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=2)
+        policy.record_block(0, 0, runtime=5000)
+        policy.record_block(1, 2, runtime=1000)
+        for _ in range(4):
+            level = policy.level_for_new_block(0)
+            policy.record_block(0, level, runtime=5000 - level * 1000)
+        assert policy.level_for_new_block(0) == 2
+
+    def test_stays_at_winner(self):
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=2)
+        policy.record_block(0, 0, runtime=1000)
+        policy.record_block(1, 2, runtime=9000)
+        assert policy.level_for_new_block(0) == 0
+        # Repeated queries do not drift.
+        assert policy.level_for_new_block(0) == 0
+
+
+class TestCrossLaunchMemory:
+    def test_finalize_remembers_best(self):
+        memory = PolicyMemory()
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=2, memory=memory)
+        policy.record_block(0, 0, runtime=4000)
+        policy.record_block(1, 2, runtime=1500)
+        best = policy.finalize()
+        assert best == 2
+        assert memory.best_level("k") == 2
+
+    def test_finalize_without_measurements_uses_seed(self):
+        memory = PolicyMemory()
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=2, memory=memory)
+        assert policy.finalize() in (0, 2)
+
+    def test_memory_is_per_kernel(self):
+        memory = PolicyMemory()
+        memory.remember("a", 1)
+        memory.remember("b", 2)
+        assert memory.best_level("a") == 1
+        assert memory.best_level("b") == 2
+        assert memory.best_level("c") is None
+
+    def test_history_accumulates(self):
+        memory = PolicyMemory()
+        memory.remember("k", 0)
+        memory.remember("k", 2)
+        assert memory.history("k") == [0, 2]
+
+    def test_stale_seed_out_of_range_ignored(self):
+        memory = PolicyMemory()
+        memory.remember("k", 7)  # ladder shrank since last launch
+        policy = DynamicReservationPolicy("k", LEVELS, num_sms=4, memory=memory)
+        levels = [policy.level_for_new_block(sm) for sm in range(4)]
+        assert set(levels) == {0, 2}  # falls back to half/half seeding

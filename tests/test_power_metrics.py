@@ -1,0 +1,173 @@
+"""Energy-model and metrics tests."""
+
+import pytest
+
+from repro.config import volta
+from repro.metrics.counters import (
+    SimStats,
+    STREAM_GLOBAL,
+    STREAM_LOCAL,
+    STREAM_SPILL,
+    TIMELINE_BUCKET,
+)
+from repro.power import DEFAULT_ENERGY_MODEL, EnergyModel
+
+
+def _stats(cycles=1000, alu=100, l1=50, l2=20, dram=5, stack=0):
+    stats = SimStats()
+    stats.cycles = cycles
+    stats.warp_instructions = alu
+    stats.issued_by_kind["ALU"] = alu
+    stats.issued_by_kind["STACK"] = stack
+    stats.l1_load_sectors[STREAM_GLOBAL] = l1
+    stats.l2_accesses = l2
+    stats.dram_accesses = dram
+    return stats
+
+
+class TestEnergyModel:
+    def test_energy_positive(self):
+        assert DEFAULT_ENERGY_MODEL.energy(_stats(), volta()) > 0
+
+    def test_static_energy_scales_with_cycles(self):
+        model = DEFAULT_ENERGY_MODEL
+        slow = model.energy(_stats(cycles=2000), volta())
+        fast = model.energy(_stats(cycles=1000), volta())
+        assert slow > fast
+
+    def test_dram_dominates_alu_per_event(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.dram_sector > model.l2_sector > model.l1_sector
+        assert model.l1_sector > model.alu_op
+
+    def test_stack_rename_cheaper_than_l1_access(self):
+        # The energy argument for CARS: renames replace cache accesses.
+        model = DEFAULT_ENERGY_MODEL
+        assert model.stack_rename + model.regfile_access < model.l1_sector
+
+    def test_efficiency_higher_for_faster_run(self):
+        model = DEFAULT_ENERGY_MODEL
+        fast = model.efficiency(_stats(cycles=500), volta())
+        slow = model.efficiency(_stats(cycles=5000), volta())
+        assert fast > slow
+
+    def test_efficiency_zero_for_empty_stats(self):
+        assert DEFAULT_ENERGY_MODEL.efficiency(SimStats(), volta()) == 0.0
+
+    def test_custom_model(self):
+        model = EnergyModel(dram_sector=1000.0)
+        base = EnergyModel()
+        s = _stats(dram=10)
+        assert model.energy(s, volta()) > base.energy(s, volta())
+
+
+class TestSimStats:
+    def test_access_breakdown_sums_to_one(self):
+        stats = SimStats()
+        for stream, n in ((STREAM_SPILL, 40), (STREAM_LOCAL, 10), (STREAM_GLOBAL, 50)):
+            for i in range(n):
+                stats.record_l1_access(stream, False, True, i)
+        breakdown = stats.access_breakdown()
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+        assert abs(breakdown[STREAM_SPILL] - 0.4) < 1e-9
+
+    def test_breakdown_empty_stats(self):
+        breakdown = SimStats().access_breakdown()
+        assert breakdown == {STREAM_SPILL: 0.0, STREAM_LOCAL: 0.0, STREAM_GLOBAL: 0.0}
+
+    def test_mpki(self):
+        stats = SimStats()
+        stats.warp_instructions = 2000
+        stats.record_l1_access(STREAM_GLOBAL, False, False, 0)
+        stats.record_l1_access(STREAM_GLOBAL, False, False, 1)
+        assert stats.mpki() == 1.0
+
+    def test_timeline_buckets(self):
+        stats = SimStats()
+        stats.cycles = TIMELINE_BUCKET * 2
+        stats.record_l1_access(STREAM_GLOBAL, False, True, 10)
+        stats.record_l1_access(STREAM_SPILL, False, True, TIMELINE_BUCKET + 5)
+        series = stats.global_bandwidth_timeline()
+        assert series == [(0, 1, 0), (TIMELINE_BUCKET, 0, 1)]
+        assert stats.average_global_bandwidth() == 1 / (TIMELINE_BUCKET * 2)
+
+    def test_trap_fraction(self):
+        stats = SimStats()
+        stats.calls = 200
+        stats.traps = 1
+        assert stats.trap_fraction() == 0.005
+
+    def test_bytes_spilled_per_call(self):
+        stats = SimStats()
+        stats.calls = 100
+        stats.trap_spilled_regs = 10
+        stats.trap_filled_regs = 10
+        stats.context_switch_regs = 5
+        assert stats.bytes_spilled_per_call() == 4.0 * 25 / 100
+
+    def test_merge_kernel_accumulates(self):
+        a = SimStats()
+        a.cycles = 100
+        a.warp_instructions = 10
+        a.record_l1_access(STREAM_GLOBAL, False, True, 5)
+        bstats = SimStats()
+        bstats.cycles = 200
+        bstats.warp_instructions = 20
+        bstats.record_l1_access(STREAM_SPILL, True, False, 7)
+        a.merge_kernel(bstats)
+        assert a.cycles == 300
+        assert a.warp_instructions == 30
+        assert a.l1_accesses[STREAM_GLOBAL] == 1
+        assert a.l1_accesses[STREAM_SPILL] == 1
+
+    def test_merge_kernel_offsets_timeline(self):
+        a = SimStats()
+        a.cycles = TIMELINE_BUCKET  # one full bucket elapsed
+        bstats = SimStats()
+        bstats.cycles = 10
+        bstats.record_l1_access(STREAM_GLOBAL, False, True, 0)
+        a.merge_kernel(bstats)
+        assert a.timeline == {1: [1, 0]}
+
+    def test_ipc(self):
+        stats = SimStats()
+        stats.cycles = 100
+        stats.warp_instructions = 50
+        assert stats.ipc() == 0.5
+
+    def test_l1_miss_rate(self):
+        stats = SimStats()
+        stats.record_l1_access(STREAM_GLOBAL, False, True, 0)
+        stats.record_l1_access(STREAM_GLOBAL, False, False, 1)
+        assert stats.l1_miss_rate() == 0.5
+
+
+class TestRunReport:
+    def test_report_renders_core_fields(self):
+        from repro.config import volta
+        from repro.metrics import run_report
+
+        stats = SimStats()
+        stats.cycles = 1000
+        stats.warp_instructions = 400
+        stats.micro_ops = 500
+        stats.record_l1_access(STREAM_SPILL, False, True, 1)
+        stats.record_l1_access(STREAM_GLOBAL, False, False, 2)
+        text = run_report(stats, volta(), title="demo")
+        assert "demo" in text
+        assert "cycles             : 1000" in text
+        assert "spill 50%" in text
+
+    def test_report_with_baseline_and_traps(self):
+        from repro.config import volta
+        from repro.metrics import run_report
+
+        base = SimStats()
+        base.cycles = 2000
+        stats = SimStats()
+        stats.cycles = 1000
+        stats.calls = 10
+        stats.traps = 1
+        text = run_report(stats, volta(), baseline=base)
+        assert "speedup vs baseline: 2.000x" in text
+        assert "CARS traps" in text

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cars import RegisterRenamer, WarpRegisterStack
+from repro.config.gpu_config import CacheConfig
+from repro.emu import Emulator, GlobalMemory
+from repro.emu.memory import coalesce_sectors, default_fill
+from repro.frontend import builder as b
+from repro.isa import CALLEE_SAVED_BASE
+from repro.mem.cache import SectorCache
+
+
+# ---------------------------------------------------------------------------
+# Register stack / renamer invariants
+# ---------------------------------------------------------------------------
+
+call_sequences = st.lists(
+    st.one_of(
+        st.tuples(st.just("call"), st.integers(min_value=0, max_value=24)),
+        st.just(("ret",)),
+    ),
+    max_size=60,
+)
+
+
+@given(capacity=st.integers(min_value=0, max_value=64), seq=call_sequences)
+def test_warp_stack_invariants(capacity, seq):
+    """Residency never exceeds capacity; spill/fill balance at depth 0;
+    resident frames always form a contiguous suffix."""
+    stack = WarpRegisterStack(capacity)
+    for op in seq:
+        if op[0] == "call":
+            stack.call(op[1])
+        elif stack.depth > 0:
+            stack.ret()
+        assert 0 <= stack.resident_regs <= capacity
+        residency = [f.resident for f in stack.frames]
+        if residency:
+            first = residency.index(True) if True in residency else len(residency)
+            assert all(residency[first:])
+    while stack.depth:
+        stack.ret()
+    assert stack.resident_regs == 0
+
+
+@given(
+    pushes=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=10)
+)
+def test_renamer_is_injective_and_restores(pushes):
+    """Physical indices of live renamed registers never collide, and
+    returning restores the caller's mapping exactly."""
+    r = RegisterRenamer(kernel_frame_regs=24, stack_regs=256)
+    snapshots = []
+    live = set()
+    for count in pushes:
+        snapshot = tuple(r.physical_index(reg) for reg in range(48))
+        snapshots.append(snapshot)
+        r.call()
+        r.push(count)
+        frame = tuple(
+            r.physical_index(CALLEE_SAVED_BASE + j) for j in range(count)
+        )
+        assert len(set(frame)) == len(frame)
+        assert not (set(frame) & live)  # no collision with outer frames
+        live |= set(frame)
+    for snapshot in reversed(snapshots):
+        r.ret()
+        assert tuple(r.physical_index(reg) for reg in range(48)) == snapshot
+
+
+@given(st.data())
+def test_renamer_kernel_frame_registers_stable(data):
+    r = RegisterRenamer(kernel_frame_regs=20, stack_regs=64)
+    depth = data.draw(st.integers(min_value=0, max_value=8))
+    for _ in range(depth):
+        r.call()
+        r.push(data.draw(st.integers(min_value=0, max_value=6)))
+    for reg in range(CALLEE_SAVED_BASE):
+        assert r.physical_index(reg) == reg
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    sectors=st.lists(st.integers(min_value=0, max_value=1 << 44), max_size=200),
+)
+def test_cache_occupancy_bounded_and_contains_consistent(sectors):
+    config = CacheConfig(size_bytes=1024, assoc=2)  # 32 sectors
+    cache = SectorCache(config)
+    for sector in sectors:
+        cache.insert(sector)
+        assert cache.contains(sector)  # most-recent insert always present
+        assert cache.occupancy <= config.num_sectors
+    assert cache.insertions - cache.evictions == cache.occupancy
+
+
+@given(
+    sectors=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=1, max_size=100
+    )
+)
+def test_cache_hit_implies_previous_insert(sectors):
+    cache = SectorCache(CacheConfig(size_bytes=4096, assoc=4))  # 128 sectors
+    seen = set()
+    for sector in sectors:
+        hit = cache.lookup(sector)
+        if hit:
+            assert sector in seen
+        cache.insert(sector)
+        seen.add(sector)
+
+
+# ---------------------------------------------------------------------------
+# Emulator-vs-Python semantics for generated straight-line expressions
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def expr_trees(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        which = draw(st.integers(min_value=0, max_value=1))
+        if which == 0:
+            return ("const", draw(st.integers(min_value=-100, max_value=100)))
+        return ("tid",)
+    op = draw(st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+    left = draw(expr_trees(depth=depth + 1))
+    right = draw(expr_trees(depth=depth + 1))
+    return (op, left, right)
+
+
+def _to_dsl(tree):
+    kind = tree[0]
+    if kind == "const":
+        return b.c(tree[1])
+    if kind == "tid":
+        return b.tid()
+    left, right = _to_dsl(tree[1]), _to_dsl(tree[2])
+    return {
+        "add": lambda: left + right,
+        "sub": lambda: left - right,
+        "mul": lambda: left * right,
+        "and": lambda: left & right,
+        "or": lambda: left | right,
+        "xor": lambda: left ^ right,
+    }[kind]()
+
+
+def _to_numpy(tree, tid):
+    kind = tree[0]
+    if kind == "const":
+        return np.full(32, tree[1], dtype=np.int64)
+    if kind == "tid":
+        return tid
+    left, right = _to_numpy(tree[1], tid), _to_numpy(tree[2], tid)
+    return {
+        "add": left + right,
+        "sub": left - right,
+        "mul": left * right,
+        "and": left & right,
+        "or": left | right,
+        "xor": left ^ right,
+    }[kind]
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=expr_trees())
+def test_emulator_matches_numpy_semantics(tree):
+    prog = b.program()
+    b.kernel(prog, "main", ["out"], [
+        b.store(b.v("out") + b.tid(), _to_dsl(tree)),
+    ])
+    gmem = GlobalMemory()
+    Emulator(b.compile(prog), gmem=gmem).launch("main", 1, 32, (1000,))
+    expected = _to_numpy(tree, np.arange(32, dtype=np.int64))
+    assert np.array_equal(gmem.read_array(1000, 32), expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=expr_trees())
+def test_function_call_roundtrip_preserves_semantics(tree):
+    """Computing through a device function (with spills) matches inline."""
+    prog = b.program()
+    b.device(prog, "f", ["x"], [
+        b.let("keep", b.v("x") * 3),
+        b.ret(_to_dsl(tree) + b.v("keep") - b.v("keep")),
+    ], reg_pressure=6)
+    b.kernel(prog, "main", ["out"], [
+        b.store(b.v("out") + b.tid(), b.call("f", b.tid())),
+    ])
+    gmem = GlobalMemory()
+    Emulator(b.compile(prog), gmem=gmem).launch("main", 1, 32, (1000,))
+    expected = _to_numpy(tree, np.arange(32, dtype=np.int64))
+    assert np.array_equal(gmem.read_array(1000, 32), expected)
+
+
+# ---------------------------------------------------------------------------
+# Memory helpers
+# ---------------------------------------------------------------------------
+
+
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=10_000), max_size=32)
+)
+def test_coalescing_counts_unique_sectors(addrs):
+    arr = np.array(addrs, dtype=np.int64)
+    sectors = coalesce_sectors(arr)
+    assert len(sectors) == len({a // 8 for a in addrs})
+    assert list(sectors) == sorted(sectors)
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_default_fill_is_deterministic_and_bounded(addr):
+    a = default_fill(np.array([addr], dtype=np.int64))
+    bb = default_fill(np.array([addr], dtype=np.int64))
+    assert a[0] == bb[0]
+    assert 0 <= int(a[0]) < 2**31
+
+
+@given(
+    base=st.integers(min_value=0, max_value=1 << 30),
+    values=st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=64),
+)
+def test_global_memory_roundtrip(base, values):
+    gmem = GlobalMemory()
+    arr = np.array(values, dtype=np.int64)
+    gmem.write_array(base, arr)
+    assert np.array_equal(gmem.read_array(base, len(values)), arr)

@@ -1,0 +1,133 @@
+"""Register-allocator behaviour: pools, overflow, correctness under reuse."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Emulator, GlobalMemory
+from repro.frontend import abi, builder as b
+from repro.frontend.lower import lower_function
+from repro.frontend.regalloc import allocate_registers
+from repro.frontend.ast import FunctionDef
+from repro.isa import CALLEE_SAVED_BASE, Opcode
+from repro.isa.program import IsaError
+
+
+def _emulate(prog, threads=32, params=(0,)):
+    gmem = GlobalMemory()
+    Emulator(b.compile(prog), gmem=gmem).launch("main", 1, threads, params)
+    return gmem
+
+
+class TestPoolAssignment:
+    def test_short_lived_temps_use_scratch(self):
+        func = FunctionDef("f", ["x"], [
+            b.ret(b.v("x") * 2 + 1),
+        ])
+        compiled = allocate_registers(lower_function(func))
+        used = {r for i in compiled.instructions for r in i.dst + i.srcs}
+        # No callee-saved registers needed for a leaf expression.
+        assert not any(r >= CALLEE_SAVED_BASE for r in used)
+        assert compiled.callee_saved is None
+
+    def test_deep_expression_overflows_into_callee_saved(self):
+        # A deep right-leaning tree keeps many temporaries live at once:
+        # the 4-register scratch pool must overflow into callee-saved.
+        expr = b.v("x")
+        for k in range(10):
+            expr = (b.v("x") * (k + 1)) + (expr ^ k)
+        func = FunctionDef("f", ["x"], [b.ret(expr)])
+        compiled = allocate_registers(lower_function(func))
+        assert compiled.callee_saved is not None
+        assert compiled.callee_saved[0] == CALLEE_SAVED_BASE
+        assert compiled.instructions[0].op is Opcode.PUSH
+
+    def test_deep_expression_still_computes_correctly(self):
+        expr = b.v("x")
+        for k in range(10):
+            expr = (b.v("x") * (k + 1)) + (expr ^ k)
+
+        def py_ref(x):
+            acc = x
+            for k in range(10):
+                acc = (x * (k + 1)) + (acc ^ k)
+            return acc
+
+        prog = b.program()
+        b.device(prog, "f", ["x"], [b.ret(expr)], reg_pressure=0)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("f", b.gid())),
+        ])
+        got = _emulate(prog).read_array(0, 32)
+        expected = np.array([py_ref(i) for i in range(32)], dtype=np.int64)
+        assert np.array_equal(got, expected)
+
+    def test_register_reuse_across_disjoint_ranges(self):
+        # Sequential short-lived values must reuse registers: usage stays
+        # far below the number of temporaries.
+        body = []
+        for k in range(30):
+            body.append(b.let("t", b.v("x") + k))
+            body.append(b.let("x", b.v("t") ^ 1))
+        body.append(b.ret(b.v("x")))
+        func = FunctionDef("f", ["x"], body)
+        compiled = allocate_registers(lower_function(func))
+        assert compiled.num_regs < 30
+
+    def test_many_values_live_across_call_all_preserved(self):
+        prog = b.program()
+        b.device(prog, "noise", ["x"], [
+            b.let("a", b.v("x") * 3),
+            b.ret(b.v("a") ^ 0x7F),
+        ], reg_pressure=10)
+        keeps = [b.let(f"k{j}", b.gid() * (j + 3)) for j in range(8)]
+        total = b.v("k0")
+        for j in range(1, 8):
+            total = total + b.v(f"k{j}")
+        b.kernel(prog, "main", ["out"], [
+            *keeps,
+            b.let("r", b.call("noise", b.gid())),
+            b.store(b.v("out") + b.gid(), total + b.v("r")),
+        ])
+        got = _emulate(prog).read_array(0, 32)
+        i = np.arange(32)
+        expected = sum(i * (j + 3) for j in range(8)) + ((i * 3) ^ 0x7F)
+        assert np.array_equal(got, expected)
+
+    def test_out_of_registers_raises(self):
+        # Keep ~300 values live simultaneously: beyond the 256-register ISA.
+        body = [b.let(f"v{k}", b.v("x") + k) for k in range(300)]
+        total = b.v("v0")
+        for k in range(1, 300):
+            total = total + b.v(f"v{k}")
+        body.append(b.ret(total))
+        func = FunctionDef("f", ["x"], body)
+        with pytest.raises(IsaError, match="registers"):
+            allocate_registers(lower_function(func))
+
+
+class TestAbiRegisters:
+    def test_arguments_arrive_in_arg_registers(self):
+        func = FunctionDef("f", ["p", "q"], [b.ret(b.v("p") + b.v("q"))])
+        compiled = allocate_registers(lower_function(func))
+        first_two = compiled.instructions[:2]
+        srcs = {inst.srcs[0] for inst in first_two if inst.op is Opcode.MOV}
+        assert srcs == {abi.ARG_REG_BASE, abi.ARG_REG_BASE + 1}
+
+    def test_return_value_in_r4(self):
+        func = FunctionDef("f", ["x"], [b.ret(b.v("x") + 1)])
+        compiled = allocate_registers(lower_function(func))
+        movs_to_r4 = [i for i in compiled.instructions
+                      if i.op is Opcode.MOV and i.dst == (abi.RETURN_REG,)]
+        assert movs_to_r4
+
+    def test_special_registers_never_written(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("x", b.tid() + b.bid() + b.ntid() + b.nctaid()),
+            b.store(b.v("out"), b.v("x")),
+        ])
+        module = b.compile(prog)
+        for func in module.functions.values():
+            for inst in func.instructions:
+                for reg in inst.dst:
+                    assert reg > abi.REG_NCTAID, f"{func.name}: writes R{reg}"

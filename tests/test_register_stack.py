@@ -1,0 +1,178 @@
+"""CARS register-stack tests: renaming (Fig 3b) and wrap-around (Fig 6)."""
+
+import pytest
+
+from repro.cars import RegisterRenamer, RegisterStackError, WarpRegisterStack
+from repro.isa import CALLEE_SAVED_BASE
+
+
+class TestRegisterRenamer:
+    def test_kernel_registers_never_renamed(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        for reg in range(16):
+            assert r.physical_index(reg) == reg
+
+    def test_no_renaming_before_any_call(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        assert r.physical_index(16) == 16
+        assert r.physical_index(30) == 30
+
+    def test_pushed_registers_rename_into_stack_region(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        r.call()
+        r.push(4)
+        # Paper formula: index = RFP + (x - 16) within the stack region.
+        for j in range(4):
+            expected = r.stack_base + r.rfp + j
+            assert r.physical_index(CALLEE_SAVED_BASE + j) == expected
+        # Registers beyond the renamed span keep their baseline index.
+        assert r.physical_index(CALLEE_SAVED_BASE + 4) == CALLEE_SAVED_BASE + 4
+
+    def test_nested_calls_use_distinct_frames(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        r.call()
+        r.push(3)
+        outer = r.physical_index(16)
+        r.call()
+        r.push(2)
+        inner = r.physical_index(16)
+        assert inner != outer
+        r.ret()
+        assert r.physical_index(16) == outer
+
+    def test_renamed_indices_never_collide_across_frames(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=60)
+        seen = set()
+        for depth in range(5):
+            r.call()
+            r.push(3)
+            indices = tuple(r.physical_index(16 + j) for j in range(3))
+            assert not (set(indices) & seen)
+            seen.update(indices)
+
+    def test_ret_restores_caller_rfp(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        r.call()
+        r.push(2)
+        rfp_outer = r.rfp
+        r.call()
+        r.push(3)
+        r.ret()
+        assert r.rfp == rfp_outer
+        r.ret()
+        assert r.rfp == 0 and r.rsp == 0 and r.depth == 0
+
+    def test_ret_without_call_raises(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        with pytest.raises(RegisterStackError):
+            r.ret()
+
+    def test_push_without_call_raises(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        with pytest.raises(RegisterStackError):
+            r.push(2)
+
+    def test_pop_beyond_pushed_raises(self):
+        r = RegisterRenamer(kernel_frame_regs=20, stack_regs=40)
+        r.call()
+        r.push(2)
+        with pytest.raises(RegisterStackError):
+            r.pop(3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegisterRenamer(0, 10)
+        with pytest.raises(ValueError):
+            RegisterRenamer(20, -1)
+
+
+class TestWarpRegisterStack:
+    def test_frames_fit_without_spills(self):
+        s = WarpRegisterStack(capacity=20)
+        assert s.call(8) == []
+        assert s.call(8) == []
+        assert s.resident_regs == 16
+        assert s.ret() is None
+        assert s.ret() is None
+        assert s.depth == 0
+
+    def test_overflow_spills_oldest_frame_first(self):
+        """Fig 6: eviction is wrap-around from the bottom of the stack."""
+        s = WarpRegisterStack(capacity=20)
+        s.call(8)  # frame A at logical offset 0
+        s.call(8)  # frame B at offset 8
+        spilled = s.call(8)  # frame C needs 8, only 4 free -> spill A
+        assert spilled == [(0, 8)]
+        assert s.resident_regs == 16
+        assert s.spills == 8
+
+    def test_fill_back_on_return_to_spilled_frame(self):
+        s = WarpRegisterStack(capacity=20)
+        s.call(8)
+        s.call(8)
+        s.call(8)  # spills the bottom frame
+        assert s.ret() is None  # frame B still resident
+        filled = s.ret()  # exposes spilled frame A
+        assert filled == (0, 8)
+        assert s.fills == 8
+
+    def test_deep_overflow_spills_multiple_frames(self):
+        s = WarpRegisterStack(capacity=10)
+        s.call(4)
+        s.call(4)
+        spilled = s.call(10)  # needs the whole stack
+        assert spilled == [(0, 4), (4, 4)]
+
+    def test_frame_larger_than_capacity(self):
+        s = WarpRegisterStack(capacity=6)
+        spilled = s.call(10)
+        # 4 registers can never be renamed; counted as spilled at call.
+        assert sum(c for _, c in spilled) == 4
+        assert s.resident_regs == 6
+        s.ret()
+        assert s.depth == 0
+
+    def test_resident_frames_form_contiguous_suffix(self):
+        s = WarpRegisterStack(capacity=12)
+        for _ in range(6):
+            s.call(4)
+        residency = [f.resident for f in s.frames]
+        first_resident = residency.index(True)
+        assert all(residency[first_resident:])
+        assert not any(residency[:first_resident])
+
+    def test_zero_capacity_spills_everything(self):
+        s = WarpRegisterStack(capacity=0)
+        spilled = s.call(5)
+        assert sum(c for _, c in spilled) == 5
+        s.ret()
+
+    def test_lifo_offsets_are_stable(self):
+        """Spilled frames refill from the same logical offsets, so their
+        local-memory addresses (and cache lines) are reused."""
+        s = WarpRegisterStack(capacity=8)
+        s.call(4)  # offset 0
+        s.call(4)  # offset 4
+        spilled = s.call(4)  # spills offset 0
+        assert spilled == [(0, 4)]
+        s.ret()
+        filled = s.ret()
+        assert filled == (0, 4)  # same offset comes back
+
+    def test_return_from_empty_raises(self):
+        with pytest.raises(RegisterStackError):
+            WarpRegisterStack(capacity=8).ret()
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            WarpRegisterStack(capacity=-1)
+        with pytest.raises(ValueError):
+            WarpRegisterStack(capacity=8).call(-1)
+
+    def test_free_regs_accounting(self):
+        s = WarpRegisterStack(capacity=10)
+        assert s.free_regs() == 10
+        s.call(4)
+        assert s.free_regs() == 6
+        s.ret()
+        assert s.free_regs() == 10

@@ -1,0 +1,171 @@
+"""Deep SIMT control-flow coverage: nesting, loops in callees, masks."""
+
+import numpy as np
+
+from repro.emu import Emulator, GlobalMemory
+from repro.frontend import builder as b
+
+
+def run(prog, threads=32, params=(0,)):
+    gmem = GlobalMemory()
+    Emulator(b.compile(prog), gmem=gmem).launch("main", 1, threads, params)
+    return gmem
+
+
+def ref_lanes(fn, threads=32):
+    return np.array([fn(i) for i in range(threads)], dtype=np.int64)
+
+
+class TestNestedControlFlow:
+    def test_loop_inside_divergent_branch(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("s", b.c(0)),
+            b.if_((b.v("i") & 3) == 0, [
+                b.for_("k", 0, 4, [b.let("s", b.v("s") + b.v("k"))]),
+            ], [
+                b.let("s", b.c(100)),
+            ]),
+            b.store(b.v("out") + b.v("i"), b.v("s")),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(lambda i: 6 if i % 4 == 0 else 100)
+        assert np.array_equal(got, expected)
+
+    def test_divergent_branch_inside_loop(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("s", b.c(0)),
+            b.for_("k", 0, 4, [
+                b.if_(((b.v("i") + b.v("k")) & 1) == 0,
+                      [b.let("s", b.v("s") + 1)],
+                      [b.let("s", b.v("s") + 10)]),
+            ]),
+            b.store(b.v("out") + b.v("i"), b.v("s")),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(
+            lambda i: sum(1 if (i + k) % 2 == 0 else 10 for k in range(4))
+        )
+        assert np.array_equal(got, expected)
+
+    def test_triple_nesting(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("s", b.c(0)),
+            b.if_(b.v("i") < 16, [
+                b.for_("k", 0, 3, [
+                    b.if_((b.v("k") & 1) == 0, [
+                        b.let("s", b.v("s") + b.v("k") + 1),
+                    ]),
+                ]),
+            ]),
+            b.store(b.v("out") + b.v("i"), b.v("s")),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(
+            lambda i: sum(k + 1 for k in range(3) if k % 2 == 0) if i < 16 else 0
+        )
+        assert np.array_equal(got, expected)
+
+    def test_loop_in_callee_with_divergent_trip_count(self):
+        prog = b.program()
+        b.device(prog, "sum_to", ["n"], [
+            b.let("s", b.c(0)),
+            b.let("k", b.c(0)),
+            b.while_(b.v("k") < b.v("n"), [
+                b.let("s", b.v("s") + b.v("k")),
+                b.let("k", b.v("k") + 1),
+            ]),
+            b.ret(b.v("s")),
+        ], reg_pressure=4)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.store(b.v("out") + b.v("i"), b.call("sum_to", b.v("i") & 7)),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(lambda i: sum(range(i & 7)))
+        assert np.array_equal(got, expected)
+
+    def test_call_inside_loop_inside_branch(self):
+        prog = b.program()
+        b.device(prog, "inc", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("s", b.v("i")),
+            b.if_((b.v("i") & 1) == 1, [
+                b.for_("k", 0, 3, [b.let("s", b.call("inc", b.v("s")))]),
+            ]),
+            b.store(b.v("out") + b.v("i"), b.v("s")),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(lambda i: i + 3 if i % 2 == 1 else i)
+        assert np.array_equal(got, expected)
+
+    def test_all_lanes_take_same_branch(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("r", b.c(0)),
+            b.if_(b.c(1) == 1, [b.let("r", b.c(7))], [b.let("r", b.c(9))]),
+            b.store(b.v("out") + b.v("i"), b.v("r")),
+        ])
+        assert (run(prog).read_array(0, 32) == 7).all()
+
+    def test_no_lane_takes_branch(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("r", b.c(3)),
+            b.if_(b.v("i") > 100, [b.let("r", b.c(1))]),
+            b.store(b.v("out") + b.v("i"), b.v("r")),
+        ])
+        assert (run(prog).read_array(0, 32) == 3).all()
+
+    def test_while_with_zero_iterations(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("s", b.c(5)),
+            b.while_(b.v("s") < 0, [b.let("s", b.v("s") - 1)]),
+            b.store(b.v("out") + b.v("i"), b.v("s")),
+        ])
+        assert (run(prog).read_array(0, 32) == 5).all()
+
+
+class TestIndirectUnderDivergence:
+    def test_icall_inside_branch(self):
+        prog = b.program()
+        b.device(prog, "fa", ["x"], [b.ret(b.v("x") * 10)], reg_pressure=2)
+        b.device(prog, "fb", ["x"], [b.ret(b.v("x") * 100)], reg_pressure=3)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.let("r", b.c(0)),
+            b.if_(b.v("i") < 16, [
+                b.let("r", b.icall(["fa", "fb"], b.v("i"), b.v("i"))),
+            ]),
+            b.store(b.v("out") + b.v("i"), b.v("r")),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(
+            lambda i: i * (10 if i % 2 == 0 else 100) if i < 16 else 0
+        )
+        assert np.array_equal(got, expected)
+
+    def test_nested_indirect_calls(self):
+        prog = b.program()
+        b.device(prog, "leafa", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=2)
+        b.device(prog, "leafb", ["x"], [b.ret(b.v("x") + 2)], reg_pressure=2)
+        b.device(prog, "mid", ["x"], [
+            b.ret(b.icall(["leafa", "leafb"], b.v("x"), b.v("x"))),
+        ], reg_pressure=3)
+        b.kernel(prog, "main", ["out"], [
+            b.let("i", b.gid()),
+            b.store(b.v("out") + b.v("i"), b.call("mid", b.v("i"))),
+        ])
+        got = run(prog).read_array(0, 32)
+        expected = ref_lanes(lambda i: i + 1 + (i % 2))
+        assert np.array_equal(got, expected)

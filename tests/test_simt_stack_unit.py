@@ -1,0 +1,88 @@
+"""Unit tests for SIMT-stack entries and µop constructors."""
+
+import numpy as np
+import pytest
+
+from repro.core.uop import (
+    Uop,
+    UopKind,
+    bar_uop,
+    ctrl_uop,
+    exec_uop,
+    exit_uop,
+    mem_uop,
+)
+from repro.emu.simt_stack import SimtEntry, make_call, make_ssy
+from repro.metrics.counters import STREAM_SPILL
+
+
+def _mask(*lanes):
+    mask = np.zeros(32, dtype=bool)
+    for lane in lanes:
+        mask[lane] = True
+    return mask
+
+
+class TestSimtEntry:
+    def test_ssy_entry_has_no_call_bit(self):
+        entry = make_ssy(_mask(0, 1), reconv_pc=7)
+        assert not entry.is_call
+        assert entry.reconv_pc == 7
+        assert not entry.all_done
+
+    def test_call_entry_has_call_bit(self):
+        # The 1-bit marker CARS adds to SIMT-stack entries (Section IV-B2).
+        entry = make_call(_mask(0, 1, 2), ret_pc=9, ret_func="caller",
+                          frame_index=3)
+        assert entry.is_call
+        assert entry.ret_func == "caller"
+        assert entry.frame_index == 3
+
+    def test_all_done_tracks_mask(self):
+        entry = make_call(_mask(0, 5), ret_pc=1, ret_func="f", frame_index=0)
+        entry.done = entry.done | _mask(0)
+        assert not entry.all_done
+        entry.done = entry.done | _mask(5)
+        assert entry.all_done
+
+    def test_masks_are_copied(self):
+        source = _mask(3)
+        entry = make_ssy(source, reconv_pc=0)
+        source[4] = True
+        assert not entry.mask[4]
+
+    def test_pending_starts_empty(self):
+        assert make_ssy(_mask(1), 0).pending == []
+
+    def test_repr_smoke(self):
+        assert "SSY" in repr(make_ssy(_mask(1), 0))
+        assert "CALL" in repr(make_call(_mask(1), 0, "f", 0))
+
+
+class TestUopConstructors:
+    def test_exec_uop(self):
+        uop = exec_uop(4, dst=(1,), srcs=(2, 3), mix="ALU")
+        assert uop.kind == UopKind.EXEC
+        assert uop.latency == 4
+        assert not uop.blocking
+
+    def test_mem_uop_defaults(self):
+        uop = mem_uop((10, 11), STREAM_SPILL, True, mix="SPILL_ST")
+        assert uop.kind == UopKind.MEM
+        assert uop.is_store
+        assert uop.sectors == (10, 11)
+        assert uop.stream == STREAM_SPILL
+
+    def test_ctrl_bar_exit(self):
+        assert ctrl_uop(2).kind == UopKind.CTRL
+        assert bar_uop().kind == UopKind.BAR
+        assert exit_uop().kind == UopKind.EXIT
+
+    def test_blocking_flag(self):
+        uop = Uop(UopKind.MEM, sectors=(1,), blocking=True)
+        assert uop.blocking
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        uop = exec_uop(1)
+        with pytest.raises(AttributeError):
+            uop.bogus = 1

@@ -1,0 +1,230 @@
+"""SM microarchitecture detail tests: scheduler, scoreboard, LSU paths."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import volta
+from repro.core.gpu import GPU
+from repro.core.sm import BlockRun, SM
+from repro.core.techniques import BASELINE
+from repro.core.uop import UopKind, exec_uop, mem_uop
+from repro.core.warp import (
+    LOCAL_SECTOR_BASE,
+    NEVER,
+    SPILL_REGION,
+    TRAP_REGION,
+    WarpCtx,
+)
+from repro.emu.trace import TraceKind, TraceRecord
+from repro.frontend import builder as b
+from repro.metrics.counters import SimStats, STREAM_GLOBAL
+from repro.workloads import KernelLaunch, Workload
+
+
+def _workload(body=None, blocks=1, threads=32):
+    prog = b.program()
+    body = body or [
+        b.let("i", b.gid()),
+        b.let("x", b.load(b.v("out") + b.v("i"))),
+        b.let("y", b.v("x") * 3),
+        b.store(b.v("out") + b.v("i"), b.v("y")),
+    ]
+    b.kernel(prog, "main", ["out"], body)
+    return Workload(name="w", suite="t", program=prog,
+                    launches=[KernelLaunch("main", blocks, threads, (64,))])
+
+
+def _gpu(workload, config=None):
+    cfg = config or volta()
+    trace = workload.traces()[0]
+    stats = SimStats()
+    ctx = BASELINE.make_context(trace, cfg, stats)
+    gpu = GPU(cfg, ctx, stats)
+    return gpu, trace, stats
+
+
+class TestWarpCtx:
+    def test_local_regions_are_disjoint(self):
+        block = type("B", (), {"regs_per_warp": 32})()
+        warp = WarpCtx(0, 7, [], block)
+        spill = set(warp.spill_sectors(0) + warp.spill_sectors(100))
+        local = set(warp.local_sectors(0) + warp.local_sectors(100))
+        trap = set(warp.trap_sectors(0) + warp.trap_sectors(100))
+        switch = set(warp.switch_sectors(0) + warp.switch_sectors(3))
+        assert not (spill & local)
+        assert not (spill & trap)
+        assert not (local & trap)
+        assert not (trap & switch)
+
+    def test_warps_have_disjoint_local_spaces(self):
+        block = type("B", (), {"regs_per_warp": 32})()
+        a = WarpCtx(0, 0, [], block)
+        c = WarpCtx(1, 1, [], block)
+        assert not (set(a.spill_sectors(5)) & set(c.spill_sectors(5)))
+
+    def test_spill_sectors_are_four_contiguous(self):
+        block = type("B", (), {"regs_per_warp": 32})()
+        warp = WarpCtx(0, 0, [], block)
+        sectors = warp.spill_sectors(3)
+        assert len(sectors) == 4
+        assert sectors == tuple(range(sectors[0], sectors[0] + 4))
+
+    def test_deps_ready_cycle(self):
+        block = type("B", (), {"regs_per_warp": 32})()
+        warp = WarpCtx(0, 0, [], block)
+        warp.reg_ready[5] = 100
+        warp.reg_ready[6] = 50
+        uop = exec_uop(4, dst=(7,), srcs=(5, 6))
+        assert warp.deps_ready_cycle(uop) == 100
+        uop2 = exec_uop(4, dst=(5,), srcs=())
+        assert warp.deps_ready_cycle(uop2) == 100  # WAW also waits
+
+
+class TestScoreboard:
+    def test_dependent_chain_spaces_issues(self):
+        """A chain of dependent MADs issues one per ALU latency."""
+        def chain_body():
+            body = [b.let("x", b.gid())]
+            for _ in range(10):
+                body.append(b.let("x", b.mad(b.v("x"), 3, 1)))
+            body.append(b.store(b.v("out"), b.v("x")))
+            return body
+
+        wl = _workload(chain_body())
+        gpu, trace, stats = _gpu(wl)
+        cycles = gpu.run(trace)
+        # 10 dependent MADs at latency 4 need >= 40 cycles.
+        assert cycles >= 10 * volta().alu_latency
+
+    def test_independent_ops_pipeline(self):
+        # A serial chain of SFU ops (16-cycle latency each) vs two
+        # interleaved chains: the scoreboard must overlap the latter.
+        narrow = _workload([
+            b.let("x", b.gid()),
+            *[b.let("x", b.mufu(b.v("x"))) for _ in range(8)],
+            b.store(b.v("out"), b.v("x")),
+        ])
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("x", b.gid()),
+            b.let("y", b.gid() + 1),
+            *[st for k in range(4) for st in
+              (b.let("x", b.mufu(b.v("x"))), b.let("y", b.mufu(b.v("y"))))],
+            b.store(b.v("out"), b.v("x") + b.v("y")),
+        ])
+        wide = Workload(name="wide", suite="t", program=prog,
+                        launches=[KernelLaunch("main", 1, 32, (64,))])
+        gpu_n, trace_n, _ = _gpu(narrow)
+        gpu_w, trace_w, _ = _gpu(wide)
+        # 8 serial SFU ops vs 2x4: the interleaved version is clearly faster.
+        assert gpu_w.run(trace_w) < gpu_n.run(trace_n)
+
+
+class TestGTO:
+    def test_greedy_sticks_with_last_warp(self):
+        cfg = dataclasses.replace(volta(), num_sms=1, schedulers_per_sm=1)
+        # Two interleaved dependency chains per warp so the greedy warp
+        # can issue several ops back to back before stalling.
+        body = [
+            b.let("x", b.gid()),
+            b.let("y", b.gid() + 1),
+            *[st for k in range(8) for st in
+              (b.let("x", b.mad(b.v("x"), 3, k)),
+               b.let("y", b.mad(b.v("y"), 5, k)))],
+            b.store(b.v("out"), b.v("x") + b.v("y")),
+        ]
+        wl = _workload(body, blocks=1, threads=64)  # two warps, one scheduler
+        gpu, trace, stats = _gpu(wl, cfg)
+        sm = gpu.sms[0]
+        issued_from = []
+        orig = SM._issue
+
+        def spy(self, warp, cycle):
+            issued_from.append(warp.slot)
+            orig(self, warp, cycle)
+
+        SM._issue = spy
+        try:
+            gpu.run(trace)
+        finally:
+            SM._issue = orig
+        # Greedy-then-oldest: long same-slot streaks, not strict alternation.
+        streaks = sum(1 for a, bb in zip(issued_from, issued_from[1:]) if a == bb)
+        assert streaks > len(issued_from) * 0.3
+
+
+class TestFetchStalls:
+    def test_fetch_debt_applied_for_big_binaries(self):
+        cfg = dataclasses.replace(volta(), icache_bytes=64)
+        wl = _workload()
+        gpu, trace, stats = _gpu(wl, cfg)
+        gpu.run(trace)
+        assert stats.fetch_stall_cycles > 0
+
+    def test_no_fetch_stalls_when_code_fits(self):
+        wl = _workload()
+        gpu, trace, stats = _gpu(wl)
+        gpu.run(trace)
+        assert stats.fetch_stall_cycles == 0
+
+
+class TestBlockScheduling:
+    def test_blocks_fill_all_sms(self):
+        wl = _workload(blocks=8)
+        gpu, trace, stats = _gpu(wl)
+        gpu.run(trace)
+        sms_used = {blk.sm_id for blk in stats.blocks}
+        assert sms_used == set(range(volta().num_sms))
+
+    def test_waves_when_grid_exceeds_capacity(self):
+        cfg = dataclasses.replace(volta(), max_blocks_per_sm=1, num_sms=2)
+        wl = _workload(blocks=6)
+        gpu, trace, stats = _gpu(wl, cfg)
+        gpu.run(trace)
+        starts = sorted(blk.start_cycle for blk in stats.blocks)
+        assert starts[0] == 0
+        assert starts[-1] > 0  # later waves started after earlier finished
+        assert len(stats.blocks) == 6
+
+
+class TestLRR:
+    def test_lrr_alternates_between_warps(self):
+        cfg = dataclasses.replace(volta(), num_sms=1, schedulers_per_sm=1,
+                                  scheduler="lrr")
+        body = [
+            b.let("x", b.gid()),
+            b.let("y", b.gid() + 1),
+            *[st for k in range(8) for st in
+              (b.let("x", b.mad(b.v("x"), 3, k)),
+               b.let("y", b.mad(b.v("y"), 5, k)))],
+            b.store(b.v("out"), b.v("x") + b.v("y")),
+        ]
+        wl = _workload(body, blocks=1, threads=64)
+        gpu, trace, stats = _gpu(wl, cfg)
+        issued_from = []
+        orig = SM._issue
+
+        def spy(self, warp, cycle):
+            issued_from.append(warp.slot)
+            orig(self, warp, cycle)
+
+        SM._issue = spy
+        try:
+            gpu.run(trace)
+        finally:
+            SM._issue = orig
+        # Round-robin: frequent switching, few same-slot streaks.
+        streaks = sum(1 for a, c in zip(issued_from, issued_from[1:]) if a == c)
+        assert streaks < len(issued_from) * 0.5
+
+    def test_lrr_and_gto_complete_same_work(self):
+        wl = _workload(blocks=4)
+        gto = _gpu(wl)[2] or None
+        gpu_g, trace, stats_g = _gpu(wl)
+        gpu_g.run(trace)
+        cfg = dataclasses.replace(volta(), scheduler="lrr")
+        gpu_l, trace_l, stats_l = _gpu(wl, cfg)
+        gpu_l.run(trace_l)
+        assert stats_g.warp_instructions == stats_l.warp_instructions
+        assert len(stats_g.blocks) == len(stats_l.blocks)

@@ -1,0 +1,212 @@
+"""Trace-to-µop expansion tests for the studied techniques."""
+
+import dataclasses
+
+import pytest
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.config import volta
+from repro.core.techniques import (
+    BASELINE,
+    CARS,
+    CARS_HIGH,
+    CARS_LOW,
+    LTO,
+    BaselineContext,
+    CarsContext,
+    Technique,
+    cars_nxlow,
+    swl,
+)
+from repro.core.uop import UopKind
+from repro.core.warp import WarpCtx
+from repro.emu.trace import TraceKind, TraceRecord
+from repro.frontend import builder as b
+from repro.metrics.counters import SimStats, STREAM_SPILL
+from repro.workloads import KernelLaunch, Workload
+
+
+def _workload(depth=2, pressure=4, barrier=False):
+    prog = b.program()
+    b.device(prog, "leaf", ["x"], [b.ret(b.v("x") * 2 + 1)], reg_pressure=pressure)
+    if depth == 2:
+        b.device(prog, "mid", ["x"], [
+            b.let("t", b.v("x") + 1),
+            b.let("r", b.call("leaf", b.v("t"))),
+            b.ret(b.v("r") + b.v("t")),
+        ], reg_pressure=pressure)
+        entry = "mid"
+    else:
+        entry = "leaf"
+    body = [
+        b.let("i", b.gid()),
+        b.let("r", b.call(entry, b.v("i"))),
+    ]
+    if barrier:
+        body.append(b.barrier())
+    body.append(b.store(b.v("out") + b.v("i"), b.v("r")))
+    b.kernel(prog, "main", ["out"], body)
+    return Workload(name="w", suite="t", program=prog,
+                    launches=[KernelLaunch("main", 2, 64, (1 << 20,))])
+
+
+def _context(technique, workload, config=None):
+    cfg = technique.adjust_config(config or volta())
+    trace = workload.traces(inlined=technique.use_inlined)[0]
+    stats = SimStats()
+    analysis = None
+    if technique.abi == "cars":
+        graph = build_call_graph(workload.module())
+        analysis = analyze_kernel(graph, "main")
+    ctx = technique.make_context(trace, cfg, stats, analysis)
+    return ctx, trace, stats, cfg
+
+
+def _warp(ctx, trace):
+    block = type("B", (), {"regs_per_warp": 64})()
+    warp = WarpCtx(0, 0, trace.blocks[0].warps[0].records, block)
+    ctx.attach_warp(warp, ctx.scheduler_regs_per_warp() + 64)
+    return warp
+
+
+def _expand_all(ctx, warp):
+    uops = []
+    for rec in warp.records:
+        uops.extend(ctx.expand(warp, rec))
+    return uops
+
+
+class TestBaselineExpansion:
+    def test_push_becomes_spill_stores(self):
+        wl = _workload()
+        ctx, trace, stats, _ = _context(BASELINE, wl)
+        warp = _warp(ctx, trace)
+        uops = _expand_all(ctx, warp)
+        spill_stores = [u for u in uops if u.kind == UopKind.MEM and u.is_store
+                        and u.stream == STREAM_SPILL]
+        spill_loads = [u for u in uops if u.kind == UopKind.MEM and not u.is_store
+                       and u.stream == STREAM_SPILL]
+        assert spill_stores and spill_loads
+        assert len(spill_stores) == len(spill_loads) == stats.push_regs
+        # One warp-wide register spill = four 32B sectors.
+        assert all(len(u.sectors) == 4 for u in spill_stores)
+
+    def test_push_and_pop_addresses_match(self):
+        wl = _workload()
+        ctx, trace, stats, _ = _context(BASELINE, wl)
+        warp = _warp(ctx, trace)
+        uops = _expand_all(ctx, warp)
+        stores = {u.sectors for u in uops
+                  if u.kind == UopKind.MEM and u.is_store and u.stream == STREAM_SPILL}
+        loads = {u.sectors for u in uops
+                 if u.kind == UopKind.MEM and not u.is_store and u.stream == STREAM_SPILL}
+        assert loads == stores  # fills read exactly what spills wrote
+
+    def test_nested_frames_use_distinct_slots(self):
+        wl = _workload(depth=2)
+        ctx, trace, stats, _ = _context(BASELINE, wl)
+        warp = _warp(ctx, trace)
+        uops = _expand_all(ctx, warp)
+        store_sectors = [u.sectors for u in uops
+                         if u.kind == UopKind.MEM and u.is_store
+                         and u.stream == STREAM_SPILL]
+        assert len(set(store_sectors)) == len(store_sectors)
+
+    def test_scheduler_regs_use_worst_case(self):
+        wl = _workload()
+        ctx, trace, _, _ = _context(BASELINE, wl)
+        assert ctx.scheduler_regs_per_warp() == wl.module().worst_case_regs["main"]
+
+
+class TestCarsExpansion:
+    def test_push_pop_become_single_cycle_renames(self):
+        wl = _workload()
+        ctx, trace, stats, cfg = _context(CARS_HIGH, wl)
+        warp = _warp(ctx, trace)
+        uops = _expand_all(ctx, warp)
+        stack_ops = [u for u in uops if u.mix == "STACK"]
+        mem_spills = [u for u in uops if u.kind == UopKind.MEM
+                      and u.stream == STREAM_SPILL]
+        assert len(stack_ops) == stats.pushes + stats.pops
+        assert mem_spills == []  # High-watermark: no traps at this depth
+        assert stats.traps == 0
+
+    def test_low_watermark_traps_on_deep_calls(self):
+        wl = _workload(depth=2, pressure=8)
+        ctx, trace, stats, _ = _context(CARS_LOW, wl)
+        warp = _warp(ctx, trace)
+        # Give the warp only Low-watermark stack space.
+        from repro.cars.register_stack import WarpRegisterStack
+        analysis = ctx.analysis
+        warp.cars = WarpRegisterStack(analysis.low_watermark - analysis.kernel_fru)
+        uops = _expand_all(ctx, warp)
+        assert stats.traps > 0
+        trap_stores = [u for u in uops if u.kind == UopKind.MEM and u.is_store
+                       and u.stream == STREAM_SPILL]
+        assert trap_stores
+        trap_fills = [u for u in uops if u.kind == UopKind.MEM and not u.is_store]
+        assert any(u.blocking for u in trap_fills)
+
+    def test_scheduler_regs_use_kernel_frame_only(self):
+        wl = _workload()
+        ctx, trace, _, _ = _context(CARS, wl)
+        assert ctx.scheduler_regs_per_warp() == ctx.analysis.kernel_fru
+        assert ctx.scheduler_regs_per_warp() < wl.module().worst_case_regs["main"]
+
+    def test_manages_registers_flag(self):
+        wl = _workload()
+        cars_ctx, *_ = _context(CARS, wl)
+        base_ctx, *_ = _context(BASELINE, wl)
+        assert cars_ctx.manages_registers
+        assert not base_ctx.manages_registers
+
+    def test_unknown_mode_rejected(self):
+        wl = _workload()
+        with pytest.raises(ValueError):
+            _context(Technique("bad", abi="cars", cars_mode="nope"), wl)
+
+    def test_cars_requires_analysis(self):
+        wl = _workload()
+        trace = wl.traces()[0]
+        with pytest.raises(ValueError):
+            CARS.make_context(trace, volta(), SimStats(), analysis=None)
+
+    def test_nxlow_mode(self):
+        wl = _workload()
+        ctx, trace, _, _ = _context(cars_nxlow(2), wl)
+        analysis = ctx.analysis
+        _, regs = ctx.stack_level_for_block(0)
+        assert regs == max(analysis.nxlow_watermark(2), analysis.kernel_fru)
+
+
+class TestConfigTransforms:
+    def test_swl_sets_warp_limit(self):
+        assert swl(4).adjust_config(volta()).warp_limit == 4
+
+    def test_l1_huge(self):
+        from repro.core.techniques import L1_HUGE
+        assert L1_HUGE.adjust_config(volta()).l1.size_bytes == 2 * 1024 * 1024
+
+    def test_all_hit(self):
+        from repro.core.techniques import ALL_HIT
+        assert ALL_HIT.adjust_config(volta()).l1_force_hit
+
+    def test_ideal_vw(self):
+        from repro.core.techniques import IDEAL_VW
+        assert IDEAL_VW.adjust_config(volta()).unlimited_occupancy
+
+    def test_lto_uses_inlined_binary(self):
+        assert LTO.use_inlined
+        wl = _workload()
+        inlined_trace = wl.traces(inlined=True)[0]
+        assert inlined_trace.count(TraceKind.CALL) == 0
+        assert inlined_trace.count(TraceKind.PUSH) == 0
+
+    def test_lto_fetch_penalty_grows_with_code_size(self):
+        wl = _workload()
+        cfg = dataclasses.replace(volta(), icache_bytes=128)
+        ctx, trace, stats, _ = _context(BASELINE, wl, cfg)
+        assert ctx.fetch_penalty > 0
+        big_cfg = dataclasses.replace(volta(), icache_bytes=1 << 24)
+        ctx2, *_ = _context(BASELINE, wl, big_cfg)
+        assert ctx2.fetch_penalty == 0

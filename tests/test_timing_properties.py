@@ -1,0 +1,107 @@
+"""Cross-technique timing invariants on small generated workloads."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.config import volta
+from repro.core.gpu import GPU
+from repro.core.techniques import BASELINE, CARS_HIGH
+from repro.metrics.counters import SimStats, STREAM_SPILL
+from repro.workloads import KernelLaunch, SynthKernel, Workload, build_workload
+
+_CFG = dataclasses.replace(volta(), num_sms=2, max_warps_per_sm=8)
+
+
+def _run(workload, technique):
+    trace = workload.traces()[0]
+    stats = SimStats()
+    analysis = None
+    if technique.abi == "cars":
+        analysis = analyze_kernel(
+            build_call_graph(workload.module()), trace.kernel
+        )
+    ctx = technique.make_context(trace, _CFG, stats, analysis)
+    GPU(_CFG, ctx, stats).run(trace)
+    return stats
+
+
+_counter = [0]
+
+
+def _workload(depth, fru, iters, blocks):
+    _counter[0] += 1
+    spec = SynthKernel(
+        name="k",
+        depth=depth,
+        fru_chain=(fru,) * depth,
+        iters=iters,
+        grid_blocks=blocks,
+        loads_per_iter=1,
+        stores_per_iter=0,
+        alu_per_level=1,
+    )
+    return build_workload(f"prop{_counter[0]}", "t", [spec])
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    fru=st.integers(min_value=2, max_value=8),
+    iters=st.integers(min_value=1, max_value=3),
+)
+def test_invariants_baseline_vs_cars(depth, fru, iters):
+    workload = _workload(depth, fru, iters, blocks=2)
+    base = _run(workload, BASELINE)
+    cars = _run(workload, CARS_HIGH)
+    trace = workload.traces()[0]
+
+    # Both techniques issue every trace record exactly once.
+    assert base.warp_instructions == trace.dynamic_instructions
+    assert cars.warp_instructions == trace.dynamic_instructions
+
+    # Micro-ops at least cover the records; baseline adds spill expansion.
+    assert base.micro_ops >= base.warp_instructions
+    assert base.micro_ops >= cars.micro_ops
+
+    # CARS never produces more spill traffic than the baseline, and
+    # High-watermark with ample registers produces none at all.
+    assert cars.l1_accesses[STREAM_SPILL] <= base.l1_accesses[STREAM_SPILL]
+
+    # Both runs retire all blocks.
+    assert len(base.blocks) == len(cars.blocks) == 2
+
+    # Conservation: hits + misses == accesses, per stream.
+    for stats in (base, cars):
+        for stream in stats.l1_accesses:
+            assert (
+                stats.l1_hits[stream] + stats.l1_misses[stream]
+                == stats.l1_accesses[stream]
+            )
+
+    # Mix counters account for every issued micro-op.
+    assert sum(base.issued_by_kind.values()) == base.micro_ops
+    assert sum(cars.issued_by_kind.values()) == cars.micro_ops
+
+
+@settings(max_examples=6, deadline=None)
+@given(blocks=st.integers(min_value=1, max_value=6))
+def test_cycles_monotonic_in_grid_size(blocks):
+    small = _workload(depth=2, fru=4, iters=2, blocks=blocks)
+    big = _workload(depth=2, fru=4, iters=2, blocks=blocks + 4)
+    assert _run(big, BASELINE).cycles >= _run(small, BASELINE).cycles
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    iters=st.integers(min_value=1, max_value=3),
+)
+def test_determinism(depth, iters):
+    workload = _workload(depth, 4, iters, blocks=2)
+    a = _run(workload, BASELINE)
+    c = _run(workload, BASELINE)
+    assert a.cycles == c.cycles
+    assert a.l1_accesses == c.l1_accesses

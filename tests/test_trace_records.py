@@ -1,0 +1,156 @@
+"""Trace-record detail tests: fields the timing model depends on."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Emulator, GlobalMemory, TraceKind
+from repro.frontend import builder as b
+
+
+def _trace(prog, kernel="main", threads=32, blocks=1, params=(0,)):
+    module = b.compile(prog)
+    return Emulator(module, gmem=GlobalMemory()).launch(
+        kernel, blocks, threads, params
+    ), module
+
+
+class TestCallRecords:
+    def _chain(self):
+        prog = b.program()
+        b.device(prog, "leaf", ["x"], [b.ret(b.v("x") + 1)], reg_pressure=3)
+        b.device(prog, "mid", ["x"], [
+            b.let("t", b.v("x") * 2),
+            b.let("r", b.call("leaf", b.v("t"))),
+            b.ret(b.v("r") + b.v("t")),
+        ], reg_pressure=5)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("mid", b.gid())),
+        ])
+        return prog
+
+    def test_call_records_carry_callee_metadata(self):
+        trace, module = _trace(self._chain())
+        records = trace.blocks[0].warps[0].records
+        calls = [r for r in records if r.kind is TraceKind.CALL]
+        assert {r.callee for r in calls} == {"mid", "leaf"}
+        for record in calls:
+            func = module.function(record.callee)
+            assert record.fru == func.fru
+            assert record.push_count == (
+                func.callee_saved[1] if func.callee_saved else 0
+            )
+
+    def test_uniform_returns_release_frames(self):
+        trace, _ = _trace(self._chain())
+        records = trace.blocks[0].warps[0].records
+        rets = [r for r in records if r.kind is TraceKind.RET]
+        assert rets and all(r.frame_release for r in rets)
+
+    def test_divergent_returns_release_once(self):
+        prog = b.program()
+        b.device(prog, "clamp", ["x"], [
+            b.if_(b.v("x") > 15, [b.ret(b.c(15))]),
+            b.ret(b.v("x")),
+        ], reg_pressure=2)
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.call("clamp", b.gid())),
+        ])
+        trace, _ = _trace(prog)
+        records = trace.blocks[0].warps[0].records
+        rets = [r for r in records if r.kind is TraceKind.RET]
+        assert len(rets) == 2  # two divergent return paths
+        assert sum(1 for r in rets if r.frame_release) == 1
+        # The release comes last in program order for this warp.
+        assert rets[-1].frame_release
+
+    def test_push_records_list_saved_registers(self):
+        trace, module = _trace(self._chain())
+        records = trace.blocks[0].warps[0].records
+        pushes = [r for r in records if r.kind is TraceKind.PUSH]
+        for record in pushes:
+            assert record.reg_count == len(record.srcs)
+            assert all(reg >= 16 for reg in record.srcs)
+        pops = [r for r in records if r.kind is TraceKind.POP]
+        assert sum(p.reg_count for p in pushes) == sum(p.reg_count for p in pops)
+
+
+class TestMemoryRecords:
+    def test_coalesced_load_has_few_sectors(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["data"], [
+            b.let("x", b.load(b.v("data") + b.tid())),  # 32 consecutive words
+            b.store(b.v("data") + b.tid(), b.v("x")),
+        ])
+        trace, _ = _trace(prog)
+        records = trace.blocks[0].warps[0].records
+        loads = [r for r in records if r.kind is TraceKind.GLOBAL_LD]
+        assert loads and len(loads[0].sectors) == 4  # 32 words = 4 sectors
+
+    def test_scattered_load_fans_out(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["data"], [
+            b.let("x", b.load(b.v("data") + b.tid() * 1024)),
+            b.store(b.v("data"), b.v("x")),
+        ])
+        trace, _ = _trace(prog)
+        loads = [r for r in trace.blocks[0].warps[0].records
+                 if r.kind is TraceKind.GLOBAL_LD]
+        assert len(loads[0].sectors) == 32  # one sector per lane
+
+    def test_partially_active_access_coalesces_active_lanes_only(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["data"], [
+            b.let("x", b.c(0)),
+            b.if_(b.tid() < 8, [
+                b.let("x", b.load(b.v("data") + b.tid())),
+            ]),
+            b.store(b.v("data") + b.tid(), b.v("x")),
+        ])
+        trace, _ = _trace(prog)
+        loads = [r for r in trace.blocks[0].warps[0].records
+                 if r.kind is TraceKind.GLOBAL_LD]
+        assert loads[0].active == 8
+        assert len(loads[0].sectors) == 1  # 8 words fit one 32B sector
+
+    def test_active_mask_recorded_under_divergence(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.let("r", b.c(0)),
+            b.if_(b.tid() < 20, [b.let("r", b.tid() * 2)]),
+            b.store(b.v("out") + b.tid(), b.v("r")),
+        ])
+        trace, _ = _trace(prog)
+        actives = {r.active for r in trace.blocks[0].warps[0].records}
+        assert 20 in actives  # then-branch body executed with 20 lanes
+        assert 32 in actives
+
+
+class TestKernelTraceAggregates:
+    def test_dynamic_instruction_count(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.gid()),
+        ])
+        trace, _ = _trace(prog, blocks=2, threads=64)
+        per_warp = [len(w.records) for blk in trace.blocks for w in blk.warps]
+        assert trace.dynamic_instructions == sum(per_warp)
+        assert len(per_warp) == 4
+
+    def test_cpki_zero_for_call_free(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.gid()),
+        ])
+        trace, _ = _trace(prog)
+        assert trace.calls_per_kilo_instruction() == 0.0
+        assert trace.max_dynamic_call_depth() == 0
+
+    def test_metadata_propagated(self):
+        prog = b.program()
+        b.kernel(prog, "main", ["out"], [
+            b.store(b.v("out") + b.gid(), b.gid()),
+        ], shared_mem_bytes=2048)
+        trace, module = _trace(prog)
+        assert trace.shared_mem_bytes == 2048
+        assert trace.regs_per_warp_baseline == module.worst_case_regs["main"]
+        assert trace.code_bytes == module.code_bytes

@@ -1,0 +1,168 @@
+"""Validator tests: every malformed-program class is rejected."""
+
+import pytest
+
+from repro.isa import (
+    CALLEE_SAVED_BASE,
+    Function,
+    IsaError,
+    Module,
+    Opcode,
+    alu,
+    bra,
+    call,
+    calli,
+    cbra,
+    exit_,
+    ldg,
+    movi,
+    pop,
+    push,
+    ret,
+    setp,
+    ssy,
+    stl,
+    validate_function,
+    validate_module,
+)
+from repro.isa.instructions import Instruction
+
+
+def kernel(instructions, labels=None, num_regs=32, name="k"):
+    return Function(name=name, instructions=instructions, labels=labels or {},
+                    num_regs=num_regs, is_kernel=True)
+
+
+def device(instructions, num_regs=32, callee_saved=None, name="d"):
+    return Function(name=name, instructions=instructions, num_regs=num_regs,
+                    callee_saved=callee_saved)
+
+
+class TestFunctionShape:
+    def test_empty_function_rejected(self):
+        with pytest.raises(IsaError, match="empty"):
+            validate_function(kernel([]))
+
+    def test_kernel_must_end_with_exit(self):
+        with pytest.raises(IsaError, match="EXIT"):
+            validate_function(kernel([ret()]))
+
+    def test_device_must_end_with_ret(self):
+        with pytest.raises(IsaError, match="RET"):
+            validate_function(device([exit_()]))
+
+    def test_valid_kernel_passes(self):
+        validate_function(kernel([movi(1, 5), exit_()]))
+
+
+class TestOperandShapes:
+    def test_wrong_src_count(self):
+        bad = Instruction(op=Opcode.IADD, dst=(1,), srcs=(2,))
+        with pytest.raises(IsaError, match="src"):
+            validate_function(kernel([bad, exit_()]))
+
+    def test_wrong_dst_count(self):
+        bad = Instruction(op=Opcode.IADD, srcs=(1, 2))
+        with pytest.raises(IsaError, match="dst"):
+            validate_function(kernel([bad, exit_()]))
+
+    def test_register_out_of_declared_range(self):
+        with pytest.raises(IsaError, match="num_regs"):
+            validate_function(kernel([movi(31, 0), exit_()], num_regs=16))
+
+    def test_register_above_isa_limit(self):
+        func = kernel([movi(255, 0), exit_()], num_regs=300)
+        with pytest.raises(IsaError, match="exceeding"):
+            validate_function(func)
+
+    def test_setp_requires_pdst(self):
+        bad = Instruction(op=Opcode.SETP, srcs=(1, 2), imm=0)
+        with pytest.raises(IsaError, match="predicate"):
+            validate_function(kernel([bad, exit_()]))
+
+    def test_cbra_requires_psrc(self):
+        bad = Instruction(op=Opcode.CBRA, target=".l")
+        with pytest.raises(IsaError, match="predicate"):
+            validate_function(kernel([bad, exit_()], labels={".l": 0}))
+
+    def test_predicate_out_of_range(self):
+        bad = Instruction(op=Opcode.SETP, pdst=9, srcs=(1, 2), imm=0)
+        with pytest.raises(IsaError, match="P9"):
+            validate_function(kernel([bad, exit_()]))
+
+    def test_memory_op_needs_offset(self):
+        bad = Instruction(op=Opcode.LDG, dst=(1,), srcs=(2,))
+        with pytest.raises(IsaError, match="offset"):
+            validate_function(kernel([bad, exit_()]))
+
+
+class TestControlFlow:
+    def test_unresolved_label(self):
+        with pytest.raises(IsaError, match="unresolved"):
+            validate_function(kernel([bra(".nowhere"), exit_()]))
+
+    def test_resolved_label_ok(self):
+        validate_function(kernel([bra(".end"), exit_()], labels={".end": 1}))
+
+    def test_ssy_needs_target(self):
+        bad = Instruction(op=Opcode.SSY)
+        with pytest.raises(IsaError, match="target"):
+            validate_function(kernel([bad, exit_()]))
+
+    def test_calli_needs_candidates(self):
+        bad = Instruction(op=Opcode.CALLI, srcs=(4,))
+        with pytest.raises(IsaError, match="candidate"):
+            validate_function(kernel([bad, exit_()]))
+
+
+class TestAbiChecks:
+    def test_callee_saved_below_r16_rejected(self):
+        func = device([ret()], callee_saved=(8, 4))
+        with pytest.raises(IsaError, match="below the ABI base"):
+            validate_function(func)
+
+    def test_callee_saved_beyond_limit_rejected(self):
+        func = device([ret()], num_regs=256, callee_saved=(250, 10))
+        with pytest.raises(IsaError, match="exceeds"):
+            validate_function(func)
+
+    def test_push_zero_count_rejected(self):
+        bad = push(CALLEE_SAVED_BASE, 0)
+        with pytest.raises(IsaError, match="non-positive"):
+            validate_function(device([bad, ret()]))
+
+    def test_push_missing_range_rejected(self):
+        bad = Instruction(op=Opcode.PUSH)
+        with pytest.raises(IsaError, match="register range"):
+            validate_function(device([bad, ret()]))
+
+
+class TestModuleChecks:
+    def test_call_to_missing_function(self):
+        module = Module()
+        module.add(kernel([call("ghost"), exit_()]))
+        with pytest.raises(IsaError, match="unknown function"):
+            validate_module(module)
+
+    def test_call_to_kernel_rejected(self):
+        module = Module()
+        module.add(kernel([call("k2"), exit_()], name="k1"))
+        module.add(kernel([exit_()], name="k2"))
+        with pytest.raises(IsaError, match="cannot call kernel"):
+            validate_module(module)
+
+    def test_module_without_kernel_rejected(self):
+        module = Module()
+        module.add(device([ret()]))
+        with pytest.raises(IsaError, match="no kernel"):
+            validate_module(module)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(IsaError, match="empty"):
+            validate_module(Module())
+
+    def test_calli_candidates_resolved(self):
+        module = Module()
+        module.add(kernel([calli(4, ("ghost",)), exit_()]))
+        with pytest.raises(IsaError, match="unknown function"):
+            validate_module(module)

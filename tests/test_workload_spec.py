@@ -1,0 +1,79 @@
+"""Workload container semantics: compilation, tracing, setup hooks."""
+
+import numpy as np
+
+from repro.emu import GlobalMemory
+from repro.frontend import builder as b
+from repro.workloads import KernelLaunch, Workload
+
+
+def _program():
+    prog = b.program()
+    b.kernel(prog, "main", ["data", "out"], [
+        b.let("i", b.gid()),
+        b.store(b.v("out") + b.v("i"), b.load(b.v("data") + b.v("i")) * 2),
+    ])
+    return prog
+
+
+class TestWorkloadContainer:
+    def test_setup_hook_initializes_memory(self):
+        seen = []
+
+        def setup(gmem: GlobalMemory) -> None:
+            gmem.write_array(0, np.arange(64))
+            seen.append(True)
+
+        workload = Workload(
+            name="w", suite="t", program=_program(),
+            launches=[KernelLaunch("main", 1, 64, (0, 1000))],
+            setup=setup,
+        )
+        workload.traces()
+        assert seen == [True]
+
+    def test_setup_runs_once_per_variant(self):
+        calls = []
+        workload = Workload(
+            name="w2", suite="t", program=_program(),
+            launches=[KernelLaunch("main", 1, 64, (0, 1000))],
+            setup=lambda gmem: calls.append(1),
+        )
+        workload.traces()
+        workload.traces()
+        assert len(calls) == 1
+        workload.traces(inlined=True)
+        assert len(calls) == 2
+
+    def test_module_variants_are_distinct(self):
+        workload = Workload(
+            name="w3", suite="t", program=_program(),
+            launches=[KernelLaunch("main", 1, 64, (0, 1000))],
+        )
+        assert workload.module() is workload.module()
+        assert workload.module() is not workload.module(inlined=True)
+
+    def test_multi_launch_traces_in_order(self):
+        prog = _program()
+        b.kernel(prog, "second", ["data", "out"], [
+            b.store(b.v("out") + b.gid(), b.c(1)),
+        ])
+        workload = Workload(
+            name="w4", suite="t", program=prog,
+            launches=[
+                KernelLaunch("main", 1, 64, (0, 1000)),
+                KernelLaunch("second", 2, 32, (0, 2000)),
+            ],
+        )
+        traces = workload.traces()
+        assert [t.kernel for t in traces] == ["main", "second"]
+        assert traces[1].blocks[0].block_id == 0
+        assert len(traces[1].blocks) == 2
+
+    def test_measured_metrics_on_call_free(self):
+        workload = Workload(
+            name="w5", suite="t", program=_program(),
+            launches=[KernelLaunch("main", 1, 64, (0, 1000))],
+        )
+        assert workload.measured_cpki() == 0.0
+        assert workload.measured_call_depth() == 0

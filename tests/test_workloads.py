@@ -1,0 +1,171 @@
+"""Workload suite tests: Table I fidelity and generator correctness."""
+
+import pytest
+
+from repro.emu.trace import TraceKind
+from repro.frontend.inliner import inline_program
+from repro.isa.validator import validate_module
+from repro.workloads import (
+    SMOKE_NAMES,
+    WORKLOAD_NAMES,
+    SynthKernel,
+    build_workload,
+    growth_factor,
+    make_workload,
+)
+from repro.workloads.fig1_data import FIG1_SURVEY, series
+
+
+class TestSuiteDefinition:
+    def test_has_22_workloads(self):
+        assert len(WORKLOAD_NAMES) == 22
+
+    def test_table1_names_present(self):
+        for expected in ("PTA", "MST", "FIB", "LULESH", "SVR", "Bert_AtScore"):
+            assert expected in WORKLOAD_NAMES
+
+    def test_all_workloads_compile_and_validate(self):
+        for name in WORKLOAD_NAMES:
+            module = make_workload(name).module()
+            validate_module(module)
+
+    def test_inlined_variants_compile(self):
+        for name in SMOKE_NAMES:
+            module = make_workload(name).module(inlined=True)
+            validate_module(module)
+
+    def test_bottleneck_classes_assigned(self):
+        classes = {make_workload(n).bottleneck for n in WORKLOAD_NAMES}
+        assert "bandwidth" in classes
+        assert "capacity" in classes
+        assert "capacity+contention" in classes
+        assert "low-occupancy" in classes
+
+    def test_workloads_cached(self):
+        assert make_workload("SSSP") is make_workload("SSSP")
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            make_workload("NOPE")
+
+
+@pytest.mark.parametrize("name", SMOKE_NAMES)
+class TestTraceFidelity:
+    def test_call_depth_matches_table1(self, name):
+        wl = make_workload(name)
+        assert wl.measured_call_depth() == wl.paper_call_depth
+
+    def test_cpki_within_2x_of_table1(self, name):
+        wl = make_workload(name)
+        measured = wl.measured_cpki()
+        assert wl.paper_cpki / 2 <= measured <= wl.paper_cpki * 2
+
+    def test_traces_are_cached(self, name):
+        wl = make_workload(name)
+        assert wl.traces() is wl.traces()
+
+
+class TestPtaMultiKernel:
+    def test_pta_has_multiple_kernels(self):
+        pta = make_workload("PTA")
+        assert len(pta.launches) >= 6
+
+    def test_pta_k7_is_call_free(self):
+        pta = make_workload("PTA")
+        traces = {t.kernel: t for t in pta.traces()}
+        assert traces["K7"].count(TraceKind.CALL) == 0
+
+    def test_pta_k1_has_barriers(self):
+        pta = make_workload("PTA")
+        traces = {t.kernel: t for t in pta.traces()}
+        assert traces["K1"].count(TraceKind.BAR) > 0
+
+
+class TestSynthKnobs:
+    def test_recursion_knob(self):
+        wl = build_workload("r", "t", [SynthKernel(
+            name="k", recursion_depth=5, iters=1, grid_blocks=1,
+            loads_per_iter=1, stores_per_iter=0)])
+        assert wl.measured_call_depth() == 5
+
+    def test_depth_knob(self):
+        for depth in (1, 4, 7):
+            wl = build_workload(f"d{depth}", "t", [SynthKernel(
+                name="k", depth=depth, iters=1, grid_blocks=1)])
+            assert wl.measured_call_depth() == depth
+
+    def test_call_free_kernel(self):
+        wl = build_workload("cf", "t", [SynthKernel(
+            name="k", calls_per_iter=0, iters=2, grid_blocks=1)])
+        assert wl.traces()[0].count(TraceKind.CALL) == 0
+        assert wl.measured_cpki() == 0.0
+
+    def test_indirect_knob_produces_calli_dispatch(self):
+        wl = build_workload("ind", "t", [SynthKernel(
+            name="k", depth=2, use_indirect=True, iters=2, grid_blocks=1)])
+        module = wl.module()
+        from repro.isa import Opcode
+        kernel = module.kernel("k")
+        assert any(i.op is Opcode.CALLI for i in kernel.instructions)
+
+    def test_local_array_knob(self):
+        wl = build_workload("loc", "t", [SynthKernel(
+            name="k", local_array=True, iters=2, grid_blocks=1)])
+        trace = wl.traces()[0]
+        assert trace.count(TraceKind.LOCAL_LD) > 0
+        assert trace.count(TraceKind.LOCAL_ST) > 0
+
+    def test_barrier_knob(self):
+        wl = build_workload("bar", "t", [SynthKernel(
+            name="k", barrier_iters=1, iters=3, grid_blocks=1)])
+        warps = 64 // 32  # default threads_per_block
+        assert wl.traces()[0].count(TraceKind.BAR) == 3 * warps
+
+    def test_shared_mem_knob(self):
+        wl = build_workload("sm", "t", [SynthKernel(
+            name="k", shared_mem_bytes=1024, iters=2, grid_blocks=1)])
+        assert wl.traces()[0].count(TraceKind.SMEM) > 0
+        assert wl.module().kernel("k").shared_mem_bytes == 1024
+
+    def test_bad_region_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("bad", "t", [SynthKernel(
+                name="k", region_words=1000)]).traces()
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("bad2", "t", [SynthKernel(
+                name="k", pattern="wat")]).traces()
+
+    def test_cpki_scales_with_alu_density(self):
+        lean = build_workload("lean", "t", [SynthKernel(
+            name="k", alu_per_level=0, iters=2, grid_blocks=1)])
+        fat = build_workload("fat", "t", [SynthKernel(
+            name="k", alu_per_level=30, iters=2, grid_blocks=1)])
+        assert lean.measured_cpki() > fat.measured_cpki()
+
+    def test_lto_variant_loses_calls(self):
+        wl = build_workload("lt", "t", [SynthKernel(
+            name="k", depth=3, iters=2, grid_blocks=1)])
+        assert wl.traces(inlined=True)[0].count(TraceKind.CALL) == 0
+
+
+class TestFig1Data:
+    def test_growth_is_orders_of_magnitude(self):
+        assert growth_factor() > 100
+
+    def test_quoted_paper_numbers(self):
+        by_name = {s.name: s for s in FIG1_SURVEY}
+        assert by_name["Cutlass"].device_functions == 3760
+        assert by_name["Cutlass"].code_files == 3129
+        assert by_name["Rapids"].device_functions == 27469
+        assert by_name["Rapids"].code_files == 6348
+
+    def test_series_sorted_by_year(self):
+        years = [y for y, _, _ in series()]
+        assert years == sorted(years)
+
+    def test_trend_is_monotonic_at_endpoints(self):
+        data = series()
+        assert data[-1][1] > data[0][1]  # SLOC grows
+        assert data[-1][2] > data[0][2]  # device functions grow
