@@ -1,0 +1,85 @@
+"""Lint demo: run the ABI/stack-safety linter over a hand-written binary.
+
+    python examples/lint_demo.py
+
+The DSL compiler only emits well-formed code, so this example assembles a
+deliberately broken device function directly from ISA builders — the kind
+of binary a buggy backend (or a hand-patched SASS file) could produce —
+and shows how `repro.analysis` reports each violation, how the harness
+gate refuses to simulate it, and that a real workload binary lints clean.
+"""
+
+from repro.analysis import LintError, ensure_module_linted, lint_module, render_text
+from repro.isa import (
+    Function,
+    Module,
+    Opcode,
+    alu,
+    call,
+    cbra,
+    exit_,
+    movi,
+    pop,
+    push,
+    ret,
+    setp,
+    ssy,
+    sync,
+)
+from repro.workloads import make_workload
+
+
+def build_broken_module():
+    """A kernel calling a device function with four distinct ABI bugs."""
+    # __device__: clobbers callee-saved state and loses a PUSH on one path.
+    buggy = Function(
+        name="buggy",
+        instructions=[
+            alu(Opcode.IADD, 5, 12, 4),   # R12 is scratch: never written!
+            movi(17, 7),                  # callee-saved R17, no PUSH at all
+            setp(0, 0, 4, 5),
+            ssy("join"),
+            cbra(0, "deep"),
+            sync(),                       # shallow path: nothing pushed
+            push(16, 2),                  # deep path: pushes and never pops
+            sync(),
+            ret(),                        # paths disagree on stack depth
+        ],
+        labels={"deep": 6, "join": 8},
+        num_regs=18,
+        callee_saved=(16, 2),
+        fru=3,
+    )
+    main = Function(
+        name="main",
+        instructions=[call("buggy"), exit_()],
+        num_regs=16,
+        is_kernel=True,
+        fru=16,
+    )
+    return Module(functions={"main": main, "buggy": buggy},
+                  worst_case_regs={"main": 21})
+
+
+def main():
+    module = build_broken_module()
+    report = lint_module(module, "broken-demo")
+    print("== lint report for the broken binary ==")
+    print(render_text([report]))
+
+    print("\n== the harness gate on the same binary ==")
+    try:
+        ensure_module_linted(module, "broken-demo")
+    except LintError as exc:
+        first = str(exc).splitlines()[0]
+        print(f"  refused to simulate: {first}")
+
+    workload = make_workload("MST")
+    clean = lint_module(workload.module(), "MST")
+    print("\n== a real workload binary ==")
+    print(render_text([clean]))
+    print(f"  gate passes: {clean.ok(strict=True)}")
+
+
+if __name__ == "__main__":
+    main()

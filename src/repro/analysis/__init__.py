@@ -1,0 +1,58 @@
+"""Static analysis: CFGs, dataflow, and the ABI/stack-safety linter.
+
+The package layers bottom-up:
+
+* :mod:`repro.analysis.cfg` — basic blocks and edges over
+  :class:`repro.isa.Function` (labels, BRA/CBRA/SSY/SYNC/RET semantics);
+* :mod:`repro.analysis.dataflow` — a generic worklist engine
+  (forward/backward, meet-over-paths) with liveness and
+  reaching-definitions instances;
+* :mod:`repro.analysis.diagnostics` — codes, severities, renderers;
+* :mod:`repro.analysis.lint` — the pass suite proving the link-time
+  facts CARS depends on (ABI PUSH/POP discipline, FRU/MaxStackDepth
+  accounting, SSY/SYNC pairing) along *all* control-flow paths.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg, sync_scopes
+from .dataflow import (
+    DataflowProblem,
+    Liveness,
+    ReachingDefinitions,
+    Solution,
+    per_instruction_liveness,
+    per_instruction_reaching,
+    solve,
+)
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+    render_json,
+    render_text,
+)
+from .lint import LintError, ensure_module_linted, lint_function, lint_module
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "sync_scopes",
+    "DataflowProblem",
+    "Liveness",
+    "ReachingDefinitions",
+    "Solution",
+    "per_instruction_liveness",
+    "per_instruction_reaching",
+    "solve",
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "render_json",
+    "render_text",
+    "LintError",
+    "ensure_module_linted",
+    "lint_function",
+    "lint_module",
+]

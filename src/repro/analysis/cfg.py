@@ -1,0 +1,161 @@
+"""Control-flow graphs over :class:`repro.isa.Function` instruction lists.
+
+Basic blocks are maximal straight-line runs; edges follow the execution
+semantics of the mini-ISA's structured-divergence discipline:
+
+* ``BRA``  -> its target;
+* ``CBRA`` -> its target *and* the fall-through (both lane subsets exist
+  statically);
+* ``SSY``  -> fall-through only (it pushes a reconvergence point without
+  transferring control);
+* ``SYNC`` -> the innermost enclosing SSY target (lanes park at the SYNC
+  and the warp resumes at the reconvergence point);
+* ``RET`` / ``EXIT`` -> no successors;
+* everything else (including ``CALL``/``CALLI``, which return to the next
+  instruction) -> fall-through.
+
+The SSY scope that a SYNC reconverges to is recovered by a structural
+scan: the compiler emits properly nested scopes, and a scope closes when
+the instruction stream reaches its reconvergence label.  Malformed
+nesting leaves a SYNC scope-less; the CFG gives it no successors and the
+lint passes (:mod:`repro.analysis.lint`) report the pairing violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Function
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CFG:
+    """Per-function control-flow graph.
+
+    Attributes:
+        func: the function the graph describes.
+        blocks: basic blocks in instruction order; block 0 is the entry.
+        block_of: instruction index -> owning block index.
+        sync_scope: SYNC instruction index -> reconvergence instruction
+            index, or None when the SYNC has no enclosing SSY scope.
+    """
+
+    func: Function
+    blocks: List[BasicBlock]
+    block_of: List[int]
+    sync_scope: Dict[int, Optional[int]]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def instructions(self, block: BasicBlock) -> List[Instruction]:
+        return self.func.instructions[block.start:block.end]
+
+    def reachable_blocks(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+def sync_scopes(func: Function) -> Dict[int, Optional[int]]:
+    """Map each SYNC to the reconvergence point of its innermost SSY scope.
+
+    A linear scan maintains the stack of open SSY scopes: SSY pushes its
+    target index, and a scope closes when the scan reaches that index.
+    This mirrors the emulator's SIMT stack for the structured control flow
+    the compiler emits; a SYNC encountered with no open scope maps to None.
+    """
+    open_scopes: List[int] = []
+    scopes: Dict[int, Optional[int]] = {}
+    for idx, inst in enumerate(func.instructions):
+        while open_scopes and open_scopes[-1] == idx:
+            open_scopes.pop()
+        if inst.op is Opcode.SSY:
+            open_scopes.append(func.label_index(inst.target))
+        elif inst.op is Opcode.SYNC:
+            scopes[idx] = open_scopes[-1] if open_scopes else None
+    return scopes
+
+
+def _successors(func: Function, scopes: Dict[int, Optional[int]]) -> List[List[int]]:
+    """Execution successors per instruction index (targets past the end
+    of the function are dropped)."""
+    n = len(func.instructions)
+    succs: List[List[int]] = []
+    for idx, inst in enumerate(func.instructions):
+        out: List[int] = []
+        if inst.op is Opcode.BRA:
+            out.append(func.label_index(inst.target))
+        elif inst.op is Opcode.CBRA:
+            out.append(func.label_index(inst.target))
+            out.append(idx + 1)
+        elif inst.op is Opcode.SYNC:
+            target = scopes.get(idx)
+            if target is not None:
+                out.append(target)
+        elif inst.op in (Opcode.RET, Opcode.EXIT):
+            pass
+        else:
+            out.append(idx + 1)
+        succs.append(sorted({s for s in out if s < n}))
+    return succs
+
+
+def build_cfg(func: Function) -> CFG:
+    """Partition *func* into basic blocks and connect them."""
+    n = len(func.instructions)
+    if n == 0:
+        raise ValueError(f"{func.name}: cannot build a CFG for an empty function")
+    scopes = sync_scopes(func)
+    succs = _successors(func, scopes)
+
+    leaders = {0}
+    leaders.update(idx for idx in func.labels.values() if idx < n)
+    for idx, inst_succs in enumerate(succs):
+        # Any instruction that does not simply fall through ends a block.
+        if inst_succs != [idx + 1]:
+            leaders.update(inst_succs)
+            if idx + 1 < n:
+                leaders.add(idx + 1)
+
+    starts = sorted(leaders)
+    blocks = [
+        BasicBlock(index=i, start=start, end=end)
+        for i, (start, end) in enumerate(zip(starts, starts[1:] + [n]))
+    ]
+    block_of = [0] * n
+    for block in blocks:
+        for idx in range(block.start, block.end):
+            block_of[idx] = block.index
+
+    for block in blocks:
+        block.succs = sorted({block_of[s] for s in succs[block.end - 1]})
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.index)
+
+    return CFG(func=func, blocks=blocks, block_of=block_of, sync_scope=scopes)

@@ -1,0 +1,319 @@
+"""Generic worklist dataflow engine plus the standard instances.
+
+The engine solves forward or backward meet-over-paths problems over a
+:class:`repro.analysis.cfg.CFG`.  A problem supplies the lattice through
+four hooks (:meth:`~DataflowProblem.boundary`, :meth:`~DataflowProblem.top`,
+:meth:`~DataflowProblem.meet`, :meth:`~DataflowProblem.transfer`); the
+engine iterates blocks to a fixed point and exposes per-block in/out
+values, with helpers to replay a block's transfer for per-instruction
+results.
+
+Two classic instances are provided:
+
+* :class:`Liveness` — backward may-analysis over register/predicate
+  locations, parameterized by the call-effect model (see
+  :func:`inst_uses` / :func:`inst_defs`);
+* :class:`ReachingDefinitions` — forward may-analysis over
+  ``(location, def_index)`` pairs, seeded with entry pseudo-definitions so
+  uses of never-defined locations are observable (the uninitialized-read
+  lint rides on this).
+
+Registers and predicates share one location space: architectural register
+``r`` is location ``r``; predicate ``p`` is location ``PRED_LOC_BASE + p``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..isa.instructions import Instruction, MAX_REGS, NUM_PREDS
+from ..isa.opcodes import Opcode, is_call
+from ..frontend import abi
+from .cfg import CFG, BasicBlock
+
+#: Predicate registers live in the same location space, above the GPRs.
+PRED_LOC_BASE = MAX_REGS
+
+#: Pseudo def-site marking "defined at function entry" (ABI registers).
+ENTRY_DEF = -1
+
+#: Pseudo def-site marking "never defined on some path into this point".
+UNINIT_DEF = -2
+
+Location = int
+DefSite = Tuple[Location, int]
+
+
+def pred_loc(pred: int) -> Location:
+    """Location of predicate register *pred*."""
+    return PRED_LOC_BASE + pred
+
+
+def is_pred_loc(loc: Location) -> bool:
+    return loc >= PRED_LOC_BASE
+
+
+def loc_name(loc: Location) -> str:
+    """Human-readable name of a location (``R5``, ``P0``)."""
+    return f"P{loc - PRED_LOC_BASE}" if is_pred_loc(loc) else f"R{loc}"
+
+
+#: Caller-saved architectural registers (arguments, return value, scratch).
+CALLER_SAVED = frozenset(
+    range(abi.ARG_REG_BASE, abi.TEMP_REG_BASE + abi.TEMP_REG_COUNT)
+)
+
+#: Argument registers a call may read (the arity is not encoded in CALL).
+ARG_LOCS = frozenset(range(abi.ARG_REG_BASE, abi.ARG_REG_BASE + abi.MAX_REG_ARGS))
+
+
+def inst_uses(inst: Instruction, conservative_calls: bool = True) -> FrozenSet[Location]:
+    """Locations *inst* reads.
+
+    With ``conservative_calls`` a CALL/CALLI also reads every argument
+    register (their arity is unknown statically) and RET reads the return
+    register — the right model for dead-store detection.  Without it,
+    calls read only their explicit operands (the CALLI selector), which is
+    the model for detecting values that *flow across* a call.
+    """
+    uses = set(inst.srcs)
+    if inst.psrc is not None:
+        uses.add(pred_loc(inst.psrc))
+    if inst.op is Opcode.PUSH:
+        start, count = inst.push_regs
+        uses.update(range(start, start + count))
+    if is_call(inst.op) and conservative_calls:
+        uses.update(ARG_LOCS)
+    if inst.op is Opcode.RET and conservative_calls:
+        uses.add(abi.RETURN_REG)
+    return frozenset(uses)
+
+
+def inst_defs(inst: Instruction) -> FrozenSet[Location]:
+    """Locations *inst* writes.  Calls define the return register; POP
+    restores (hence defines) its whole register range."""
+    defs = set(inst.dst)
+    if inst.pdst is not None:
+        defs.add(pred_loc(inst.pdst))
+    if inst.op is Opcode.POP:
+        start, count = inst.push_regs
+        defs.update(range(start, start + count))
+    if is_call(inst.op):
+        defs.add(abi.RETURN_REG)
+    return frozenset(defs)
+
+
+def entry_defined_locations(func) -> FrozenSet[Location]:
+    """Locations holding defined values when *func* starts executing:
+    the hardware special registers and the ABI argument registers (kernel
+    launch parameters land there too)."""
+    return frozenset(abi.SPECIAL_REGS.values()) | ARG_LOCS
+
+
+class DataflowProblem:
+    """Base class for meet-over-paths dataflow problems.
+
+    Subclasses set :attr:`FORWARD` and implement the four lattice hooks.
+    Values must be comparable with ``==`` and treated as immutable.
+    """
+
+    FORWARD = True
+
+    def boundary(self, cfg: CFG):
+        """Value entering the entry block (forward) / leaving exits (backward)."""
+        raise NotImplementedError
+
+    def top(self, cfg: CFG):
+        """Initial optimistic value for every non-boundary block edge."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Combine values at a control-flow join."""
+        raise NotImplementedError
+
+    def transfer(self, cfg: CFG, block: BasicBlock, value):
+        """Push *value* through *block* (in execution order when forward,
+        reverse order when backward)."""
+        raise NotImplementedError
+
+
+class Solution:
+    """Fixed-point result: per-block values on both sides of each block.
+
+    ``inputs[b]`` is the value entering the transfer of block *b* —
+    block-in for forward problems, block-out for backward ones —
+    and ``outputs[b]`` the value it produces.
+    """
+
+    def __init__(self, problem: DataflowProblem, cfg: CFG,
+                 inputs: List[object], outputs: List[object]) -> None:
+        self.problem = problem
+        self.cfg = cfg
+        self.inputs = inputs
+        self.outputs = outputs
+
+    def block_in(self, index: int):
+        return self.inputs[index] if self.problem.FORWARD else self.outputs[index]
+
+    def block_out(self, index: int):
+        return self.outputs[index] if self.problem.FORWARD else self.inputs[index]
+
+
+def solve(problem: DataflowProblem, cfg: CFG) -> Solution:
+    """Run the worklist algorithm to a fixed point."""
+    n = len(cfg.blocks)
+    inputs: List[object] = [problem.top(cfg) for _ in range(n)]
+    outputs: List[object] = [problem.transfer(cfg, b, inputs[b.index])
+                             for b in cfg.blocks]
+
+    if problem.FORWARD:
+        def feeders(b: BasicBlock) -> List[int]:
+            return b.preds
+
+        def dependents(b: BasicBlock) -> List[int]:
+            return b.succs
+    else:
+        def feeders(b: BasicBlock) -> List[int]:
+            return b.succs
+
+        def dependents(b: BasicBlock) -> List[int]:
+            return b.preds
+
+    boundary = problem.boundary(cfg)
+    worklist = list(range(n))
+    on_list = [True] * n
+    while worklist:
+        index = worklist.pop()
+        on_list[index] = False
+        block = cfg.blocks[index]
+        # The boundary value feeds the entry block (forward) or every
+        # exit block, i.e. one with no successors (backward).
+        at_boundary = index == 0 if problem.FORWARD else not block.succs
+        value = boundary if at_boundary else None
+        for feeder in feeders(block):
+            value = outputs[feeder] if value is None else problem.meet(
+                value, outputs[feeder])
+        if value is None:
+            value = problem.top(cfg)
+        new_out = problem.transfer(cfg, block, value)
+        if value != inputs[index] or new_out != outputs[index]:
+            inputs[index] = value
+            outputs[index] = new_out
+            for dep in dependents(block):
+                if not on_list[dep]:
+                    on_list[dep] = True
+                    worklist.append(dep)
+    return Solution(problem, cfg, inputs, outputs)
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+
+
+class Liveness(DataflowProblem):
+    """Backward may-analysis: which locations are live at each point.
+
+    ``conservative_calls`` selects the call-effect model of
+    :func:`inst_uses`; see there for when each model is appropriate.
+    """
+
+    FORWARD = False
+
+    def __init__(self, conservative_calls: bool = True) -> None:
+        self.conservative_calls = conservative_calls
+
+    def boundary(self, cfg: CFG) -> FrozenSet[Location]:
+        return frozenset()
+
+    def top(self, cfg: CFG) -> FrozenSet[Location]:
+        return frozenset()
+
+    def meet(self, a: FrozenSet[Location], b: FrozenSet[Location]):
+        return a | b
+
+    def transfer(self, cfg: CFG, block: BasicBlock, live: FrozenSet[Location]):
+        live = set(live)
+        for inst in reversed(cfg.instructions(block)):
+            live -= inst_defs(inst)
+            live |= inst_uses(inst, self.conservative_calls)
+        return frozenset(live)
+
+
+def per_instruction_liveness(
+    cfg: CFG, solution: Solution
+) -> Tuple[List[FrozenSet[Location]], List[FrozenSet[Location]]]:
+    """Expand a :class:`Liveness` solution to per-instruction live-in/out."""
+    problem = solution.problem
+    assert isinstance(problem, Liveness)
+    n = len(cfg.func.instructions)
+    live_in: List[FrozenSet[Location]] = [frozenset()] * n
+    live_out: List[FrozenSet[Location]] = [frozenset()] * n
+    for block in cfg.blocks:
+        live = set(solution.block_out(block.index))
+        for idx in range(block.end - 1, block.start - 1, -1):
+            inst = cfg.func.instructions[idx]
+            live_out[idx] = frozenset(live)
+            live -= inst_defs(inst)
+            live |= inst_uses(inst, problem.conservative_calls)
+            live_in[idx] = frozenset(live)
+    return live_in, live_out
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-analysis over ``(location, def_index)`` pairs.
+
+    The entry boundary seeds every ABI-defined location with
+    :data:`ENTRY_DEF` and every other location with :data:`UNINIT_DEF`, so
+    downstream consumers can ask "can an undefined value reach this use?"
+    without a separate analysis.
+    """
+
+    FORWARD = True
+
+    def boundary(self, cfg: CFG) -> FrozenSet[DefSite]:
+        defined = entry_defined_locations(cfg.func)
+        sites = {(loc, ENTRY_DEF) for loc in defined}
+        for reg in range(cfg.func.num_regs):
+            if reg not in defined:
+                sites.add((reg, UNINIT_DEF))
+        for pred in range(PRED_LOC_BASE, PRED_LOC_BASE + NUM_PREDS):
+            sites.add((pred, UNINIT_DEF))
+        return frozenset(sites)
+
+    def top(self, cfg: CFG) -> FrozenSet[DefSite]:
+        return frozenset()
+
+    def meet(self, a: FrozenSet[DefSite], b: FrozenSet[DefSite]):
+        return a | b
+
+    def transfer(self, cfg: CFG, block: BasicBlock, reaching: FrozenSet[DefSite]):
+        sites = set(reaching)
+        for idx in range(block.start, block.end):
+            defs = inst_defs(cfg.func.instructions[idx])
+            if defs:
+                sites = {s for s in sites if s[0] not in defs}
+                sites.update((loc, idx) for loc in defs)
+        return frozenset(sites)
+
+
+def per_instruction_reaching(
+    cfg: CFG, solution: Solution
+) -> List[FrozenSet[DefSite]]:
+    """Expand a :class:`ReachingDefinitions` solution to per-instruction
+    reaching-definition sets (the set *entering* each instruction)."""
+    assert isinstance(solution.problem, ReachingDefinitions)
+    n = len(cfg.func.instructions)
+    reach_in: List[FrozenSet[DefSite]] = [frozenset()] * n
+    for block in cfg.blocks:
+        sites = set(solution.block_in(block.index))
+        for idx in range(block.start, block.end):
+            reach_in[idx] = frozenset(sites)
+            defs = inst_defs(cfg.func.instructions[idx])
+            if defs:
+                sites = {s for s in sites if s[0] not in defs}
+                sites.update((loc, idx) for loc in defs)
+    return reach_in

@@ -1,0 +1,139 @@
+"""Diagnostics framework: codes, severities, locations, renderers.
+
+Every lint finding is a :class:`Diagnostic` carrying a stable ``CARSnnn``
+code (1xx dataflow hygiene, 2xx ABI/register-stack safety, 3xx divergence
+discipline, 4xx cross-module stack accounting), a severity, and a precise
+location (function name plus instruction index when applicable).
+:class:`LintReport` aggregates findings over a module and knows the CLI
+gating rules: errors always fail, warnings only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, asdict
+from typing import Dict, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders so errors sort first."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: Registry of diagnostic codes -> one-line rule summary.  Kept in one
+#: place so the CLI can list rules and tests can assert none is vacuous.
+CODES: Dict[str, str] = {
+    "CARS101": "register may be read before it is written",
+    "CARS102": "predicate may be used before any SETP defines it",
+    "CARS103": "dead store: result is never read",
+    "CARS104": "unreachable code",
+    "CARS201": "caller-saved register is live across a call",
+    "CARS202": "callee-saved register written outside the declared block",
+    "CARS203": "callee-saved register written without a covering PUSH",
+    "CARS204": "PUSH/POP imbalance along some control-flow path",
+    "CARS205": "PUSH/POP range below the callee-saved ABI base",
+    "CARS301": "SYNC without an enclosing SSY scope on some path",
+    "CARS302": "divergent branch (CBRA) outside any SSY scope",
+    "CARS401": "PUSH demand exceeds the call graph's MaxStackDepth",
+    "CARS402": "declared callee-saved block and PUSH/FRU metadata disagree",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    Attributes:
+        code: stable ``CARSnnn`` identifier (a key of :data:`CODES`).
+        severity: gating class.
+        function: function the finding is in (empty for module-level).
+        index: instruction index within the function, or None.
+        message: human-readable detail.
+    """
+
+    code: str
+    severity: Severity
+    function: str
+    message: str
+    index: Optional[int] = None
+
+    @property
+    def location(self) -> str:
+        if not self.function:
+            return "<module>"
+        if self.index is None:
+            return self.function
+        return f"{self.function}[{self.index}]"
+
+    def render(self) -> str:
+        return f"{self.severity.value} {self.code} {self.location}: {self.message}"
+
+
+def error(code: str, function: str, message: str,
+          index: Optional[int] = None) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, function, message, index)
+
+
+def warning(code: str, function: str, message: str,
+            index: Optional[int] = None) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, function, message, index)
+
+
+@dataclass
+class LintReport:
+    """All findings for one module (or workload)."""
+
+    name: str
+    diagnostics: List[Diagnostic]
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when the module passes the lint gate."""
+        if self.errors():
+            return False
+        return not (strict and self.warnings())
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+
+def render_text(reports: Sequence[LintReport], verbose: bool = True) -> str:
+    """Human-readable multi-module report."""
+    lines: List[str] = []
+    for report in reports:
+        n_err, n_warn = len(report.errors()), len(report.warnings())
+        if not report.diagnostics:
+            lines.append(f"{report.name}: clean")
+            continue
+        lines.append(f"{report.name}: {n_err} error(s), {n_warn} warning(s)")
+        if verbose:
+            for diag in sorted(report.diagnostics,
+                               key=lambda d: (d.severity.value, d.code,
+                                              d.function, d.index or 0)):
+                lines.append(f"  {diag.render()}")
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[LintReport]) -> str:
+    """Machine-readable report (one object per module)."""
+    payload = [
+        {
+            "name": report.name,
+            "errors": len(report.errors()),
+            "warnings": len(report.warnings()),
+            "diagnostics": [
+                {**asdict(diag), "severity": diag.severity.value}
+                for diag in report.diagnostics
+            ],
+        }
+        for report in reports
+    ]
+    return json.dumps(payload, indent=2)

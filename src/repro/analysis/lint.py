@@ -1,0 +1,582 @@
+"""Lint passes: ABI and stack-safety checking over the CFG + dataflow layer.
+
+Where :mod:`repro.isa.validator` enforces *structural* invariants (operand
+shapes, label resolution, register bounds), the linter proves *path*
+properties: every diagnostic here is justified along actual control-flow
+paths, replacing the validator's straight-line approximations.  The rule
+set (see :data:`repro.analysis.diagnostics.CODES`):
+
+* CARS101/102 — uninitialized register / predicate reads (reaching defs
+  with entry pseudo-definitions);
+* CARS103     — dead stores (conservative-call liveness);
+* CARS104     — unreachable code (CFG reachability; compiler-emitted
+  reconvergence SYNC/NOP padding is exempt);
+* CARS201     — caller-saved values live across a call (strict-call
+  liveness: the callee may clobber them);
+* CARS202/203 — callee-saved writes outside the declared block / not
+  covered by a PUSH on every inbound path (must-analysis);
+* CARS204/205 — PUSH/POP balance along all paths, ABI range base;
+* CARS301/302 — SYNC outside any SSY scope, divergent CBRA outside any
+  SSY scope, and inconsistent scope depth at merges;
+* CARS401/402 — cross-checks of PUSH demand against the call graph's
+  MaxStackDepth and each function's declared FRU/callee-saved metadata.
+
+Use :func:`lint_function` / :func:`lint_module` directly, or
+:func:`ensure_module_linted` as the harness gate (raises
+:class:`LintError` so a miscompiled workload fails loudly instead of
+producing silently wrong numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..callgraph import analyze_kernel, build_call_graph
+from ..isa.instructions import CALLEE_SAVED_BASE
+from ..isa.opcodes import OpClass, Opcode, is_call
+from ..isa.program import Function, IsaError, Module
+from ..frontend import abi
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import (
+    CALLER_SAVED,
+    Liveness,
+    ReachingDefinitions,
+    UNINIT_DEF,
+    is_pred_loc,
+    loc_name,
+    per_instruction_liveness,
+    per_instruction_reaching,
+    pred_loc,
+    solve,
+)
+from .diagnostics import Diagnostic, LintReport, error, warning
+
+
+class LintError(IsaError):
+    """Raised by the harness gate when a module has lint errors."""
+
+    def __init__(self, report: LintReport) -> None:
+        lines = [d.render() for d in report.errors()]
+        super().__init__(
+            f"{report.name}: {len(lines)} lint error(s)\n  " + "\n  ".join(lines)
+        )
+        self.report = report
+
+
+# ---------------------------------------------------------------------------
+# CARS101 / CARS102: uninitialized reads
+
+
+def _checked_uses(func: Function, idx: int) -> FrozenSet[int]:
+    """Locations whose value instruction *idx* genuinely consumes.
+
+    PUSH range reads (saving the caller's values is the point) and the
+    conservative call/RET effects are excluded — only explicit operands
+    are held to the initialized-before-use rule.
+    """
+    inst = func.instructions[idx]
+    uses = set(inst.srcs)
+    if inst.psrc is not None:
+        uses.add(pred_loc(inst.psrc))
+    return frozenset(uses)
+
+
+def _check_uninitialized(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    reach_in = per_instruction_reaching(cfg, solve(ReachingDefinitions(), cfg))
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        for idx in range(block.start, block.end):
+            maybe_uninit = {s[0] for s in reach_in[idx] if s[1] == UNINIT_DEF}
+            for loc in sorted(_checked_uses(func, idx) & maybe_uninit):
+                code = "CARS102" if is_pred_loc(loc) else "CARS101"
+                diags.append(error(
+                    code, func.name,
+                    f"{loc_name(loc)} may be read before it is written "
+                    f"({func.instructions[idx].op.value})", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS103: dead stores
+
+#: Opcodes whose only effect is their register/predicate result.
+_PURE_CLASSES = (OpClass.ALU, OpClass.FPU, OpClass.SFU)
+
+
+def _check_dead_stores(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    _, live_out = per_instruction_liveness(
+        cfg, solve(Liveness(conservative_calls=True), cfg))
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        for idx in range(block.start, block.end):
+            inst = func.instructions[idx]
+            if inst.op_class not in _PURE_CLASSES:
+                continue
+            # Plain register copies are exempt: the frontend uniformly
+            # emits parameter/return glue MOVs that are dead by
+            # construction when a parameter goes unused.  Dead *work*
+            # (arithmetic, loads of constants, selects) is what we flag.
+            if inst.op is Opcode.MOV:
+                continue
+            for reg in inst.dst:
+                # The ABI return slot's reader is the (unknown) caller.
+                if reg == abi.RETURN_REG:
+                    continue
+                if reg not in live_out[idx]:
+                    diags.append(warning(
+                        "CARS103", func.name,
+                        f"value written to R{reg} by {inst.op.value} "
+                        f"is never read", idx))
+            if inst.pdst is not None and pred_loc(inst.pdst) not in live_out[idx]:
+                diags.append(warning(
+                    "CARS103", func.name,
+                    f"predicate P{inst.pdst} set by {inst.op.value} "
+                    f"is never read", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS104: unreachable code
+
+
+def _check_unreachable(cfg: CFG) -> List[Diagnostic]:
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index in reachable:
+            continue
+        insts = cfg.instructions(block)
+        # Structured lowering leaves reconvergence SYNCs (and NOP padding)
+        # behind branches that always leave the scope; those are benign.
+        if all(i.op in (Opcode.SYNC, Opcode.NOP) for i in insts):
+            continue
+        diags.append(warning(
+            "CARS104", cfg.func.name,
+            f"unreachable code ({len(insts)} instruction(s) starting with "
+            f"{insts[0].op.value})", block.start))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS201: caller-saved registers live across calls
+
+
+def _check_caller_saved_across_calls(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    live_in, live_out = per_instruction_liveness(
+        cfg, solve(Liveness(conservative_calls=False), cfg))
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        for idx in range(block.start, block.end):
+            inst = func.instructions[idx]
+            if not is_call(inst.op):
+                continue
+            # Live out of the call *and* into it: the value flows across
+            # (RETURN_REG is produced by the call itself, so it is exempt).
+            crossing = live_out[idx] & live_in[idx] & CALLER_SAVED
+            for reg in sorted(crossing - {abi.RETURN_REG}):
+                diags.append(error(
+                    "CARS201", func.name,
+                    f"caller-saved R{reg} is live across {inst.op.value} "
+                    f"(the callee may clobber it)", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS202 / CARS203: callee-saved write discipline (must-pushed analysis)
+
+
+class _MustPushed:
+    """Forward must-analysis: registers covered by a PUSH on *every* path.
+
+    Implemented directly on the generic engine's protocol; the value is a
+    frozenset of pushed registers, with None as the unreached top.
+    """
+
+    FORWARD = True
+
+    def boundary(self, cfg: CFG) -> FrozenSet[int]:
+        return frozenset()
+
+    def top(self, cfg: CFG) -> Optional[FrozenSet[int]]:
+        return None
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, cfg: CFG, block: BasicBlock, pushed):
+        if pushed is None:
+            return None
+        pushed = set(pushed)
+        for inst in cfg.instructions(block):
+            if inst.op is Opcode.PUSH:
+                start, count = inst.push_regs
+                pushed.update(range(start, start + count))
+            elif inst.op is Opcode.POP:
+                start, count = inst.push_regs
+                pushed.difference_update(range(start, start + count))
+        return frozenset(pushed)
+
+
+def _check_callee_saved_writes(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    if func.is_kernel:
+        return []  # kernels have no caller to preserve registers for
+    declared = func.callee_saved
+    solution = solve(_MustPushed(), cfg)
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        pushed = solution.block_in(block.index)
+        pushed = set(pushed) if pushed is not None else set()
+        for idx in range(block.start, block.end):
+            inst = func.instructions[idx]
+            if inst.op is Opcode.PUSH:
+                start, count = inst.push_regs
+                pushed.update(range(start, start + count))
+                continue
+            if inst.op is Opcode.POP:
+                start, count = inst.push_regs
+                pushed.difference_update(range(start, start + count))
+                continue
+            for reg in inst.dst:
+                if reg < CALLEE_SAVED_BASE:
+                    continue
+                if declared is None or not (
+                        declared[0] <= reg < declared[0] + declared[1]):
+                    block_text = (
+                        f"declared block R{declared[0]}.."
+                        f"R{declared[0] + declared[1] - 1}"
+                        if declared else "no declared block")
+                    diags.append(error(
+                        "CARS202", func.name,
+                        f"write to callee-saved R{reg} outside the "
+                        f"{block_text}", idx))
+                elif reg not in pushed:
+                    diags.append(error(
+                        "CARS203", func.name,
+                        f"write to callee-saved R{reg} is not covered by a "
+                        f"PUSH on every path", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS204 / CARS205: PUSH/POP balance along all paths
+
+#: Lattice sentinel: paths disagree on the stack below this point.
+_CONFLICT = "conflict"
+
+
+class _PushStack:
+    """Forward analysis of the abstract PUSH stack (tuple of ranges)."""
+
+    FORWARD = True
+
+    def boundary(self, cfg: CFG) -> Tuple:
+        return ()
+
+    def top(self, cfg: CFG):
+        return None  # unreached
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a == b else _CONFLICT
+
+    def transfer(self, cfg: CFG, block: BasicBlock, stack):
+        if stack is None or stack is _CONFLICT:
+            return stack
+        stack = list(stack)
+        for inst in cfg.instructions(block):
+            if inst.op is Opcode.PUSH:
+                stack.append(inst.push_regs)
+            elif inst.op is Opcode.POP:
+                if not stack or stack[-1] != inst.push_regs:
+                    return _CONFLICT
+                stack.pop()
+        return tuple(stack)
+
+
+def _stack_regs(stack: Tuple) -> int:
+    return sum(count for _, count in stack)
+
+
+def _check_push_pop_balance(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    diags: List[Diagnostic] = []
+    for idx, inst in enumerate(func.instructions):
+        if inst.op in (Opcode.PUSH, Opcode.POP) and inst.push_regs:
+            start, _count = inst.push_regs
+            if start < CALLEE_SAVED_BASE:
+                diags.append(error(
+                    "CARS205", func.name,
+                    f"{inst.op.value} range starts at R{start}, below the "
+                    f"callee-saved ABI base R{CALLEE_SAVED_BASE}", idx))
+
+    solution = solve(_PushStack(), cfg)
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        stack = solution.block_in(block.index)
+        if stack is _CONFLICT:
+            # Report only at the merge frontier, not down the cascade.
+            feeders = [solution.block_out(p) for p in block.preds]
+            if any(f is not None and f is not _CONFLICT for f in feeders):
+                diags.append(error(
+                    "CARS204", func.name,
+                    "control-flow paths reach this point with different "
+                    "PUSH stack depths", block.start))
+            continue
+        if stack is None:
+            stack = ()
+        stack = list(stack)
+        for idx in range(block.start, block.end):
+            inst = func.instructions[idx]
+            if inst.op is Opcode.PUSH:
+                stack.append(inst.push_regs)
+            elif inst.op is Opcode.POP:
+                if not stack:
+                    diags.append(error(
+                        "CARS204", func.name,
+                        "POP with no matching PUSH on some path", idx))
+                    break
+                if stack[-1] != inst.push_regs:
+                    start, count = stack[-1]
+                    diags.append(error(
+                        "CARS204", func.name,
+                        f"POP range does not match the pushed "
+                        f"[R{start}..R{start + count - 1}]", idx))
+                    break
+                stack.pop()
+            elif inst.op in (Opcode.RET, Opcode.EXIT) and stack:
+                diags.append(error(
+                    "CARS204", func.name,
+                    f"{inst.op.value} with {_stack_regs(tuple(stack))} "
+                    f"register(s) still pushed", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS301 / CARS302: SSY/SYNC pairing along all paths
+
+
+class _SsyScopes:
+    """Forward analysis of the open-SSY-scope stack (tuple of targets)."""
+
+    FORWARD = True
+
+    def boundary(self, cfg: CFG) -> Tuple:
+        return ()
+
+    def top(self, cfg: CFG):
+        return None
+
+    def meet(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a == b else _CONFLICT
+
+    def transfer(self, cfg: CFG, block: BasicBlock, scopes):
+        if scopes is None or scopes is _CONFLICT:
+            return scopes
+        scopes = list(scopes)
+        for idx in range(block.start, block.end):
+            while scopes and scopes[-1] == idx:
+                scopes.pop()  # execution reached the reconvergence point
+            inst = cfg.func.instructions[idx]
+            if inst.op is Opcode.SSY:
+                scopes.append(cfg.func.label_index(inst.target))
+        return tuple(scopes)
+
+
+def _check_ssy_sync(cfg: CFG) -> List[Diagnostic]:
+    func = cfg.func
+    solution = solve(_SsyScopes(), cfg)
+    reachable = cfg.reachable_blocks()
+    diags: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        scopes = solution.block_in(block.index)
+        if scopes is _CONFLICT:
+            feeders = [solution.block_out(p) for p in block.preds]
+            if any(f is not None and f is not _CONFLICT for f in feeders):
+                diags.append(error(
+                    "CARS301", func.name,
+                    "control-flow paths reach this point with different "
+                    "SSY scope depths", block.start))
+            continue
+        scopes = list(scopes) if scopes is not None else []
+        for idx in range(block.start, block.end):
+            while scopes and scopes[-1] == idx:
+                scopes.pop()
+            inst = func.instructions[idx]
+            if inst.op is Opcode.SSY:
+                scopes.append(func.label_index(inst.target))
+            elif inst.op is Opcode.SYNC and not scopes:
+                diags.append(error(
+                    "CARS301", func.name,
+                    "SYNC without an enclosing SSY scope", idx))
+            elif inst.op is Opcode.CBRA and not scopes:
+                diags.append(error(
+                    "CARS302", func.name,
+                    "divergent CBRA outside any SSY scope (lanes could "
+                    "never reconverge)", idx))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# CARS401 / CARS402: cross-module stack accounting
+
+
+def _max_push_depth(cfg: CFG) -> int:
+    """Worst-case registers this function holds pushed at any point."""
+    solution = solve(_PushStack(), cfg)
+    reachable = cfg.reachable_blocks()
+    worst = 0
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        stack = solution.block_in(block.index)
+        if stack is None or stack is _CONFLICT:
+            continue  # imbalance is CARS204's finding, not ours
+        stack = list(stack)
+        for inst in cfg.instructions(block):
+            if inst.op is Opcode.PUSH:
+                stack.append(inst.push_regs)
+                worst = max(worst, _stack_regs(tuple(stack)))
+            elif inst.op is Opcode.POP and stack:
+                stack.pop()
+    return worst
+
+
+def _check_function_metadata(cfg: CFG) -> List[Diagnostic]:
+    """CARS402: declared callee-saved/FRU metadata must cover the code."""
+    func = cfg.func
+    diags: List[Diagnostic] = []
+    push_depth = _max_push_depth(cfg)
+    if func.is_kernel:
+        return diags
+    declared = func.callee_saved
+    if declared is not None and declared[1] > 0:
+        covering = any(
+            inst.op is Opcode.PUSH and inst.push_regs is not None
+            and inst.push_regs[0] <= declared[0]
+            and inst.push_regs[0] + inst.push_regs[1]
+            >= declared[0] + declared[1]
+            for inst in func.instructions)
+        if not covering:
+            diags.append(error(
+                "CARS402", func.name,
+                f"declared callee-saved block R{declared[0]}.."
+                f"R{declared[0] + declared[1] - 1} has no covering PUSH"))
+    # A device function's FRU must account for everything it pushes plus
+    # the saved-RFP slot; otherwise the call-graph analysis under-reserves.
+    if push_depth and push_depth + 1 > func.fru:
+        diags.append(error(
+            "CARS402", func.name,
+            f"pushes up to {push_depth} register(s) but declares "
+            f"fru={func.fru} (needs >= {push_depth + 1})"))
+    return diags
+
+
+def _check_stack_accounting(module: Module,
+                            cfgs: Dict[str, CFG]) -> List[Diagnostic]:
+    """CARS401: per-kernel PUSH demand vs the call graph's MaxStackDepth."""
+    diags: List[Diagnostic] = []
+    push_depths = {name: _max_push_depth(cfg) for name, cfg in cfgs.items()}
+    graph = build_call_graph(module)
+
+    def chain_demand(name: str, path: FrozenSet[str]) -> int:
+        best_child = 0
+        for callee in graph.callees(name):
+            if callee in path:
+                continue  # recursion iterates once, as in the analysis
+            best_child = max(best_child, chain_demand(callee, path | {callee}))
+        return push_depths.get(name, 0) + best_child
+
+    for kernel in module.kernels():
+        analysis = analyze_kernel(graph, kernel.name)
+        demand = analysis.kernel_fru + chain_demand(
+            kernel.name, frozenset({kernel.name}))
+        if demand > analysis.max_stack_depth:
+            diags.append(error(
+                "CARS401", kernel.name,
+                f"worst-case PUSH demand of {demand} register(s) exceeds "
+                f"MaxStackDepth={analysis.max_stack_depth}; the register "
+                f"stack would be under-provisioned"))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+
+_FUNCTION_PASSES = (
+    _check_uninitialized,
+    _check_dead_stores,
+    _check_unreachable,
+    _check_caller_saved_across_calls,
+    _check_callee_saved_writes,
+    _check_push_pop_balance,
+    _check_ssy_sync,
+    _check_function_metadata,
+)
+
+
+def lint_function(func: Function) -> List[Diagnostic]:
+    """Run every per-function lint pass over *func*."""
+    cfg = build_cfg(func)
+    diags: List[Diagnostic] = []
+    for lint_pass in _FUNCTION_PASSES:
+        diags.extend(lint_pass(cfg))
+    return diags
+
+
+def lint_module(module: Module, name: str = "module") -> LintReport:
+    """Run all per-function and cross-module lint passes over *module*."""
+    diags: List[Diagnostic] = []
+    cfgs: Dict[str, CFG] = {}
+    for func in module.functions.values():
+        cfg = build_cfg(func)
+        cfgs[func.name] = cfg
+        for lint_pass in _FUNCTION_PASSES:
+            diags.extend(lint_pass(cfg))
+    diags.extend(_check_stack_accounting(module, cfgs))
+    return LintReport(name=name, diagnostics=diags)
+
+
+def ensure_module_linted(module: Module, name: str = "module") -> LintReport:
+    """Lint *module* once (cached on the module) and raise on errors.
+
+    The harness calls this before every simulation so a miscompiled
+    workload fails loudly instead of producing silently wrong numbers.
+    """
+    report = getattr(module, "_lint_report", None)
+    if report is None:
+        report = lint_module(module, name)
+        module._lint_report = report
+    if report.errors():
+        raise LintError(report)
+    return report

@@ -2,6 +2,8 @@
 
     python -m repro list
     python -m repro analyze --workload MST
+    python -m repro lint --workload MST [--strict] [--json]
+    python -m repro lint --all --strict
     python -m repro run --workload MST --technique cars [--config ampere]
     python -m repro regen [output.md]
 """
@@ -12,6 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .analysis import lint_module, render_json, render_text
 from .callgraph import analyze_kernel, build_call_graph
 from .config import PRESETS
 from .core.techniques import (
@@ -58,6 +61,27 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Lint compiled workloads; exit 0 clean, 1 on gate failures.
+
+    Errors always fail the gate; warnings fail only under ``--strict``.
+    Both the baseline and the LTO-inlined binary of each workload are
+    checked, since the harness simulates both.
+    """
+    names = WORKLOAD_NAMES if args.all else [args.workload]
+    reports = []
+    for name in names:
+        workload = make_workload(name)
+        reports.append(lint_module(workload.module(), name))
+        reports.append(lint_module(workload.module(inlined=True), f"{name}/lto"))
+    print(render_json(reports) if args.json else render_text(reports))
+    failed = [r.name for r in reports if not r.ok(strict=args.strict)]
+    if failed:
+        print(f"\nFAILED ({len(failed)}): {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_run(args) -> int:
     workload = make_workload(args.workload)
     config = PRESETS[args.config]
@@ -100,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="call-graph analysis of a workload")
     analyze.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
 
+    lint = sub.add_parser(
+        "lint", help="ABI/stack-safety lint of compiled workload binaries")
+    scope = lint.add_mutually_exclusive_group(required=True)
+    scope.add_argument("--workload", choices=WORKLOAD_NAMES)
+    scope.add_argument("--all", action="store_true",
+                       help="lint every Table I workload")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as gate failures")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable diagnostics")
+
     run = sub.add_parser("run", help="simulate one (workload, technique)")
     run.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
     run.add_argument("--technique", default="cars",
@@ -117,6 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = {
         "list": _cmd_list,
         "analyze": _cmd_analyze,
+        "lint": _cmd_lint,
         "run": _cmd_run,
         "regen": _cmd_regen,
     }[args.command]

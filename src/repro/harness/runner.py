@@ -11,6 +11,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..analysis import ensure_module_linted
 from ..callgraph import analyze_kernel, build_call_graph
 from ..cars.policy import PolicyMemory
 from ..config.gpu_config import GPUConfig
@@ -58,6 +59,10 @@ def run_workload(
     base_config = config if config is not None else volta()
     cfg = technique.adjust_config(base_config)
     module = workload.module(inlined=technique.use_inlined)
+    # Refuse to simulate binaries that fail the ABI/stack-safety lint:
+    # a PUSH/POP imbalance or SSY mismatch would corrupt the simulated
+    # register stack and produce garbage figures rather than a crash.
+    ensure_module_linted(module, workload.name)
     traces = workload.traces(inlined=technique.use_inlined)
     graph = build_call_graph(module) if technique.abi == "cars" else None
     memory = policy_memory if policy_memory is not None else PolicyMemory()

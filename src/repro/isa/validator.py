@@ -122,6 +122,11 @@ def _validate_instruction(func: Function, idx: int, inst: Instruction) -> None:
         start, count = inst.push_regs
         if count <= 0:
             raise IsaError(f"{where}: non-positive register count")
+        if start < CALLEE_SAVED_BASE:
+            raise IsaError(
+                f"{where}: register range starts at R{start}, below the "
+                f"callee-saved ABI base R{CALLEE_SAVED_BASE}"
+            )
         if start + count > MAX_REGS:
             raise IsaError(f"{where}: register range exceeds R{MAX_REGS - 1}")
 

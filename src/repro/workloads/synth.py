@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 
 from ..frontend import builder as b
 from ..frontend.ast import Expr, ProgramDef, Stmt
+from ..isa.validator import validate_module
 from .spec import KernelLaunch, Workload
 
 #: Word address where the output array starts (away from the data array).
@@ -294,7 +295,7 @@ def build_workload(
             )
         )
     launches = launches * max(1, repeats)
-    return Workload(
+    workload = Workload(
         name=name,
         suite=suite,
         program=prog,
@@ -303,3 +304,12 @@ def build_workload(
         paper_cpki=paper_cpki,
         bottleneck=bottleneck,
     )
+    # Fail at build time rather than first simulation: compile the
+    # baseline binary (cached on the workload) and validate it against
+    # the structural ISA rules.
+    module = workload.module()
+    validate_module(module)
+    for launch in workload.launches:
+        if launch.kernel not in module.functions:
+            raise ValueError(f"{name}: launch of unknown kernel {launch.kernel!r}")
+    return workload

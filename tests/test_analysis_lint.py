@@ -1,0 +1,329 @@
+"""Analysis-layer tests: CFG shapes, dataflow, and every lint rule.
+
+Each ``CARSnnn`` code gets a deliberately broken fixture that must
+trigger exactly that rule (plus a closing test asserting no rule in the
+registry is vacuous), and the real workload binaries must lint clean.
+"""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    LintError,
+    Liveness,
+    ReachingDefinitions,
+    Severity,
+    build_cfg,
+    ensure_module_linted,
+    lint_function,
+    lint_module,
+    per_instruction_liveness,
+    per_instruction_reaching,
+    solve,
+)
+from repro.analysis.dataflow import UNINIT_DEF
+from repro.isa import (
+    Function,
+    Module,
+    Opcode,
+    alu,
+    bra,
+    call,
+    cbra,
+    exit_,
+    movi,
+    pop,
+    push,
+    ret,
+    setp,
+    ssy,
+    stg,
+    sync,
+)
+from repro.isa.instructions import Instruction
+from repro.workloads import SMOKE_NAMES, make_workload
+
+
+def kernel(instructions, labels=None, num_regs=32, name="k", fru=0):
+    return Function(name=name, instructions=instructions, labels=labels or {},
+                    num_regs=num_regs, is_kernel=True, fru=fru)
+
+
+def device(instructions, labels=None, num_regs=32, callee_saved=None,
+           name="d", fru=0):
+    return Function(name=name, instructions=instructions, labels=labels or {},
+                    num_regs=num_regs, callee_saved=callee_saved, fru=fru)
+
+
+def codes_of(func):
+    return {d.code for d in lint_function(func)}
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+
+
+def diamond():
+    """SSY-guarded if/else: entry, two arms, reconvergence block."""
+    return kernel(
+        [
+            movi(4, 1),              # 0
+            setp(0, 0, 4, 4),        # 1
+            ssy("end"),              # 2
+            cbra(0, "then"),         # 3
+            movi(5, 2),              # 4  else arm
+            sync(),                  # 5
+            movi(5, 3),              # 6  then arm
+            sync(),                  # 7
+            stg(4, 5),               # 8  reads both arms' R5
+            exit_(),                 # 9
+        ],
+        labels={"then": 6, "end": 8},
+    )
+
+
+def loop():
+    return kernel(
+        [
+            movi(4, 0),              # 0
+            setp(0, 0, 4, 4),        # 1  head
+            cbra(0, "out"),          # 2
+            alu(Opcode.IADD, 4, 4, 4),  # 3  body
+            bra("head"),             # 4
+            exit_(),                 # 5  out
+        ],
+        labels={"head": 1, "out": 5},
+    )
+
+
+class TestCfg:
+    def test_diamond_shape(self):
+        cfg = build_cfg(diamond())
+        assert [(b.start, b.end) for b in cfg.blocks] == [
+            (0, 4), (4, 6), (6, 8), (8, 10)]
+        assert cfg.blocks[0].succs == [1, 2]   # CBRA: fall-through + target
+        assert cfg.blocks[1].succs == [3]      # SYNC -> reconvergence point
+        assert cfg.blocks[2].succs == [3]
+        assert cfg.blocks[3].succs == []       # EXIT
+        assert sorted(cfg.blocks[3].preds) == [1, 2]
+
+    def test_diamond_sync_scopes(self):
+        cfg = build_cfg(diamond())
+        assert cfg.sync_scope == {5: 8, 7: 8}
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(loop())
+        head = cfg.block_of[1]
+        body = cfg.block_of[3]
+        assert head in cfg.blocks[body].succs   # BRA back edge
+        assert cfg.blocks[0].succs == [head]
+        assert sorted(cfg.blocks[head].preds) == sorted({0, body})
+
+    def test_all_blocks_reachable(self):
+        for func in (diamond(), loop()):
+            cfg = build_cfg(func)
+            assert cfg.reachable_blocks() == set(range(len(cfg.blocks)))
+
+
+class TestDataflow:
+    def test_liveness_on_diamond(self):
+        cfg = build_cfg(diamond())
+        live_in, live_out = per_instruction_liveness(cfg, solve(Liveness(), cfg))
+        # R5 is written in both arms and read at the merge: live out of
+        # each arm's def, dead before the branch.
+        assert 5 in live_out[4] and 5 in live_out[6]
+        assert 5 not in live_in[2]
+        assert 5 in live_in[8] and 4 in live_in[8]
+
+    def test_liveness_through_loop(self):
+        cfg = build_cfg(loop())
+        live_in, _ = per_instruction_liveness(cfg, solve(Liveness(), cfg))
+        # R4 circulates through the back edge: live at the head and body.
+        assert 4 in live_in[1] and 4 in live_in[3]
+
+    def test_reaching_defs_merge(self):
+        cfg = build_cfg(diamond())
+        reach_in = per_instruction_reaching(cfg, solve(ReachingDefinitions(), cfg))
+        r5_sites = {s for s in reach_in[8] if s[0] == 5}
+        assert r5_sites == {(5, 4), (5, 6)}    # both arms reach the merge
+
+    def test_reaching_defs_loop_body_reaches_head(self):
+        cfg = build_cfg(loop())
+        reach_in = per_instruction_reaching(cfg, solve(ReachingDefinitions(), cfg))
+        assert {s[1] for s in reach_in[1] if s[0] == 4} == {0, 3}
+
+    def test_uninitialized_pseudo_def(self):
+        cfg = build_cfg(kernel([alu(Opcode.IADD, 13, 12, 12), exit_()]))
+        reach_in = per_instruction_reaching(cfg, solve(ReachingDefinitions(), cfg))
+        assert (12, UNINIT_DEF) in reach_in[0]
+
+
+# ---------------------------------------------------------------------------
+# One broken fixture per lint rule
+
+
+class TestLintRules:
+    def test_cars101_uninitialized_register(self):
+        # R12 is scratch, not ABI-defined at entry.
+        assert "CARS101" in codes_of(
+            kernel([alu(Opcode.IADD, 13, 12, 12), exit_()]))
+
+    def test_cars102_predicate_before_setp(self):
+        sel = Instruction(op=Opcode.SEL, dst=(13,), srcs=(4, 5), psrc=0)
+        assert "CARS102" in codes_of(kernel([sel, exit_()]))
+
+    def test_cars103_dead_store(self):
+        diags = lint_function(kernel([alu(Opcode.IADD, 13, 4, 5), exit_()]))
+        dead = [d for d in diags if d.code == "CARS103"]
+        assert dead and all(d.severity is Severity.WARNING for d in dead)
+
+    def test_cars103_exempts_parameter_glue_movs(self):
+        # Dead plain MOVs are frontend parameter glue, not flagged.
+        assert "CARS103" not in codes_of(
+            kernel([alu(Opcode.MOV, 13, 4), exit_()]))
+
+    def test_cars104_unreachable_code(self):
+        func = kernel([bra("end"), movi(13, 1), exit_()], labels={"end": 2})
+        diags = [d for d in lint_function(func) if d.code == "CARS104"]
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_cars201_caller_saved_live_across_call(self):
+        func = device([
+            movi(12, 7),
+            call("g"),
+            alu(Opcode.IADD, 4, 12, 12),   # R12 consumed after the call
+            ret(),
+        ])
+        assert "CARS201" in codes_of(func)
+
+    def test_cars202_write_outside_declared_block(self):
+        func = device(
+            [push(16, 2), movi(20, 1), pop(16, 2), ret()],
+            callee_saved=(16, 2), fru=3,
+        )
+        assert "CARS202" in codes_of(func)
+
+    def test_cars203_write_without_covering_push(self):
+        func = device(
+            [push(16, 2), movi(18, 1), pop(16, 2), ret()],
+            callee_saved=(16, 4), fru=5,
+        )
+        assert "CARS203" in codes_of(func)
+
+    def test_cars204_push_on_one_branch_only(self):
+        func = device(
+            [
+                setp(0, 0, 4, 4),       # 0
+                ssy("end"),             # 1
+                cbra(0, "then"),        # 2
+                sync(),                 # 3  else arm: nothing pushed
+                push(16, 1),            # 4  then arm: pushes
+                sync(),                 # 5
+                ret(),                  # 6  end
+            ],
+            labels={"then": 4, "end": 6}, fru=2,
+        )
+        assert "CARS204" in codes_of(func)
+
+    def test_cars204_ret_with_pushed_registers(self):
+        assert "CARS204" in codes_of(device([push(16, 1), ret()], fru=2))
+
+    def test_cars205_push_below_abi_base(self):
+        assert "CARS205" in codes_of(device([push(8, 2), pop(8, 2), ret()]))
+
+    def test_cars301_sync_without_scope(self):
+        assert "CARS301" in codes_of(kernel([sync(), exit_()]))
+
+    def test_cars302_cbra_outside_any_scope(self):
+        func = kernel(
+            [setp(0, 0, 4, 4), cbra(0, "end"), movi(13, 1), exit_()],
+            labels={"end": 3},
+        )
+        assert "CARS302" in codes_of(func)
+
+    def test_cars401_push_demand_exceeds_max_stack_depth(self):
+        # d declares fru=2 but holds 4 registers pushed, so the kernel's
+        # MaxStackDepth (8 + 2) under-provisions its real demand (8 + 4).
+        k = kernel([call("d"), exit_()], fru=8, name="k")
+        d = device([push(16, 4), pop(16, 4), ret()], fru=2, name="d")
+        report = lint_module(Module(functions={"k": k, "d": d}))
+        assert "CARS401" in report.codes()
+
+    def test_cars402_declared_block_without_push(self):
+        func = device([movi(12, 1), ret()], callee_saved=(16, 2), fru=3)
+        assert "CARS402" in codes_of(func)
+
+    def test_cars402_fru_underdeclared(self):
+        func = device([push(16, 4), pop(16, 4), ret()],
+                      callee_saved=(16, 4), fru=2)
+        assert "CARS402" in codes_of(func)
+
+    def test_no_rule_is_vacuous(self):
+        """Every registered code is exercised by some fixture above."""
+        triggered = set()
+        fixtures = [
+            kernel([alu(Opcode.IADD, 13, 12, 12), exit_()]),
+            kernel([Instruction(op=Opcode.SEL, dst=(13,), srcs=(4, 5),
+                                psrc=0), exit_()]),
+            kernel([alu(Opcode.IADD, 13, 4, 5), exit_()]),
+            kernel([bra("end"), movi(13, 1), exit_()], labels={"end": 2}),
+            device([movi(12, 7), call("g"),
+                    alu(Opcode.IADD, 4, 12, 12), ret()]),
+            device([push(16, 2), movi(20, 1), pop(16, 2), ret()],
+                   callee_saved=(16, 2), fru=3),
+            device([push(16, 2), movi(18, 1), pop(16, 2), ret()],
+                   callee_saved=(16, 4), fru=5),
+            device([push(16, 1), ret()], fru=2),
+            device([push(8, 2), pop(8, 2), ret()]),
+            kernel([sync(), exit_()]),
+            kernel([setp(0, 0, 4, 4), cbra(0, "end"), movi(13, 1), exit_()],
+                   labels={"end": 3}),
+            device([movi(12, 1), ret()], callee_saved=(16, 2), fru=3),
+        ]
+        for func in fixtures:
+            triggered |= codes_of(func)
+        k = kernel([call("d"), exit_()], fru=8, name="k")
+        d = device([push(16, 4), pop(16, 4), ret()], fru=2, name="d")
+        triggered |= set(lint_module(Module(functions={"k": k, "d": d})).codes())
+        assert triggered == set(CODES)
+
+
+class TestLintCleanCode:
+    def test_well_formed_device_is_clean(self):
+        func = device(
+            [
+                push(16, 1),
+                alu(Opcode.MOV, 16, 4),
+                call("g"),
+                alu(Opcode.IADD, 4, 4, 16),
+                pop(16, 1),
+                ret(),
+            ],
+            callee_saved=(16, 1), fru=2,
+        )
+        assert lint_function(func) == []
+
+    @pytest.mark.parametrize("name", SMOKE_NAMES)
+    def test_workload_binaries_lint_clean(self, name):
+        workload = make_workload(name)
+        for inlined in (False, True):
+            report = lint_module(workload.module(inlined=inlined), name)
+            assert report.ok(strict=True), report.diagnostics
+
+
+class TestHarnessGate:
+    def test_gate_raises_on_errors(self):
+        k = kernel([sync(), exit_()], name="k")
+        module = Module(functions={"k": k})
+        with pytest.raises(LintError, match="CARS301"):
+            ensure_module_linted(module, "broken")
+
+    def test_gate_caches_and_passes_clean_module(self):
+        module = make_workload(SMOKE_NAMES[0]).module()
+        report = ensure_module_linted(module, "clean")
+        assert ensure_module_linted(module, "clean") is report
+
+    def test_cli_lint_exit_codes(self):
+        from repro.cli import main
+
+        assert main(["lint", "--workload", SMOKE_NAMES[0], "--strict"]) == 0

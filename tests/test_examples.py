@@ -34,3 +34,12 @@ def test_raytracer_runs_and_dispatches_virtually():
     assert result.returncode == 0, result.stderr
     assert "CPKI" in result.stdout
     assert "LTO residual calls" in result.stdout
+
+
+def test_lint_demo_reports_and_gates():
+    result = _run_example("lint_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "error CARS101" in result.stdout
+    assert "error CARS204" in result.stdout
+    assert "refused to simulate" in result.stdout
+    assert "MST: clean" in result.stdout

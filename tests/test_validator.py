@@ -136,6 +136,16 @@ class TestAbiChecks:
         with pytest.raises(IsaError, match="register range"):
             validate_function(device([bad, ret()]))
 
+    def test_push_below_abi_base_rejected(self):
+        bad = push(CALLEE_SAVED_BASE - 1, 2)
+        with pytest.raises(IsaError, match="ABI base"):
+            validate_function(device([bad, ret()]))
+
+    def test_pop_below_abi_base_rejected(self):
+        bad = pop(8, 1)
+        with pytest.raises(IsaError, match="ABI base"):
+            validate_function(device([bad, ret()]))
+
 
 class TestModuleChecks:
     def test_call_to_missing_function(self):
