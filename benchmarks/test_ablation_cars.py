@@ -23,8 +23,8 @@ def _speedups_vs_pipeline_penalty(name="SSSP"):
         cfg = dataclasses.replace(
             volta(), name=f"volta-extra{extra}", cars_extra_pipeline_cycles=extra
         )
-        base = run_baseline(wl, cfg)
-        cars = run_workload(wl, CARS, cfg)
+        base = run_baseline(wl, config=cfg)
+        cars = run_workload(wl, CARS, config=cfg)
         rows[extra] = base.cycles / cars.cycles
     return rows
 
@@ -65,7 +65,7 @@ def _trap_pressure():
         cfg = dataclasses.replace(
             volta(), name=f"volta-r{regs}", registers_per_sm=regs
         )
-        cars = run_workload(wl, CARS, cfg)
+        cars = run_workload(wl, CARS, config=cfg)
         rows[regs] = {
             "traps": cars.stats.traps,
             "bytes_per_call": cars.stats.bytes_spilled_per_call(),

@@ -49,8 +49,8 @@ def run_depth(depth: int):
     )
     module = workload.module()
     analysis = analyze_kernel(build_call_graph(module), "main")
-    base = run_baseline(workload, CONFIG)
-    cars = run_workload(workload, CARS, CONFIG)
+    base = run_baseline(workload, config=CONFIG)
+    cars = run_workload(workload, CARS, config=CONFIG)
     return analysis, base, cars, workload
 
 

@@ -4,8 +4,10 @@
     python -m repro analyze --workload MST
     python -m repro lint --workload MST [--strict] [--json]
     python -m repro lint --all --strict
-    python -m repro run --workload MST --technique cars [--config ampere]
-    python -m repro regen [output.md]
+    python -m repro run --workload MST --technique cars [--config ampere] [--jobs 2]
+    python -m repro regen [output.md] [--jobs 4]
+    python -m repro cache info
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -17,23 +19,11 @@ from typing import Optional, Sequence
 from .analysis import lint_module, render_json, render_text
 from .callgraph import analyze_kernel, build_call_graph
 from .config import PRESETS
-from .core.techniques import (
-    ALL_HIT,
-    BASELINE,
-    CARS,
-    CARS_HIGH,
-    CARS_LOW,
-    IDEAL_VW,
-    L1_HUGE,
-    LTO,
-)
-from .harness.runner import run_baseline, run_best_swl, run_workload
+from .core.techniques import TECHNIQUE_REGISTRY
+from .harness.executor import Executor, ExperimentRequest, ResultStore
 from .workloads import WORKLOAD_NAMES, make_workload
 
-TECHNIQUES = {
-    t.name: t
-    for t in (BASELINE, IDEAL_VW, L1_HUGE, ALL_HIT, LTO, CARS, CARS_LOW, CARS_HIGH)
-}
+TECHNIQUES = dict(TECHNIQUE_REGISTRY)
 
 
 def _cmd_list(_args) -> int:
@@ -83,13 +73,12 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    workload = make_workload(args.workload)
     config = PRESETS[args.config]
-    baseline = run_baseline(workload, config)
-    if args.technique == "best_swl":
-        result = run_best_swl(workload, config)
-    else:
-        result = run_workload(workload, TECHNIQUES[args.technique], config)
+    executor = Executor(jobs=args.jobs)
+    base_req = ExperimentRequest(args.workload, "baseline", config)
+    run_req = ExperimentRequest(args.workload, args.technique, config)
+    results = executor.run_many([base_req, run_req])
+    baseline, result = results[base_req], results[run_req]
     stats = result.stats
     print(f"workload={args.workload} technique={args.technique} config={args.config}")
     print(f"  cycles            : {stats.cycles}")
@@ -109,7 +98,27 @@ def _cmd_run(args) -> int:
 def _cmd_regen(args) -> int:
     from .harness.regenerate import main as regen_main
 
-    return regen_main([args.output] if args.output else [])
+    argv = [args.output] if args.output else []
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.quiet:
+        argv.append("--quiet")
+    return regen_main(argv)
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the content-addressed result store."""
+    store = ResultStore(args.dir or None)
+    if args.action == "info":
+        info = store.info()
+        print(f"root    : {info['root']}")
+        print(f"schema  : v{info['schema']}")
+        print(f"entries : {info['entries']}")
+        print(f"bytes   : {info['bytes']}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,9 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--technique", default="cars",
                      choices=sorted(TECHNIQUES) + ["best_swl"])
     run.add_argument("--config", default="volta", choices=sorted(PRESETS))
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (results come from the store "
+                          "when warm)")
 
     regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
     regen.add_argument("output", nargs="?", default="")
+    regen.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for the sweep")
+    regen.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress per-run progress lines on stderr")
+
+    cache = sub.add_parser(
+        "cache", help="inspect/clear the content-addressed result store")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--dir", default="",
+                       help="store root (default: REPRO_CACHE_DIR or "
+                            "~/.cache/repro-cars)")
     return parser
 
 
@@ -155,6 +178,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "run": _cmd_run,
         "regen": _cmd_regen,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

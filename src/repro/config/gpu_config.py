@@ -10,8 +10,10 @@ scaling preserves relative behaviour; see DESIGN.md for the fidelity notes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,14 @@ class CacheConfig:
     @property
     def num_sets(self) -> int:
         return max(1, self.num_sectors // self.assoc)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the result store's serialization)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheConfig":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -80,6 +90,27 @@ class GPUConfig:
     # CARS-specific knobs.
     cars_extra_pipeline_cycles: int = 1  # issue + operand-collector stages
     cars_max_context_switches: int = 64
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form: every field, nested caches as dicts."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GPUConfig":
+        data = dict(data)
+        data["l1"] = CacheConfig.from_dict(data["l1"])
+        data["l2"] = CacheConfig.from_dict(data["l2"])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable content digest over *every* field (not just ``name``).
+
+        The result store keys runs on this, so two configs that differ in
+        any knob — even ones sharing a ``name`` — never alias each other.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     def with_l1_size(self, size_bytes: int) -> "GPUConfig":
         """A copy with a different L1 capacity (e.g. the 10MB-L1 study)."""

@@ -381,3 +381,27 @@ def swl(limit: int) -> Technique:
 def cars_nxlow(n: int) -> Technique:
     """CARS pinned at the NxLow-watermark allocation."""
     return Technique(f"cars_nxlow{n}", abi="cars", cars_mode=f"nxlow{n}")
+
+
+#: The fixed studied techniques, by name.
+TECHNIQUE_REGISTRY: dict = {
+    t.name: t
+    for t in (BASELINE, IDEAL_VW, L1_HUGE, ALL_HIT, LTO, CARS, CARS_LOW, CARS_HIGH)
+}
+
+
+def resolve_technique(name: str) -> Technique:
+    """Look a technique up by name, including the parametric families.
+
+    Techniques carry ``config_fn`` closures that cannot cross a process
+    boundary, so the parallel executor ships *names* and workers resolve
+    them here: ``swl_<n>`` and ``cars_nxlow<n>`` are reconstructed on
+    demand, everything else comes from :data:`TECHNIQUE_REGISTRY`.
+    """
+    if name in TECHNIQUE_REGISTRY:
+        return TECHNIQUE_REGISTRY[name]
+    if name.startswith("swl_"):
+        return swl(int(name[len("swl_"):]))
+    if name.startswith("cars_nxlow"):
+        return cars_nxlow(int(name[len("cars_nxlow"):]))
+    raise KeyError(f"unknown technique {name!r}")

@@ -1,4 +1,12 @@
-"""Experiment harness: runners, per-figure experiments, table formatting."""
+"""Experiment harness: the public run API, the parallel executor with its
+content-addressed result store, per-figure experiments, table formatting.
+
+The supported surface is ``__all__`` below: the runner entry points
+(``run_workload``/``run_best_swl``/``run_baseline``, keyword-only options),
+the declarative executor (``ExperimentRequest``/``ExperimentPlan``/
+``Executor``/``ResultStore``), and the figure/table functions in
+:mod:`repro.harness.experiments`.
+"""
 
 from .runner import (
     RunResult,
@@ -8,16 +16,41 @@ from .runner import (
     run_best_swl,
     run_workload,
 )
+from .executor import (
+    Executor,
+    ExecutorError,
+    ExecutorStats,
+    ExperimentPlan,
+    ExperimentRequest,
+    ResultStore,
+    STORE_SCHEMA_VERSION,
+    default_store_root,
+    simulator_digest,
+    workload_digest,
+)
 from . import experiments
 from .tables import format_table, format_series
 
 __all__ = [
+    # runner
     "RunResult",
     "SWL_SWEEP",
     "geomean",
     "run_baseline",
     "run_best_swl",
     "run_workload",
+    # executor + result store
+    "Executor",
+    "ExecutorError",
+    "ExecutorStats",
+    "ExperimentPlan",
+    "ExperimentRequest",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
+    "default_store_root",
+    "simulator_digest",
+    "workload_digest",
+    # figures/tables
     "experiments",
     "format_table",
     "format_series",

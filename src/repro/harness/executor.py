@@ -1,0 +1,574 @@
+"""Parallel experiment executor and content-addressed result store.
+
+The paper's evaluation is an embarrassingly parallel grid — 22 workloads
+x {baseline, CARS, Best-SWL sweep, idealized configs} replayed across 18
+figures and 3 tables.  This module supplies the engine behind it:
+
+* :class:`ExperimentRequest` — one declarative (workload, technique,
+  config) cell, picklable and hashable, so the same request appearing in
+  many figures deduplicates to one simulation.
+* :class:`ExperimentPlan` — an ordered, deduplicated batch of requests;
+  every ``fig*``/``table*`` function builds one and calls
+  :meth:`ExperimentPlan.execute` instead of simulating inline.
+* :class:`Executor` — runs a plan through an in-memory memo, then the
+  on-disk store, then a process pool (``jobs`` workers) with per-run
+  timeout and retry; a serial in-process path (``jobs=1``) is the
+  deterministic reference.
+* :class:`ResultStore` — a schema-versioned JSON store addressed by
+  content: the key hashes the simulator source digest, the workload's
+  compiled module, the technique name, and the full
+  :meth:`~repro.config.gpu_config.GPUConfig.fingerprint`.  Editing the
+  simulator, a workload, or any config knob changes the key, so stale
+  results *miss* instead of being served silently — the store never
+  needs manual clearing for correctness.
+
+Results cross the store and the process boundary as plain JSON
+(:meth:`RunResult.to_dict`), never as pickled class layouts, so the
+serial and parallel paths produce byte-identical store entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, fields
+from functools import lru_cache
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..config.gpu_config import GPUConfig
+from ..config import volta
+from ..core.techniques import resolve_technique
+from ..workloads import make_workload
+from ..workloads.spec import Workload
+from .runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
+
+#: Bump whenever the stored JSON layout changes; old entries then miss.
+STORE_SCHEMA_VERSION = 1
+
+#: Files under ``repro/`` whose edits cannot change simulation results and
+#: therefore stay out of the simulator digest (everything else is hashed).
+_DIGEST_EXEMPT_TOP = ("cli.py", "__main__.py")
+_DIGEST_EXEMPT_HARNESS = ("__init__.py", "executor.py", "experiments.py",
+                          "regenerate.py", "tables.py")
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ExecutorError(RuntimeError):
+    """A request failed after exhausting its retries."""
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1)
+def simulator_digest() -> str:
+    """Digest of every simulator-relevant source file in the package.
+
+    Any edit to the ISA, emulator, timing model, CARS mechanism, configs,
+    metrics, workload definitions, or the runner changes this digest and
+    thereby every store key — the "cache must be cleared manually after
+    changing simulator code" failure mode of the old pickle cache is gone.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if len(rel.parts) == 1 and rel.name in _DIGEST_EXEMPT_TOP:
+            continue
+        if rel.parts[0] == "harness" and rel.name in _DIGEST_EXEMPT_HARNESS:
+            continue
+        digest.update(str(rel).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def workload_digest(workload: Workload, inlined: bool = False) -> str:
+    """Digest of the compiled module a run replays, plus its launch schedule.
+
+    Hashes every function's instruction listing and register metadata (for
+    the baseline or LTO-inlined binary, whichever *inlined* selects), the
+    linker's worst-case register table, and the kernel-launch schedule.
+    Cached on the module object, which workloads already memoize.
+    """
+    module = workload.module(inlined)
+    cached = getattr(module, "_content_digest", None)
+    if cached is None:
+        digest = hashlib.sha256()
+        for name in sorted(module.functions):
+            func = module.functions[name]
+            digest.update(
+                f"func {name} regs={func.num_regs} fru={func.fru} "
+                f"kernel={int(func.is_kernel)} smem={func.shared_mem_bytes} "
+                f"callee={func.callee_saved}\n".encode()
+            )
+            for inst in func.instructions:
+                digest.update(repr(inst).encode())
+                digest.update(b"\n")
+        digest.update(repr(sorted(module.worst_case_regs.items())).encode())
+        digest.update(str(module.code_bytes).encode())
+        cached = digest.hexdigest()
+        module._content_digest = cached
+    outer = hashlib.sha256(cached.encode())
+    for launch in workload.launches:
+        outer.update(repr(launch).encode())
+    outer.update(str(workload.max_warp_instructions).encode())
+    return outer.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """One cell of the evaluation grid, addressed by content.
+
+    ``technique`` is a *name* (``"cars"``, ``"swl_4"``, ``"best_swl"``, …)
+    rather than a :class:`Technique` object so requests can cross process
+    boundaries; workers resolve names via
+    :func:`repro.core.techniques.resolve_technique`.  ``sweep`` applies
+    only to ``best_swl`` and is normalized to ``()`` otherwise so equal
+    cells hash equally across figures.
+    """
+
+    workload: str
+    technique: str
+    config: GPUConfig = field(default_factory=volta)
+    sweep: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.technique == "best_swl":
+            if not self.sweep:
+                object.__setattr__(self, "sweep", tuple(SWL_SWEEP))
+        elif self.sweep:
+            object.__setattr__(self, "sweep", ())
+
+    @property
+    def uses_inlined(self) -> bool:
+        if self.technique == "best_swl":
+            return False
+        return resolve_technique(self.technique).use_inlined
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "config": self.config.to_dict(),
+            "sweep": list(self.sweep),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentRequest":
+        return cls(
+            workload=data["workload"],
+            technique=data["technique"],
+            config=GPUConfig.from_dict(data["config"]),
+            sweep=tuple(data["sweep"]),
+        )
+
+    def store_key(self, workload: Workload) -> str:
+        material = {
+            "schema": STORE_SCHEMA_VERSION,
+            "simulator": simulator_digest(),
+            "workload": self.workload,
+            "module": workload_digest(workload, self.uses_inlined),
+            "technique": self.technique,
+            "config": self.config.fingerprint(),
+            "sweep": list(self.sweep),
+        }
+        return hashlib.sha256(_canonical_json(material).encode()).hexdigest()
+
+
+def execute_request(request: ExperimentRequest, workload: Workload) -> RunResult:
+    """Simulate one request (used by both the serial path and workers)."""
+    if request.technique == "best_swl":
+        return run_best_swl(workload, config=request.config, sweep=request.sweep)
+    technique = resolve_technique(request.technique)
+    return run_workload(workload, technique, config=request.config)
+
+
+def _pool_worker(payload: Tuple[Callable[[str], Workload], Dict[str, Any]]):
+    """Top-level pool entry point: returns the result as plain JSON data."""
+    factory, request_data = payload
+    request = ExperimentRequest.from_dict(request_data)
+    return execute_request(request, factory(request.workload)).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+
+
+def default_store_root() -> str:
+    """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-cars``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = xdg if xdg else os.path.expanduser(os.path.join("~", ".cache"))
+    return os.path.join(base, "repro-cars")
+
+
+class ResultStore:
+    """Content-addressed, schema-versioned JSON result store.
+
+    One file per key; writes are atomic (temp file + rename) so parallel
+    workers and concurrent invocations never observe torn entries.
+    Entries with a different schema version are treated as misses.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_store_root())
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        try:
+            text = self.path_for(key).read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        if payload.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        return RunResult.from_dict(payload["result"])
+
+    def save(self, key: str, request: ExperimentRequest, result: RunResult) -> Path:
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "workload": request.workload,
+            "technique": request.technique,
+            "config_name": request.config.name,
+            "result": result.to_dict(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(f"{key}.{os.getpid()}.tmp")
+        tmp.write_text(_canonical_json(payload) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def info(self) -> Dict[str, Any]:
+        paths = self.entries()
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA_VERSION,
+            "entries": len(paths),
+            "bytes": sum(p.stat().st_size for p in paths),
+        }
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Counters for one executor's lifetime (the warm-cache proof reads
+    ``executed``: a fully warm sweep simulates zero runs)."""
+
+    executed: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def summary(self) -> str:
+        return (
+            f"simulated {self.executed} runs, {self.store_hits} store hits, "
+            f"{self.memo_hits} memo hits, {self.retries} retries, "
+            f"{self.timeouts} timeouts"
+        )
+
+
+#: Progress callback: (done, total, request, source) with source one of
+#: "memo" | "store" | "run".
+ProgressFn = Callable[[int, int, ExperimentRequest, str], None]
+
+
+class Executor:
+    """Executes experiment requests with memoization, the result store,
+    and an optional process pool.
+
+    Args:
+        jobs: worker processes; ``1`` runs serially in-process (the
+            deterministic reference path — both paths store identical
+            bytes).
+        store: the :class:`ResultStore` (default: the shared on-disk one).
+        timeout: per-request cap in seconds on *waiting* for a worker;
+            timed-out requests are re-run in-process.  ``None`` disables.
+        retries: attempts per request before :class:`ExecutorError`.
+        progress: optional callback invoked as each request resolves.
+        workload_factory: name -> :class:`Workload` resolver; must be a
+            picklable module-level callable when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        store: Optional[ResultStore] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        progress: Optional[ProgressFn] = None,
+        workload_factory: Callable[[str], Workload] = make_workload,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.store = store if store is not None else ResultStore()
+        self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.progress = progress
+        self.workload_factory = workload_factory
+        self.stats = ExecutorStats()
+        self._memo: Dict[ExperimentRequest, RunResult] = {}
+        self._keys: Dict[ExperimentRequest, str] = {}
+
+    # -- cache plumbing -------------------------------------------------
+
+    def clear_memo(self) -> None:
+        """Drop in-memory results (the on-disk store is untouched)."""
+        self._memo.clear()
+        self._keys.clear()
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def key_for(self, request: ExperimentRequest) -> str:
+        key = self._keys.get(request)
+        if key is None:
+            key = request.store_key(self.workload_factory(request.workload))
+            self._keys[request] = key
+        return key
+
+    # -- execution ------------------------------------------------------
+
+    def run_one(self, request: ExperimentRequest) -> RunResult:
+        return self.run_many([request])[request]
+
+    def run_many(
+        self, requests: Iterable[ExperimentRequest]
+    ) -> Dict[ExperimentRequest, RunResult]:
+        ordered: List[ExperimentRequest] = []
+        seen = set()
+        for request in requests:
+            if request not in seen:
+                seen.add(request)
+                ordered.append(request)
+
+        results: Dict[ExperimentRequest, RunResult] = {}
+        pending: List[ExperimentRequest] = []
+        total = len(ordered)
+        self._done = 0
+        for request in ordered:
+            cached = self._memo.get(request)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                results[request] = cached
+                self._notify(total, request, "memo")
+                continue
+            stored = self.store.load(self.key_for(request))
+            if stored is not None:
+                self.stats.store_hits += 1
+                self._memo[request] = stored
+                results[request] = stored
+                self._notify(total, request, "store")
+                continue
+            pending.append(request)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pool(pending, results, total)
+            else:
+                for request in pending:
+                    results[request] = self._run_local(request, total)
+        return results
+
+    # -- internals ------------------------------------------------------
+
+    def _notify(self, total: int, request: ExperimentRequest, source: str) -> None:
+        self._done += 1
+        if self.progress is not None:
+            self.progress(self._done, total, request, source)
+
+    def _commit(
+        self, request: ExperimentRequest, result: RunResult, total: int
+    ) -> RunResult:
+        # Round-trip through the JSON form so serial and pooled execution
+        # hand figures bit-identical objects (workers already return JSON).
+        result = RunResult.from_dict(result.to_dict())
+        self.store.save(self.key_for(request), request, result)
+        self._memo[request] = result
+        self.stats.executed += 1
+        self._notify(total, request, "run")
+        return result
+
+    def _run_local(self, request: ExperimentRequest, total: int) -> RunResult:
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            if attempt:
+                self.stats.retries += 1
+            try:
+                result = execute_request(
+                    request, self.workload_factory(request.workload)
+                )
+            except Exception as exc:
+                last_error = exc
+                continue
+            return self._commit(request, result, total)
+        self.stats.failures += 1
+        raise ExecutorError(
+            f"{request.workload}/{request.technique} failed after "
+            f"{self.retries} attempts"
+        ) from last_error
+
+    def _run_pool(
+        self,
+        pending: Sequence[ExperimentRequest],
+        results: Dict[ExperimentRequest, RunResult],
+        total: int,
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        failed: List[ExperimentRequest] = []
+        hung = False
+        try:
+            futures = [
+                (request,
+                 pool.submit(_pool_worker, (self.workload_factory,
+                                            request.to_dict())))
+                for request in pending
+            ]
+            for request, future in futures:
+                try:
+                    data = future.result(timeout=self.timeout)
+                except FutureTimeoutError:
+                    self.stats.timeouts += 1
+                    hung = True
+                    failed.append(request)
+                except Exception:  # worker raised or pool broke
+                    self.stats.retries += 1
+                    failed.append(request)
+                else:
+                    results[request] = self._commit(
+                        request, RunResult.from_dict(data), total
+                    )
+        finally:
+            # A hung worker must not block shutdown; abandon it.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        # Whatever the pool could not finish runs in-process (still
+        # counted by stats.retries/timeouts above).
+        for request in failed:
+            results[request] = self._run_local(request, total)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+class ExperimentPlan:
+    """An ordered, deduplicated batch of requests bound to an executor.
+
+    Figure functions declare *what* they need here; the executor decides
+    how to satisfy it (memo, store, pool).  A plan is resumable mid-sweep:
+    every completed request is persisted individually, so re-running an
+    interrupted plan only simulates the remainder.
+    """
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self._requests: List[ExperimentRequest] = []
+        self._seen: set = set()
+
+    def add_request(self, request: ExperimentRequest) -> ExperimentRequest:
+        if request not in self._seen:
+            self._seen.add(request)
+            self._requests.append(request)
+        return request
+
+    def add(
+        self,
+        workload: str,
+        technique,
+        *,
+        config: Optional[GPUConfig] = None,
+    ) -> ExperimentRequest:
+        """Queue one (workload, technique[, config]) cell.
+
+        ``technique`` may be a :class:`Technique` or its name.
+        """
+        name = technique if isinstance(technique, str) else technique.name
+        return self.add_request(ExperimentRequest(
+            workload, name, config if config is not None else volta()
+        ))
+
+    def add_best_swl(
+        self,
+        workload: str,
+        *,
+        config: Optional[GPUConfig] = None,
+        sweep: Sequence[int] = SWL_SWEEP,
+    ) -> ExperimentRequest:
+        return self.add_request(ExperimentRequest(
+            workload, "best_swl",
+            config if config is not None else volta(), tuple(sweep),
+        ))
+
+    @property
+    def requests(self) -> List[ExperimentRequest]:
+        return list(self._requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def execute(self) -> Dict[ExperimentRequest, RunResult]:
+        return self.executor.run_many(self._requests)

@@ -1,21 +1,25 @@
 """Per-figure/table experiment functions.
 
 Every function regenerates the rows/series of one paper figure or table on
-the scaled simulator.  Runs are cached module-wide, so the many figures
-that share the same (workload x technique) sweeps — Figs 8/9/10/12/13/15,
-Tables II/III — cost one simulation each.
+the scaled simulator.  Instead of simulating inline, each function builds a
+declarative :class:`~repro.harness.executor.ExperimentPlan` naming every
+(workload x technique x config) cell it needs and executes it through the
+module's shared :class:`~repro.harness.executor.Executor` — so the many
+figures that share the same sweeps (Figs 8/9/10/12/13/15, Tables II/III)
+cost one simulation each, cells are computed in parallel when the executor
+has ``jobs > 1``, and results persist in the content-addressed store (an
+interrupted sweep resumes where it stopped).
 
 Workload scope is controlled by ``REPRO_WORKLOADS`` (comma list, ``all``,
-or ``smoke``); the benchmark suite and ``repro.harness.regenerate`` both go
-through these functions.
+or ``smoke``); the default executor's parallelism by ``REPRO_JOBS``.  The
+benchmark suite and ``repro.harness.regenerate`` both go through these
+functions.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..callgraph import analyze_kernel, build_call_graph
 from ..cars.policy import PolicyMemory
@@ -34,12 +38,13 @@ from ..core.techniques import (
 from ..metrics.counters import STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
 from ..power.model import DEFAULT_ENERGY_MODEL
 from ..workloads import WORKLOAD_NAMES, SMOKE_NAMES, make_workload
-from .runner import RunResult, geomean, run_best_swl, run_workload
+from .executor import Executor, ExperimentPlan, ExperimentRequest, ProgressFn, ResultStore
+from .runner import RunResult, geomean
 
 #: Fig 8's studied techniques, in the paper's order.
 FIG8_TECHNIQUES = ("ideal_vw", "l1_10mb", "best_swl", "cars")
 
-_CACHE: Dict[Tuple[str, str, str], RunResult] = {}
+_EXECUTOR: Optional[Executor] = None
 
 
 def workload_names() -> List[str]:
@@ -56,56 +61,95 @@ def workload_names() -> List[str]:
     return names
 
 
-def clear_cache() -> None:
-    """Drop all in-memory run results (not the disk cache)."""
-    _CACHE.clear()
+# ---------------------------------------------------------------------------
+# The shared executor
+# ---------------------------------------------------------------------------
 
 
-def _disk_cache_path(key: Tuple[str, str, str], cfg: GPUConfig) -> Optional[str]:
-    """Simulation results are deterministic, so runs can be reused across
-    processes.  Enabled by REPRO_CACHE_DIR (off by default: the cache must
-    be cleared manually after changing simulator code or workloads)."""
-    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
-    if not cache_dir:
-        return None
-    os.makedirs(cache_dir, exist_ok=True)
-    digest = hashlib.sha1(("|".join(key) + repr(cfg)).encode()).hexdigest()
-    return os.path.join(cache_dir, f"{key[0]}-{key[1]}-{digest[:12]}.pkl")
+def default_jobs() -> int:
+    """Worker processes for the default executor (``REPRO_JOBS``, else 1)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    return max(1, int(raw)) if raw else 1
 
 
-def _cached_run(key, cfg, compute) -> RunResult:
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    path = _disk_cache_path(key, cfg)
-    if path is not None and os.path.exists(path):
-        with open(path, "rb") as handle:
-            cached = pickle.load(handle)
-    else:
-        cached = compute()
-        if path is not None:
-            with open(path, "wb") as handle:
-                pickle.dump(cached, handle)
-    _CACHE[key] = cached
-    return cached
+def get_executor() -> Executor:
+    """The executor shared by every figure/table function."""
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = Executor(jobs=default_jobs())
+    return _EXECUTOR
 
 
-def _run(name: str, technique: Technique, config: Optional[GPUConfig] = None) -> RunResult:
-    cfg = config if config is not None else volta()
-    key = (name, technique.name, cfg.name)
-    return _cached_run(
-        key, cfg, lambda: run_workload(make_workload(name), technique, cfg)
+def configure_executor(
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Executor:
+    """Replace the shared executor (e.g. ``regenerate --jobs N``)."""
+    global _EXECUTOR
+    _EXECUTOR = Executor(
+        jobs=jobs if jobs is not None else default_jobs(),
+        store=store,
+        progress=progress,
     )
+    return _EXECUTOR
+
+
+def reset_executor() -> None:
+    """Drop the shared executor (a fresh one picks up current env vars)."""
+    global _EXECUTOR
+    _EXECUTOR = None
+
+
+def clear_cache() -> None:
+    """Drop all in-memory run results (not the on-disk store)."""
+    if _EXECUTOR is not None:
+        _EXECUTOR.clear_memo()
+
+
+def _plan() -> ExperimentPlan:
+    return ExperimentPlan(get_executor())
+
+
+TechniqueLike = Union[Technique, str]
+
+
+def _sweep(
+    names: Sequence[str],
+    techniques: Sequence[TechniqueLike] = (),
+    *,
+    best_swl: bool = False,
+    config: Optional[GPUConfig] = None,
+) -> None:
+    """Execute the (names x techniques) grid, deduplicated, via one plan."""
+    plan = _plan()
+    for name in names:
+        for technique in techniques:
+            plan.add(name, technique, config=config)
+        if best_swl:
+            plan.add_best_swl(name, config=config)
+    plan.execute()
+
+
+def _run(
+    name: str, technique: TechniqueLike, config: Optional[GPUConfig] = None
+) -> RunResult:
+    """One cell; a memo hit when a plan already covered it."""
+    tech = technique if isinstance(technique, str) else technique.name
+    return get_executor().run_one(ExperimentRequest(
+        name, tech, config if config is not None else volta()
+    ))
 
 
 def _run_best_swl(name: str, config: Optional[GPUConfig] = None) -> RunResult:
-    cfg = config if config is not None else volta()
-    key = (name, "best_swl", cfg.name)
-    return _cached_run(key, cfg, lambda: run_best_swl(make_workload(name), cfg))
+    return get_executor().run_one(ExperimentRequest(
+        name, "best_swl", config if config is not None else volta()
+    ))
 
 
-def _speedup(name: str, technique: Technique) -> float:
-    return _run(name, BASELINE).cycles / _run(name, technique).cycles
+def _speedup(name: str, technique: TechniqueLike) -> float:
+    return _run(name, technique).speedup_over(_run(name, BASELINE))
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +168,7 @@ def fig2_baseline_access_mix(names: Optional[Sequence[str]] = None) -> Dict[str,
     """Fig 2: baseline L1D access mix (spills/fills vs other locals vs
     globals), per workload plus the suite average."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE,))
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         rows[name] = _run(name, BASELINE).stats.access_breakdown()
@@ -204,12 +249,13 @@ def fig8_performance(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[st
     """Fig 8 (headline): speedups of IdealVW / 10MB-L1 / Best-SWL / CARS
     over the baseline, plus the geomean row."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, IDEAL_VW, L1_HUGE, CARS), best_swl=True)
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         rows[name] = {
             "ideal_vw": _speedup(name, IDEAL_VW),
             "l1_10mb": _speedup(name, L1_HUGE),
-            "best_swl": _run(name, BASELINE).cycles / _run_best_swl(name).cycles,
+            "best_swl": _run_best_swl(name).speedup_over(_run(name, BASELINE)),
             "cars": _speedup(name, CARS),
         }
     rows["geomean"] = {
@@ -222,6 +268,7 @@ def fig9_access_reduction(names: Optional[Sequence[str]] = None) -> Dict[str, Di
     """Fig 9: L1D accesses under CARS vs baseline, by stream (normalized
     to the workload's baseline total)."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, CARS))
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         base = _run(name, BASELINE).stats
@@ -241,6 +288,7 @@ def fig9_access_reduction(names: Optional[Sequence[str]] = None) -> Dict[str, Di
 def fig10_allhit(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Fig 10: ALL-HIT vs CARS speedups."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, ALL_HIT, CARS))
     rows = {
         name: {"all_hit": _speedup(name, ALL_HIT), "cars": _speedup(name, CARS)}
         for name in names
@@ -254,6 +302,7 @@ def fig10_allhit(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, f
 
 def fig11_bandwidth_timeline(name: str = "PTA") -> Dict[str, object]:
     """Fig 11: global/local L1 bandwidth over time, baseline vs CARS."""
+    _sweep([name], (BASELINE, CARS))
     base = _run(name, BASELINE)
     cars = _run(name, CARS)
     return {
@@ -267,6 +316,7 @@ def fig11_bandwidth_timeline(name: str = "PTA") -> Dict[str, object]:
 def fig12_mpki(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Fig 12: L1D MPKI for baseline and CARS, plus the mean reduction."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, CARS))
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         rows[name] = {
@@ -288,6 +338,7 @@ def fig12_mpki(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, flo
 def fig13_instruction_mix(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Fig 13: issued-instruction mix, normalized to the baseline total."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, CARS))
     groups = {
         "alu": ("ALU", "FPU", "SFU", "SMEM"),
         "global": ("GLOBAL_LD", "GLOBAL_ST"),
@@ -310,7 +361,12 @@ def fig13_instruction_mix(names: Optional[Sequence[str]] = None) -> Dict[str, Di
 
 
 def fig14_pta_allocation() -> Dict[str, Dict[str, float]]:
-    """Fig 14: per-PTA-kernel speedups of the allocation mechanisms."""
+    """Fig 14: per-PTA-kernel speedups of the allocation mechanisms.
+
+    This study simulates each kernel launch in isolation, below the
+    workload granularity the executor addresses, so it drives the timing
+    model directly rather than submitting plan requests.
+    """
     workload = make_workload("PTA")
     mechanisms = {
         "low": Technique("cars_low", abi="cars", cars_mode="low"),
@@ -357,6 +413,7 @@ def fig14_pta_allocation() -> Dict[str, Dict[str, float]]:
 def fig15_energy(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Fig 15: energy efficiency normalized to the baseline."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, IDEAL_VW, L1_HUGE, CARS), best_swl=True)
     model = DEFAULT_ENERGY_MODEL
     techniques = {
         "ideal_vw": IDEAL_VW,
@@ -382,6 +439,7 @@ def fig15_energy(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, f
 def fig16_lto(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Fig 16: fully-inlined (LTO) vs CARS speedups."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, LTO, CARS))
     rows = {
         name: {"lto": _speedup(name, LTO), "cars": _speedup(name, CARS)}
         for name in names
@@ -400,12 +458,20 @@ def fig17_port_scaling(
     to the 1x baseline."""
     names = list(names) if names is not None else workload_names()
     base_ports = volta().l1.ports
+    port_configs = [volta().with_l1_ports(base_ports * f) for f in factors]
+    plan = _plan()
+    for name in names:
+        plan.add(name, BASELINE)
+        plan.add(name, CARS)
+        for cfg in port_configs:
+            plan.add(name, BASELINE, config=cfg)
+            plan.add(name, CARS, config=cfg)
+    plan.execute()
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         base_1x = _run(name, BASELINE).cycles
         row = {"cars_1x": base_1x / _run(name, CARS).cycles}
-        for factor in factors:
-            cfg = volta().with_l1_ports(base_ports * factor)
+        for factor, cfg in zip(factors, port_configs):
             row[f"baseline_{factor}x"] = base_1x / _run(name, BASELINE, cfg).cycles
             row[f"cars_{factor}x"] = base_1x / _run(name, CARS, cfg).cycles
         rows[name] = row
@@ -418,11 +484,12 @@ def fig18_ampere(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, f
     """Fig 18: CARS speedup on the Ampere (RTX 3070-like) configuration."""
     names = list(names) if names is not None else workload_names()
     cfg = ampere()
+    _sweep(names, (BASELINE, CARS), config=cfg)
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         base = _run(name, BASELINE, cfg)
         cars = _run(name, CARS, cfg)
-        rows[name] = {"cars": base.cycles / cars.cycles}
+        rows[name] = {"cars": cars.speedup_over(base)}
     rows["geomean"] = {"cars": geomean([rows[n]["cars"] for n in names])}
     return rows
 
@@ -452,6 +519,7 @@ def table2_speedup_factors(names: Optional[Sequence[str]] = None) -> Dict[str, D
     """Table II: diagnose each workload's main CARS speedup factor from the
     idealized-configuration responses (the paper's Section VI-A logic)."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, CARS, L1_HUGE, ALL_HIT))
     rows: Dict[str, Dict[str, str]] = {}
     for name in names:
         cars = _speedup(name, CARS)
@@ -514,6 +582,7 @@ def table3_trap_stats(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[s
     """Table III: trap-handler frequency and severity under CARS (only
     workloads that actually trapped appear, as in the paper)."""
     names = list(names) if names is not None else workload_names()
+    _sweep(names, (CARS,))
     rows: Dict[str, Dict[str, float]] = {}
     for name in names:
         stats = _run(name, CARS).stats

@@ -2,16 +2,22 @@
 
 Usage::
 
-    python -m repro.harness.regenerate [output.md]
+    python -m repro.harness.regenerate [output.md] [--jobs N]
 
 Set ``REPRO_WORKLOADS=smoke`` (or a comma list) to restrict scope.
-Expect ~15-40 minutes for the full 22-workload suite.
+Expect ~15-40 minutes for the full 22-workload suite on one core;
+``--jobs N`` fans the sweep out over N worker processes.  Completed runs
+persist in the content-addressed result store, so an interrupted sweep
+resumes where it stopped and a warm rerun simulates nothing (the final
+``executor:`` line reports the run counter).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import Optional, Sequence
 
 from . import experiments as ex
 from .tables import format_table
@@ -104,14 +110,43 @@ def generate_markdown() -> str:
     return "".join(out)
 
 
-def main(argv=None) -> int:
+def _progress(done: int, total: int, request, source: str) -> None:
+    print(f"  [{done}/{total}] {request.workload:>14s} "
+          f"{request.technique:<12s} ({source})", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.regenerate",
+        description="Regenerate every paper figure/table into a markdown file.",
+    )
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-run progress lines on stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: write EXPERIMENTS.md (optional path arg)."""
-    argv = argv if argv is not None else sys.argv[1:]
-    path = argv[0] if argv else "EXPERIMENTS.md"
+    args = build_parser().parse_args(
+        argv if argv is not None else sys.argv[1:]
+    )
+    executor = ex.configure_executor(
+        jobs=args.jobs, progress=None if args.quiet else _progress
+    )
     markdown = generate_markdown()
-    with open(path, "w") as handle:
+    with open(args.output, "w") as handle:
         handle.write(markdown)
-    print(f"wrote {path}")
+    print(f"wrote {args.output}")
+    print(f"executor: {executor.stats.summary()} "
+          f"(store: {executor.store.info()['entries']} entries at "
+          f"{executor.store.root})")
     return 0
 
 

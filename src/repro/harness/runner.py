@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..analysis import ensure_module_linted
 from ..callgraph import analyze_kernel, build_call_graph
@@ -40,7 +40,20 @@ class RunResult:
         return self.stats.cycles
 
     def speedup_over(self, baseline: "RunResult") -> float:
-        return baseline.cycles / self.cycles if self.cycles else 0.0
+        """``baseline.cycles / self.cycles``; zero cycles fail loudly.
+
+        A zero-cycle run means the simulation produced nothing — silently
+        returning 0.0 here used to skew downstream geomeans instead of
+        flagging the broken run.
+        """
+        if self.cycles == 0 or baseline.cycles == 0:
+            raise ValueError(
+                f"speedup undefined: zero-cycle run "
+                f"({self.workload}/{self.technique}: {self.cycles} cycles, "
+                f"{baseline.workload}/{baseline.technique}: "
+                f"{baseline.cycles} cycles)"
+            )
+        return baseline.cycles / self.cycles
 
     def energy(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
         return model.energy(self.stats, self.config)
@@ -48,10 +61,30 @@ class RunResult:
     def energy_efficiency(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
         return model.efficiency(self.stats, self.config)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the result store's serialization): no pickled
+        class layouts, so stored results survive refactors of this class."""
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "config": self.config.to_dict(),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            workload=data["workload"],
+            technique=data["technique"],
+            config=GPUConfig.from_dict(data["config"]),
+            stats=SimStats.from_dict(data["stats"]),
+        )
+
 
 def run_workload(
     workload: Workload,
     technique: Technique,
+    *,
     config: Optional[GPUConfig] = None,
     policy_memory: Optional[PolicyMemory] = None,
 ) -> RunResult:
@@ -79,6 +112,7 @@ def run_workload(
 
 def run_best_swl(
     workload: Workload,
+    *,
     config: Optional[GPUConfig] = None,
     sweep: Sequence[int] = SWL_SWEEP,
 ) -> RunResult:
@@ -88,21 +122,31 @@ def run_best_swl(
     for limit in sweep:
         if limit > cfg.max_warps_per_sm:
             continue
-        result = run_workload(workload, swl(limit), cfg)
+        result = run_workload(workload, swl(limit), config=cfg)
         if best is None or result.cycles < best.cycles:
             best = result
     assert best is not None
     return RunResult(best.workload, "best_swl", best.config, best.stats)
 
 
-def run_baseline(workload: Workload, config: Optional[GPUConfig] = None) -> RunResult:
+def run_baseline(
+    workload: Workload, *, config: Optional[GPUConfig] = None
+) -> RunResult:
     """Simulate *workload* under the baseline ABI."""
-    return run_workload(workload, BASELINE, config)
+    return run_workload(workload, BASELINE, config=config)
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's summary statistic)."""
-    values = [v for v in values if v > 0]
+    """Geometric mean (the paper's summary statistic).
+
+    Non-positive values and empty input raise :class:`ValueError`: they can
+    only come from a broken run (see :meth:`RunResult.speedup_over`), and
+    silently dropping them used to skew the paper-facing geomean rows.
+    """
+    values = list(values)
     if not values:
-        return 0.0
+        raise ValueError("geomean of an empty sequence")
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(f"geomean requires positive values, got {bad}")
     return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -10,9 +10,10 @@ feeds Fig 11.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Access-stream tags (what generated an L1D access).
 STREAM_SPILL = "spill"  # ABI register spill/fill traffic
@@ -21,6 +22,23 @@ STREAM_GLOBAL = "global"  # global loads/stores
 
 #: Timeline bucket width in cycles (Fig 11 resolution).
 TIMELINE_BUCKET = 512
+
+#: Plain-integer SimStats attributes (serialized verbatim).
+_SCALAR_FIELDS = (
+    "cycles", "warp_instructions", "micro_ops",
+    "l2_accesses", "l2_hits", "l2_misses", "dram_accesses",
+    "calls", "returns", "pushes", "pops", "push_regs", "pop_regs",
+    "traps", "trap_spilled_regs", "trap_filled_regs",
+    "context_switches", "context_switch_regs", "stalled_warp_cycles",
+    "issue_cycles", "idle_cycles", "barrier_wait_cycles",
+    "fetch_stall_cycles",
+)
+
+#: Counter-valued SimStats attributes (serialized as plain dicts).
+_COUNTER_FIELDS = (
+    "issued_by_kind", "l1_accesses", "l1_hits", "l1_misses",
+    "l1_store_sectors", "l1_load_sectors",
+)
 
 
 @dataclass
@@ -38,6 +56,13 @@ class BlockRecord:
     @property
     def runtime(self) -> int:
         return self.end_cycle - self.start_cycle
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BlockRecord":
+        return cls(**data)
 
 
 class SimStats:
@@ -221,3 +246,42 @@ class SimStats:
             entry = self.timeline.setdefault(bucket + offset_buckets, [0, 0])
             entry[0] += counts[0]
             entry[1] += counts[1]
+
+    # ------------------------------------------------------------------
+    # Serialization (the result store's JSON format)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form: scalars, counters as dicts, records as dicts.
+
+        Keys inside counters and the timeline are emitted sorted so two
+        equal runs always produce byte-identical canonical JSON (the
+        result store's parallel-vs-serial determinism guarantee).
+        """
+        data: Dict[str, Any] = {name: getattr(self, name) for name in _SCALAR_FIELDS}
+        for name in _COUNTER_FIELDS:
+            counter = getattr(self, name)
+            data[name] = {key: counter[key] for key in sorted(counter)}
+        data["blocks"] = [block.to_dict() for block in self.blocks]
+        data["timeline"] = {
+            str(bucket): list(counts)
+            for bucket, counts in sorted(self.timeline.items())
+        }
+        data["allocation_log"] = [list(entry) for entry in self.allocation_log]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
+        stats = cls()
+        for name in _SCALAR_FIELDS:
+            setattr(stats, name, data[name])
+        for name in _COUNTER_FIELDS:
+            setattr(stats, name, Counter(data[name]))
+        stats.blocks = [BlockRecord.from_dict(b) for b in data["blocks"]]
+        stats.timeline = {
+            int(bucket): list(counts) for bucket, counts in data["timeline"].items()
+        }
+        stats.allocation_log = [
+            (entry[0], entry[1], entry[2]) for entry in data["allocation_log"]
+        ]
+        return stats

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main as cli_main
 from repro.config import PRESETS, ampere, huge_l1, volta
+from repro.config.gpu_config import GPUConfig
 
 
 class TestPresets:
@@ -63,6 +64,17 @@ class TestTransforms:
         assert cfg.num_sets * cfg.assoc <= cfg.num_sectors
 
 
+class TestSerialization:
+    def test_dict_round_trip(self):
+        for preset in (volta(), ampere(), volta().with_l1_ports(16)):
+            assert GPUConfig.from_dict(preset.to_dict()) == preset
+
+    def test_fingerprint_stable_and_distinct(self):
+        assert volta().fingerprint() == volta().fingerprint()
+        assert volta().fingerprint() != ampere().fingerprint()
+        assert volta().fingerprint() != volta().with_force_hit().fingerprint()
+
+
 class TestCli:
     def test_parser_subcommands(self):
         parser = build_parser()
@@ -83,3 +95,14 @@ class TestCli:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["run", "--workload", "NOPE"])
+
+    def test_cache_info_command(self, capsys, tmp_path):
+        assert cli_main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries : 0" in out and str(tmp_path) in out
+
+    def test_cache_clear_command(self, capsys, tmp_path):
+        (tmp_path / "deadbeef.json").write_text("{}")
+        assert cli_main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.json"))
