@@ -1,0 +1,71 @@
+"""Timing-core performance benchmarks (simulator throughput, not figures).
+
+Pins the cost of the simulator itself and of the observability layer on
+top of it: one small workload simulated with observability fully off
+(``obs=None``, the production default), with the bounded tracer, and with
+per-warp stall attribution.  CI runs these in smoke mode
+(``--benchmark-disable``) so regressions in *correctness* of the profiled
+paths surface on every push; locally, ``pytest benchmarks/test_perf_core.py``
+reports real timings, and the off-vs-tracing delta bounds the layer's
+overhead (the disabled configuration is one attribute test per issue).
+"""
+
+import pytest
+
+from repro.core.techniques import BASELINE, CARS
+from repro.harness.runner import run_workload
+from repro.obs import ObsSession
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = make_workload("FIB")
+    wl.traces()  # pre-trace so benchmarks time the timing core only
+    return wl
+
+
+def _record_throughput(benchmark, result):
+    """Attach simulated-cycles-per-second to the benchmark record."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None and stats.stats.mean:
+        benchmark.extra_info["cycles_simulated"] = result.stats.cycles
+        benchmark.extra_info["cycles_per_sec"] = round(
+            result.stats.cycles / stats.stats.mean
+        )
+
+
+def test_perf_baseline_obs_off(benchmark, workload):
+    result = benchmark.pedantic(
+        run_workload, args=(workload, BASELINE), rounds=3, iterations=1
+    )
+    assert result.stats.cpi_total() == result.stats.cycles
+    _record_throughput(benchmark, result)
+
+
+def test_perf_cars_obs_off(benchmark, workload):
+    result = benchmark.pedantic(
+        run_workload, args=(workload, CARS), rounds=3, iterations=1
+    )
+    assert result.stats.cpi_total() == result.stats.cycles
+    _record_throughput(benchmark, result)
+
+
+def test_perf_baseline_with_tracer(benchmark, workload):
+    def run():
+        return run_workload(
+            workload, BASELINE, obs=ObsSession(trace=True)
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.cpi_total() == result.stats.cycles
+
+
+def test_perf_baseline_per_warp(benchmark, workload):
+    def run():
+        return run_workload(
+            workload, BASELINE, obs=ObsSession(per_warp=True)
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.warp_stalls

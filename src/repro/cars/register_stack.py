@@ -141,6 +141,8 @@ class WarpRegisterStack:
         self.frames: List[Frame] = []
         self.spills = 0  # cumulative registers spilled (traps)
         self.fills = 0  # cumulative registers filled back
+        self.traps = 0  # calls that had to spill (Table III numerator)
+        self.peak_depth = 0  # deepest concurrent frame count observed
         self._next_start = 0
 
     @property
@@ -187,8 +189,48 @@ class WarpRegisterStack:
             Frame(start=start, fru=resident_part, logical_fru=fru, resident=True)
         )
         self._next_start += fru
-        self.spills += sum(count for _, count in spilled)
+        if len(self.frames) > self.peak_depth:
+            self.peak_depth = len(self.frames)
+        if spilled:
+            self.traps += 1
+            self.spills += sum(count for _, count in spilled)
         return spilled
+
+    def check_invariants(self) -> None:
+        """Raise :class:`RegisterStackError` on a corrupted stack.
+
+        The fuzz battery calls this after every operation; production code
+        never needs to (the operations preserve these by construction).
+        """
+        if self.resident_regs > self.capacity:
+            raise RegisterStackError(
+                f"resident registers {self.resident_regs} exceed "
+                f"capacity {self.capacity}"
+            )
+        seen_resident = False
+        for frame in self.frames:
+            if frame.resident:
+                seen_resident = True
+            elif seen_resident:
+                raise RegisterStackError(
+                    "spilled frame above a resident one: eviction must be "
+                    "oldest-first (Fig 6 wrap-around)"
+                )
+        if self.frames and not self.frames[-1].resident:
+            raise RegisterStackError("top frame is not resident")
+        expected_start = 0
+        for frame in self.frames:
+            if frame.start != expected_start:
+                raise RegisterStackError(
+                    f"frame start {frame.start} != logical offset "
+                    f"{expected_start}"
+                )
+            expected_start += frame.logical_fru
+        if expected_start != self._next_start:
+            raise RegisterStackError(
+                f"logical stack height {expected_start} != next start "
+                f"{self._next_start}"
+            )
 
     def ret(self) -> Optional[Tuple[int, int]]:
         """Leave the top frame.

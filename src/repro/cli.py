@@ -5,6 +5,7 @@
     python -m repro lint --workload MST [--strict] [--json]
     python -m repro lint --all --strict
     python -m repro run --workload MST --technique cars [--config ampere] [--jobs 2]
+    python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
     python -m repro regen [output.md] [--jobs 4]
     python -m repro cache info
     python -m repro cache clear
@@ -95,6 +96,63 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """CPI-stack profile of one (workload, technique) run.
+
+    Always simulates fresh (the tracer and per-warp attribution are not
+    part of the result store's payload), prints the stall-attribution
+    table, and optionally dumps the bounded event trace as JSONL.
+    """
+    from .harness.runner import run_workload
+    from .metrics.counters import STREAM_SPILL
+    from .metrics.report import cpi_stack_report
+    from .obs import MEM_BUCKETS, ObsSession
+
+    config = PRESETS[args.config]
+    obs = ObsSession(
+        trace=bool(args.trace),
+        trace_limit=args.trace_limit,
+        per_warp=args.per_warp,
+    )
+    result = run_workload(
+        make_workload(args.workload), TECHNIQUES[args.technique],
+        config=config, obs=obs,
+    )
+    stats = result.stats
+    print(f"workload={args.workload} technique={args.technique} "
+          f"config={args.config}")
+    print(cpi_stack_report(
+        stats, title=f"CPI stack ({args.workload}/{args.technique})"), end="")
+    mem_share = sum(stats.cpi_stack[b] for b in MEM_BUCKETS) / stats.cycles
+    spill_loads = stats.l1_load_sectors[STREAM_SPILL]
+    spill_stores = stats.l1_store_sectors[STREAM_SPILL]
+    print(f"memory-stall share : {mem_share:.1%} of cycles")
+    print(f"spill/fill L1D share: {stats.spill_fraction():.1%} of accesses "
+          f"({spill_loads} load + {spill_stores} store sectors)")
+    if stats.traps:
+        print(f"CARS traps         : {stats.traps} "
+              f"({stats.trap_fraction():.3%} of calls)")
+    if args.per_warp:
+        worst = sorted(
+            stats.warp_stalls.items(),
+            key=lambda item: -sum(item[1].values()),
+        )[:args.top_warps]
+        print(f"\nworst {len(worst)} warps by stall cycles:")
+        for key, stalls in worst:
+            top = ", ".join(
+                f"{bucket}={cycles}"
+                for bucket, cycles in stalls.most_common(3)
+            )
+            print(f"  {key:<16} {sum(stalls.values()):>10}  ({top})")
+    if args.trace:
+        obs.tracer.write_jsonl(args.trace)
+        dropped = (f", {obs.tracer.dropped} dropped"
+                   if obs.tracer.dropped else "")
+        print(f"\nwrote {len(obs.tracer.records())} trace events to "
+              f"{args.trace}{dropped}")
+    return 0
+
+
 def _cmd_regen(args) -> int:
     from .harness.regenerate import main as regen_main
 
@@ -153,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (results come from the store "
                           "when warm)")
 
+    profile = sub.add_parser(
+        "profile", help="CPI-stack stall attribution for one run")
+    profile.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    profile.add_argument("--technique", default="baseline",
+                         choices=sorted(TECHNIQUES))
+    profile.add_argument("--config", default="volta", choices=sorted(PRESETS))
+    profile.add_argument("--trace", default="", metavar="OUT.JSONL",
+                         help="dump the bounded event trace as JSONL")
+    profile.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                         help="ring-buffer capacity (newest N events kept)")
+    profile.add_argument("--per-warp", action="store_true",
+                         help="accumulate per-warp stall attribution")
+    profile.add_argument("--top-warps", type=int, default=5, metavar="N",
+                         help="warps to show with --per-warp")
+
     regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
     regen.add_argument("output", nargs="?", default="")
     regen.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
@@ -177,6 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "regen": _cmd_regen,
         "cache": _cmd_cache,
     }[args.command]

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from collections import deque
-from typing import Deque, List, Optional
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
 
 from ..config.gpu_config import GPUConfig
 from ..emu.trace import KernelTrace
 from ..mem.subsystem import MemorySubsystem, MemRequest
 from ..metrics.counters import SimStats
+from ..obs.cpi import BUCKET_ISSUED, classify_idle, warp_stall_reasons
 from .sm import SM, SimulationError
 from .techniques import LaunchContext
 
@@ -25,10 +26,17 @@ from .techniques import LaunchContext
 class GPU:
     """Simulates one kernel launch under one technique."""
 
-    def __init__(self, config: GPUConfig, ctx: LaunchContext, stats: SimStats) -> None:
+    def __init__(
+        self,
+        config: GPUConfig,
+        ctx: LaunchContext,
+        stats: SimStats,
+        obs=None,
+    ) -> None:
         self.config = config
         self.ctx = ctx
         self.stats = stats
+        self.obs = obs  # ObsSession or None; SMs read this at construction
         self.mem = MemorySubsystem(config, stats, self._on_load_complete)
         self.sms = [
             SM(sm_id, config, ctx, self.mem, stats, self)
@@ -67,9 +75,24 @@ class GPU:
         self.push_wake(cycle + 1)
 
     def run(self, trace: KernelTrace, max_cycles: int = 50_000_000) -> int:
-        """Simulate the launch to completion; returns total cycles."""
+        """Simulate the launch to completion; returns total cycles.
+
+        Every cycle is attributed to exactly one CPI-stack bucket as it
+        passes: issuing cycles to ``issued``, each fast-forwarded idle
+        stretch — whole — to the stall cause that opened it (nothing can
+        change mid-stretch, so the cause holds for every cycle in it).
+        The accounting is checked against the cycle count before it is
+        folded into :class:`~repro.metrics.counters.SimStats`.
+        """
         self._pending = deque(trace.blocks)
         self._blocks_remaining = len(trace.blocks)
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None:
+            tracer.bind_kernel(trace.kernel)
+        per_warp = obs is not None and obs.per_warp
+        issued_cycles = 0
+        idle_buckets: Dict[str, int] = {}
         self._assign_blocks(0)
         cycle = 0
         while self._blocks_remaining > 0:
@@ -83,6 +106,7 @@ class GPU:
                 issued += sm.tick(cycle)
             if issued:
                 self.stats.issue_cycles += 1
+                issued_cycles += 1
                 cycle += 1
                 continue
             # Nothing issued: fast-forward to the next possible event.
@@ -94,9 +118,35 @@ class GPU:
                         f"{self._blocks_remaining} blocks unfinished"
                     )
                 break
-            self.stats.idle_cycles += next_cycle - cycle
+            span = next_cycle - cycle
+            bucket = classify_idle(self, cycle)
+            idle_buckets[bucket] = idle_buckets.get(bucket, 0) + span
+            if tracer is not None:
+                tracer.on_stall(cycle, span, bucket)
+            if per_warp:
+                for warp, reason in warp_stall_reasons(self, cycle):
+                    key = f"{trace.kernel}/w{warp.global_index}"
+                    stalls = self.stats.warp_stalls.get(key)
+                    if stalls is None:
+                        stalls = self.stats.warp_stalls[key] = Counter()
+                    stalls[reason] += span
+            self.stats.idle_cycles += span
             cycle = next_cycle
         self.stats.cycles = cycle
+        accounted = issued_cycles + sum(idle_buckets.values())
+        if accounted != cycle:
+            raise SimulationError(
+                f"CPI-stack accounting leak in {trace.kernel!r}: "
+                f"{accounted} cycles attributed, {cycle} simulated"
+            )
+        stack = self.stats.cpi_stack
+        kernel_stack = self.stats.cpi_by_kernel.setdefault(trace.kernel, Counter())
+        if issued_cycles:
+            stack[BUCKET_ISSUED] += issued_cycles
+            kernel_stack[BUCKET_ISSUED] += issued_cycles
+        for bucket, span in idle_buckets.items():
+            stack[bucket] += span
+            kernel_stack[bucket] += span
         self.ctx.finalize()
         return cycle
 

@@ -16,6 +16,7 @@ from ..config.gpu_config import GPUConfig
 from ..emu.trace import BlockTrace
 from ..mem.subsystem import MemorySubsystem, MemRequest
 from ..metrics.counters import BlockRecord, SimStats, STREAM_SPILL
+from ..obs.cpi import HINT_CTRL, HINT_FETCH
 from .techniques import LaunchContext
 from .uop import Uop, UopKind, mem_uop
 from .warp import NEVER, WarpCtx
@@ -77,6 +78,11 @@ class SM:
         self._last_issued: List[Optional[WarpCtx]] = [None] * config.schedulers_per_sm
         self._rr_pointer = [0] * config.schedulers_per_sm  # LRR state
         self._next_slot = 0
+        # Warps parked at NEVER behind a CARS trap / context-switch fill
+        # (the CPI stack's cars_trap bucket reads this census).
+        self.blocked_fill_warps = 0
+        obs = getattr(gpu, "obs", None)
+        self._tracer = obs.tracer if obs is not None else None
 
     # ------------------------------------------------------------------
     # Block management
@@ -359,6 +365,7 @@ class SM:
                 stall = int(warp.fetch_debt)
                 warp.fetch_debt -= stall
                 warp.next_issue += stall
+                warp.stall_hint = HINT_FETCH
                 self.stats.fetch_stall_cycles += stall
                 self.gpu.push_wake(warp.next_issue)
         uops = self.ctx.expand(warp, rec)
@@ -370,6 +377,11 @@ class SM:
         stats = self.stats
         stats.micro_ops += 1
         stats.issued_by_kind[uop.mix] += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_issue(
+                cycle, self.sm_id, warp.global_index, warp.cursor - 1, uop.mix
+            )
         kind = uop.kind
         if kind == UopKind.EXEC:
             done_at = cycle + uop.latency
@@ -379,6 +391,7 @@ class SM:
             if uop.dst:
                 self.gpu.push_wake(done_at)
         elif kind == UopKind.MEM:
+            blocking = uop.blocking and not uop.is_store
             request = MemRequest(
                 warp,
                 uop.dst,
@@ -386,13 +399,15 @@ class SM:
                 uop.is_store,
                 uop.stream,
                 self.sm_id,
+                blocking,
             )
             if not uop.is_store:
                 warp.outstanding_loads += 1
                 for reg in uop.dst:
                     warp.reg_ready[reg] = NEVER
-                if uop.blocking:
+                if blocking:
                     warp.next_issue = NEVER
+                    self.blocked_fill_warps += 1
                 else:
                     warp.next_issue = cycle + 1
             else:
@@ -400,6 +415,7 @@ class SM:
             self.mem.access(self.sm_id, uop.sectors, request)
         elif kind == UopKind.CTRL:
             warp.next_issue = cycle + uop.latency
+            warp.stall_hint = HINT_CTRL
             self.gpu.push_wake(warp.next_issue)
         elif kind == UopKind.BAR:
             warp.next_issue = cycle + 1
@@ -416,8 +432,12 @@ class SM:
         warp.outstanding_loads -= 1
         for reg in request.dst:
             warp.reg_ready[reg] = cycle
-        if warp.next_issue >= NEVER:  # blocking fill finished
+        if request.blocking and warp.next_issue >= NEVER:
+            # The blocking fill itself finished.  (An unrelated load
+            # completing must *not* release the warp: that used to let a
+            # warp resume before its trap fill was back in registers.)
             warp.next_issue = cycle + 1
+            self.blocked_fill_warps -= 1
         self.gpu.push_wake(cycle + 1)
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ class WarpCtx:
         "waiting_barrier",
         "done",
         "outstanding_loads",
+        "stall_hint",
         "fetch_debt",
         "frame_starts",
         "spill_depth",
@@ -60,6 +61,7 @@ class WarpCtx:
         self.waiting_barrier = False
         self.done = False
         self.outstanding_loads = 0
+        self.stall_hint = None  # why next_issue is in the future (CPI stack)
         self.fetch_debt = 0.0
         self.frame_starts: List[int] = []  # baseline spill-stack frames
         self.spill_depth = 0  # registers currently on the in-memory stack

@@ -66,6 +66,23 @@ class GlobalMemory:
             offsets = addresses[mask] - page_id * PAGE_WORDS
             self._page(int(page_id))[offsets] = values[mask]
 
+    def equal_state(self, other: "GlobalMemory") -> bool:
+        """Architectural equality: every word reads the same in both.
+
+        A page materialized by reads alone still holds the deterministic
+        default fill, so presence in ``_pages`` is not state — each page
+        in either memory is compared against the other's page *contents*
+        (materializing the default where absent).
+        """
+        for page_id in set(self._pages) | set(other._pages):
+            if not np.array_equal(self._page(page_id), other._page(page_id)):
+                return False
+        return True
+
+    def touched_pages(self) -> int:
+        """Number of materialized pages (differential-test diagnostics)."""
+        return len(self._pages)
+
     def write_array(self, base: int, values: np.ndarray) -> None:
         """Convenience: write a dense array starting at word *base*."""
         addresses = np.arange(base, base + values.size, dtype=np.int64)

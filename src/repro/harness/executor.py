@@ -56,7 +56,9 @@ from ..workloads.spec import Workload
 from .runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
 
 #: Bump whenever the stored JSON layout changes; old entries then miss.
-STORE_SCHEMA_VERSION = 1
+#: v2: SimStats grew the CPI-stack fields (cpi_stack, cpi_by_kernel,
+#: warp_stalls) — v1 entries lack them and would crash from_dict.
+STORE_SCHEMA_VERSION = 2
 
 #: Files under ``repro/`` whose edits cannot change simulation results and
 #: therefore stay out of the simulator digest (everything else is hashed).

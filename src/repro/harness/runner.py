@@ -19,6 +19,7 @@ from ..config import volta
 from ..core.gpu import GPU
 from ..core.techniques import BASELINE, Technique, swl
 from ..metrics.counters import SimStats
+from ..obs import ObsSession
 from ..power.model import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..workloads.spec import Workload
 
@@ -87,8 +88,13 @@ def run_workload(
     *,
     config: Optional[GPUConfig] = None,
     policy_memory: Optional[PolicyMemory] = None,
+    obs: Optional["ObsSession"] = None,
 ) -> RunResult:
-    """Simulate every kernel launch of *workload* under *technique*."""
+    """Simulate every kernel launch of *workload* under *technique*.
+
+    *obs* (an :class:`repro.obs.ObsSession`) opts into the event tracer
+    and per-warp stall attribution; the CPI stack itself is always on.
+    """
     base_config = config if config is not None else volta()
     cfg = technique.adjust_config(base_config)
     module = workload.module(inlined=technique.use_inlined)
@@ -105,7 +111,7 @@ def run_workload(
         kernel_stats = SimStats()
         analysis = analyze_kernel(graph, trace.kernel) if graph is not None else None
         ctx = technique.make_context(trace, cfg, kernel_stats, analysis, memory)
-        GPU(cfg, ctx, kernel_stats).run(trace)
+        GPU(cfg, ctx, kernel_stats, obs=obs).run(trace)
         total.merge_kernel(kernel_stats)
     return RunResult(workload.name, technique.name, cfg, total)
 

@@ -92,3 +92,19 @@ class SectorCache:
     @property
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Lifetime counters + occupancy, for the observability layer.
+
+        The property tests hold ``lookups == hits + (misses implied)`` and
+        ``insertions - evictions == occupancy`` against this snapshot.
+        """
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.lookups - self.hits,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "occupancy": self.occupancy,
+        }

@@ -32,15 +32,20 @@ class MemRequest:
     stores complete at issue).
     """
 
-    __slots__ = ("warp", "dst", "remaining", "is_store", "stream", "sm_id")
+    __slots__ = ("warp", "dst", "remaining", "is_store", "stream", "sm_id",
+                 "blocking")
 
-    def __init__(self, warp, dst, remaining, is_store, stream, sm_id) -> None:
+    def __init__(self, warp, dst, remaining, is_store, stream, sm_id,
+                 blocking: bool = False) -> None:
         self.warp = warp
         self.dst = dst
         self.remaining = remaining
         self.is_store = is_store
         self.stream = stream
         self.sm_id = sm_id
+        # True for CARS trap / context-switch fills: the owning warp's
+        # next_issue is parked at NEVER until *this* request completes.
+        self.blocking = blocking
 
 
 _EV_HIT = 0  # payload: MemRequest
@@ -96,6 +101,38 @@ class MemorySubsystem:
     def has_queued_work(self) -> bool:
         """True when a queue can make progress on the very next cycle."""
         return bool(self.l2_queue or self.dram_queue or any(self.l1_queues))
+
+    def stall_class(self) -> Optional[str]:
+        """Which memory stage explains a no-issue cycle, if any.
+
+        Returns ``"mshr"`` (L1D backlog behind a full MSHR file), ``"l1"``
+        (sectors queued for L1D ports or in hit-latency service), or
+        ``"lower"`` (work in the L2/DRAM path); ``None`` when the whole
+        hierarchy is drained.  The in-flight hit/fill distinction scans
+        the event heap *here* — idle stretches are rare next to memory
+        events, so classification pays the cost lazily rather than taxing
+        every ``_schedule``/``_drain_events`` on the hot path.
+        """
+        cfg = self.config
+        queue_backlog = False
+        for sm_id, queue in enumerate(self.l1_queues):
+            if not queue:
+                continue
+            if len(self.l1_mshrs[sm_id]) >= cfg.l1.mshrs:
+                return "mshr"
+            queue_backlog = True
+        events = self._events
+        if queue_backlog or any(ev[2] == _EV_HIT for ev in events):
+            return "l1"
+        if (
+            self.l2_queue
+            or self.l2_mshr
+            or self.dram_queue
+            or events  # all remaining events are fills
+            or any(self.l1_mshrs)
+        ):
+            return "lower"
+        return None
 
     # ------------------------------------------------------------------
     # Per-cycle processing

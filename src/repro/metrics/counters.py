@@ -37,8 +37,11 @@ _SCALAR_FIELDS = (
 #: Counter-valued SimStats attributes (serialized as plain dicts).
 _COUNTER_FIELDS = (
     "issued_by_kind", "l1_accesses", "l1_hits", "l1_misses",
-    "l1_store_sectors", "l1_load_sectors",
+    "l1_store_sectors", "l1_load_sectors", "cpi_stack",
 )
+
+#: Dict-of-Counter SimStats attributes (serialized as nested sorted dicts).
+_NESTED_COUNTER_FIELDS = ("cpi_by_kernel", "warp_stalls")
 
 
 @dataclass
@@ -104,6 +107,14 @@ class SimStats:
         self.barrier_wait_cycles: int = 0
         self.fetch_stall_cycles: int = 0
         self.blocks: List[BlockRecord] = []
+        # CPI-stack cycle accounting (repro.obs): every simulated cycle
+        # lands in exactly one bucket, so sum(values) == cycles.
+        self.cpi_stack: Counter = Counter()
+        # Per-kernel CPI stacks (each sums to that kernel's cycles).
+        self.cpi_by_kernel: Dict[str, Counter] = {}
+        # Opt-in per-warp stall attribution ("kernel/wN" -> bucket -> cycles);
+        # populated only when an ObsSession with per_warp=True is attached.
+        self.warp_stalls: Dict[str, Counter] = {}
         # Fig 11 timeline: bucket -> [global_sectors, local_sectors].
         self.timeline: Dict[int, List[int]] = {}
         # Per-kernel allocation decisions (CARS).
@@ -189,6 +200,17 @@ class SimStats:
         """Issued micro-op counts by kind (Fig 13)."""
         return dict(self.issued_by_kind)
 
+    def cpi_total(self) -> int:
+        """Sum of the CPI-stack buckets (must equal :attr:`cycles`)."""
+        return sum(self.cpi_stack.values())
+
+    def cpi_breakdown(self) -> Dict[str, float]:
+        """CPI-stack bucket fractions of total cycles."""
+        total = self.cpi_total()
+        if total == 0:
+            return {}
+        return {bucket: count / total for bucket, count in self.cpi_stack.items()}
+
     def trap_fraction(self) -> float:
         """Fraction of calls that invoked the trap handler (Table III)."""
         return self.traps / self.calls if self.calls else 0.0
@@ -240,6 +262,11 @@ class SimStats:
         self.barrier_wait_cycles += other.barrier_wait_cycles
         self.fetch_stall_cycles += other.fetch_stall_cycles
         self.blocks.extend(other.blocks)
+        self.cpi_stack.update(other.cpi_stack)
+        for kernel, stack in other.cpi_by_kernel.items():
+            self.cpi_by_kernel.setdefault(kernel, Counter()).update(stack)
+        for warp_key, stack in other.warp_stalls.items():
+            self.warp_stalls.setdefault(warp_key, Counter()).update(stack)
         self.allocation_log.extend(other.allocation_log)
         offset_buckets = offset // TIMELINE_BUCKET
         for bucket, counts in other.timeline.items():
@@ -262,6 +289,12 @@ class SimStats:
         for name in _COUNTER_FIELDS:
             counter = getattr(self, name)
             data[name] = {key: counter[key] for key in sorted(counter)}
+        for name in _NESTED_COUNTER_FIELDS:
+            nested = getattr(self, name)
+            data[name] = {
+                outer: {key: counter[key] for key in sorted(counter)}
+                for outer, counter in sorted(nested.items())
+            }
         data["blocks"] = [block.to_dict() for block in self.blocks]
         data["timeline"] = {
             str(bucket): list(counts)
@@ -277,6 +310,12 @@ class SimStats:
             setattr(stats, name, data[name])
         for name in _COUNTER_FIELDS:
             setattr(stats, name, Counter(data[name]))
+        for name in _NESTED_COUNTER_FIELDS:
+            setattr(
+                stats,
+                name,
+                {outer: Counter(inner) for outer, inner in data[name].items()},
+            )
         stats.blocks = [BlockRecord.from_dict(b) for b in data["blocks"]]
         stats.timeline = {
             int(bucket): list(counts) for bucket, counts in data["timeline"].items()

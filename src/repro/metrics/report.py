@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..config.gpu_config import GPUConfig
+from ..obs.cpi import ordered_buckets
 from .counters import SimStats, STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
 
 
@@ -50,4 +51,37 @@ def run_report(
         f"(idle cycles {stats.idle_cycles}, "
         f"fetch stalls {stats.fetch_stall_cycles})"
     )
+    return "\n".join(lines) + "\n"
+
+
+def cpi_stack_report(
+    stats: SimStats,
+    title: str = "CPI stack",
+    width: int = 40,
+) -> str:
+    """Render the CPI stack as a cycles / share / bar table.
+
+    Zero buckets are omitted (a baseline run has no CARS buckets and vice
+    versa); the footer restates the conservation invariant so a reader can
+    eyeball that the rows sum to the run's cycle count.
+    """
+    stack = stats.cpi_stack
+    total = sum(stack.values())
+    lines: List[str] = [f"== {title} =="]
+    if total == 0:
+        lines.append("(no cycles simulated)")
+        return "\n".join(lines) + "\n"
+    for bucket in ordered_buckets(stack):
+        cycles = stack.get(bucket, 0)
+        if cycles == 0:
+            continue
+        share = cycles / total
+        bar = "#" * max(1, round(share * width))
+        lines.append(f"{bucket:<16} {cycles:>12} {share:>7.1%}  {bar}")
+    lines.append(f"{'total':<16} {total:>12} {1:>7.0%}")
+    if stats.cycles != total:
+        # Never expected (the GPU loop raises on a leak), but a merged
+        # stats object from an old store entry could disagree; say so
+        # rather than print a silently wrong table.
+        lines.append(f"WARNING: bucket sum != simulated cycles ({stats.cycles})")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,59 @@
+"""Cycle-accounting observability (`repro.obs`).
+
+Two cooperating facilities over the timing core:
+
+* **CPI-stack accounting** (:mod:`repro.obs.cpi`) — always on: every
+  simulated cycle lands in exactly one stall/issue bucket, accumulated
+  per kernel into :class:`~repro.metrics.counters.SimStats` with the
+  conservation invariant ``sum(buckets) == cycles``.
+* **Event tracing** (:mod:`repro.obs.tracer`) — opt-in: a bounded ring
+  buffer of per-issue and per-stall records, exported as JSONL by
+  ``repro profile --trace out.jsonl``.
+
+See ``docs/architecture.md`` §9 for bucket semantics and the trace schema.
+"""
+
+from .cpi import (
+    BUCKET_BARRIER,
+    BUCKET_CARS_TRAP,
+    BUCKET_EMPTY,
+    BUCKET_FETCH,
+    BUCKET_ISSUED,
+    BUCKET_L1_PORT,
+    BUCKET_L2_DRAM,
+    BUCKET_MSHR,
+    BUCKET_REG_ALLOC,
+    BUCKET_SCOREBOARD,
+    BUCKET_SIMT,
+    CPI_BUCKETS,
+    MEM_BUCKETS,
+    classify_idle,
+    cpi_shares,
+    ordered_buckets,
+    warp_stall_reasons,
+)
+from .tracer import DEFAULT_TRACE_LIMIT, EventTracer, ObsSession, read_jsonl
+
+__all__ = [
+    "BUCKET_BARRIER",
+    "BUCKET_CARS_TRAP",
+    "BUCKET_EMPTY",
+    "BUCKET_FETCH",
+    "BUCKET_ISSUED",
+    "BUCKET_L1_PORT",
+    "BUCKET_L2_DRAM",
+    "BUCKET_MSHR",
+    "BUCKET_REG_ALLOC",
+    "BUCKET_SCOREBOARD",
+    "BUCKET_SIMT",
+    "CPI_BUCKETS",
+    "MEM_BUCKETS",
+    "DEFAULT_TRACE_LIMIT",
+    "EventTracer",
+    "ObsSession",
+    "classify_idle",
+    "cpi_shares",
+    "ordered_buckets",
+    "read_jsonl",
+    "warp_stall_reasons",
+]

@@ -1,0 +1,188 @@
+"""CPI-stack cycle accounting.
+
+Every simulated cycle of a kernel launch is attributed to exactly one
+bucket, so the buckets always sum to the run's total cycles (the
+conservation invariant the property tests enforce).  A cycle where any
+scheduler issued is ``issued``; a cycle where nothing issued anywhere is
+charged to the *highest-priority stall cause* observed across the GPU at
+that moment (fast-forwarded idle stretches are charged as a whole to the
+cause that opened them — nothing can change mid-stretch by construction
+of the event-driven main loop).
+
+The exclusive buckets, in display order:
+
+=====================  ======================================================
+bucket                 meaning
+=====================  ======================================================
+``issued``             at least one scheduler issued this cycle
+``cars_trap``          a warp is blocked on a CARS trap / context-switch fill
+``mem_mshr_full``      L1D backlog behind a full MSHR file
+``mem_l1_port``        sectors queued for L1D ports (bandwidth interference)
+``mem_l2_dram``        outstanding loads in the L2/DRAM service path
+``scoreboard_dep``     operands waiting on fixed-latency producer pipelines
+``simt_reconverge``    control latency (SSY/CBRA/SYNC/CALL/RET bookkeeping)
+``fetch``              i-cache-pressure fetch stalls (the LTO downside)
+``barrier``            every runnable warp parked at a block-wide barrier
+``cars_reg_alloc``     warps stalled in CARS's issue-stage stalled-warp list
+``no_warp``            no eligible warp (drain, SWL throttle, empty SM)
+=====================  ======================================================
+
+Priority among stall causes mirrors the usual GPU CPI-stack convention:
+memory-system causes win over compute-latency causes, which win over
+starvation causes, because an idle cycle with memory in flight is a memory
+stall no matter what else is pending.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.warp import NEVER
+
+BUCKET_ISSUED = "issued"
+BUCKET_CARS_TRAP = "cars_trap"
+BUCKET_MSHR = "mem_mshr_full"
+BUCKET_L1_PORT = "mem_l1_port"
+BUCKET_L2_DRAM = "mem_l2_dram"
+BUCKET_SCOREBOARD = "scoreboard_dep"
+BUCKET_SIMT = "simt_reconverge"
+BUCKET_FETCH = "fetch"
+BUCKET_BARRIER = "barrier"
+BUCKET_REG_ALLOC = "cars_reg_alloc"
+BUCKET_EMPTY = "no_warp"
+
+#: Canonical display order (reports iterate this, then any stragglers).
+CPI_BUCKETS: Tuple[str, ...] = (
+    BUCKET_ISSUED,
+    BUCKET_CARS_TRAP,
+    BUCKET_MSHR,
+    BUCKET_L1_PORT,
+    BUCKET_L2_DRAM,
+    BUCKET_SCOREBOARD,
+    BUCKET_SIMT,
+    BUCKET_FETCH,
+    BUCKET_BARRIER,
+    BUCKET_REG_ALLOC,
+    BUCKET_EMPTY,
+)
+
+#: Buckets attributable to the memory system (profile reports sum these).
+MEM_BUCKETS: Tuple[str, ...] = (BUCKET_MSHR, BUCKET_L1_PORT, BUCKET_L2_DRAM)
+
+_MEM_CLASS_TO_BUCKET = {
+    "mshr": BUCKET_MSHR,
+    "l1": BUCKET_L1_PORT,
+    "lower": BUCKET_L2_DRAM,
+}
+
+#: stall_hint values set by the SM at issue/refill time.
+HINT_CTRL = "ctrl"
+HINT_FETCH = "fetch"
+
+
+def classify_idle(gpu, cycle: int) -> str:
+    """Attribute one no-issue cycle (and the stretch it opens) to a bucket.
+
+    Inspection order is the stall-cause priority: CARS blocking fills,
+    then the memory subsystem's own classification, then a scan of the
+    resident warps for compute/synchronization causes.  The scan only
+    happens when the memory system is fully drained, which keeps the
+    common (memory-bound) idle path O(num_sms).
+    """
+    for sm in gpu.sms:
+        if sm.blocked_fill_warps:
+            return BUCKET_CARS_TRAP
+    mem_class = gpu.mem.stall_class()
+    if mem_class is not None:
+        return _MEM_CLASS_TO_BUCKET[mem_class]
+
+    saw_scoreboard = saw_simt = saw_fetch = False
+    saw_barrier = saw_reg = False
+    for sm in gpu.sms:
+        for warp in sm.warps:
+            if warp.done:
+                continue
+            if warp.stalled or warp.switched_out:
+                saw_reg = True
+            elif warp.waiting_barrier:
+                saw_barrier = True
+            elif warp.next_issue > cycle:
+                hint = warp.stall_hint
+                if hint == HINT_CTRL:
+                    saw_simt = True
+                elif hint == HINT_FETCH:
+                    saw_fetch = True
+                else:
+                    saw_scoreboard = True
+            elif warp.uops and warp.deps_ready_cycle(warp.uops[0]) > cycle:
+                saw_scoreboard = True
+            # A warp that is ready but unpicked (SWL throttling, scheduler
+            # slot mismatch on a drained SM) falls through to ``no_warp``.
+    if saw_scoreboard:
+        return BUCKET_SCOREBOARD
+    if saw_simt:
+        return BUCKET_SIMT
+    if saw_fetch:
+        return BUCKET_FETCH
+    if saw_barrier:
+        return BUCKET_BARRIER
+    if saw_reg:
+        return BUCKET_REG_ALLOC
+    return BUCKET_EMPTY
+
+
+def warp_stall_reasons(gpu, cycle: int) -> List[Tuple[object, str]]:
+    """Per-warp view of one no-issue cycle: ``(warp, bucket)`` pairs.
+
+    Used for the opt-in per-warp accumulation (``ObsSession.per_warp``);
+    unlike :func:`classify_idle` this scans every resident warp, so it is
+    never on the always-on path.
+    """
+    mem_class = gpu.mem.stall_class()
+    mem_bucket = _MEM_CLASS_TO_BUCKET.get(mem_class, BUCKET_L2_DRAM)
+    out: List[Tuple[object, str]] = []
+    for sm in gpu.sms:
+        for warp in sm.warps:
+            if warp.done:
+                continue
+            if warp.stalled or warp.switched_out:
+                out.append((warp, BUCKET_REG_ALLOC))
+            elif warp.waiting_barrier:
+                out.append((warp, BUCKET_BARRIER))
+            elif warp.next_issue >= NEVER:
+                out.append((warp, BUCKET_CARS_TRAP))
+            elif warp.outstanding_loads > 0:
+                out.append((warp, mem_bucket))
+            elif warp.next_issue > cycle:
+                hint = warp.stall_hint
+                if hint == HINT_CTRL:
+                    out.append((warp, BUCKET_SIMT))
+                elif hint == HINT_FETCH:
+                    out.append((warp, BUCKET_FETCH))
+                else:
+                    out.append((warp, BUCKET_SCOREBOARD))
+            elif warp.uops and warp.deps_ready_cycle(warp.uops[0]) > cycle:
+                out.append((warp, BUCKET_SCOREBOARD))
+            else:
+                out.append((warp, BUCKET_EMPTY))
+    return out
+
+
+def cpi_shares(cpi_stack: Dict[str, int]) -> Dict[str, float]:
+    """Bucket fractions of the total (empty stack -> all zeros)."""
+    total = sum(cpi_stack.values())
+    if total == 0:
+        return {bucket: 0.0 for bucket in CPI_BUCKETS}
+    shares = {bucket: cpi_stack.get(bucket, 0) / total for bucket in CPI_BUCKETS}
+    for bucket in cpi_stack:
+        if bucket not in shares:
+            shares[bucket] = cpi_stack[bucket] / total
+    return shares
+
+
+def ordered_buckets(cpi_stack: Dict[str, int]) -> Iterable[str]:
+    """Canonical buckets first, then any unexpected keys (sorted)."""
+    for bucket in CPI_BUCKETS:
+        yield bucket
+    for bucket in sorted(set(cpi_stack) - set(CPI_BUCKETS)):
+        yield bucket

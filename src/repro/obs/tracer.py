@@ -1,0 +1,134 @@
+"""Bounded event tracer: structured per-issue / per-stall records.
+
+The tracer is the observability layer's microscope: where the CPI stack
+says *how many* cycles went to a cause, the tracer says *which warp, at
+which trace position, on which cycle*.  Events live in a ring buffer
+(``collections.deque(maxlen=...)``) so tracing an arbitrarily long run
+keeps the most recent ``limit`` events at O(1) per event and bounded
+memory; ``write_jsonl`` dumps them as one JSON object per line.
+
+When tracing is off the simulator holds no tracer at all (``None``), so
+the disabled cost is a single attribute test on the issue path.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+#: Default ring capacity (events, not bytes).
+DEFAULT_TRACE_LIMIT = 65536
+
+# Compact in-ring layouts (tuples, expanded to dicts only on export):
+#   issue: (cycle, kernel, sm, warp, pc, uop)
+#   stall: (cycle, kernel, span, cause)
+_ISSUE = 0
+_STALL = 1
+
+
+class EventTracer:
+    """Ring buffer of issue/stall events for one simulated run."""
+
+    __slots__ = ("limit", "_ring", "kernel", "dropped")
+
+    def __init__(self, limit: int = DEFAULT_TRACE_LIMIT) -> None:
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self._ring: Deque[Tuple] = deque(maxlen=limit)
+        self.kernel = ""
+        self.dropped = 0  # events pushed out of the ring
+
+    def bind_kernel(self, kernel: str) -> None:
+        """Tag subsequent events with the launching kernel's name."""
+        self.kernel = kernel
+
+    # -- recording (hot path) -------------------------------------------
+
+    def on_issue(self, cycle: int, sm_id: int, warp_id: int, pc: int,
+                 uop_mix: str) -> None:
+        ring = self._ring
+        if len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((_ISSUE, cycle, self.kernel, sm_id, warp_id, pc, uop_mix))
+
+    def on_stall(self, cycle: int, span: int, cause: str) -> None:
+        ring = self._ring
+        if len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((_STALL, cycle, self.kernel, span, cause))
+
+    # -- export ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Events as JSON-ready dicts, oldest first."""
+        out: List[Dict[str, Any]] = []
+        for event in self._ring:
+            if event[0] == _ISSUE:
+                _, cycle, kernel, sm_id, warp_id, pc, uop_mix = event
+                out.append({
+                    "type": "issue",
+                    "cycle": cycle,
+                    "kernel": kernel,
+                    "sm": sm_id,
+                    "warp": warp_id,
+                    "pc": pc,
+                    "uop": uop_mix,
+                })
+            else:
+                _, cycle, kernel, span, cause = event
+                out.append({
+                    "type": "stall",
+                    "cycle": cycle,
+                    "kernel": kernel,
+                    "span": span,
+                    "cause": cause,
+                })
+        return out
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write one JSON object per line; returns the event count."""
+        records = self.records()
+        if hasattr(target, "write"):
+            for record in records:
+                target.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            with open(target, "w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a trace written by :meth:`EventTracer.write_jsonl`."""
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class ObsSession:
+    """Observability configuration + state for one simulated run.
+
+    Passed to :func:`repro.harness.runner.run_workload` (and from there to
+    every :class:`~repro.core.gpu.GPU`); ``None`` — the default everywhere
+    — means fully disabled: no tracer object exists and the per-warp
+    accumulation never runs, so the timing core's hot path only ever pays
+    an attribute-is-None test.
+    """
+
+    __slots__ = ("tracer", "per_warp")
+
+    def __init__(
+        self,
+        trace: bool = False,
+        trace_limit: Optional[int] = None,
+        per_warp: bool = False,
+    ) -> None:
+        limit = DEFAULT_TRACE_LIMIT if trace_limit is None else trace_limit
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(limit) if trace else None
+        )
+        self.per_warp = per_warp

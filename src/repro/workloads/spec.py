@@ -54,6 +54,7 @@ class Workload:
     max_warp_instructions: int = 2_000_000
     _modules: Dict[bool, Module] = field(default_factory=dict, repr=False)
     _traces: Dict[bool, List[KernelTrace]] = field(default_factory=dict, repr=False)
+    _final_gmem: Dict[bool, GlobalMemory] = field(default_factory=dict, repr=False)
 
     def module(self, inlined: bool = False) -> Module:
         """Compile (and cache) the baseline or fully-inlined binary."""
@@ -81,7 +82,18 @@ class Workload:
                 )
                 for launch in self.launches
             ]
+            self._final_gmem[inlined] = gmem
         return self._traces[inlined]
+
+    def final_memory(self, inlined: bool = False) -> GlobalMemory:
+        """Global memory after the whole schedule has been emulated.
+
+        This is the workload's final architectural state — the
+        differential tests compare it across binaries (baseline vs LTO)
+        since both must compute the same answer.
+        """
+        self.traces(inlined)
+        return self._final_gmem[inlined]
 
     def measured_cpki(self) -> float:
         """Dynamic CPKI over the whole schedule (Table I)."""

@@ -12,6 +12,15 @@ import pytest
 from repro.harness import experiments
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ statistics snapshots from current runs",
+    )
+
+
 @pytest.fixture(scope="session")
 def _store_root(tmp_path_factory):
     return str(tmp_path_factory.mktemp("result-store"))

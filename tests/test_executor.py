@@ -142,6 +142,15 @@ class TestResultRoundTrip:
         assert (again.global_bandwidth_timeline()
                 == stats.global_bandwidth_timeline())
 
+    def test_stats_round_trip_preserves_cpi_stack(self):
+        stats = run_baseline(_tiny_workload()).stats
+        again = type(stats).from_dict(
+            json.loads(json.dumps(stats.to_dict())))
+        assert again.cpi_stack == stats.cpi_stack
+        assert again.cpi_by_kernel == stats.cpi_by_kernel
+        assert again.cpi_total() == again.cycles
+        assert again.cpi_breakdown() == stats.cpi_breakdown()
+
 
 class TestStore:
     def test_hit_on_identical_rerun(self, tmp_path):
@@ -194,6 +203,28 @@ class TestStore:
         payload["schema"] = STORE_SCHEMA_VERSION - 1
         path.write_text(json.dumps(payload))
         assert store.load(executor.key_for(req)) is None
+
+    def test_v1_entry_without_cpi_fields_recomputes(self, tmp_path):
+        """A pre-CPI-stack (schema v1) entry misses cleanly — the loader
+        never reaches SimStats.from_dict (which would KeyError on the
+        missing cpi_stack/cpi_by_kernel/warp_stalls fields) — and the
+        request is re-simulated under the current schema."""
+        store = ResultStore(str(tmp_path / "store"))
+        executor = Executor(store=store, workload_factory=registry_factory)
+        req = ExperimentRequest("tiny", "baseline", volta())
+        executor.run_one(req)
+        path = store.entries()[0]
+        payload = json.loads(path.read_text())
+        payload["schema"] = 1
+        for name in ("cpi_stack", "cpi_by_kernel", "warp_stalls"):
+            del payload["result"]["stats"][name]
+        path.write_text(json.dumps(payload))
+
+        fresh = Executor(store=store, workload_factory=registry_factory)
+        result = fresh.run_one(req)
+        assert fresh.stats.executed == 1
+        assert fresh.stats.store_hits == 0
+        assert result.stats.cpi_total() == result.stats.cycles
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         store = ResultStore(str(tmp_path / "store"))

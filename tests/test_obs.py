@@ -1,0 +1,160 @@
+"""Unit tests for the observability layer (`repro.obs`) and its CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.techniques import BASELINE, CARS
+from repro.harness.runner import run_workload
+from repro.metrics.counters import SimStats
+from repro.metrics.report import cpi_stack_report
+from repro.obs import (
+    BUCKET_EMPTY,
+    BUCKET_ISSUED,
+    BUCKET_L1_PORT,
+    CPI_BUCKETS,
+    DEFAULT_TRACE_LIMIT,
+    EventTracer,
+    MEM_BUCKETS,
+    ObsSession,
+    cpi_shares,
+    ordered_buckets,
+    read_jsonl,
+)
+from repro.workloads import make_workload
+
+
+class TestEventTracer:
+    def test_ring_keeps_newest_and_counts_drops(self):
+        t = EventTracer(limit=3)
+        for cycle in range(5):
+            t.on_issue(cycle, 0, 0, cycle, "ALU")
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [r["cycle"] for r in t.records()] == [2, 3, 4]
+
+    def test_issue_and_stall_record_shapes(self):
+        t = EventTracer()
+        t.bind_kernel("k")
+        t.on_issue(7, 1, 5, 42, "GLOBAL_LD")
+        t.on_stall(8, 12, BUCKET_L1_PORT)
+        issue, stall = t.records()
+        assert issue == {"type": "issue", "cycle": 7, "kernel": "k",
+                         "sm": 1, "warp": 5, "pc": 42, "uop": "GLOBAL_LD"}
+        assert stall == {"type": "stall", "cycle": 8, "kernel": "k",
+                         "span": 12, "cause": BUCKET_L1_PORT}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = EventTracer()
+        t.bind_kernel("main")
+        t.on_issue(1, 0, 0, 0, "ALU")
+        t.on_stall(2, 3, BUCKET_EMPTY)
+        path = tmp_path / "trace.jsonl"
+        assert t.write_jsonl(str(path)) == 2
+        assert read_jsonl(str(path)) == t.records()
+        # Each line is standalone JSON (greppable/streamable).
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_write_to_open_handle(self, tmp_path):
+        t = EventTracer()
+        t.on_issue(1, 0, 0, 0, "ALU")
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as handle:
+            t.write_jsonl(handle)
+        assert len(read_jsonl(str(path))) == 1
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer(limit=0)
+
+    def test_session_defaults(self):
+        off = ObsSession()
+        assert off.tracer is None and not off.per_warp
+        on = ObsSession(trace=True)
+        assert on.tracer is not None
+        assert on.tracer.limit == DEFAULT_TRACE_LIMIT
+        assert ObsSession(trace=True, trace_limit=16).tracer.limit == 16
+
+
+class TestCpiHelpers:
+    def test_shares_sum_to_one(self):
+        stack = {BUCKET_ISSUED: 75, BUCKET_L1_PORT: 25}
+        shares = cpi_shares(stack)
+        assert shares[BUCKET_ISSUED] == 0.75
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_stack_is_all_zero(self):
+        assert set(cpi_shares({}).values()) == {0.0}
+
+    def test_ordered_buckets_appends_unknown_keys(self):
+        order = list(ordered_buckets({BUCKET_ISSUED: 1, "zz_custom": 2}))
+        assert order[: len(CPI_BUCKETS)] == list(CPI_BUCKETS)
+        assert order[-1] == "zz_custom"
+
+    def test_mem_buckets_are_canonical(self):
+        assert set(MEM_BUCKETS) <= set(CPI_BUCKETS)
+
+
+class TestCpiStackReport:
+    def test_rows_render_and_zero_buckets_are_omitted(self):
+        stats = SimStats()
+        stats.cycles = 100
+        stats.cpi_stack.update({BUCKET_ISSUED: 80, BUCKET_L1_PORT: 20})
+        text = cpi_stack_report(stats)
+        assert BUCKET_ISSUED in text and "80.0%" in text
+        assert BUCKET_EMPTY not in text
+        assert "WARNING" not in text
+
+    def test_mismatch_warns(self):
+        stats = SimStats()
+        stats.cycles = 999  # disagrees with the stack sum
+        stats.cpi_stack[BUCKET_ISSUED] = 10
+        assert "WARNING" in cpi_stack_report(stats)
+
+    def test_empty_run(self):
+        assert "no cycles" in cpi_stack_report(SimStats())
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_workload("FIB")
+
+    def test_traced_run_matches_untraced(self, workload):
+        """Observability must not perturb timing (Heisenberg check)."""
+        plain = run_workload(workload, BASELINE)
+        obs = ObsSession(trace=True, per_warp=True)
+        traced = run_workload(workload, BASELINE, obs=obs)
+        assert traced.stats.cycles == plain.stats.cycles
+        assert traced.stats.cpi_stack == plain.stats.cpi_stack
+        assert len(obs.tracer.records()) > 0
+
+    def test_trace_cycles_are_monotonic(self, workload):
+        obs = ObsSession(trace=True, trace_limit=4096)
+        run_workload(workload, CARS, obs=obs)
+        cycles = [r["cycle"] for r in obs.tracer.records()]
+        assert cycles == sorted(cycles)
+
+    def test_per_warp_stalls_only_when_requested(self, workload):
+        assert not run_workload(workload, BASELINE).stats.warp_stalls
+        obs = ObsSession(per_warp=True)
+        stats = run_workload(workload, BASELINE, obs=obs).stats
+        assert stats.warp_stalls
+        # Per-warp keys carry the kernel name (stable across merges).
+        assert all("/" in key for key in stats.warp_stalls)
+
+    def test_profile_cli_conserves_and_reports(self, capsys, tmp_path):
+        trace_path = tmp_path / "out.jsonl"
+        rc = main([
+            "profile", "--workload", "FIB", "--technique", "cars",
+            "--trace", str(trace_path), "--per-warp", "--top-warps", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CPI stack" in out and "total" in out
+        assert "spill/fill L1D share" in out
+        assert "worst 2 warps" in out
+        assert trace_path.exists()
+        assert read_jsonl(str(trace_path))

@@ -1,6 +1,7 @@
 """CARS register-stack tests: renaming (Fig 3b) and wrap-around (Fig 6)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cars import RegisterRenamer, RegisterStackError, WarpRegisterStack
 from repro.isa import CALLEE_SAVED_BASE
@@ -176,3 +177,112 @@ class TestWarpRegisterStack:
         assert s.free_regs() == 6
         s.ret()
         assert s.free_regs() == 10
+
+
+# -- Hypothesis fuzz: drive call depths past the stack size ----------------
+
+#: An op is ("call", fru) or ("ret", 0); rets on an empty stack are skipped
+#: by the driver (the ABI can't produce them — the lint gate rejects such
+#: binaries before simulation).
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("call"), st.integers(min_value=0, max_value=24)),
+        st.tuples(st.just("ret"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestWarpRegisterStackFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(capacity=st.integers(min_value=0, max_value=32), ops=_ops)
+    def test_random_sequences_preserve_invariants(self, capacity, ops):
+        """Structural invariants hold after every single operation."""
+        s = WarpRegisterStack(capacity)
+        max_depth = 0
+        for op, fru in ops:
+            if op == "call":
+                s.call(fru)
+            elif s.depth:
+                s.ret()
+            s.check_invariants()
+            max_depth = max(max_depth, s.depth)
+        assert s.peak_depth == max_depth
+
+    @settings(max_examples=60, deadline=None)
+    @given(capacity=st.integers(min_value=0, max_value=32), ops=_ops)
+    def test_spill_fill_round_trips(self, capacity, ops):
+        """Wrap-around round-trip: a fill always restores a range that was
+        spilled earlier, at the same logical offset and size (so trap
+        fills reuse the trap spills' local-memory addresses)."""
+        s = WarpRegisterStack(capacity)
+        on_disk = {}  # logical start -> register count currently spilled
+        for op, fru in ops:
+            if op == "call":
+                for start, count in s.call(fru):
+                    assert start not in on_disk
+                    on_disk[start] = count
+            elif s.depth:
+                # The top frame may itself have overflow registers that
+                # were "spilled" at call; they die with the frame.
+                top = s.frames[-1]
+                on_disk.pop(top.start + top.fru, None)
+                filled = s.ret()
+                if filled is not None:
+                    start, count = filled
+                    assert on_disk.pop(start) == count
+        # Whatever remains spilled belongs to still-live frames.
+        live_starts = {f.start for f in s.frames if not f.resident}
+        overflow_starts = {
+            f.start + f.fru for f in s.frames if f.logical_fru > f.fru
+        }
+        assert set(on_disk) <= live_starts | overflow_starts
+
+    @settings(max_examples=60, deadline=None)
+    @given(capacity=st.integers(min_value=0, max_value=32), ops=_ops)
+    def test_trap_counters_match_table3_accounting(self, capacity, ops):
+        """Table III counts one trap per spilling call and accumulates
+        spilled/filled registers; the stack's own counters must agree
+        with an independent tally of its return values."""
+        s = WarpRegisterStack(capacity)
+        traps = spilled_regs = filled_regs = 0
+        for op, fru in ops:
+            if op == "call":
+                spilled = s.call(fru)
+                if spilled:
+                    traps += 1
+                    spilled_regs += sum(c for _, c in spilled)
+            elif s.depth:
+                filled = s.ret()
+                if filled is not None:
+                    filled_regs += filled[1]
+        assert s.traps == traps
+        assert s.spills == spilled_regs
+        assert s.fills == filled_regs
+        # Registers can only be filled back after being spilled.
+        assert s.fills <= s.spills
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        frus=st.lists(
+            st.integers(min_value=1, max_value=8), min_size=1, max_size=20
+        ),
+    )
+    def test_full_unwind_fills_every_resident_spill(self, capacity, frus):
+        """Descend past the stack size, then unwind to depth 0: every
+        frame that was wholly spilled comes back exactly once."""
+        s = WarpRegisterStack(capacity)
+        for fru in frus:
+            s.call(fru)
+        wholly_spilled = sum(
+            1 for f in s.frames[:-1] if not f.resident
+        )
+        fills = 0
+        while s.depth:
+            if s.ret() is not None:
+                fills += 1
+        assert fills == wholly_spilled
+        s.check_invariants()
+        assert s.resident_regs == 0 and s.free_regs() == capacity

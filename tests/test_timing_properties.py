@@ -1,6 +1,7 @@
 """Cross-technique timing invariants on small generated workloads."""
 
 import dataclasses
+from collections import Counter
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -10,6 +11,7 @@ from repro.config import volta
 from repro.core.gpu import GPU
 from repro.core.techniques import BASELINE, CARS_HIGH
 from repro.metrics.counters import SimStats, STREAM_SPILL
+from repro.obs import BUCKET_ISSUED, MEM_BUCKETS
 from repro.workloads import KernelLaunch, SynthKernel, Workload, build_workload
 
 _CFG = dataclasses.replace(volta(), num_sms=2, max_warps_per_sm=8)
@@ -105,3 +107,73 @@ def test_determinism(depth, iters):
     c = _run(workload, BASELINE)
     assert a.cycles == c.cycles
     assert a.l1_accesses == c.l1_accesses
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    fru=st.integers(min_value=2, max_value=10),
+    iters=st.integers(min_value=1, max_value=3),
+    blocks=st.integers(min_value=1, max_value=4),
+)
+def test_cpi_stack_conserves_cycles(depth, fru, iters, blocks):
+    """Every simulated cycle lands in exactly one CPI bucket."""
+    workload = _workload(depth, fru, iters, blocks)
+    for technique in (BASELINE, CARS_HIGH):
+        stats = _run(workload, technique)
+        assert stats.cpi_total() == stats.cycles
+        assert all(count >= 0 for count in stats.cpi_stack.values())
+        assert stats.cpi_stack[BUCKET_ISSUED] == stats.issue_cycles
+        # The idle-cycle counter is exactly the non-issued remainder.
+        assert stats.cycles - stats.issue_cycles == stats.idle_cycles
+        # Per-kernel stacks partition the run stack.
+        merged = Counter()
+        for stack in stats.cpi_by_kernel.values():
+            merged.update(stack)
+        assert merged == stats.cpi_stack
+        # Memory-bucket cycles need memory traffic to exist at all.
+        if any(stats.cpi_stack[b] for b in MEM_BUCKETS):
+            assert stats.total_l1_accesses > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    fru=st.integers(min_value=2, max_value=8),
+    iters=st.integers(min_value=1, max_value=3),
+)
+def test_l1_accounting_conserves(depth, fru, iters):
+    """L1 totals: accesses == hits + misses, in total and per stream,
+    and load+store sector counters partition the accesses."""
+    workload = _workload(depth, fru, iters, blocks=2)
+    for technique in (BASELINE, CARS_HIGH):
+        stats = _run(workload, technique)
+        assert stats.total_l1_accesses == (
+            sum(stats.l1_hits.values()) + sum(stats.l1_misses.values())
+        )
+        for stream in stats.l1_accesses:
+            assert (
+                stats.l1_hits[stream] + stats.l1_misses[stream]
+                == stats.l1_accesses[stream]
+            )
+            assert (
+                stats.l1_load_sectors[stream] + stats.l1_store_sectors[stream]
+                == stats.l1_accesses[stream]
+            )
+        # L2 mirrors the same conservation.
+        assert stats.l2_hits + stats.l2_misses == stats.l2_accesses
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    iters=st.integers(min_value=1, max_value=3),
+)
+def test_cpi_stack_merges_across_kernels(depth, iters):
+    """merge_kernel preserves the conservation invariant."""
+    workload = _workload(depth, 4, iters, blocks=2)
+    total = SimStats()
+    for _ in range(3):
+        total.merge_kernel(_run(workload, BASELINE))
+    assert total.cpi_total() == total.cycles
+    assert sum(total.cpi_by_kernel["k"].values()) == total.cycles
