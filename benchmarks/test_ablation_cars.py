@@ -12,7 +12,7 @@ from conftest import run_once
 
 from repro.config import volta
 from repro.core.techniques import CARS, CARS_HIGH, CARS_LOW, Technique
-from repro.harness.runner import run_baseline, run_workload
+from repro.harness._runner import run_baseline, run_workload
 from repro.workloads import make_workload
 
 

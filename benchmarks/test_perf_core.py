@@ -1,19 +1,25 @@
 """Timing-core performance benchmarks (simulator throughput, not figures).
 
 Pins the cost of the simulator itself and of the observability layer on
-top of it: one small workload simulated with observability fully off
-(``obs=None``, the production default), with the bounded tracer, and with
-per-warp stall attribution.  CI runs these in smoke mode
-(``--benchmark-disable``) so regressions in *correctness* of the profiled
-paths surface on every push; locally, ``pytest benchmarks/test_perf_core.py``
-reports real timings, and the off-vs-tracing delta bounds the layer's
-overhead (the disabled configuration is one attribute test per issue).
+top of it: one compute-bound workload (FIB) and one memory-bound workload
+(Bert_LT, which lives on the event-driven fast-forward path) simulated
+with observability fully off (``obs=None``, the production default), with
+the bounded tracer, and with per-warp stall attribution.  CI runs these
+in smoke mode (``--benchmark-disable``) so regressions in *correctness*
+of the profiled paths surface on every push; locally,
+``pytest benchmarks/test_perf_core.py`` reports real timings, and the
+off-vs-tracing delta bounds the layer's overhead (the disabled
+configuration is one attribute test per issue).
+
+The absolute cycles/sec numbers — and the >20% regression gate CI applies
+to them — live in ``BENCH_core.json`` at the repo root, maintained with
+``python -m repro bench`` (see ``--check`` / ``--json``).
 """
 
 import pytest
 
 from repro.core.techniques import BASELINE, CARS
-from repro.harness.runner import run_workload
+from repro.harness._runner import run_workload
 from repro.obs import ObsSession
 from repro.workloads import make_workload
 
@@ -22,6 +28,15 @@ from repro.workloads import make_workload
 def workload():
     wl = make_workload("FIB")
     wl.traces()  # pre-trace so benchmarks time the timing core only
+    return wl
+
+
+@pytest.fixture(scope="module")
+def mem_workload():
+    # Memory-bound counterpart: long DRAM round trips exercise the
+    # event-driven fast-forward path that FIB (compute-bound) barely hits.
+    wl = make_workload("Bert_LT")
+    wl.traces()
     return wl
 
 
@@ -46,6 +61,23 @@ def test_perf_baseline_obs_off(benchmark, workload):
 def test_perf_cars_obs_off(benchmark, workload):
     result = benchmark.pedantic(
         run_workload, args=(workload, CARS), rounds=3, iterations=1
+    )
+    assert result.stats.cpi_total() == result.stats.cycles
+    _record_throughput(benchmark, result)
+
+
+def test_perf_membound_baseline_obs_off(benchmark, mem_workload):
+    result = benchmark.pedantic(
+        run_workload, args=(mem_workload, BASELINE), rounds=3, iterations=1
+    )
+    assert result.stats.cpi_total() == result.stats.cycles
+    assert result.stats.idle_cycles > 0  # fast-forward path is exercised
+    _record_throughput(benchmark, result)
+
+
+def test_perf_membound_cars_obs_off(benchmark, mem_workload):
+    result = benchmark.pedantic(
+        run_workload, args=(mem_workload, CARS), rounds=3, iterations=1
     )
     assert result.stats.cpi_total() == result.stats.cycles
     _record_throughput(benchmark, result)

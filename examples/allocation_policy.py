@@ -13,8 +13,8 @@ from repro.cars.allocation import plan_allocation
 from repro.cars.policy import PolicyMemory
 from repro.config import volta
 from repro.frontend import builder as b
-from repro.harness.runner import run_baseline, run_workload
-from repro.core.techniques import CARS, CARS_HIGH, CARS_LOW, cars_nxlow
+from repro.api import Simulation
+from repro.core.techniques import CARS_HIGH, CARS_LOW, cars_nxlow
 from repro.workloads import KernelLaunch, SynthKernel, build_workload
 
 
@@ -42,20 +42,25 @@ def main():
     print(f"  decision        : {'dynamic' if plan.dynamic else 'static'} "
           f"over ladder {plan.levels}")
 
-    base = run_baseline(workload)
+    def simulate(technique, **kw):
+        sim = Simulation(workload=workload, technique=technique, **kw)
+        sim.run()
+        return sim.result
+
+    base = simulate("baseline")
     print("\n== allocation mechanisms (speedup over baseline) ==")
     for label, tech in (
         ("Low-watermark", CARS_LOW),
         ("2xLow", cars_nxlow(2)),
         ("High-watermark", CARS_HIGH),
     ):
-        r = run_workload(workload, tech)
+        r = simulate(tech)
         print(f"  {label:16s}: {base.cycles / r.cycles:.3f}x "
               f"(traps={r.stats.traps}, ctx-switches={r.stats.context_switches})")
 
     memory = PolicyMemory()
-    first = run_workload(workload, CARS, policy_memory=memory)
-    second = run_workload(workload, CARS, policy_memory=memory)
+    first = simulate("cars", policy_memory=memory)
+    second = simulate("cars", policy_memory=memory)
     print("\n== dynamic policy across launches ==")
     print(f"  launch 1 (half-Low/half-High seed): "
           f"{base.cycles / first.cycles:.3f}x, traps={first.stats.traps}")

@@ -7,10 +7,9 @@ Walks the whole pipeline: DSL -> compiler (ABI spills at R16) -> functional
 emulation (traces) -> timing simulation under both techniques.
 """
 
+from repro.api import Simulation
 from repro.callgraph import analyze_kernel, build_call_graph
 from repro.frontend import builder as b
-from repro.harness.runner import run_baseline, run_workload
-from repro.core.techniques import CARS
 from repro.workloads import KernelLaunch, Workload
 
 OUT = 1 << 20
@@ -68,8 +67,11 @@ def main():
     print(f"  High-watermark      : {analysis.high_watermark}")
     print(f"  allocation ladder   : {analysis.allocation_levels()}")
 
-    base = run_baseline(workload)
-    cars = run_workload(workload, CARS)
+    base_sim = Simulation(workload=workload, technique="baseline")
+    cars_sim = Simulation(workload=workload, technique="cars")
+    base_sim.run()
+    cars_sim.run()
+    base, cars = base_sim.result, cars_sim.result
     print("\n== timing ==")
     print(f"  baseline cycles     : {base.cycles}")
     print(f"  CARS cycles         : {cars.cycles}")

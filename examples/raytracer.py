@@ -12,8 +12,7 @@ Section III-C case (3).
 
 from repro.emu.trace import TraceKind
 from repro.frontend import builder as b
-from repro.harness.runner import run_baseline, run_workload
-from repro.core.techniques import CARS, LTO
+from repro.api import Simulation
 from repro.workloads import KernelLaunch, Workload
 
 OUT = 1 << 20
@@ -78,9 +77,14 @@ def main():
     print(f"  CPKI                 : {trace.calls_per_kilo_instruction():.1f}")
     print(f"  max dynamic depth    : {trace.max_dynamic_call_depth()}")
 
-    base = run_baseline(workload)
-    cars = run_workload(workload, CARS)
-    lto = run_workload(workload, LTO)
+    def simulate(technique):
+        sim = Simulation(workload=workload, technique=technique)
+        sim.run()
+        return sim.result
+
+    base = simulate("baseline")
+    cars = simulate("cars")
+    lto = simulate("lto")
     print("\n== techniques ==")
     print(f"  baseline cycles : {base.cycles}")
     print(f"  CARS            : {base.cycles / cars.cycles:.2f}x")

@@ -13,8 +13,7 @@ import dataclasses
 from repro.callgraph import analyze_kernel, build_call_graph
 from repro.config import volta
 from repro.frontend import builder as b
-from repro.harness.runner import run_baseline, run_workload
-from repro.core.techniques import CARS
+from repro.api import Simulation
 from repro.workloads import KernelLaunch, Workload
 
 OUT = 1 << 20
@@ -49,8 +48,13 @@ def run_depth(depth: int):
     )
     module = workload.module()
     analysis = analyze_kernel(build_call_graph(module), "main")
-    base = run_baseline(workload, config=CONFIG)
-    cars = run_workload(workload, CARS, config=CONFIG)
+    def simulate(technique):
+        sim = Simulation(workload=workload, technique=technique, config=CONFIG)
+        sim.run()
+        return sim.result
+
+    base = simulate("baseline")
+    cars = simulate("cars")
     return analysis, base, cars, workload
 
 

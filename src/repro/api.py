@@ -1,0 +1,231 @@
+"""Stable public API for the CARS reproduction.
+
+This module is the supported entry point for programmatic use.  Everything
+else under ``repro.*`` is implementation detail and may move between
+releases; the names exported here (see ``__all__``) are kept stable:
+
+* :class:`Simulation` — one (workload × technique × config) run:
+  construct, :meth:`Simulation.run`, read :class:`SimStats` (and the full
+  :class:`RunResult` on ``.result``).
+* :class:`Sweep` — a batch of simulations over the workload × technique
+  grid, deduplicated and served through the parallel executor with its
+  content-addressed result store; :meth:`Sweep.report` renders the
+  cycles/speedup table.
+* The blessed types those return or accept: :class:`RunResult`,
+  :class:`SimStats`, :class:`GPUConfig` (plus the :func:`volta` /
+  :func:`ampere` presets), and :data:`TECHNIQUE_REGISTRY` with the
+  technique names it accepts.
+
+Quick start::
+
+    from repro.api import Simulation
+
+    stats = Simulation(workload="MST", technique="cars").run()
+    print(stats.cycles, stats.mpki())
+
+Sweeps::
+
+    from repro.api import Sweep
+
+    sweep = Sweep(workloads=["MST", "SSSP"], techniques=["baseline", "cars"])
+    results = sweep.run()
+    print(sweep.report())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .config.gpu_config import GPUConfig, ampere, volta
+from .core.techniques import TECHNIQUE_REGISTRY, Technique, resolve_technique
+from .harness.executor import Executor, ExperimentPlan, ExperimentRequest
+from .harness._runner import (
+    RunResult,
+    SWL_SWEEP,
+    geomean,
+    run_best_swl,
+    run_workload,
+)
+from .harness.tables import format_table
+from .metrics.counters import SimStats
+from .workloads import Workload, make_workload
+from .workloads.suite import SMOKE_NAMES, WORKLOAD_NAMES
+
+__all__ = [
+    # the two facade objects
+    "Simulation",
+    "Sweep",
+    # blessed result / config / registry types
+    "RunResult",
+    "SimStats",
+    "GPUConfig",
+    "TECHNIQUE_REGISTRY",
+    # conveniences those types are used with
+    "volta",
+    "ampere",
+    "geomean",
+    "WORKLOAD_NAMES",
+    "SMOKE_NAMES",
+]
+
+#: Accepted by ``technique=``: a registry name or a Technique object.
+TechniqueLike = Union[str, Technique]
+#: Accepted by ``workload=``: a suite name or a built Workload.
+WorkloadLike = Union[str, Workload]
+
+
+def _resolve_workload(workload: WorkloadLike) -> Workload:
+    if isinstance(workload, str):
+        return make_workload(workload)
+    return workload
+
+
+class Simulation:
+    """One workload simulated under one technique and configuration.
+
+    All constructor arguments are keyword-only.
+
+    Args:
+        workload: a suite workload name (see :data:`WORKLOAD_NAMES`) or a
+            :class:`~repro.workloads.spec.Workload` you built yourself.
+        technique: a :data:`TECHNIQUE_REGISTRY` name (``"baseline"``,
+            ``"cars"``, ``"swl_4"``, …), a ``Technique`` object, or
+            ``"best_swl"`` for the paper's swept static warp limiter.
+        config: a :class:`GPUConfig`; defaults to the Volta-like preset.
+        sweep: warp-limit candidates, only meaningful with
+            ``technique="best_swl"`` (default: the paper's sweep).
+        obs: an optional :class:`repro.obs.ObsSession` for event tracing
+            and per-warp stall attribution.
+        policy_memory: an optional
+            :class:`~repro.cars.policy.PolicyMemory` carried across
+            launches (the CARS dynamic policy's cross-launch state).
+
+    ``run()`` simulates to completion and returns the merged
+    :class:`SimStats`; the surrounding :class:`RunResult` (config echo,
+    energy model, speedup helpers) is kept on :attr:`result`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workload: WorkloadLike,
+        technique: TechniqueLike = "baseline",
+        config: Optional[GPUConfig] = None,
+        sweep: Sequence[int] = SWL_SWEEP,
+        obs=None,
+        policy_memory=None,
+    ) -> None:
+        self.workload = _resolve_workload(workload)
+        self.technique = technique
+        self.config = config
+        self.sweep = tuple(sweep)
+        self.obs = obs
+        self.policy_memory = policy_memory
+        self.result: Optional[RunResult] = None
+
+    def run(self) -> SimStats:
+        """Simulate (once); returns the run's :class:`SimStats`."""
+        if self.result is None:
+            if self.technique == "best_swl":
+                self.result = run_best_swl(
+                    self.workload, config=self.config, sweep=self.sweep
+                )
+            else:
+                technique = (
+                    resolve_technique(self.technique)
+                    if isinstance(self.technique, str)
+                    else self.technique
+                )
+                self.result = run_workload(
+                    self.workload,
+                    technique,
+                    config=self.config,
+                    obs=self.obs,
+                    policy_memory=self.policy_memory,
+                )
+        return self.result.stats
+
+    @property
+    def stats(self) -> SimStats:
+        """The stats, running the simulation on first access."""
+        return self.run()
+
+
+class Sweep:
+    """A (workloads × techniques) grid run through the executor.
+
+    All constructor arguments are keyword-only.
+
+    Args:
+        workloads: suite workload names (the executor's result store is
+            content-addressed by name, so ad-hoc ``Workload`` objects are
+            not accepted here — wrap those in :class:`Simulation`).
+        techniques: technique names / objects; ``"best_swl"`` is allowed.
+        config: shared :class:`GPUConfig` for every cell (default Volta).
+        jobs: worker processes (default 1 = serial, deterministic).
+        executor: bring your own :class:`Executor` (overrides ``jobs``).
+
+    ``run()`` executes the plan — deduplicated, memoized, store-backed —
+    and returns ``{(workload, technique): RunResult}``.  ``report()``
+    renders a per-workload table of cycles plus speedup over the first
+    technique in ``techniques``.
+    """
+
+    def __init__(
+        self,
+        *,
+        workloads: Sequence[str],
+        techniques: Sequence[TechniqueLike] = ("baseline", "cars"),
+        config: Optional[GPUConfig] = None,
+        jobs: int = 1,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
+        if unknown:
+            raise KeyError(f"unknown workloads: {unknown}")
+        self.workloads = list(workloads)
+        self.techniques: List[str] = [
+            t if isinstance(t, str) else t.name for t in techniques
+        ]
+        self.config = config if config is not None else volta()
+        self.executor = executor if executor is not None else Executor(jobs=jobs)
+        self._results: Optional[Dict[Tuple[str, str], RunResult]] = None
+
+    def plan(self) -> ExperimentPlan:
+        """The deduplicated request batch this sweep will execute."""
+        plan = ExperimentPlan(self.executor)
+        for workload in self.workloads:
+            for technique in self.techniques:
+                if technique == "best_swl":
+                    plan.add_best_swl(workload, config=self.config)
+                else:
+                    plan.add(workload, technique, config=self.config)
+        return plan
+
+    def run(self) -> Dict[Tuple[str, str], RunResult]:
+        """Execute (once); returns ``{(workload, technique): RunResult}``."""
+        if self._results is None:
+            by_request = self.plan().execute()
+            results: Dict[Tuple[str, str], RunResult] = {}
+            for request, result in by_request.items():
+                results[(request.workload, request.technique)] = result
+            self._results = results
+        return self._results
+
+    def report(self) -> str:
+        """Cycles per cell plus speedup over the first technique."""
+        results = self.run()
+        baseline_name = self.techniques[0]
+        rows: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads:
+            row: Dict[str, float] = {}
+            base = results[(workload, baseline_name)]
+            for technique in self.techniques:
+                result = results[(workload, technique)]
+                row[f"{technique}_cycles"] = float(result.cycles)
+                if technique != baseline_name:
+                    row[f"{technique}_speedup"] = (
+                        base.cycles / result.cycles if result.cycles else 0.0
+                    )
+            rows[workload] = row
+        return format_table(rows)

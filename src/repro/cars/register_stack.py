@@ -179,7 +179,12 @@ class WarpRegisterStack:
                 break
             if frame.resident:
                 frame.resident = False
-                spilled.append((frame.start, frame.fru))
+                # A zero-FRU frame holds no registers: evicting it keeps the
+                # contiguous-suffix invariant but moves no data, so it must
+                # not emit a (start, 0) spill range (those would collide with
+                # a real frame sharing the same logical start).
+                if frame.fru:
+                    spilled.append((frame.start, frame.fru))
         overflow = max(0, fru - self.capacity)
         resident_part = fru - overflow
         start = self._next_start
@@ -245,6 +250,10 @@ class WarpRegisterStack:
         if self.frames and not self.frames[-1].resident:
             frame = self.frames[-1]
             frame.resident = True
+            if frame.fru == 0:
+                # Nothing was spilled for a zero-FRU frame, so there is
+                # nothing to fill back (and no blocking fill to issue).
+                return None
             self.fills += frame.fru
             return (frame.start, frame.fru)
         return None

@@ -6,6 +6,7 @@
     python -m repro lint --all --strict
     python -m repro run --workload MST --technique cars [--config ampere] [--jobs 2]
     python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
+    python -m repro bench [--check] [--json bench.json]
     python -m repro regen [output.md] [--jobs 4]
     python -m repro cache info
     python -m repro cache clear
@@ -103,7 +104,7 @@ def _cmd_profile(args) -> int:
     part of the result store's payload), prints the stall-attribution
     table, and optionally dumps the bounded event trace as JSONL.
     """
-    from .harness.runner import run_workload
+    from .harness._runner import run_workload
     from .metrics.counters import STREAM_SPILL
     from .metrics.report import cpi_stack_report
     from .obs import MEM_BUCKETS, ObsSession
@@ -153,8 +154,131 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+#: (workload, technique) pairs timed by ``repro bench`` — one
+#: compute-bound and one memory-bound workload, under both ABIs, so both
+#: the SM fast path and the L1/DRAM event machinery are on the clock.
+BENCH_PAIRS = (
+    ("FIB", "baseline"),
+    ("FIB", "cars"),
+    ("Bert_LT", "baseline"),
+    ("Bert_LT", "cars"),
+)
+
+
+def _bench_calibration(rounds: int = 3) -> float:
+    """Best-of-N CPU seconds for a fixed integer spin loop.
+
+    A machine-speed proxy: normalizing stored cycles/sec by the ratio of
+    calibration times makes the committed baseline comparable across
+    hosts (CI runners included).  All bench timings use
+    ``time.process_time`` — CPU time, not wall-clock — so background load
+    on the host cannot fail the gate.
+    """
+    import time
+
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.process_time()
+        x = 0
+        for i in range(2_000_000):
+            x = (x * 1103515245 + 12345 + i) & 0xFFFFFFFF
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def _cmd_bench(args) -> int:
+    """Simulator-throughput benchmark with a regression gate.
+
+    Measures cycles/sec (best of ``--rounds`` after one warm-up run) for
+    the :data:`BENCH_PAIRS` grid, prints a table against the committed
+    ``BENCH_core.json`` baseline, and with ``--check`` exits 1 when the
+    calibration-normalized throughput of any pair regresses more than
+    ``--tolerance`` below the baseline's ``after_cps``.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from .harness._runner import run_workload
+
+    config = PRESETS[args.config]
+    baseline_path = Path(args.baseline)
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+    )
+    calib = _bench_calibration()
+    scale = 1.0
+    if baseline is not None and baseline.get("calibration_sec"):
+        scale = calib / baseline["calibration_sec"]
+    print(f"calibration: {calib:.3f}s spin "
+          f"(baseline machine x{scale:.2f})" if baseline else
+          f"calibration: {calib:.3f}s spin")
+
+    measured = {}
+    failures = []
+    for workload_name, technique_name in BENCH_PAIRS:
+        workload = make_workload(workload_name)
+        technique = TECHNIQUES[technique_name]
+        workload.traces(inlined=technique.use_inlined)  # compile+trace once
+        run_workload(workload, technique, config=config)  # warm caches/JIT-ish
+        best = float("inf")
+        cycles = 0
+        for _ in range(args.rounds):
+            t0 = time.process_time()
+            result = run_workload(workload, technique, config=config)
+            best = min(best, time.process_time() - t0)
+            cycles = result.cycles
+        cps = cycles / best
+        key = f"{workload_name}/{technique_name}"
+        measured[key] = {"cycles": cycles, "cycles_per_sec": round(cps)}
+        line = f"  {key:<18} {cycles:>9} cycles  {cps:>12,.0f} cyc/s"
+        if baseline is not None and key in baseline.get("workloads", {}):
+            ref = baseline["workloads"][key]
+            ratio = (cps * scale) / ref["after_cps"]
+            line += f"  vs baseline x{ratio:.2f}"
+            if ref.get("cycles") is not None and cycles != ref["cycles"]:
+                failures.append(
+                    f"{key}: simulated {cycles} cycles, baseline recorded "
+                    f"{ref['cycles']} (timing model drifted)"
+                )
+            if ratio < 1.0 - args.tolerance:
+                failures.append(
+                    f"{key}: normalized throughput x{ratio:.2f} is below "
+                    f"the {1.0 - args.tolerance:.2f} gate"
+                )
+        print(line)
+
+    if args.json:
+        payload = {
+            "schema": 1,
+            "config": args.config,
+            "calibration_sec": round(calib, 4),
+            "results": measured,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        if baseline is None:
+            print(f"no baseline at {baseline_path}; nothing to check",
+                  file=sys.stderr)
+            return 1
+        if failures:
+            print("\nREGRESSIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("throughput gate: OK")
+    return 0
+
+
 def _cmd_regen(args) -> int:
-    from .harness.regenerate import main as regen_main
+    import warnings
+
+    with warnings.catch_warnings():
+        # The CLI is a supported way in; only *importing* regenerate as a
+        # library is deprecated.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from .harness.regenerate import main as regen_main
 
     argv = [args.output] if args.output else []
     if args.jobs is not None:
@@ -226,6 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--top-warps", type=int, default=5, metavar="N",
                          help="warps to show with --per-warp")
 
+    bench = sub.add_parser(
+        "bench", help="simulator-throughput benchmark + regression gate")
+    bench.add_argument("--config", default="volta", choices=sorted(PRESETS))
+    bench.add_argument("--rounds", type=int, default=3, metavar="N",
+                       help="timed repetitions per pair (best is kept)")
+    bench.add_argument("--baseline", default="BENCH_core.json",
+                       metavar="PATH",
+                       help="committed throughput baseline to compare against")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 on >tolerance regression vs the baseline")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       metavar="FRAC",
+                       help="allowed fractional throughput drop (default 0.20)")
+    bench.add_argument("--json", default="", metavar="OUT.JSON",
+                       help="write measured numbers as JSON (CI artifact)")
+
     regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
     regen.add_argument("output", nargs="?", default="")
     regen.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
@@ -251,6 +391,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "run": _cmd_run,
         "profile": _cmd_profile,
+        "bench": _cmd_bench,
         "regen": _cmd_regen,
         "cache": _cmd_cache,
     }[args.command]

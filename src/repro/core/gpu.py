@@ -1,18 +1,25 @@
 """Top-level GPU timing simulator.
 
-Drives the per-SM pipelines and the shared memory hierarchy cycle by cycle,
-with event-driven fast-forwarding across idle stretches (the wake heap
-records every future time anything can change).  One :class:`GPU` instance
-simulates one kernel launch; the harness strings launches together and
-merges their statistics.
+Drives the per-SM pipelines and the shared memory hierarchy with an
+event-driven main loop: a cycle only runs the SMs whose
+:meth:`~repro.core.sm.SM.next_event_cycle` bound has arrived, and when no
+scheduler issues anywhere the loop jumps straight to the next interesting
+cycle — the earliest of the memory subsystem's event-heap head and every
+SM's bound.  Each skipped idle stretch is credited, whole, to the CPI-stack
+bucket the per-cycle loop would have chosen: the SM bounds are exact at
+every cycle where the classification could flip (a warp's ``next_issue`` or
+scoreboard ready cycle arriving), so nothing can change mid-stretch.
+
+One :class:`GPU` instance simulates one kernel launch; the harness strings
+launches together and merges their statistics.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 import itertools
 from collections import Counter, deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 from ..config.gpu_config import GPUConfig
 from ..emu.trace import KernelTrace
@@ -21,10 +28,23 @@ from ..metrics.counters import SimStats
 from ..obs.cpi import BUCKET_ISSUED, classify_idle, warp_stall_reasons
 from .sm import SM, SimulationError
 from .techniques import LaunchContext
+from .warp import NEVER
 
 
 class GPU:
     """Simulates one kernel launch under one technique."""
+
+    __slots__ = (
+        "config",
+        "ctx",
+        "stats",
+        "obs",
+        "mem",
+        "sms",
+        "_warp_counter",
+        "_pending",
+        "_blocks_remaining",
+    )
 
     def __init__(
         self,
@@ -42,19 +62,14 @@ class GPU:
             SM(sm_id, config, ctx, self.mem, stats, self)
             for sm_id in range(config.num_sms)
         ]
-        self._wake: List[int] = []
         self._warp_counter = itertools.count()
         self._pending: Deque = deque()
         self._blocks_remaining = 0
-        self._cycle = 0
 
     # -- services used by the SMs ---------------------------------------
 
     def next_warp_index(self) -> int:
         return next(self._warp_counter)
-
-    def push_wake(self, cycle: int) -> None:
-        heapq.heappush(self._wake, cycle)
 
     def block_finished(self, sm: SM, cycle: int) -> None:
         self._blocks_remaining -= 1
@@ -72,7 +87,6 @@ class GPU:
                 if sm.can_accept_block():
                     sm.add_block(self._pending.popleft(), cycle)
                     progress = True
-        self.push_wake(cycle + 1)
 
     def run(self, trace: KernelTrace, max_cycles: int = 50_000_000) -> int:
         """Simulate the launch to completion; returns total cycles.
@@ -91,21 +105,67 @@ class GPU:
         if tracer is not None:
             tracer.bind_kernel(trace.kernel)
         per_warp = obs is not None and obs.per_warp
-        issued_cycles = 0
         idle_buckets: Dict[str, int] = {}
         self._assign_blocks(0)
+        stats = self.stats
+        # The loop allocates only acyclic, promptly-refcounted objects
+        # (µops, requests, tuples); generational GC passes over the live
+        # simulation graph are pure overhead, so pause collection for the
+        # run (restoring the caller's setting either way).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            cycle, issued_cycles = self._run_loop(
+                trace, max_cycles, tracer, per_warp, idle_buckets
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        stats.cycles = cycle
+        accounted = issued_cycles + sum(idle_buckets.values())
+        if accounted != cycle:
+            raise SimulationError(
+                f"CPI-stack accounting leak in {trace.kernel!r}: "
+                f"{accounted} cycles attributed, {cycle} simulated"
+            )
+        stack = stats.cpi_stack
+        kernel_stack = stats.cpi_by_kernel.setdefault(trace.kernel, Counter())
+        if issued_cycles:
+            stack[BUCKET_ISSUED] += issued_cycles
+            kernel_stack[BUCKET_ISSUED] += issued_cycles
+        for bucket, span in idle_buckets.items():
+            stack[bucket] += span
+            kernel_stack[bucket] += span
+        self.ctx.finalize()
+        return cycle
+
+    def _run_loop(
+        self,
+        trace: KernelTrace,
+        max_cycles: int,
+        tracer,
+        per_warp: bool,
+        idle_buckets: Dict[str, int],
+    ):
+        """Inner event loop; returns ``(final_cycle, issued_cycles)``."""
+        mem = self.mem
+        sms = self.sms
+        stats = self.stats
         cycle = 0
+        issued_cycles = 0
         while self._blocks_remaining > 0:
             if cycle > max_cycles:
                 raise SimulationError(
                     f"kernel {trace.kernel!r} exceeded {max_cycles} cycles"
                 )
-            self.mem.tick(cycle)
+            mem.tick(cycle)
             issued = 0
-            for sm in self.sms:
-                issued += sm.tick(cycle)
+            for sm in sms:
+                if sm._next_try <= cycle:
+                    issued += sm.tick(cycle)
             if issued:
-                self.stats.issue_cycles += 1
+                stats.issue_cycles += 1
                 issued_cycles += 1
                 cycle += 1
                 continue
@@ -118,6 +178,10 @@ class GPU:
                         f"{self._blocks_remaining} blocks unfinished"
                     )
                 break
+            if next_cycle > max_cycles + 1:
+                # A skip landing past the budget still stops *at* the
+                # budget: the guard at the top of the loop fires next.
+                next_cycle = max_cycles + 1
             span = next_cycle - cycle
             bucket = classify_idle(self, cycle)
             idle_buckets[bucket] = idle_buckets.get(bucket, 0) + span
@@ -126,43 +190,37 @@ class GPU:
             if per_warp:
                 for warp, reason in warp_stall_reasons(self, cycle):
                     key = f"{trace.kernel}/w{warp.global_index}"
-                    stalls = self.stats.warp_stalls.get(key)
+                    stalls = stats.warp_stalls.get(key)
                     if stalls is None:
-                        stalls = self.stats.warp_stalls[key] = Counter()
+                        stalls = stats.warp_stalls[key] = Counter()
                     stalls[reason] += span
-            self.stats.idle_cycles += span
+            stats.idle_cycles += span
             cycle = next_cycle
-        self.stats.cycles = cycle
-        accounted = issued_cycles + sum(idle_buckets.values())
-        if accounted != cycle:
-            raise SimulationError(
-                f"CPI-stack accounting leak in {trace.kernel!r}: "
-                f"{accounted} cycles attributed, {cycle} simulated"
-            )
-        stack = self.stats.cpi_stack
-        kernel_stack = self.stats.cpi_by_kernel.setdefault(trace.kernel, Counter())
-        if issued_cycles:
-            stack[BUCKET_ISSUED] += issued_cycles
-            kernel_stack[BUCKET_ISSUED] += issued_cycles
-        for bucket, span in idle_buckets.items():
-            stack[bucket] += span
-            kernel_stack[bucket] += span
-        self.ctx.finalize()
-        return cycle
+        return cycle, issued_cycles
 
     def _next_event_after(self, cycle: int) -> Optional[int]:
-        if self.mem.has_queued_work():
+        """Earliest future cycle anything can happen, or None (deadlock).
+
+        Called only after a zero-issue sweep, so every SM's bound is fresh
+        (> ``cycle``) and any memory event at or before ``cycle`` has been
+        drained by ``mem.tick``.
+        """
+        mem = self.mem
+        if mem.has_queued_work():
             return cycle + 1
-        candidates = []
-        mem_next = self.mem.next_event_cycle()
-        if mem_next is not None:
-            candidates.append(max(mem_next, cycle + 1))
-        wake = self._wake
-        while wake and wake[0] <= cycle:
-            heapq.heappop(wake)
-        if wake:
-            candidates.append(wake[0])
-        return min(candidates) if candidates else None
+        best = NEVER
+        for sm in self.sms:
+            bound = sm._next_try
+            if bound < best:
+                best = bound
+        mem_next = mem.next_event_cycle()
+        if mem_next is not None and mem_next < best:
+            best = mem_next
+        if best >= NEVER:
+            return None
+        if best <= cycle:
+            return cycle + 1
+        return best
 
     # -- memory completion -------------------------------------------------
 

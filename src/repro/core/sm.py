@@ -5,12 +5,28 @@ schedulers with a scoreboard, the LSU path into the shared memory subsystem,
 barrier tracking, and — under CARS — the issue-stage *stalled-warp list*,
 the *warp status check* release path, and barrier-deadlock context switching
 (Section IV-B).
+
+The SM participates in the GPU's event-driven main loop through two pieces
+of state:
+
+* ``WarpCtx.ready_at`` — a sound lower bound on the next cycle the warp
+  could issue.  It is refreshed by the scheduler scan (``_ready``) and reset
+  by every event that can make a warp runnable earlier (load completion,
+  barrier release, register-allocation activation, block arrival).  The
+  bound is *exact at classification flip points*: it is ``next_issue`` when
+  that is in the future, else the head µop's scoreboard ready cycle — the
+  only two quantities the CPI-stack classifier compares against the current
+  cycle — so skipping ahead to the bound can never skip a cycle where the
+  stall *bucket* would have changed.
+* ``SM.next_event_cycle()`` — the SM-level aggregate the GPU's main loop
+  reads to fast-forward: the minimum ``ready_at`` over resident warps,
+  clamped to the future (``NEVER`` when every warp is parked on an external
+  event).  ``tick`` refreshes it; cross-SM events lower it via ``_wake``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 from ..config.gpu_config import GPUConfig
 from ..emu.trace import BlockTrace
@@ -18,8 +34,19 @@ from ..mem.subsystem import MemorySubsystem, MemRequest
 from ..metrics.counters import BlockRecord, SimStats, STREAM_SPILL
 from ..obs.cpi import HINT_CTRL, HINT_FETCH
 from .techniques import LaunchContext
-from .uop import Uop, UopKind, mem_uop
+from .uop import UopKind, mem_uop
 from .warp import NEVER, WarpCtx
+
+_MEM = UopKind.MEM
+_EXEC = UopKind.EXEC
+_CTRL = UopKind.CTRL
+_BAR = UopKind.BAR
+
+#: Records predecoded per refill when fetch is free.  Expansion order (and
+#: therefore every ABI-model side effect: CARS stack state, spill depths,
+#: trap counters) is the trace order either way; only the number of
+#: scheduler-to-frontend round trips changes.
+_PREDECODE_BATCH = 16
 
 
 class SimulationError(Exception):
@@ -37,6 +64,7 @@ class BlockRun:
         "level",
         "regs_per_warp",
         "start_cycle",
+        "inactive",
     )
 
     def __init__(self, trace: BlockTrace, warps: List[WarpCtx], level: int,
@@ -48,13 +76,42 @@ class BlockRun:
         self.level = level
         self.regs_per_warp = regs_per_warp
         self.start_cycle = start_cycle
+        # Warps stalled for registers or switched out, maintained
+        # incrementally at the stall/wake transitions (add_block,
+        # _context_switch, _activate) instead of rescanned per query.
+        self.inactive = 0
 
     def inactive_count(self) -> int:
-        return sum(1 for w in self.warps if w.stalled or w.switched_out)
+        return self.inactive
 
 
 class SM:
     """One streaming multiprocessor replaying warp traces."""
+
+    __slots__ = (
+        "sm_id",
+        "config",
+        "ctx",
+        "mem",
+        "stats",
+        "gpu",
+        "blocks",
+        "warps",
+        "reg_free",
+        "stalled",
+        "_last_issued",
+        "_rr_pointer",
+        "_next_slot",
+        "blocked_fill_warps",
+        "_tracer",
+        "_next_try",
+        "_sched_warps",
+        "_n_sched",
+        "_is_lrr",
+        "_warp_limit",
+        "_max_out",
+        "_predecode",
+    )
 
     def __init__(
         self,
@@ -74,7 +131,7 @@ class SM:
         self.blocks: List[BlockRun] = []
         self.warps: List[WarpCtx] = []
         self.reg_free = config.registers_per_sm
-        self.stalled: Deque[WarpCtx] = deque()
+        self.stalled: List[WarpCtx] = []
         self._last_issued: List[Optional[WarpCtx]] = [None] * config.schedulers_per_sm
         self._rr_pointer = [0] * config.schedulers_per_sm  # LRR state
         self._next_slot = 0
@@ -83,6 +140,46 @@ class SM:
         self.blocked_fill_warps = 0
         obs = getattr(gpu, "obs", None)
         self._tracer = obs.tracer if obs is not None else None
+        # Event-driven scheduling state (see module docstring).
+        self._next_try = NEVER
+        self._n_sched = config.schedulers_per_sm
+        self._is_lrr = config.scheduler == "lrr"
+        self._warp_limit = config.warp_limit
+        self._max_out = config.max_outstanding_loads
+        self._sched_warps: List[List[WarpCtx]] = [
+            [] for _ in range(self._n_sched)
+        ]
+        # The bounded tracer records the fetch cursor per issue, so it needs
+        # the cursor to track the issuing record one-to-one.
+        self._predecode = _PREDECODE_BATCH if self._tracer is None else 1
+
+    # ------------------------------------------------------------------
+    # Event-driven contract
+    # ------------------------------------------------------------------
+
+    def next_event_cycle(self) -> int:
+        """Next cycle this SM's ``tick`` could do anything (NEVER if only
+        an external event — memory completion, another SM's progress — can
+        make it runnable again)."""
+        return self._next_try
+
+    def _wake(self, cycle: int) -> None:
+        if cycle < self._next_try:
+            self._next_try = cycle
+
+    def _rebuild_sched_lists(self) -> None:
+        """Re-partition ``self.warps`` by scheduler.
+
+        Replaces the whole list-of-lists so a tick that captured the old
+        partition keeps scanning exactly the warps that were resident when
+        it started (matching the pre-partitioned ``eligible`` capture of
+        the per-cycle loop this replaces).
+        """
+        n = self._n_sched
+        lists: List[List[WarpCtx]] = [[] for _ in range(n)]
+        for warp in self.warps:
+            lists[warp.slot % n].append(warp)
+        self._sched_warps = lists
 
     # ------------------------------------------------------------------
     # Block management
@@ -111,13 +208,21 @@ class SM:
                     self.ctx.attach_warp(warp, regs_per_warp)
                 else:
                     warp.stalled = True
+                    warp.ready_at = NEVER
+                    block.inactive += 1
                     self.stalled.append(warp)
         block.alive = len(warps)
         self.blocks.append(block)
         self.warps = [w for w in self.warps if not w.done] + warps
+        self._rebuild_sched_lists()
+        # An SM later in the current tick sweep must scan the new warps
+        # this very cycle (the sweep checks _next_try at its position);
+        # an SM that already ticked picks them up next cycle.
+        self._wake(cycle)
 
     def _finish_warp(self, warp: WarpCtx, cycle: int) -> None:
         warp.done = True
+        warp.ready_at = NEVER
         block = warp.block
         block.alive -= 1
         if self.ctx.manages_registers and warp.alloc_regs:
@@ -145,11 +250,14 @@ class SM:
         )
         self.ctx.block_done(self.sm_id, block.level, runtime)
         self.warps = [w for w in self.warps if not w.done]
+        self._rebuild_sched_lists()
         self.gpu.block_finished(self, cycle)
 
     def _release_stalled(self, cycle: int) -> None:
         """Activate stalled warps (first-fit in arrival order) as register
         space frees up — the warp-status-check release path."""
+        if not self.stalled:
+            return
         for warp in list(self.stalled):
             demand = warp.block.regs_per_warp
             if self.reg_free < demand:
@@ -169,7 +277,7 @@ class SM:
     def _check_barrier(self, block: BlockRun, cycle: int) -> None:
         if block.arrived == 0:
             return
-        inactive = block.inactive_count()
+        inactive = block.inactive
         waiting_needed = block.alive - inactive
         if block.arrived >= block.alive:
             self._release_barrier(block, cycle)
@@ -185,11 +293,13 @@ class SM:
             if warp.waiting_barrier:
                 warp.waiting_barrier = False
                 warp.next_issue = max(warp.next_issue, cycle + 1)
+                if not warp.switched_out:
+                    warp.ready_at = warp.next_issue
             if warp.switched_out and warp not in self.stalled:
                 # A context-switch victim resumes competing for registers
                 # once the barrier that forced it out has opened.
                 self.stalled.append(warp)
-        self.gpu.push_wake(cycle + 1)
+        self._wake(cycle + 1)
         self._release_stalled(cycle)
 
     def _context_switch(self, block: BlockRun, cycle: int) -> None:
@@ -229,6 +339,8 @@ class SM:
         victim.alloc_regs = 0
         victim.switched_out = True
         victim.needs_fill = True
+        victim.ready_at = NEVER
+        block.inactive += 1
         # Activate the beneficiary directly (it is the warp the barrier is
         # waiting for; FCFS release could be blocked by a larger-demand
         # warp from another block at the queue head).
@@ -245,12 +357,14 @@ class SM:
         warp.alloc_regs = demand
         warp.stalled = False
         warp.switched_out = False
+        warp.block.inactive -= 1
         if warp.cars is None:
             self.ctx.attach_warp(warp, demand)
         if warp.needs_fill:
             self._inject_switch_fill(warp)
         warp.next_issue = max(warp.next_issue, cycle + 1)
-        self.gpu.push_wake(cycle + 1)
+        warp.ready_at = warp.next_issue
+        self._wake(warp.next_issue)
 
     def _inject_switch_fill(self, warp: WarpCtx) -> None:
         """Refill a previously switched-out warp's register state."""
@@ -272,8 +386,7 @@ class SM:
 
     def tick(self, cycle: int) -> int:
         issued = 0
-        limit = self.config.warp_limit
-        eligible = self.warps
+        limit = self._warp_limit
         if limit is not None:
             # Static wavefront limiter: schedule at most `limit` warps.
             # Warps parked at a barrier do not consume a slot, otherwise a
@@ -281,44 +394,193 @@ class SM:
             eligible = [
                 w for w in self.warps if not w.done and not w.waiting_barrier
             ][:limit]
-        for sched in range(self.config.schedulers_per_sm):
-            warp = self._pick_warp(sched, eligible, cycle)
+            for sched in range(self._n_sched):
+                warp = self._pick_warp_limited(sched, eligible, cycle)
+                if warp is not None:
+                    self._issue(warp, cycle)
+                    self._last_issued[sched] = warp
+                    issued += 1
+            if issued:
+                self._next_try = cycle + 1
+            else:
+                # The limiter re-evaluates its window every cycle while
+                # blocks are resident, so don't sleep past warps that the
+                # window excluded this cycle.
+                self._next_try = self._earliest_ready(eligible, cycle)
+            return issued
+        # Capture the partition: block arrival/retirement mid-tick swaps in
+        # a fresh one that must only be seen from the next tick on.
+        sched_lists = self._sched_warps
+        pick = self._pick_warp
+        issue = self._issue
+        last = self._last_issued
+        for sched in range(self._n_sched):
+            warp = pick(sched, sched_lists[sched], cycle)
             if warp is not None:
-                self._issue(warp, cycle)
-                self._last_issued[sched] = warp
+                issue(warp, cycle)
+                last[sched] = warp
                 issued += 1
+        if issued:
+            self._next_try = cycle + 1
+        else:
+            self._next_try = self._earliest_ready(self.warps, cycle)
         return issued
 
+    def _earliest_ready(self, warps: List[WarpCtx], cycle: int) -> int:
+        """Minimum ``ready_at`` over *warps*, clamped to the future.
+
+        Only called after a zero-issue tick, when the scheduler scan has
+        just refreshed every candidate's bound.
+        """
+        nt = NEVER
+        for warp in warps:
+            ra = warp.ready_at
+            if ra < nt:
+                nt = ra
+        if nt <= cycle:
+            return cycle + 1
+        return nt
+
     def _pick_warp(
+        self, sched: int, candidates: List[WarpCtx], cycle: int
+    ) -> Optional[WarpCtx]:
+        if self._is_lrr:
+            return self._pick_lrr(sched, candidates, cycle)
+        # Greedy-then-oldest: stick with the last warp while it can issue.
+        refill = self._refill
+        max_out = self._max_out
+        # Greedy-then-oldest: stick with the last warp while it can issue.
+        # Its check is the same inlined _ready body as the scan below; a
+        # failed check parks last.ready_at in the future, so the scan's
+        # ready_at guard skips it without re-evaluating.
+        warp = self._last_issued[sched]
+        if warp is not None and not warp.done and warp.ready_at <= cycle:
+            if warp.stalled or warp.switched_out or warp.waiting_barrier:
+                warp.ready_at = NEVER
+            else:
+                next_issue = warp.next_issue
+                if next_issue > cycle:
+                    warp.ready_at = next_issue
+                else:
+                    uops = warp.uops
+                    ok = True
+                    if not uops:
+                        if not refill(warp):
+                            warp.ready_at = NEVER
+                            ok = False
+                        elif warp.next_issue > cycle:
+                            warp.ready_at = warp.next_issue
+                            ok = False
+                        else:
+                            uops = warp.uops
+                    if ok:
+                        head = uops[0]
+                        if (
+                            head.kind == _MEM
+                            and not head.is_store
+                            and warp.outstanding_loads >= max_out
+                        ):
+                            warp.ready_at = NEVER
+                        else:
+                            deps = head.deps
+                            ready_at = 0
+                            if deps:
+                                get = warp.reg_ready.get
+                                for reg in deps:
+                                    t = get(reg, 0)
+                                    if t > ready_at:
+                                        ready_at = t
+                            if ready_at > cycle:
+                                warp.ready_at = ready_at
+                            else:
+                                warp.ready_at = cycle
+                                return warp
+        for warp in candidates:
+            if warp.ready_at > cycle:
+                continue
+            # _ready, inlined: the scan touches every runnable warp on
+            # every issue attempt, and the call overhead rivaled the
+            # checks themselves.  Keep in lockstep with _ready below.
+            if (
+                warp.done
+                or warp.stalled
+                or warp.switched_out
+                or warp.waiting_barrier
+            ):
+                warp.ready_at = NEVER
+                continue
+            next_issue = warp.next_issue
+            if next_issue > cycle:
+                warp.ready_at = next_issue
+                continue
+            uops = warp.uops
+            if not uops:
+                if not refill(warp):
+                    warp.ready_at = NEVER
+                    continue
+                if warp.next_issue > cycle:  # fetch stall during refill
+                    warp.ready_at = warp.next_issue
+                    continue
+                uops = warp.uops
+            head = uops[0]
+            if (
+                head.kind == _MEM
+                and not head.is_store
+                and warp.outstanding_loads >= max_out
+            ):
+                warp.ready_at = NEVER
+                continue
+            deps = head.deps
+            if deps:
+                ready_at = 0
+                get = warp.reg_ready.get
+                for reg in deps:
+                    t = get(reg, 0)
+                    if t > ready_at:
+                        ready_at = t
+                if ready_at > cycle:
+                    warp.ready_at = ready_at
+                    continue
+            warp.ready_at = cycle
+            return warp
+        return None
+
+    def _pick_warp_limited(
         self, sched: int, eligible: List[WarpCtx], cycle: int
     ) -> Optional[WarpCtx]:
-        n = self.config.schedulers_per_sm
-        if self.config.scheduler == "lrr":
-            return self._pick_lrr(sched, eligible, cycle)
-        # Greedy-then-oldest: stick with the last warp while it can issue.
+        n = self._n_sched
+        if self._is_lrr:
+            mine = [w for w in eligible if w.slot % n == sched]
+            return self._pick_lrr(sched, mine, cycle)
         last = self._last_issued[sched]
-        if last is not None and not last.done and self._ready(last, cycle):
-            if last.slot % n == sched:
-                if self.config.warp_limit is None or last in eligible:
-                    return last
+        if (
+            last is not None
+            and not last.done
+            and last.ready_at <= cycle
+            and self._ready(last, cycle)
+        ):
+            if last.slot % n == sched and last in eligible:
+                return last
         for warp in eligible:
             if warp.slot % n != sched:
+                continue
+            if warp.ready_at > cycle:
                 continue
             if self._ready(warp, cycle):
                 return warp
         return None
 
     def _pick_lrr(
-        self, sched: int, eligible: List[WarpCtx], cycle: int
+        self, sched: int, mine: List[WarpCtx], cycle: int
     ) -> Optional[WarpCtx]:
         """Loose round-robin: rotate through this scheduler's warps."""
-        n = self.config.schedulers_per_sm
-        mine = [w for w in eligible if w.slot % n == sched]
         if not mine:
             return None
         start = self._rr_pointer[sched] % len(mine)
         for offset in range(len(mine)):
             warp = mine[(start + offset) % len(mine)]
+            if warp.ready_at > cycle:
+                continue
             if self._ready(warp, cycle):
                 self._rr_pointer[sched] = (start + offset + 1) % len(mine)
                 return warp
@@ -330,47 +592,87 @@ class SM:
             or warp.stalled
             or warp.switched_out
             or warp.waiting_barrier
-            or warp.next_issue > cycle
         ):
+            # Flag-parked: only an event elsewhere can clear these, and
+            # every such event resets ready_at.
+            warp.ready_at = NEVER
+            return False
+        next_issue = warp.next_issue
+        if next_issue > cycle:
+            warp.ready_at = next_issue
             return False
         if not warp.uops:
             if not self._refill(warp):
+                warp.ready_at = NEVER
                 return False
             if warp.next_issue > cycle:  # fetch stall applied during refill
+                warp.ready_at = warp.next_issue
                 return False
         head = warp.uops[0]
-        if head.kind == UopKind.MEM:
-            if (
-                not head.is_store
-                and warp.outstanding_loads >= self.config.max_outstanding_loads
-            ):
-                return False
-        ready_at = warp.deps_ready_cycle(head)
-        if ready_at > cycle:
-            self.gpu.push_wake(ready_at)
+        if (
+            head.kind == _MEM
+            and not head.is_store
+            and warp.outstanding_loads >= self._max_out
+        ):
+            warp.ready_at = NEVER  # wakes on any of its loads completing
             return False
+        # Scoreboard check, inlined from WarpCtx.deps_ready_cycle: this is
+        # the single hottest expression in the simulator.
+        deps = head.deps
+        if deps:
+            ready_at = 0
+            get = warp.reg_ready.get
+            for reg in deps:
+                t = get(reg, 0)
+                if t > ready_at:
+                    ready_at = t
+            if ready_at > cycle:
+                warp.ready_at = ready_at
+                return False
+        warp.ready_at = cycle
         return True
 
     def _refill(self, warp: WarpCtx) -> bool:
-        """Expand the next trace record into µops."""
-        if warp.cursor >= len(warp.records):
+        """Expand the next trace record(s) into µops.
+
+        With a fetch penalty the debt is applied per record, so records are
+        fetched one at a time; otherwise a bounded batch is predecoded per
+        call, trimming scheduler-to-frontend round trips without changing
+        any issue timing (expansion side effects stay in trace order).
+        """
+        records = warp.records
+        cursor = warp.cursor
+        total = len(records)
+        if cursor >= total:
             return False
-        rec = warp.records[warp.cursor]
-        warp.cursor += 1
-        self.stats.warp_instructions += 1
-        penalty = self.ctx.fetch_penalty
+        ctx = self.ctx
+        stats = self.stats
+        penalty = ctx.fetch_penalty
         if penalty:
+            rec = records[cursor]
+            warp.cursor = cursor + 1
+            stats.warp_instructions += 1
             warp.fetch_debt += penalty
             if warp.fetch_debt >= 1.0:
                 stall = int(warp.fetch_debt)
                 warp.fetch_debt -= stall
                 warp.next_issue += stall
                 warp.stall_hint = HINT_FETCH
-                self.stats.fetch_stall_cycles += stall
-                self.gpu.push_wake(warp.next_issue)
-        uops = self.ctx.expand(warp, rec)
-        warp.uops.extend(uops)
-        return bool(warp.uops)
+                stats.fetch_stall_cycles += stall
+            ctx.expand(warp, rec, warp.uops)
+            return bool(warp.uops)
+        end = cursor + self._predecode
+        if end > total:
+            end = total
+        uops = warp.uops
+        expand = ctx.expand
+        count = end - cursor
+        while cursor < end:
+            expand(warp, records[cursor], uops)
+            cursor += 1
+        warp.cursor = cursor
+        stats.warp_instructions += count
+        return bool(uops)
 
     def _issue(self, warp: WarpCtx, cycle: int) -> None:
         uop = warp.uops.popleft()
@@ -383,14 +685,13 @@ class SM:
                 cycle, self.sm_id, warp.global_index, warp.cursor - 1, uop.mix
             )
         kind = uop.kind
-        if kind == UopKind.EXEC:
+        if kind == _EXEC:
             done_at = cycle + uop.latency
             for reg in uop.dst:
                 warp.reg_ready[reg] = done_at
             warp.next_issue = cycle + 1
-            if uop.dst:
-                self.gpu.push_wake(done_at)
-        elif kind == UopKind.MEM:
+            warp.ready_at = cycle + 1
+        elif kind == _MEM:
             blocking = uop.blocking and not uop.is_store
             request = MemRequest(
                 warp,
@@ -407,18 +708,24 @@ class SM:
                     warp.reg_ready[reg] = NEVER
                 if blocking:
                     warp.next_issue = NEVER
+                    warp.ready_at = NEVER
                     self.blocked_fill_warps += 1
                 else:
                     warp.next_issue = cycle + 1
+                    warp.ready_at = cycle + 1
             else:
                 warp.next_issue = cycle + 1
+                warp.ready_at = cycle + 1
             self.mem.access(self.sm_id, uop.sectors, request)
-        elif kind == UopKind.CTRL:
+        elif kind == _CTRL:
             warp.next_issue = cycle + uop.latency
+            warp.ready_at = warp.next_issue
             warp.stall_hint = HINT_CTRL
-            self.gpu.push_wake(warp.next_issue)
-        elif kind == UopKind.BAR:
+        elif kind == _BAR:
             warp.next_issue = cycle + 1
+            # Parked until release; an all-arrived barrier releases inside
+            # _arrive_barrier and overwrites this with cycle + 1.
+            warp.ready_at = NEVER
             self._arrive_barrier(warp, cycle)
         else:  # EXIT
             self._finish_warp(warp, cycle)
@@ -438,7 +745,10 @@ class SM:
             # warp resume before its trap fill was back in registers.)
             warp.next_issue = cycle + 1
             self.blocked_fill_warps -= 1
-        self.gpu.push_wake(cycle + 1)
+        # Memory ticks before the SMs each cycle, so the warp may issue at
+        # the completion cycle itself: wake the SM for *this* cycle.
+        warp.ready_at = cycle
+        self._wake(cycle)
 
     # ------------------------------------------------------------------
 

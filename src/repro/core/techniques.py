@@ -27,6 +27,11 @@ from .occupancy import Occupancy, compute_occupancy
 from .uop import Uop, UopKind, bar_uop, ctrl_uop, exec_uop, exit_uop, mem_uop
 from .warp import WarpCtx
 
+# Hot-path aliases for the expansion fast paths below.
+_EXEC = UopKind.EXEC
+_MEM = UopKind.MEM
+_CTRL = UopKind.CTRL
+
 
 class LaunchContext:
     """Per-(kernel-launch x technique) state driving µop expansion."""
@@ -78,33 +83,53 @@ class LaunchContext:
 
     # -- expansion -------------------------------------------------------
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
+        """Append *rec*'s µops to *out* (the warp's issue deque).
+
+        Appending into the caller's container rather than returning a
+        fresh list avoids one allocation per dynamic instruction — the
+        frontend's hottest rate.
+        """
         raise NotImplementedError
 
-    def _expand_common(self, warp: WarpCtx, rec: TraceRecord, extra: int) -> List[Uop]:
-        """Records whose expansion is technique-independent."""
+    def _expand_common(self, warp: WarpCtx, rec: TraceRecord, out, extra: int) -> None:
+        """Records whose expansion is technique-independent.
+
+        The ``Uop`` constructor is invoked directly (not through the
+        ``exec_uop``/``mem_uop`` helpers) on the frequent kinds: expansion
+        runs once per dynamic instruction and the extra call layer is
+        measurable there.
+        """
         cfg = self.config
         kind = rec.kind
         if kind == TraceKind.ALU:
-            return [exec_uop(cfg.alu_latency + extra, rec.dst, rec.srcs, "ALU")]
-        if kind == TraceKind.FPU:
-            return [exec_uop(cfg.fpu_latency + extra, rec.dst, rec.srcs, "FPU")]
-        if kind == TraceKind.SFU:
-            return [exec_uop(cfg.sfu_latency + extra, rec.dst, rec.srcs, "SFU")]
-        if kind == TraceKind.SMEM:
-            return [exec_uop(cfg.smem_latency + extra, rec.dst, rec.srcs, "SMEM")]
-        if kind == TraceKind.BRANCH:
-            return [ctrl_uop(cfg.ctrl_latency + extra, "BRANCH")]
-        if kind == TraceKind.GLOBAL_LD:
-            return [
-                mem_uop(rec.sectors, STREAM_GLOBAL, False, rec.dst, rec.srcs, "GLOBAL_LD")
-            ]
-        if kind == TraceKind.GLOBAL_ST:
-            return [
-                mem_uop(rec.sectors, STREAM_GLOBAL, True, (), rec.srcs, "GLOBAL_ST")
-            ]
-        if kind == TraceKind.LOCAL_LD:
-            return [
+            out.append(Uop(_EXEC, cfg.alu_latency + extra, rec.dst, rec.srcs))
+        elif kind == TraceKind.GLOBAL_LD:
+            out.append(
+                Uop(_MEM, 1, rec.dst, rec.srcs, rec.sectors, STREAM_GLOBAL,
+                    False, "GLOBAL_LD")
+            )
+        elif kind == TraceKind.BRANCH:
+            out.append(Uop(_CTRL, cfg.ctrl_latency + extra, mix="BRANCH"))
+        elif kind == TraceKind.FPU:
+            out.append(
+                Uop(_EXEC, cfg.fpu_latency + extra, rec.dst, rec.srcs, mix="FPU")
+            )
+        elif kind == TraceKind.SFU:
+            out.append(
+                Uop(_EXEC, cfg.sfu_latency + extra, rec.dst, rec.srcs, mix="SFU")
+            )
+        elif kind == TraceKind.SMEM:
+            out.append(
+                Uop(_EXEC, cfg.smem_latency + extra, rec.dst, rec.srcs, mix="SMEM")
+            )
+        elif kind == TraceKind.GLOBAL_ST:
+            out.append(
+                Uop(_MEM, 1, (), rec.srcs, rec.sectors, STREAM_GLOBAL,
+                    True, "GLOBAL_ST")
+            )
+        elif kind == TraceKind.LOCAL_LD:
+            out.append(
                 mem_uop(
                     warp.local_sectors(rec.local_offset),
                     STREAM_LOCAL,
@@ -113,9 +138,9 @@ class LaunchContext:
                     (),
                     "LOCAL_LD",
                 )
-            ]
-        if kind == TraceKind.LOCAL_ST:
-            return [
+            )
+        elif kind == TraceKind.LOCAL_ST:
+            out.append(
                 mem_uop(
                     warp.local_sectors(rec.local_offset),
                     STREAM_LOCAL,
@@ -124,12 +149,13 @@ class LaunchContext:
                     rec.srcs,
                     "LOCAL_ST",
                 )
-            ]
-        if kind == TraceKind.BAR:
-            return [bar_uop()]
-        if kind == TraceKind.EXIT:
-            return [exit_uop()]
-        raise ValueError(f"unexpected record kind {kind!r}")
+            )
+        elif kind == TraceKind.BAR:
+            out.append(bar_uop())
+        elif kind == TraceKind.EXIT:
+            out.append(exit_uop())
+        else:
+            raise ValueError(f"unexpected record kind {kind!r}")
 
 
 class BaselineContext(LaunchContext):
@@ -139,50 +165,41 @@ class BaselineContext(LaunchContext):
         # The linker's worst-case register usage over the call graph.
         return self.trace.regs_per_warp_baseline
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
         kind = rec.kind
         stats = self.stats
         if kind == TraceKind.CALL:
             stats.calls += 1
             warp.frame_starts.append(warp.spill_depth)
             warp.spill_depth += rec.push_count
-            return [ctrl_uop(self.config.ctrl_latency, "CALL")]
-        if kind == TraceKind.RET:
+            out.append(ctrl_uop(self.config.ctrl_latency, "CALL"))
+        elif kind == TraceKind.RET:
             stats.returns += 1
             if rec.frame_release and warp.frame_starts:
                 warp.spill_depth = warp.frame_starts.pop()
-            return [ctrl_uop(self.config.ctrl_latency, "RET")]
-        if kind == TraceKind.PUSH:
+            out.append(ctrl_uop(self.config.ctrl_latency, "RET"))
+        elif kind == TraceKind.PUSH:
             stats.pushes += 1
             stats.push_regs += rec.reg_count
             start = warp.frame_starts[-1] if warp.frame_starts else 0
-            return [
-                mem_uop(
-                    warp.spill_sectors(start + i),
-                    STREAM_SPILL,
-                    True,
-                    (),
-                    (rec.srcs[i],),
-                    "SPILL_ST",
+            for i in range(rec.reg_count):
+                out.append(
+                    Uop(_MEM, 1, (), (rec.srcs[i],),
+                        warp.spill_sectors(start + i),
+                        STREAM_SPILL, True, "SPILL_ST")
                 )
-                for i in range(rec.reg_count)
-            ]
-        if kind == TraceKind.POP:
+        elif kind == TraceKind.POP:
             stats.pops += 1
             stats.pop_regs += rec.reg_count
             start = warp.frame_starts[-1] if warp.frame_starts else 0
-            return [
-                mem_uop(
-                    warp.spill_sectors(start + i),
-                    STREAM_SPILL,
-                    False,
-                    (rec.dst[i],),
-                    (),
-                    "SPILL_LD",
+            for i in range(rec.reg_count):
+                out.append(
+                    Uop(_MEM, 1, (rec.dst[i],), (),
+                        warp.spill_sectors(start + i),
+                        STREAM_SPILL, False, "SPILL_LD")
                 )
-                for i in range(rec.reg_count)
-            ]
-        return self._expand_common(warp, rec, extra=0)
+        else:
+            self._expand_common(warp, rec, out, extra=0)
 
 
 class CarsContext(LaunchContext):
@@ -259,21 +276,21 @@ class CarsContext(LaunchContext):
 
     # -- expansion -------------------------------------------------------
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord) -> List[Uop]:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
         cfg = self.config
         stats = self.stats
         extra = cfg.cars_extra_pipeline_cycles
         kind = rec.kind
         if kind == TraceKind.CALL:
             stats.calls += 1
-            uops = [ctrl_uop(cfg.ctrl_latency + extra, "CALL")]
+            out.append(ctrl_uop(cfg.ctrl_latency + extra, "CALL"))
             spilled = warp.cars.call(rec.fru)
             if spilled:
                 stats.traps += 1
                 for start, count in spilled:
                     stats.trap_spilled_regs += count
                     for i in range(count):
-                        uops.append(
+                        out.append(
                             mem_uop(
                                 warp.trap_sectors(start + i),
                                 STREAM_SPILL,
@@ -283,46 +300,50 @@ class CarsContext(LaunchContext):
                                 "SPILL_ST",
                             )
                         )
-            return uops
-        if kind == TraceKind.RET:
+        elif kind == TraceKind.RET:
             stats.returns += 1
-            uops = [ctrl_uop(cfg.ctrl_latency + extra, "RET")]
+            out.append(ctrl_uop(cfg.ctrl_latency + extra, "RET"))
             if rec.frame_release:
                 filled = warp.cars.ret()
                 if filled is not None:
                     start, count = filled
                     stats.trap_filled_regs += count
                     for i in range(count):
-                        fill = mem_uop(
-                            warp.trap_sectors(start + i),
-                            STREAM_SPILL,
-                            False,
-                            (),
-                            (),
-                            "SPILL_LD",
+                        out.append(
+                            mem_uop(
+                                warp.trap_sectors(start + i),
+                                STREAM_SPILL,
+                                False,
+                                (),
+                                (),
+                                "SPILL_LD",
+                            )
                         )
-                        uops.append(fill)
                     # The caller cannot proceed until its frame is back in
                     # the register file: the last fill blocks the warp.
-                    uops[-1].blocking = True
-            return uops
-        if kind == TraceKind.PUSH:
+                    out[-1].blocking = True
+        elif kind == TraceKind.PUSH:
             stats.pushes += 1
             stats.push_regs += rec.reg_count
-            return [
-                exec_uop(cfg.stack_op_latency + extra, (), rec.srcs, "STACK")
-            ]
-        if kind == TraceKind.POP:
+            out.append(
+                Uop(_EXEC, cfg.stack_op_latency + extra, (), rec.srcs, mix="STACK")
+            )
+        elif kind == TraceKind.POP:
             stats.pops += 1
             stats.pop_regs += rec.reg_count
-            return [exec_uop(cfg.stack_op_latency + extra, rec.dst, (), "STACK")]
-        # The added issue/operand-collector stage is charged to the ops whose
-        # paths CARS modifies (calls, stack ops, branches through the SIMT
-        # stack).  Plain ALU dependency chains keep their baseline latency —
-        # the paper itself argues the renaming mux "is unlikely to affect
-        # the SM's critical path" (Section IV-C).
-        common_extra = extra if kind == TraceKind.BRANCH else 0
-        return self._expand_common(warp, rec, extra=common_extra)
+            out.append(
+                Uop(_EXEC, cfg.stack_op_latency + extra, rec.dst, (), mix="STACK")
+            )
+        else:
+            # The added issue/operand-collector stage is charged to the ops
+            # whose paths CARS modifies (calls, stack ops, branches through
+            # the SIMT stack).  Plain ALU dependency chains keep their
+            # baseline latency — the paper itself argues the renaming mux
+            # "is unlikely to affect the SM's critical path" (Section IV-C).
+            self._expand_common(
+                warp, rec, out,
+                extra=extra if kind == TraceKind.BRANCH else 0,
+            )
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,7 @@ class Uop:
         "is_store",
         "mix",
         "blocking",
+        "deps",
     )
 
     def __init__(
@@ -71,6 +72,9 @@ class Uop:
         self.is_store = is_store
         self.mix = mix
         self.blocking = blocking
+        # Scoreboard registers this µop waits on (read-after-write on srcs,
+        # write-after-write on dst), precomputed once for the issue loop.
+        self.deps = srcs + dst if dst else srcs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Uop {self.kind.name} {self.mix} lat={self.latency}>"

@@ -34,6 +34,7 @@ class WarpCtx:
         "uops",
         "reg_ready",
         "next_issue",
+        "ready_at",
         "waiting_barrier",
         "done",
         "outstanding_loads",
@@ -58,6 +59,9 @@ class WarpCtx:
         self.uops: Deque[Uop] = deque()
         self.reg_ready: Dict[int, int] = {}
         self.next_issue = 0
+        # Scheduler-maintained lower bound on the next cycle this warp can
+        # issue (see the SM module docstring); 0 = "never evaluated yet".
+        self.ready_at = 0
         self.waiting_barrier = False
         self.done = False
         self.outstanding_loads = 0
@@ -83,13 +87,9 @@ class WarpCtx:
     def deps_ready_cycle(self, uop: Uop) -> int:
         """Earliest cycle at which *uop*'s operands are all available."""
         ready = 0
-        reg_ready = self.reg_ready
-        for reg in uop.srcs:
-            t = reg_ready.get(reg, 0)
-            if t > ready:
-                ready = t
-        for reg in uop.dst:
-            t = reg_ready.get(reg, 0)
+        get = self.reg_ready.get
+        for reg in uop.deps:
+            t = get(reg, 0)
             if t > ready:
                 ready = t
         return ready

@@ -1,20 +1,18 @@
-"""Experiment harness: the public run API, the parallel executor with its
-content-addressed result store, per-figure experiments, table formatting.
+"""Experiment harness: the executor with its content-addressed result
+store, per-figure experiments, table formatting.
 
-The supported surface is ``__all__`` below: the runner entry points
-(``run_workload``/``run_best_swl``/``run_baseline``, keyword-only options),
-the declarative executor (``ExperimentRequest``/``ExperimentPlan``/
-``Executor``/``ResultStore``), and the figure/table functions in
-:mod:`repro.harness.experiments`.
+Programmatic entry points have moved to the stable facade in
+:mod:`repro.api` (``Simulation`` / ``Sweep``); the legacy names
+(``run_workload``/``run_best_swl``/``run_baseline``) are still importable
+from here but emit a :class:`DeprecationWarning` on first access.
 """
 
-from .runner import (
+import warnings as _warnings
+
+from ._runner import (
     RunResult,
     SWL_SWEEP,
     geomean,
-    run_baseline,
-    run_best_swl,
-    run_workload,
 )
 from .executor import (
     Executor,
@@ -55,3 +53,23 @@ __all__ = [
     "format_table",
     "format_series",
 ]
+
+#: Legacy entry points, now behind repro.api: resolved lazily so the
+#: deprecation fires only on use, once per name.
+_DEPRECATED_RUNNERS = ("run_workload", "run_best_swl", "run_baseline")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RUNNERS:
+        _warnings.warn(
+            f"repro.harness.{name} is deprecated; use the stable facade in "
+            "repro.api (Simulation / Sweep) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import _runner
+
+        func = getattr(_runner, name)
+        globals()[name] = func  # warn once; later lookups bypass this hook
+        return func
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

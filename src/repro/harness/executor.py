@@ -53,7 +53,7 @@ from ..config import volta
 from ..core.techniques import resolve_technique
 from ..workloads import make_workload
 from ..workloads.spec import Workload
-from .runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
+from ._runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
 
 #: Bump whenever the stored JSON layout changes; old entries then miss.
 #: v2: SimStats grew the CPI-stack fields (cpi_stack, cpi_by_kernel,

@@ -39,7 +39,7 @@ from ..metrics.counters import STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
 from ..power.model import DEFAULT_ENERGY_MODEL
 from ..workloads import WORKLOAD_NAMES, SMOKE_NAMES, make_workload
 from .executor import Executor, ExperimentPlan, ExperimentRequest, ProgressFn, ResultStore
-from .runner import RunResult, geomean
+from ._runner import RunResult, geomean
 
 #: Fig 8's studied techniques, in the paper's order.
 FIG8_TECHNIQUES = ("ideal_vw", "l1_10mb", "best_swl", "cars")

@@ -17,10 +17,23 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from typing import Optional, Sequence
 
 from . import experiments as ex
 from .tables import format_table
+
+if __name__ != "__main__":
+    # Importing this module for its functions is deprecated (the CLI via
+    # ``python -m repro.harness.regenerate`` is the supported use); the
+    # programmatic surface lives in repro.api.
+    warnings.warn(
+        "importing repro.harness.regenerate is deprecated; drive sweeps "
+        "through repro.api (Simulation / Sweep) or run this module with "
+        "python -m",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 
 _PAPER_NOTES = {

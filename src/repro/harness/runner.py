@@ -1,158 +1,38 @@
-"""Experiment runner: (workload x technique) -> statistics.
+"""Deprecated import path — use :mod:`repro.api` instead.
 
-Mirrors the paper's methodology: every technique replays the same traces
-on the same (scaled) hardware configuration; results are normalized to the
-baseline run on that configuration.
+The runner implementation lives in :mod:`repro.harness._runner`; this
+module re-exports it for backward compatibility and emits one
+:class:`DeprecationWarning` when imported.  New code should go through the
+stable facade::
+
+    from repro.api import Simulation, Sweep, RunResult, geomean
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import warnings
 
-from ..analysis import ensure_module_linted
-from ..callgraph import analyze_kernel, build_call_graph
-from ..cars.policy import PolicyMemory
-from ..config.gpu_config import GPUConfig
-from ..config import volta
-from ..core.gpu import GPU
-from ..core.techniques import BASELINE, Technique, swl
-from ..metrics.counters import SimStats
-from ..obs import ObsSession
-from ..power.model import DEFAULT_ENERGY_MODEL, EnergyModel
-from ..workloads.spec import Workload
+from ._runner import (  # noqa: F401
+    RunResult,
+    SWL_SWEEP,
+    geomean,
+    run_baseline,
+    run_best_swl,
+    run_workload,
+)
 
-#: SWL warp counts the paper sweeps for Best-SWL.
-SWL_SWEEP = (1, 2, 3, 4, 8, 16)
+__all__ = [
+    "RunResult",
+    "SWL_SWEEP",
+    "geomean",
+    "run_baseline",
+    "run_best_swl",
+    "run_workload",
+]
 
-
-@dataclass
-class RunResult:
-    """Outcome of one (workload, technique) simulation."""
-
-    workload: str
-    technique: str
-    config: GPUConfig
-    stats: SimStats
-
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
-
-    def speedup_over(self, baseline: "RunResult") -> float:
-        """``baseline.cycles / self.cycles``; zero cycles fail loudly.
-
-        A zero-cycle run means the simulation produced nothing — silently
-        returning 0.0 here used to skew downstream geomeans instead of
-        flagging the broken run.
-        """
-        if self.cycles == 0 or baseline.cycles == 0:
-            raise ValueError(
-                f"speedup undefined: zero-cycle run "
-                f"({self.workload}/{self.technique}: {self.cycles} cycles, "
-                f"{baseline.workload}/{baseline.technique}: "
-                f"{baseline.cycles} cycles)"
-            )
-        return baseline.cycles / self.cycles
-
-    def energy(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
-        return model.energy(self.stats, self.config)
-
-    def energy_efficiency(self, model: EnergyModel = DEFAULT_ENERGY_MODEL) -> float:
-        return model.efficiency(self.stats, self.config)
-
-    def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form (the result store's serialization): no pickled
-        class layouts, so stored results survive refactors of this class."""
-        return {
-            "workload": self.workload,
-            "technique": self.technique,
-            "config": self.config.to_dict(),
-            "stats": self.stats.to_dict(),
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
-        return cls(
-            workload=data["workload"],
-            technique=data["technique"],
-            config=GPUConfig.from_dict(data["config"]),
-            stats=SimStats.from_dict(data["stats"]),
-        )
-
-
-def run_workload(
-    workload: Workload,
-    technique: Technique,
-    *,
-    config: Optional[GPUConfig] = None,
-    policy_memory: Optional[PolicyMemory] = None,
-    obs: Optional["ObsSession"] = None,
-) -> RunResult:
-    """Simulate every kernel launch of *workload* under *technique*.
-
-    *obs* (an :class:`repro.obs.ObsSession`) opts into the event tracer
-    and per-warp stall attribution; the CPI stack itself is always on.
-    """
-    base_config = config if config is not None else volta()
-    cfg = technique.adjust_config(base_config)
-    module = workload.module(inlined=technique.use_inlined)
-    # Refuse to simulate binaries that fail the ABI/stack-safety lint:
-    # a PUSH/POP imbalance or SSY mismatch would corrupt the simulated
-    # register stack and produce garbage figures rather than a crash.
-    ensure_module_linted(module, workload.name)
-    traces = workload.traces(inlined=technique.use_inlined)
-    graph = build_call_graph(module) if technique.abi == "cars" else None
-    memory = policy_memory if policy_memory is not None else PolicyMemory()
-
-    total = SimStats()
-    for trace in traces:
-        kernel_stats = SimStats()
-        analysis = analyze_kernel(graph, trace.kernel) if graph is not None else None
-        ctx = technique.make_context(trace, cfg, kernel_stats, analysis, memory)
-        GPU(cfg, ctx, kernel_stats, obs=obs).run(trace)
-        total.merge_kernel(kernel_stats)
-    return RunResult(workload.name, technique.name, cfg, total)
-
-
-def run_best_swl(
-    workload: Workload,
-    *,
-    config: Optional[GPUConfig] = None,
-    sweep: Sequence[int] = SWL_SWEEP,
-) -> RunResult:
-    """The paper's Best-SWL: sweep warp limits, keep the fastest."""
-    best: Optional[RunResult] = None
-    cfg = config if config is not None else volta()
-    for limit in sweep:
-        if limit > cfg.max_warps_per_sm:
-            continue
-        result = run_workload(workload, swl(limit), config=cfg)
-        if best is None or result.cycles < best.cycles:
-            best = result
-    assert best is not None
-    return RunResult(best.workload, "best_swl", best.config, best.stats)
-
-
-def run_baseline(
-    workload: Workload, *, config: Optional[GPUConfig] = None
-) -> RunResult:
-    """Simulate *workload* under the baseline ABI."""
-    return run_workload(workload, BASELINE, config=config)
-
-
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's summary statistic).
-
-    Non-positive values and empty input raise :class:`ValueError`: they can
-    only come from a broken run (see :meth:`RunResult.speedup_over`), and
-    silently dropping them used to skew the paper-facing geomean rows.
-    """
-    values = list(values)
-    if not values:
-        raise ValueError("geomean of an empty sequence")
-    bad = [v for v in values if v <= 0]
-    if bad:
-        raise ValueError(f"geomean requires positive values, got {bad}")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+warnings.warn(
+    "repro.harness.runner is deprecated; use the stable facade in "
+    "repro.api (Simulation / Sweep) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

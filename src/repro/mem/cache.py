@@ -23,11 +23,15 @@ class SectorCache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        # sector -> [lru_tick, dirty]
-        self._sets: List[Dict[int, List[int]]] = [
+        # sector -> dirty flag.  Dict insertion order *is* the LRU order
+        # (oldest first): every LRU-updating touch re-inserts the key at
+        # the end, so the victim is always the first key — O(1) true LRU
+        # with no per-entry timestamps or victim scans.
+        self._sets: List[Dict[int, int]] = [
             dict() for _ in range(config.num_sets)
         ]
-        self._tick = 0
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
         self.lookups = 0
         self.hits = 0
         self.insertions = 0
@@ -42,39 +46,42 @@ class SectorCache:
         return self._sets[hashed % len(self._sets)]
 
     def lookup(self, sector: int, update_lru: bool = True, set_dirty: bool = False) -> bool:
-        """Probe for *sector*; refresh LRU order on hit."""
+        """Probe for *sector*; refresh LRU order on hit.
+
+        The L1 port loop in ``subsystem._tick_l1`` inlines this body —
+        any change here must be mirrored there.
+        """
         self.lookups += 1
-        self._tick += 1
-        entries = self._set_for(sector)
-        entry = entries.get(sector)
-        if entry is not None:
-            self.hits += 1
-            if update_lru:
-                entry[0] = self._tick
-            if set_dirty:
-                entry[1] = 1
-            return True
-        return False
+        # _set_for, inlined: this and insert() are the memory model's
+        # hottest instructions.
+        entries = self._sets[((sector * 0x9E3779B1) >> 12) % self._num_sets]
+        dirty = entries.get(sector)
+        if dirty is None:
+            return False
+        self.hits += 1
+        if update_lru:
+            del entries[sector]
+            entries[sector] = 1 if set_dirty else dirty
+        elif set_dirty:
+            entries[sector] = 1  # in-place: assignment keeps dict order
+        return True
 
     def insert(self, sector: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Fill *sector*; returns the evicted ``(sector, was_dirty)`` if any."""
-        self._tick += 1
-        entries = self._set_for(sector)
-        entry = entries.get(sector)
-        if entry is not None:
-            entry[0] = self._tick
-            if dirty:
-                entry[1] = 1
+        entries = self._sets[((sector * 0x9E3779B1) >> 12) % self._num_sets]
+        prev = entries.pop(sector, None)
+        if prev is not None:
+            entries[sector] = 1 if dirty else prev
             return None
         victim: Optional[Tuple[int, bool]] = None
-        if len(entries) >= self.config.assoc:
-            victim_sector = min(entries, key=lambda s: entries[s][0])
-            victim = (victim_sector, bool(entries[victim_sector][1]))
-            del entries[victim_sector]
+        if len(entries) >= self._assoc:
+            victim_sector = next(iter(entries))
+            was_dirty = entries.pop(victim_sector)
+            victim = (victim_sector, bool(was_dirty))
             self.evictions += 1
-            if victim[1]:
+            if was_dirty:
                 self.dirty_evictions += 1
-        entries[sector] = [self._tick, 1 if dirty else 0]
+        entries[sector] = 1 if dirty else 0
         self.insertions += 1
         return victim
 
@@ -82,8 +89,7 @@ class SectorCache:
         return sector in self._set_for(sector)
 
     def is_dirty(self, sector: int) -> bool:
-        entry = self._set_for(sector).get(sector)
-        return bool(entry and entry[1])
+        return bool(self._set_for(sector).get(sector))
 
     def flush(self) -> None:
         for entries in self._sets:

@@ -20,7 +20,12 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config.gpu_config import GPUConfig
-from ..metrics.counters import SimStats, STREAM_GLOBAL as STREAM_GLOBAL_TAG, STREAM_SPILL
+from ..metrics.counters import (
+    SimStats,
+    STREAM_GLOBAL as STREAM_GLOBAL_TAG,
+    STREAM_SPILL,
+    TIMELINE_BUCKET,
+)
 from .cache import SectorCache
 
 
@@ -55,6 +60,23 @@ _EV_FILL = 1  # payload: (sm_id, sector)
 class MemorySubsystem:
     """Shared memory hierarchy for all SMs of the simulated GPU."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "on_complete",
+        "l1",
+        "l1_queues",
+        "l1_mshrs",
+        "l2",
+        "l2_queue",
+        "l2_mshr",
+        "dram_queue",
+        "_events",
+        "_hit_events",
+        "_seq",
+        "_inflight_hits",
+    )
+
     def __init__(
         self,
         config: GPUConfig,
@@ -74,7 +96,15 @@ class MemorySubsystem:
         self.l2_mshr: Dict[int, List[int]] = {}
         self.dram_queue: Deque[int] = deque()
         self._events: List[Tuple[int, int, int, object]] = []
+        # L1 hit completions, kept off the heap: every hit completes at
+        # cycle + hit_latency, so this queue is naturally time-ordered,
+        # and a hit completion only notifies its request's warp (no cache
+        # state), so its drain order relative to fills is immaterial.
+        self._hit_events: Deque[Tuple[int, MemRequest]] = deque()
         self._seq = itertools.count()
+        # In-flight hit-latency events, maintained at schedule/drain so
+        # stall_class never scans the event heap.
+        self._inflight_hits = 0
 
     # ------------------------------------------------------------------
     # SM-facing API
@@ -88,7 +118,7 @@ class MemorySubsystem:
 
     def busy(self) -> bool:
         """True while any queue or in-flight event remains."""
-        if self._events or self.l2_queue or self.dram_queue:
+        if self._events or self._hit_events or self.l2_queue or self.dram_queue:
             return True
         if any(self.l1_queues) or any(self.l1_mshrs):
             return True
@@ -96,7 +126,13 @@ class MemorySubsystem:
 
     def next_event_cycle(self) -> Optional[int]:
         """Earliest scheduled completion, or None when nothing is in flight."""
-        return self._events[0][0] if self._events else None
+        events = self._events
+        hits = self._hit_events
+        if events:
+            if hits and hits[0][0] < events[0][0]:
+                return hits[0][0]
+            return events[0][0]
+        return hits[0][0] if hits else None
 
     def has_queued_work(self) -> bool:
         """True when a queue can make progress on the very next cycle."""
@@ -108,10 +144,8 @@ class MemorySubsystem:
         Returns ``"mshr"`` (L1D backlog behind a full MSHR file), ``"l1"``
         (sectors queued for L1D ports or in hit-latency service), or
         ``"lower"`` (work in the L2/DRAM path); ``None`` when the whole
-        hierarchy is drained.  The in-flight hit/fill distinction scans
-        the event heap *here* — idle stretches are rare next to memory
-        events, so classification pays the cost lazily rather than taxing
-        every ``_schedule``/``_drain_events`` on the hot path.
+        hierarchy is drained.  The in-flight hit/fill distinction reads the
+        ``_inflight_hits`` census kept by ``_schedule``/``_drain_events``.
         """
         cfg = self.config
         queue_backlog = False
@@ -121,14 +155,13 @@ class MemorySubsystem:
             if len(self.l1_mshrs[sm_id]) >= cfg.l1.mshrs:
                 return "mshr"
             queue_backlog = True
-        events = self._events
-        if queue_backlog or any(ev[2] == _EV_HIT for ev in events):
+        if queue_backlog or self._inflight_hits:
             return "l1"
         if (
             self.l2_queue
             or self.l2_mshr
             or self.dram_queue
-            or events  # all remaining events are fills
+            or self._events  # all remaining events are fills
             or any(self.l1_mshrs)
         ):
             return "lower"
@@ -139,126 +172,289 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        self._drain_events(cycle)
-        for sm_id in range(self.config.num_sms):
-            self._tick_l1(sm_id, cycle)
-        self._tick_l2(cycle)
-        self._tick_dram(cycle)
+        # Stage-level early-outs: the event-driven main loop calls tick on
+        # every live cycle, most of which touch only a subset of stages.
+        hits = self._hit_events
+        if hits and hits[0][0] <= cycle:
+            self._drain_hits(cycle)
+        events = self._events
+        if events and events[0][0] <= cycle:
+            self._drain_events(cycle)
+        if any(self.l1_queues):
+            self._tick_l1(cycle)
+        if self.l2_queue:
+            self._tick_l2(cycle)
+        if self.dram_queue:
+            self._tick_dram(cycle)
 
     def _schedule(self, t: int, kind: int, payload: object) -> None:
+        if kind == _EV_HIT:
+            self._inflight_hits += 1
+            self._hit_events.append((t, payload))
+            return
         heapq.heappush(self._events, (t, next(self._seq), kind, payload))
+
+    def _drain_hits(self, cycle: int) -> None:
+        hits = self._hit_events
+        on_complete = self.on_complete
+        while hits and hits[0][0] <= cycle:
+            t, request = hits.popleft()
+            self._inflight_hits -= 1
+            request.remaining -= 1
+            if request.remaining == 0 and not request.is_store:
+                on_complete(request, t)
 
     def _drain_events(self, cycle: int) -> None:
         events = self._events
         while events and events[0][0] <= cycle:
             t, _, kind, payload = heapq.heappop(events)
-            if kind == _EV_HIT:
-                self._complete_sector(payload, t)
-            else:
-                sm_id, sector = payload
-                self._fill_l1(sm_id, sector, t)
+            sm_id, sector = payload
+            self._fill_l1(sm_id, sector, t)
 
-    def _tick_l1(self, sm_id: int, cycle: int) -> None:
-        queue = self.l1_queues[sm_id]
-        cache = self.l1[sm_id]
-        mshrs = self.l1_mshrs[sm_id]
+    def _tick_l1(self, cycle: int) -> None:
+        """Serve up to ``ports`` queued sectors on every SM's L1.
+
+        One call per cycle for all SMs, so the cycle-invariant locals are
+        hoisted once.  Both ``stats.record_l1_access`` and
+        ``SectorCache.lookup`` are inlined here (keep in lockstep with
+        :mod:`repro.mem.cache`): together they run once per serviced
+        sector, the hottest rate in the model.
+        """
         cfg = self.config
-        for _ in range(cfg.l1.ports):
+        l1_cfg = cfg.l1
+        force_hit = cfg.l1_force_hit
+        ports = l1_cfg.ports
+        mshr_cap = l1_cfg.mshrs
+        hit_events = self._hit_events
+        hit_at = cycle + l1_cfg.hit_latency
+        l2_queue = self.l2_queue
+        l1_caches = self.l1
+        l1_mshrs = self.l1_mshrs
+        stats = self.stats
+        acc = stats.l1_accesses
+        hit_ctr = stats.l1_hits
+        miss_ctr = stats.l1_misses
+        st_ctr = stats.l1_store_sectors
+        ld_ctr = stats.l1_load_sectors
+        timeline = stats.timeline
+        bucket = cycle // TIMELINE_BUCKET
+        # Created lazily on the first recorded access (the MSHR-full replay
+        # path records nothing, and must not leave an empty bucket behind).
+        entry = timeline.get(bucket)
+        for sm_id, queue in enumerate(self.l1_queues):
             if not queue:
-                return
-            sector, request = queue.popleft()
-            if cfg.l1_force_hit and request.stream == STREAM_SPILL:
-                # ALL-HIT: spill/fill sectors always hit; they consume the
-                # port and the hit latency but never traverse the cache.
-                self.stats.record_l1_access(request.stream, request.is_store, True, cycle)
-                if not request.is_store:
-                    self._schedule(cycle + cfg.l1.hit_latency, _EV_HIT, request)
                 continue
-            if request.is_store:
-                local = request.stream != STREAM_GLOBAL_TAG
-                hit = cache.lookup(sector, set_dirty=local)
-                self.stats.record_l1_access(request.stream, True, hit, cycle)
-                if local:
-                    # Thread-private (spill/local) data is cached write-back:
-                    # it occupies L1 capacity (the paper's capacity-
-                    # interference channel) and only reaches the L2 as
-                    # eviction write-backs.
-                    if not hit:
-                        self._insert_l1(sm_id, sector, dirty=True)
+            cache = l1_caches[sm_id]
+            mshrs = l1_mshrs[sm_id]
+            sets = cache._sets
+            num_sets = cache._num_sets
+            assoc = cache._assoc
+            # Counted loop: the queue only shrinks inside (the MSHR-full
+            # path re-queues and breaks), so min(len, ports) pops is exact.
+            n = len(queue)
+            if n > ports:
+                n = ports
+            for _ in range(n):
+                sector, request = queue.popleft()
+                stream = request.stream
+                if force_hit and stream == STREAM_SPILL:
+                    # ALL-HIT: spill/fill sectors always hit; they consume
+                    # the port and the hit latency but never traverse the
+                    # cache.
+                    acc[stream] += 1
+                    hit_ctr[stream] += 1
+                    if entry is None:
+                        entry = timeline[bucket] = [0, 0]
+                    entry[1] += 1
+                    if request.is_store:
+                        st_ctr[stream] += 1
+                    else:
+                        ld_ctr[stream] += 1
+                        self._inflight_hits += 1
+                        hit_events.append((hit_at, request))
+                    continue
+                if request.is_store:
+                    local = stream != STREAM_GLOBAL_TAG
+                    # cache.lookup(sector, set_dirty=local), inlined.
+                    cache.lookups += 1
+                    entries = sets[((sector * 0x9E3779B1) >> 12) % num_sets]
+                    dirty = entries.get(sector)
+                    hit = dirty is not None
+                    if hit:
+                        cache.hits += 1
+                        del entries[sector]
+                        entries[sector] = 1 if local else dirty
+                    acc[stream] += 1
+                    st_ctr[stream] += 1
+                    if hit:
+                        hit_ctr[stream] += 1
+                    else:
+                        miss_ctr[stream] += 1
+                    if entry is None:
+                        entry = timeline[bucket] = [0, 0]
+                    if local:
+                        entry[1] += 1
+                        # Thread-private (spill/local) data is cached
+                        # write-back: it occupies L1 capacity (the paper's
+                        # capacity-interference channel) and only reaches
+                        # the L2 as eviction write-backs.
+                        if not hit:
+                            # cache.insert(sector, dirty=True), inlined:
+                            # the lookup above already missed in this set.
+                            if len(entries) >= assoc:
+                                victim_sector = next(iter(entries))
+                                if entries.pop(victim_sector):
+                                    cache.dirty_evictions += 1
+                                    l2_queue.append((victim_sector, -1, True))
+                                cache.evictions += 1
+                            entries[sector] = 1
+                            cache.insertions += 1
+                    else:
+                        entry[0] += 1
+                        # Global stores: write-through with allocate.
+                        # cache.insert(sector), inlined; on a hit the
+                        # insert is a pure LRU touch, which the inlined
+                        # lookup above already performed.
+                        if not hit:
+                            if len(entries) >= assoc:
+                                victim_sector = next(iter(entries))
+                                if entries.pop(victim_sector):
+                                    cache.dirty_evictions += 1
+                                    l2_queue.append((victim_sector, -1, True))
+                                cache.evictions += 1
+                            entries[sector] = 0
+                            cache.insertions += 1
+                        l2_queue.append((sector, -1, True))
+                    continue
+                # cache.lookup(sector), inlined.
+                cache.lookups += 1
+                entries = sets[((sector * 0x9E3779B1) >> 12) % num_sets]
+                dirty = entries.get(sector)
+                if dirty is not None:
+                    cache.hits += 1
+                    del entries[sector]
+                    entries[sector] = dirty
+                    acc[stream] += 1
+                    ld_ctr[stream] += 1
+                    hit_ctr[stream] += 1
+                    if entry is None:
+                        entry = timeline[bucket] = [0, 0]
+                    if stream == STREAM_GLOBAL_TAG:
+                        entry[0] += 1
+                    else:
+                        entry[1] += 1
+                    self._inflight_hits += 1
+                    hit_events.append((hit_at, request))
+                    continue
+                waiters = mshrs.get(sector)
+                if waiters is None and len(mshrs) >= mshr_cap:
+                    # No MSHR free: replay the access next cycle (not
+                    # recorded — it is the same access being retried, not a
+                    # new one; the cache lookup above still counts, as it
+                    # always has).
+                    queue.appendleft((sector, request))
+                    break
+                acc[stream] += 1
+                ld_ctr[stream] += 1
+                miss_ctr[stream] += 1
+                if entry is None:
+                    entry = timeline[bucket] = [0, 0]
+                if stream == STREAM_GLOBAL_TAG:
+                    entry[0] += 1
                 else:
-                    # Global stores: write-through with allocate.
-                    self._insert_l1(sm_id, sector, dirty=False)
-                    self.l2_queue.append((sector, -1, True))
-                continue
-            if cache.lookup(sector):
-                self.stats.record_l1_access(request.stream, False, True, cycle)
-                self._schedule(cycle + cfg.l1.hit_latency, _EV_HIT, request)
-                continue
-            waiters = mshrs.get(sector)
-            if waiters is not None:
-                self.stats.record_l1_access(request.stream, False, False, cycle)
-                waiters.append(request)  # merged miss
-                continue
-            if len(mshrs) >= cfg.l1.mshrs:
-                # No MSHR free: replay the access next cycle (not recorded —
-                # it is the same access being retried, not a new one).
-                queue.appendleft((sector, request))
-                return
-            self.stats.record_l1_access(request.stream, False, False, cycle)
-            mshrs[sector] = [request]
-            self.l2_queue.append((sector, sm_id, False))
+                    entry[1] += 1
+                if waiters is not None:
+                    waiters.append(request)  # merged miss
+                    continue
+                mshrs[sector] = [request]
+                l2_queue.append((sector, sm_id, False))
 
     def _tick_l2(self, cycle: int) -> None:
+        # Same hoisting treatment as _tick_l1: locals for everything the
+        # port loop touches.  Nothing in the loop body grows l2_queue
+        # (write-back victims enter it only from L1 fills), so the
+        # counted loop serves exactly what the cycle started with.
         cfg = self.config
-        for _ in range(cfg.l2.ports):
-            if not self.l2_queue:
-                return
-            sector, sm_id, is_store = self.l2_queue.popleft()
+        queue = self.l2_queue
+        stats = self.stats
+        l2 = self.l2
+        l2_sets = l2._sets
+        l2_num_sets = l2._num_sets
+        l2_assoc = l2._assoc
+        mshr = self.l2_mshr
+        mshr_cap = cfg.l2.mshrs
+        events = self._events
+        seq = self._seq
+        push = heapq.heappush
+        fill_at = cycle + cfg.l2.hit_latency
+        n = len(queue)
+        if n > cfg.l2.ports:
+            n = cfg.l2.ports
+        for _ in range(n):
+            sector, sm_id, is_store = queue.popleft()
+            entries = l2_sets[((sector * 0x9E3779B1) >> 12) % l2_num_sets]
             if is_store:
-                self.stats.l2_accesses += 1
-                self.l2.insert(sector)
-                self.stats.l2_hits += 1
+                stats.l2_accesses += 1
+                # l2.insert(sector), inlined (write-back arrival).
+                prev = entries.pop(sector, None)
+                if prev is not None:
+                    entries[sector] = prev
+                else:
+                    if len(entries) >= l2_assoc:
+                        victim_sector = next(iter(entries))
+                        if entries.pop(victim_sector):
+                            l2.dirty_evictions += 1
+                        l2.evictions += 1
+                    entries[sector] = 0
+                    l2.insertions += 1
+                stats.l2_hits += 1
                 continue
-            if self.l2.lookup(sector):
-                self.stats.l2_accesses += 1
-                self.stats.l2_hits += 1
-                self._schedule(
-                    cycle + cfg.l2.hit_latency, _EV_FILL, (sm_id, sector)
-                )
+            # l2.lookup(sector), inlined.
+            l2.lookups += 1
+            dirty = entries.get(sector)
+            if dirty is not None:
+                l2.hits += 1
+                del entries[sector]
+                entries[sector] = dirty
+                stats.l2_accesses += 1
+                stats.l2_hits += 1
+                # _schedule(fill_at, _EV_FILL, ...), inlined.
+                push(events, (fill_at, next(seq), _EV_FILL, (sm_id, sector)))
                 continue
-            waiters = self.l2_mshr.get(sector)
+            waiters = mshr.get(sector)
             if waiters is not None:
-                self.stats.l2_accesses += 1
-                self.stats.l2_misses += 1
+                stats.l2_accesses += 1
+                stats.l2_misses += 1
                 waiters.append(sm_id)
                 continue
-            if len(self.l2_mshr) >= cfg.l2.mshrs:
+            if len(mshr) >= mshr_cap:
                 # Replay next cycle; not a new access.
-                self.l2_queue.appendleft((sector, sm_id, False))
+                queue.appendleft((sector, sm_id, False))
                 return
-            self.stats.l2_accesses += 1
-            self.stats.l2_misses += 1
-            self.l2_mshr[sector] = [sm_id]
+            stats.l2_accesses += 1
+            stats.l2_misses += 1
+            mshr[sector] = [sm_id]
             self.dram_queue.append(sector)
 
     def _tick_dram(self, cycle: int) -> None:
         cfg = self.config
-        for _ in range(cfg.dram_ports):
-            if not self.dram_queue:
-                return
-            sector = self.dram_queue.popleft()
-            self.stats.dram_accesses += 1
-            self._schedule(cycle + cfg.dram_latency, _EV_FILL, (-2, sector))
+        queue = self.dram_queue
+        stats = self.stats
+        events = self._events
+        seq = self._seq
+        push = heapq.heappush
+        fill_at = cycle + cfg.dram_latency
+        n = len(queue)
+        if n > cfg.dram_ports:
+            n = cfg.dram_ports
+        for _ in range(n):
+            sector = queue.popleft()
+            stats.dram_accesses += 1
+            push(events, (fill_at, next(seq), _EV_FILL, (-2, sector)))
 
     # ------------------------------------------------------------------
     # Fill paths
     # ------------------------------------------------------------------
-
-    def _insert_l1(self, sm_id: int, sector: int, dirty: bool) -> None:
-        """Fill the L1, pushing any dirty victim down as a write-back."""
-        victim = self.l1[sm_id].insert(sector, dirty=dirty)
-        if victim is not None and victim[1]:
-            self.l2_queue.append((victim[0], -1, True))
 
     def _fill_l1(self, sm_id: int, sector: int, cycle: int) -> None:
         if sm_id == -2:
@@ -267,11 +463,25 @@ class MemorySubsystem:
             for waiter_sm in self.l2_mshr.pop(sector, ()):
                 self._fill_l1(waiter_sm, sector, cycle)
             return
-        self._insert_l1(sm_id, sector, dirty=False)
+        # Fill the L1, pushing any dirty victim down as a write-back.
+        # SectorCache.insert, inlined (see cache.py): one run per fill,
+        # second only to the L1 port loop in heat.
+        cache = self.l1[sm_id]
+        entries = cache._sets[((sector * 0x9E3779B1) >> 12) % cache._num_sets]
+        prev = entries.pop(sector, None)
+        if prev is not None:
+            entries[sector] = prev  # already resident: pure LRU touch
+        else:
+            if len(entries) >= cache._assoc:
+                victim_sector = next(iter(entries))
+                if entries.pop(victim_sector):
+                    cache.dirty_evictions += 1
+                    self.l2_queue.append((victim_sector, -1, True))
+                cache.evictions += 1
+            entries[sector] = 0
+            cache.insertions += 1
+        on_complete = self.on_complete
         for request in self.l1_mshrs[sm_id].pop(sector, ()):
-            self._complete_sector(request, cycle)
-
-    def _complete_sector(self, request: MemRequest, cycle: int) -> None:
-        request.remaining -= 1
-        if request.remaining == 0 and not request.is_store:
-            self.on_complete(request, cycle)
+            request.remaining -= 1
+            if request.remaining == 0 and not request.is_store:
+                on_complete(request, cycle)

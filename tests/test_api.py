@@ -1,0 +1,150 @@
+"""The stable public facade (:mod:`repro.api`) and its deprecation story.
+
+Covers the two facade objects (``Simulation`` / ``Sweep``), their
+agreement with the underlying runner, and the three legacy entry points
+that now warn: importing ``repro.harness.runner``, touching
+``repro.harness.run_workload`` (and friends) as attributes, and importing
+``repro.harness.regenerate`` as a library.
+"""
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.api import (
+    SMOKE_NAMES,
+    TECHNIQUE_REGISTRY,
+    WORKLOAD_NAMES,
+    RunResult,
+    Simulation,
+    SimStats,
+    Sweep,
+    volta,
+)
+from repro.core.techniques import CARS
+from repro.harness._runner import run_best_swl, run_workload
+from repro.workloads import make_workload
+
+
+class TestSimulation:
+    def test_by_name_matches_runner(self):
+        sim = Simulation(workload="SSSP", technique="cars")
+        stats = sim.run()
+        direct = run_workload(make_workload("SSSP"), CARS)
+        assert isinstance(stats, SimStats)
+        assert stats.cycles == direct.cycles
+        assert isinstance(sim.result, RunResult)
+        assert sim.result.stats is stats
+
+    def test_technique_object_and_workload_object(self):
+        wl = make_workload("SSSP")
+        sim = Simulation(workload=wl, technique=CARS)
+        assert sim.run().cycles == run_workload(wl, CARS).cycles
+
+    def test_run_is_memoized(self):
+        sim = Simulation(workload="SSSP", technique="baseline")
+        assert sim.run() is sim.run()
+        assert sim.stats is sim.result.stats
+
+    def test_best_swl(self):
+        sim = Simulation(workload="SSSP", technique="best_swl",
+                         sweep=(1, 2))
+        stats = sim.run()
+        assert stats.cycles > 0
+        assert sim.result.technique == "best_swl"
+        assert "swl" in sim.result.config.name  # the winning limit's config
+
+    def test_config_passes_through(self):
+        cfg = volta()
+        sim = Simulation(workload="SSSP", technique="baseline", config=cfg)
+        assert sim.run().cycles == run_workload(
+            make_workload("SSSP"), TECHNIQUE_REGISTRY["baseline"],
+            config=cfg,
+        ).cycles
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            Simulation(workload="NOPE").run()
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(KeyError):
+            Simulation(workload="SSSP", technique="warp-drive").run()
+
+    def test_positional_arguments_rejected(self):
+        with pytest.raises(TypeError):
+            Simulation("SSSP", "cars")
+
+
+class TestSweep:
+    def test_grid_and_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        sweep = Sweep(workloads=["SSSP"], techniques=["baseline", "cars"])
+        results = sweep.run()
+        assert set(results) == {("SSSP", "baseline"), ("SSSP", "cars")}
+        assert results is sweep.run()  # memoized
+        report = sweep.report()
+        assert "SSSP" in report
+        assert "cars_speedup" in report
+
+    def test_plan_is_deduplicated_grid(self):
+        sweep = Sweep(workloads=["SSSP", "FIB"],
+                      techniques=["baseline", "cars"])
+        assert len(sweep.plan().requests) == 4
+
+    def test_unknown_workload_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            Sweep(workloads=["SSSP", "NOPE"])
+
+    def test_names_are_exported(self):
+        assert set(SMOKE_NAMES) <= set(WORKLOAD_NAMES)
+
+
+class TestDeprecations:
+    def _purge(self, *names):
+        for name in names:
+            sys.modules.pop(name, None)
+
+    def test_harness_runner_import_warns(self):
+        self._purge("repro.harness.runner")
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            importlib.import_module("repro.harness.runner")
+        # ... but still re-exports the legacy surface.
+        import repro.harness.runner as legacy
+
+        assert legacy.run_workload is run_workload
+        assert legacy.run_best_swl is run_best_swl
+
+    def test_harness_attribute_access_warns_once(self):
+        # A fresh interpreter: the lazy __getattr__ hook caches the name
+        # after the first (warning) access, so in-process reloads would
+        # see the cached binding instead of the hook.
+        code = (
+            "import warnings\n"
+            "import repro.harness as h\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    h.run_workload\n"
+            "    h.run_workload\n"
+            "dep = [w for w in caught if w.category is DeprecationWarning]\n"
+            "assert len(dep) == 1, caught\n"
+            "assert 'repro.api' in str(dep[0].message)\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_regenerate_import_warns(self):
+        self._purge("repro.harness.regenerate")
+        with pytest.warns(DeprecationWarning, match="python -m"):
+            importlib.import_module("repro.harness.regenerate")
+
+    def test_facade_and_harness_import_warning_free(self):
+        code = (
+            "import warnings\n"
+            "warnings.simplefilter('error', DeprecationWarning)\n"
+            "import repro.api\n"
+            "import repro.harness\n"
+            "from repro.harness import RunResult, SWL_SWEEP, geomean\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)

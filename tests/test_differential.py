@@ -21,7 +21,7 @@ import pytest
 
 from repro.core.techniques import BASELINE, CARS, LTO
 from repro.harness.experiments import workload_names
-from repro.harness.runner import run_workload
+from repro.harness._runner import run_workload
 from repro.workloads import make_workload
 
 pytestmark = pytest.mark.differential

@@ -29,7 +29,7 @@ from repro.harness.executor import (
     simulator_digest,
     workload_digest,
 )
-from repro.harness.runner import RunResult, run_baseline
+from repro.harness._runner import RunResult, run_baseline
 from repro.workloads import KernelLaunch, Workload
 
 

@@ -20,7 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.techniques import BASELINE, CARS
-from repro.harness.runner import run_workload
+from repro.harness._runner import run_workload
 from repro.workloads import make_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden"

@@ -8,7 +8,7 @@ from repro.config import volta
 from repro.core.techniques import BASELINE, CARS, CARS_HIGH
 from repro.frontend import builder as b
 from repro.harness import experiments as ex
-from repro.harness.runner import (
+from repro.harness._runner import (
     RunResult,
     SWL_SWEEP,
     geomean,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.techniques import BASELINE, CARS
-from repro.harness.runner import run_workload
+from repro.harness._runner import run_workload
 from repro.metrics.counters import SimStats
 from repro.metrics.report import cpi_stack_report
 from repro.obs import (

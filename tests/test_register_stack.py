@@ -178,6 +178,29 @@ class TestWarpRegisterStack:
         s.ret()
         assert s.free_regs() == 10
 
+    def test_zero_fru_frame_eviction_emits_no_spill_range(self):
+        # Regression: a zero-FRU frame shares its logical start with the
+        # next frame (it occupies no stack space), so evicting it must not
+        # report a (start, 0) spill — that duplicates the real frame's
+        # start and is not a data-moving trap.
+        s = WarpRegisterStack(capacity=1)
+        assert s.call(0) == []
+        assert s.call(1) == []
+        spilled = s.call(1)
+        assert spilled == [(0, 1)]  # only the fru=1 frame moves data
+        assert s.traps == 1 and s.spills == 1
+        s.check_invariants()
+
+    def test_zero_fru_frame_exposed_by_ret_needs_no_fill(self):
+        s = WarpRegisterStack(capacity=1)
+        s.call(0)
+        s.call(1)
+        s.call(1)  # evicts both older frames
+        assert s.ret() == (0, 1)  # the fru=1 frame fills back...
+        assert s.ret() is None  # ...the zero-FRU frame has nothing to fill
+        assert s.fills == 1
+        s.check_invariants()
+
 
 # -- Hypothesis fuzz: drive call depths past the stack size ----------------
 

@@ -72,7 +72,7 @@ def _warp(ctx, trace):
 def _expand_all(ctx, warp):
     uops = []
     for rec in warp.records:
-        uops.extend(ctx.expand(warp, rec))
+        ctx.expand(warp, rec, uops)
     return uops
 
 
