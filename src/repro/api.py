@@ -15,6 +15,11 @@ releases; the names exported here (see ``__all__``) are kept stable:
   :class:`SimStats`, :class:`GPUConfig` (plus the :func:`volta` /
   :func:`ampere` presets), and :data:`TECHNIQUE_REGISTRY` with the
   technique names it accepts.
+* The failure taxonomy every run can raise: :class:`SimulationError` and
+  its subclasses :class:`DeadlockError`, :class:`MaxCyclesError`,
+  :class:`InvariantViolation`, :class:`WorkerCrashError` — catch the base
+  class around any ``run()`` that might wedge; ``exc.diagnostics`` (when
+  present) renders a per-warp state dump.
 
 Quick start::
 
@@ -48,6 +53,13 @@ from .harness._runner import (
 )
 from .harness.tables import format_table
 from .metrics.counters import SimStats
+from .resilience.errors import (
+    DeadlockError,
+    InvariantViolation,
+    MaxCyclesError,
+    SimulationError,
+    WorkerCrashError,
+)
 from .workloads import Workload, make_workload
 from .workloads.suite import SMOKE_NAMES, WORKLOAD_NAMES
 
@@ -60,6 +72,12 @@ __all__ = [
     "SimStats",
     "GPUConfig",
     "TECHNIQUE_REGISTRY",
+    # the failure taxonomy
+    "SimulationError",
+    "DeadlockError",
+    "MaxCyclesError",
+    "InvariantViolation",
+    "WorkerCrashError",
     # conveniences those types are used with
     "volta",
     "ampere",

@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..isa.instructions import CALLEE_SAVED_BASE
+from ..resilience.errors import InvariantViolation
+from ..resilience.faults import active_session
 
 
-class RegisterStackError(Exception):
+class RegisterStackError(InvariantViolation):
     """Raised on stack protocol violations (return without call, ...)."""
 
 
@@ -144,10 +146,45 @@ class WarpRegisterStack:
         self.traps = 0  # calls that had to spill (Table III numerator)
         self.peak_depth = 0  # deepest concurrent frame count observed
         self._next_start = 0
+        # Snapshotted at construction: a fault-injection session corrupts
+        # bookkeeping through on_stack_call and arms the per-operation
+        # invariant sweep; None (the production case) costs one comparison.
+        self._faults = active_session()
 
     @property
     def resident_regs(self) -> int:
         return sum(f.fru for f in self.frames if f.resident)
+
+    @property
+    def rsp(self) -> int:
+        """Logical stack-pointer offset (next free logical register)."""
+        return self._next_start
+
+    @property
+    def rfp(self) -> int:
+        """Logical frame-pointer offset (start of the active frame)."""
+        return self.frames[-1].start if self.frames else 0
+
+    def __getstate__(self):
+        # Fault sessions are injection-scoped; a checkpointed stack must
+        # not smuggle a stale copy into the resumed process.
+        state = dict(self.__dict__)
+        state["_faults"] = None
+        return state
+
+    def state_dict(self) -> dict:
+        """Bookkeeping snapshot for diagnostic dumps."""
+        return {
+            "rsp": self.rsp,
+            "rfp": self.rfp,
+            "depth": self.depth,
+            "resident_regs": self.resident_regs,
+            "capacity": self.capacity,
+            "spills": self.spills,
+            "fills": self.fills,
+            "traps": self.traps,
+            "peak_depth": self.peak_depth,
+        }
 
     @property
     def total_regs(self) -> int:
@@ -199,6 +236,9 @@ class WarpRegisterStack:
         if spilled:
             self.traps += 1
             self.spills += sum(count for _, count in spilled)
+        if self._faults is not None:
+            self._faults.on_stack_call(self)
+            self.check_invariants()
         return spilled
 
     def check_invariants(self) -> None:
@@ -245,6 +285,8 @@ class WarpRegisterStack:
         """
         if not self.frames:
             raise RegisterStackError("return from an empty register stack")
+        if self._faults is not None:
+            self.check_invariants()
         popped = self.frames.pop()
         self._next_start -= popped.logical_fru
         if self.frames and not self.frames[-1].resident:

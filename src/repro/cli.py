@@ -8,8 +8,13 @@
     python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
     python -m repro bench [--check] [--json bench.json]
     python -m repro regen [output.md] [--jobs 4]
+    python -m repro selfcheck [--seed 0]
     python -m repro cache info
     python -m repro cache clear
+
+Typed simulation failures exit with distinct codes (see README, "When a
+run fails"): 2 generic, 3 deadlock/livelock, 4 max-cycles, 5 invariant
+violation, 6 worker crash.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from .callgraph import analyze_kernel, build_call_graph
 from .config import PRESETS
 from .core.techniques import TECHNIQUE_REGISTRY
 from .harness.executor import Executor, ExperimentRequest, ResultStore
+from .resilience.errors import SimulationError, exit_code_for
 from .workloads import WORKLOAD_NAMES, make_workload
 
 TECHNIQUES = dict(TECHNIQUE_REGISTRY)
@@ -288,6 +294,19 @@ def _cmd_regen(args) -> int:
     return regen_main(argv)
 
 
+def _cmd_selfcheck(args) -> int:
+    """Fault-injection battery: one fault per class, assert the alarm.
+
+    Exit 0 when every fault class was converted into its expected typed
+    exception, 1 otherwise (see ``repro.resilience.selfcheck``).
+    """
+    from .resilience.selfcheck import render_report, run_selfcheck
+
+    reports = run_selfcheck(seed=args.seed)
+    print(render_report(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the content-addressed result store."""
     store = ResultStore(args.dir or None)
@@ -373,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
     regen.add_argument("--quiet", "-q", action="store_true",
                        help="suppress per-run progress lines on stderr")
 
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="fault-injection battery: prove each guardrail fires")
+    selfcheck.add_argument("--seed", type=int, default=0,
+                           help="seed for fault-ordinal selection")
+
     cache = sub.add_parser(
         "cache", help="inspect/clear the content-addressed result store")
     cache.add_argument("action", choices=["info", "clear"])
@@ -393,9 +418,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "bench": _cmd_bench,
         "regen": _cmd_regen,
+        "selfcheck": _cmd_selfcheck,
         "cache": _cmd_cache,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except SimulationError as exc:
+        # Typed simulator failures map to distinct exit codes (README's
+        # "When a run fails") and print their diagnostic dump, so a wedged
+        # run in CI leaves enough state behind to debug from the log.
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.diagnostics is not None:
+            print(exc.diagnostics.render(), file=sys.stderr)
+        tb = getattr(exc, "worker_traceback", None)
+        if tb:
+            print(tb, file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,12 +12,26 @@ scoreboard ready cycle arriving), so nothing can change mid-stretch.
 
 One :class:`GPU` instance simulates one kernel launch; the harness strings
 launches together and merges their statistics.
+
+Failure semantics (see :mod:`repro.resilience`): a run that exhausts its
+cycle budget raises :class:`~repro.resilience.errors.MaxCyclesError`; a run
+with no future events (or one the watchdog catches retiring nothing for a
+whole window) raises :class:`~repro.resilience.errors.DeadlockError`; a
+CPI-accounting leak raises
+:class:`~repro.resilience.errors.InvariantViolation`.  All three carry a
+:class:`~repro.resilience.diagnostics.DiagnosticDump`.
+
+``max_cycles`` boundary contract (both budget paths agree; pinned by
+``tests/test_max_cycles_boundary``): the guard fires at the top of the
+iteration for cycle ``max_cycles + 1`` when blocks remain, and the
+fast-forward clamp stops a skip *at* ``max_cycles + 1`` so that guard is
+reached; a run whose uninterrupted total is ``T`` cycles therefore
+completes iff ``max_cycles >= T - 1``.
 """
 
 from __future__ import annotations
 
 import gc
-import itertools
 from collections import Counter, deque
 from typing import Deque, Dict, Optional
 
@@ -26,9 +40,20 @@ from ..emu.trace import KernelTrace
 from ..mem.subsystem import MemorySubsystem, MemRequest
 from ..metrics.counters import SimStats
 from ..obs.cpi import BUCKET_ISSUED, classify_idle, warp_stall_reasons
-from .sm import SM, SimulationError
+from ..resilience.diagnostics import collect_dump
+from ..resilience.errors import (
+    DeadlockError,
+    InvariantViolation,
+    MaxCyclesError,
+    SimulationError,
+)
+from ..resilience.faults import active_session
+from ..resilience.watchdog import Watchdog
+from .sm import SM
 from .techniques import LaunchContext
 from .warp import NEVER
+
+__all__ = ["GPU", "SimulationError"]
 
 
 class GPU:
@@ -44,6 +69,7 @@ class GPU:
         "_warp_counter",
         "_pending",
         "_blocks_remaining",
+        "_faults",
     )
 
     def __init__(
@@ -62,14 +88,20 @@ class GPU:
             SM(sm_id, config, ctx, self.mem, stats, self)
             for sm_id in range(config.num_sms)
         ]
-        self._warp_counter = itertools.count()
+        # Plain int (not itertools.count) so checkpoints can serialize the
+        # counter without consuming a value — warp indices feed local-memory
+        # sector addresses, so a skewed counter would change cache timing.
+        self._warp_counter = 0
         self._pending: Deque = deque()
         self._blocks_remaining = 0
+        self._faults = active_session()
 
     # -- services used by the SMs ---------------------------------------
 
     def next_warp_index(self) -> int:
-        return next(self._warp_counter)
+        index = self._warp_counter
+        self._warp_counter = index + 1
+        return index
 
     def block_finished(self, sm: SM, cycle: int) -> None:
         self._blocks_remaining -= 1
@@ -88,7 +120,14 @@ class GPU:
                     sm.add_block(self._pending.popleft(), cycle)
                     progress = True
 
-    def run(self, trace: KernelTrace, max_cycles: int = 50_000_000) -> int:
+    def run(
+        self,
+        trace: KernelTrace,
+        max_cycles: int = 50_000_000,
+        *,
+        watchdog=None,
+        checkpoint=None,
+    ) -> int:
         """Simulate the launch to completion; returns total cycles.
 
         Every cycle is attributed to exactly one CPI-stack bucket as it
@@ -97,16 +136,52 @@ class GPU:
         change mid-stretch, so the cause holds for every cycle in it).
         The accounting is checked against the cycle count before it is
         folded into :class:`~repro.metrics.counters.SimStats`.
+
+        Args:
+            watchdog: a :class:`~repro.resilience.watchdog.Watchdog`
+                (``None`` = a fresh default one; ``False`` disables).
+                Pure observer — enabling it never changes any stat.
+            checkpoint: an optional
+                :class:`~repro.resilience.checkpoint.CheckpointPolicy`;
+                state is saved at idle-stretch boundaries once its due
+                cycle passes.  Incompatible with an active ObsSession.
         """
         self._pending = deque(trace.blocks)
         self._blocks_remaining = len(trace.blocks)
+        self._assign_blocks(0)
+        return self._finish_run(trace, max_cycles, 0, 0, {}, watchdog, checkpoint)
+
+    def _finish_run(
+        self,
+        trace: KernelTrace,
+        max_cycles: int,
+        cycle0: int,
+        issued0: int,
+        idle_buckets: Dict[str, int],
+        watchdog,
+        checkpoint,
+    ) -> int:
+        """Run the event loop from a given start state to completion.
+
+        ``run`` enters here with zeroed state; checkpoint resume
+        (:func:`repro.resilience.checkpoint.resume_run`) enters with the
+        restored mid-run state.  Everything after the loop — accounting
+        conservation, CPI-stack fold-in, context finalization — happens
+        exactly once per completed launch either way.
+        """
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         if tracer is not None:
             tracer.bind_kernel(trace.kernel)
         per_warp = obs is not None and obs.per_warp
-        idle_buckets: Dict[str, int] = {}
-        self._assign_blocks(0)
+        if watchdog is None:
+            watchdog = Watchdog()
+        elif watchdog is False:
+            watchdog = None
+        if checkpoint is not None and obs is not None:
+            raise ValueError(
+                "checkpointing is incompatible with an active ObsSession"
+            )
         stats = self.stats
         # The loop allocates only acyclic, promptly-refcounted objects
         # (µops, requests, tuples); generational GC passes over the live
@@ -117,7 +192,8 @@ class GPU:
             gc.disable()
         try:
             cycle, issued_cycles = self._run_loop(
-                trace, max_cycles, tracer, per_warp, idle_buckets
+                trace, max_cycles, tracer, per_warp, idle_buckets,
+                watchdog, checkpoint, cycle0, issued0,
             )
         finally:
             if gc_was_enabled:
@@ -125,9 +201,14 @@ class GPU:
         stats.cycles = cycle
         accounted = issued_cycles + sum(idle_buckets.values())
         if accounted != cycle:
-            raise SimulationError(
+            raise InvariantViolation(
                 f"CPI-stack accounting leak in {trace.kernel!r}: "
-                f"{accounted} cycles attributed, {cycle} simulated"
+                f"{accounted} cycles attributed, {cycle} simulated",
+                diagnostics=collect_dump(
+                    self, cycle, reason="CPI-stack conservation failure",
+                    idle_buckets=idle_buckets, issued_cycles=issued_cycles,
+                    trail=watchdog.trail if watchdog is not None else None,
+                ),
             )
         stack = stats.cpi_stack
         kernel_stack = stats.cpi_by_kernel.setdefault(trace.kernel, Counter())
@@ -147,17 +228,26 @@ class GPU:
         tracer,
         per_warp: bool,
         idle_buckets: Dict[str, int],
+        watchdog,
+        checkpoint,
+        cycle: int = 0,
+        issued_cycles: int = 0,
     ):
         """Inner event loop; returns ``(final_cycle, issued_cycles)``."""
         mem = self.mem
         sms = self.sms
         stats = self.stats
-        cycle = 0
-        issued_cycles = 0
+        faults = self._faults
         while self._blocks_remaining > 0:
             if cycle > max_cycles:
-                raise SimulationError(
-                    f"kernel {trace.kernel!r} exceeded {max_cycles} cycles"
+                raise MaxCyclesError(
+                    f"kernel {trace.kernel!r} exceeded {max_cycles} cycles",
+                    diagnostics=collect_dump(
+                        self, cycle, reason="max_cycles budget exhausted",
+                        idle_buckets=idle_buckets,
+                        issued_cycles=issued_cycles,
+                        trail=watchdog.trail if watchdog is not None else None,
+                    ),
                 )
             mem.tick(cycle)
             issued = 0
@@ -173,9 +263,16 @@ class GPU:
             next_cycle = self._next_event_after(cycle)
             if next_cycle is None:
                 if self._blocks_remaining > 0:
-                    raise SimulationError(
+                    raise DeadlockError(
                         f"deadlock at cycle {cycle}: no future events but "
-                        f"{self._blocks_remaining} blocks unfinished"
+                        f"{self._blocks_remaining} blocks unfinished",
+                        diagnostics=collect_dump(
+                            self, cycle, reason="deadlock: no future events",
+                            idle_buckets=idle_buckets,
+                            issued_cycles=issued_cycles,
+                            trail=(watchdog.trail if watchdog is not None
+                                   else None),
+                        ),
                     )
                 break
             if next_cycle > max_cycles + 1:
@@ -184,7 +281,12 @@ class GPU:
                 next_cycle = max_cycles + 1
             span = next_cycle - cycle
             bucket = classify_idle(self, cycle)
-            idle_buckets[bucket] = idle_buckets.get(bucket, 0) + span
+            if faults is None or not faults.drop_idle_charge():
+                idle_buckets[bucket] = idle_buckets.get(bucket, 0) + span
+            if watchdog is not None:
+                watchdog.note_idle(
+                    self, cycle, span, bucket, idle_buckets, issued_cycles
+                )
             if tracer is not None:
                 tracer.on_stall(cycle, span, bucket)
             if per_warp:
@@ -196,6 +298,8 @@ class GPU:
                     stalls[reason] += span
             stats.idle_cycles += span
             cycle = next_cycle
+            if checkpoint is not None and cycle >= checkpoint.next_due:
+                checkpoint.save(self, trace, cycle, issued_cycles, idle_buckets)
         return cycle, issued_cycles
 
     def _next_event_after(self, cycle: int) -> Optional[int]:
@@ -221,6 +325,23 @@ class GPU:
         if best <= cycle:
             return cycle + 1
         return best
+
+    # -- checkpoint serialization ----------------------------------------
+
+    def __getstate__(self):
+        state = {name: getattr(self, name) for name in GPU.__slots__}
+        # Observability sessions (open ring buffers) and fault sessions
+        # (module-global, injection-scoped) do not survive a checkpoint.
+        state["obs"] = None
+        state["_faults"] = None
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        # The completion callback is a bound method, nulled by the memory
+        # subsystem's __getstate__; rewire it to this (unpickled) GPU.
+        self.mem.on_complete = self._on_load_complete
 
     # -- memory completion -------------------------------------------------
 

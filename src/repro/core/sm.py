@@ -33,6 +33,11 @@ from ..emu.trace import BlockTrace
 from ..mem.subsystem import MemorySubsystem, MemRequest
 from ..metrics.counters import BlockRecord, SimStats, STREAM_SPILL
 from ..obs.cpi import HINT_CTRL, HINT_FETCH
+from ..resilience.errors import (
+    DeadlockError,
+    InvariantViolation,
+    SimulationError,
+)
 from .techniques import LaunchContext
 from .uop import UopKind, mem_uop
 from .warp import NEVER, WarpCtx
@@ -49,8 +54,7 @@ _BAR = UopKind.BAR
 _PREDECODE_BATCH = 16
 
 
-class SimulationError(Exception):
-    """Raised when the timing model wedges (deadlock, runaway switches)."""
+__all__ = ["SM", "BlockRun", "SimulationError"]
 
 
 class BlockRun:
@@ -314,15 +318,19 @@ class SM:
                 beneficiary = warp
                 break
         if victim is None or beneficiary is None:
-            raise SimulationError(
+            raise DeadlockError(
                 f"SM{self.sm_id}: barrier deadlock without a context-switch "
-                f"candidate (block {block.trace.block_id})"
+                f"candidate (block {block.trace.block_id})",
+                diagnostics=self._dump(cycle, "barrier deadlock"),
             )
         self.stats.context_switches += 1
         if self.stats.context_switches > self.config.cars_max_context_switches * max(
             1, len(self.blocks)
         ):
-            raise SimulationError("context-switch livelock suspected")
+            raise DeadlockError(
+                "context-switch livelock suspected",
+                diagnostics=self._dump(cycle, "context-switch livelock"),
+            )
         saved = victim.alloc_regs
         self.stats.context_switch_regs += saved
         # The switch engine spills the victim's register state; the cost is
@@ -346,11 +354,19 @@ class SM:
         # warp from another block at the queue head).
         self._activate(beneficiary, cycle)
 
+    def _dump(self, cycle: int, reason: str):
+        """Diagnostic snapshot via the owning GPU (import kept local so
+        ``repro.core`` can finish initializing before diagnostics loads)."""
+        from ..resilience.diagnostics import collect_dump
+
+        return collect_dump(self.gpu, cycle, reason=f"SM{self.sm_id}: {reason}")
+
     def _activate(self, warp: WarpCtx, cycle: int) -> None:
         demand = warp.block.regs_per_warp
         if self.reg_free < demand:
-            raise SimulationError(
-                f"SM{self.sm_id}: context switch freed too few registers"
+            raise InvariantViolation(
+                f"SM{self.sm_id}: context switch freed too few registers",
+                diagnostics=self._dump(cycle, "register balance violation"),
             )
         self.stalled.remove(warp)
         self.reg_free -= demand

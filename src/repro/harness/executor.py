@@ -32,8 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from pathlib import Path
@@ -51,6 +54,7 @@ from typing import (
 from ..config.gpu_config import GPUConfig
 from ..config import volta
 from ..core.techniques import resolve_technique
+from ..resilience.errors import SimulationError, WorkerCrashError
 from ..workloads import make_workload
 from ..workloads.spec import Workload
 from ._runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
@@ -71,8 +75,29 @@ def _canonical_json(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-class ExecutorError(RuntimeError):
-    """A request failed after exhausting its retries."""
+class ExecutorError(WorkerCrashError):
+    """A request failed after exhausting its retries (or was quarantined).
+
+    ``worker_traceback`` carries the last failing attempt's formatted
+    traceback — remote (pool-worker) tracebacks included — and every
+    attempt's traceback lands in ``ExecutorStats.crash_log``.
+    """
+
+
+def _remote_traceback(exc: BaseException) -> str:
+    """Formatted traceback for *exc*, preferring the pool's remote one.
+
+    ``concurrent.futures`` re-raises worker exceptions with the worker's
+    formatted traceback chained as a ``_RemoteTraceback`` cause; that is
+    the one that names the failing simulator frame, so prefer it over the
+    local re-raise site.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -315,20 +340,36 @@ class ExecutorStats:
     retries: int = 0
     timeouts: int = 0
     failures: int = 0
+    pool_breaks: int = 0
+    quarantined: int = 0
+    #: One entry per failed attempt: workload/technique/stage plus the
+    #: formatted traceback (remote tracebacks preserved from workers).
+    crash_log: List[Dict[str, str]] = field(default_factory=list)
 
-    def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            data[f.name] = list(value) if isinstance(value, list) else value
+        return data
 
     def reset(self) -> None:
         for f in fields(self):
-            setattr(self, f.name, 0)
+            current = getattr(self, f.name)
+            setattr(self, f.name, [] if isinstance(current, list) else 0)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"simulated {self.executed} runs, {self.store_hits} store hits, "
             f"{self.memo_hits} memo hits, {self.retries} retries, "
             f"{self.timeouts} timeouts"
         )
+        if self.pool_breaks or self.quarantined:
+            text += (
+                f", {self.pool_breaks} pool breaks, "
+                f"{self.quarantined} quarantined"
+            )
+        return text
 
 
 #: Progress callback: (done, total, request, source) with source one of
@@ -351,6 +392,16 @@ class Executor:
         progress: optional callback invoked as each request resolves.
         workload_factory: name -> :class:`Workload` resolver; must be a
             picklable module-level callable when ``jobs > 1``.
+        breaker_threshold: failed-sweep count after which a request is
+            quarantined — further attempts raise immediately instead of
+            re-crashing the sweep (circuit breaker).
+        backoff_base: first retry delay in seconds; doubles per attempt
+            (capped at 30 s).  Zero disables sleeping.
+
+    Degradation: a broken process pool (a worker killed by the OS takes
+    the whole ``ProcessPoolExecutor`` down) fails its in-flight requests
+    over to the in-process path and pins the executor serial from then on
+    — a crashing environment degrades to slow, not to lost sweeps.
     """
 
     def __init__(
@@ -362,6 +413,8 @@ class Executor:
         retries: int = 2,
         progress: Optional[ProgressFn] = None,
         workload_factory: Callable[[str], Workload] = make_workload,
+        breaker_threshold: int = 3,
+        backoff_base: float = 0.1,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.store = store if store is not None else ResultStore()
@@ -369,9 +422,14 @@ class Executor:
         self.retries = max(1, int(retries))
         self.progress = progress
         self.workload_factory = workload_factory
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.backoff_base = backoff_base
         self.stats = ExecutorStats()
         self._memo: Dict[ExperimentRequest, RunResult] = {}
         self._keys: Dict[ExperimentRequest, str] = {}
+        self._fail_streak: Dict[ExperimentRequest, int] = {}
+        self._quarantined: set = set()
+        self._pool_broken = False
 
     # -- cache plumbing -------------------------------------------------
 
@@ -417,7 +475,13 @@ class Executor:
                 results[request] = cached
                 self._notify(total, request, "memo")
                 continue
-            stored = self.store.load(self.key_for(request))
+            try:
+                stored = self.store.load(self.key_for(request))
+            except Exception:
+                # A workload factory (or store) that fails here must not
+                # crash the sweep untyped; _run_local re-raises it through
+                # the retry/quarantine machinery below.
+                stored = None
             if stored is not None:
                 self.stats.store_hits += 1
                 self._memo[request] = stored
@@ -427,7 +491,7 @@ class Executor:
             pending.append(request)
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
+            if self.jobs > 1 and len(pending) > 1 and not self._pool_broken:
                 self._run_pool(pending, results, total)
             else:
                 for request in pending:
@@ -453,23 +517,69 @@ class Executor:
         self._notify(total, request, "run")
         return result
 
+    def _record_crash(
+        self,
+        request: ExperimentRequest,
+        stage: str,
+        exc: BaseException,
+        tb: Optional[str],
+    ) -> None:
+        self.stats.crash_log.append({
+            "workload": request.workload,
+            "technique": request.technique,
+            "stage": stage,
+            "error": repr(exc),
+            "traceback": tb or "",
+        })
+
+    def _note_failure(self, request: ExperimentRequest) -> None:
+        """Count a retries-exhausted failure toward the circuit breaker."""
+        self.stats.failures += 1
+        streak = self._fail_streak.get(request, 0) + 1
+        self._fail_streak[request] = streak
+        if streak >= self.breaker_threshold and request not in self._quarantined:
+            self._quarantined.add(request)
+            self.stats.quarantined += 1
+
     def _run_local(self, request: ExperimentRequest, total: int) -> RunResult:
+        if request in self._quarantined:
+            raise ExecutorError(
+                f"{request.workload}/{request.technique} is quarantined "
+                f"after {self._fail_streak.get(request, 0)} failed sweeps "
+                f"(circuit breaker; see stats.crash_log)"
+            )
         last_error: Optional[BaseException] = None
+        last_tb: Optional[str] = None
         for attempt in range(self.retries):
             if attempt:
                 self.stats.retries += 1
+                if self.backoff_base > 0:
+                    time.sleep(
+                        min(self.backoff_base * 2 ** (attempt - 1), 30.0)
+                    )
             try:
                 result = execute_request(
                     request, self.workload_factory(request.workload)
                 )
+            except SimulationError as exc:
+                # The model itself failed (deadlock, budget, invariant):
+                # deterministic, so a replay cannot go differently.
+                last_error = exc
+                last_tb = traceback.format_exc()
+                self._record_crash(request, "local", exc, last_tb)
+                break
             except Exception as exc:
                 last_error = exc
+                last_tb = traceback.format_exc()
+                self._record_crash(request, "local", exc, last_tb)
                 continue
+            self._fail_streak.pop(request, None)
             return self._commit(request, result, total)
-        self.stats.failures += 1
+        self._note_failure(request)
         raise ExecutorError(
             f"{request.workload}/{request.technique} failed after "
-            f"{self.retries} attempts"
+            f"{self.retries} attempts: {last_error!r}",
+            worker_traceback=last_tb,
         ) from last_error
 
     def _run_pool(
@@ -480,24 +590,56 @@ class Executor:
     ) -> None:
         workers = min(self.jobs, len(pending))
         pool = ProcessPoolExecutor(max_workers=workers)
+        futures: List[Tuple[ExperimentRequest, Any]] = []
         failed: List[ExperimentRequest] = []
         hung = False
         try:
-            futures = [
-                (request,
-                 pool.submit(_pool_worker, (self.workload_factory,
-                                            request.to_dict())))
-                for request in pending
-            ]
-            for request, future in futures:
+            try:
+                for request in pending:
+                    futures.append((request, pool.submit(
+                        _pool_worker,
+                        (self.workload_factory, request.to_dict()),
+                    )))
+            except BrokenProcessPool:
+                # Broke mid-submission; the already-submitted futures
+                # raise the same error below and record it once there.
+                pass
+            for index, (request, future) in enumerate(futures):
                 try:
                     data = future.result(timeout=self.timeout)
                 except FutureTimeoutError:
                     self.stats.timeouts += 1
                     hung = True
                     failed.append(request)
-                except Exception:  # worker raised or pool broke
+                except BrokenProcessPool as exc:
+                    # A worker died hard (signal/OOM): the pool is gone,
+                    # and so is every in-flight future.  Degrade to the
+                    # serial path for the rest of this executor's life.
+                    self.stats.pool_breaks += 1
+                    self._pool_broken = True
+                    self._record_crash(
+                        request, "pool", exc, _remote_traceback(exc)
+                    )
+                    failed.extend(r for r, _ in futures[index:])
+                    break
+                except SimulationError as exc:
+                    # A typed simulator failure is deterministic; re-running
+                    # it in-process would only fail again, slower.
+                    tb = _remote_traceback(exc)
+                    self._record_crash(request, "pool", exc, tb)
+                    self._note_failure(request)
+                    raise ExecutorError(
+                        f"{request.workload}/{request.technique} failed in "
+                        f"a worker: {exc}",
+                        worker_traceback=tb,
+                    ) from exc
+                except Exception as exc:
+                    # Environmental failure (pickling, transient OS error):
+                    # worth one in-process replay below.
                     self.stats.retries += 1
+                    self._record_crash(
+                        request, "pool", exc, _remote_traceback(exc)
+                    )
                     failed.append(request)
                 else:
                     results[request] = self._commit(
@@ -506,6 +648,13 @@ class Executor:
         finally:
             # A hung worker must not block shutdown; abandon it.
             pool.shutdown(wait=not hung, cancel_futures=True)
+        if len(futures) < len(pending):
+            # The pool broke before everything was even submitted.
+            if not self._pool_broken:
+                self.stats.pool_breaks += 1
+                self._pool_broken = True
+            submitted = {request for request, _ in futures}
+            failed.extend(r for r in pending if r not in submitted)
         # Whatever the pool could not finish runs in-process (still
         # counted by stats.retries/timeouts above).
         for request in failed:

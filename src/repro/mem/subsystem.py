@@ -26,6 +26,7 @@ from ..metrics.counters import (
     STREAM_SPILL,
     TIMELINE_BUCKET,
 )
+from ..resilience.faults import active_session
 from .cache import SectorCache
 
 
@@ -75,6 +76,7 @@ class MemorySubsystem:
         "_hit_events",
         "_seq",
         "_inflight_hits",
+        "_faults",
     )
 
     def __init__(
@@ -105,6 +107,9 @@ class MemorySubsystem:
         # In-flight hit-latency events, maintained at schedule/drain so
         # stall_class never scans the event heap.
         self._inflight_hits = 0
+        # Fault-injection session snapshotted at construction (usually
+        # None); see repro.resilience.faults for the activation contract.
+        self._faults = active_session()
 
     # ------------------------------------------------------------------
     # SM-facing API
@@ -167,6 +172,49 @@ class MemorySubsystem:
             return "lower"
         return None
 
+    def census(self) -> Dict[str, object]:
+        """Occupancy snapshot of every queue/MSHR, for diagnostic dumps."""
+        return {
+            "l1_queues": [len(q) for q in self.l1_queues],
+            "l1_mshrs": [
+                {
+                    "sectors": len(mshrs),
+                    "waiters": sum(len(w) for w in mshrs.values()),
+                }
+                for mshrs in self.l1_mshrs
+            ],
+            "l2_queue": len(self.l2_queue),
+            "l2_mshr_sectors": len(self.l2_mshr),
+            "dram_queue": len(self.dram_queue),
+            "inflight_fills": len(self._events),
+            "inflight_hits": self._inflight_hits,
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = {name: getattr(self, name) for name in MemorySubsystem.__slots__}
+        # itertools.count isn't picklable; the sequence number is only a
+        # heap tiebreaker, so restarting it from any value >= the largest
+        # outstanding one preserves relative event order.  Peeking would
+        # consume a value, shifting all post-checkpoint tiebreakers by the
+        # same amount — harmless, and simpler than tracking a high-water
+        # mark.
+        state["_seq"] = next(self._seq)
+        # The completion callback is the GPU's bound method; GPU.__setstate__
+        # rewires it after the whole graph is restored.
+        state["on_complete"] = None
+        state["_faults"] = None
+        return state
+
+    def __setstate__(self, state):
+        seq_start = state.pop("_seq")
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._seq = itertools.count(seq_start)
+
     # ------------------------------------------------------------------
     # Per-cycle processing
     # ------------------------------------------------------------------
@@ -206,8 +254,23 @@ class MemorySubsystem:
 
     def _drain_events(self, cycle: int) -> None:
         events = self._events
+        faults = self._faults
         while events and events[0][0] <= cycle:
             t, _, kind, payload = heapq.heappop(events)
+            if faults is not None:
+                action = faults.on_fill(t, payload)
+                if action is not None:
+                    if action < 0:
+                        continue  # dropped: the fill silently vanishes
+                    # Delayed: reschedule strictly in the future so this
+                    # drain pass cannot immediately re-pop it.
+                    retime = t + action
+                    if retime <= cycle:
+                        retime = cycle + 1
+                    heapq.heappush(
+                        events, (retime, next(self._seq), kind, payload)
+                    )
+                    continue
             sm_id, sector = payload
             self._fill_l1(sm_id, sector, t)
 
@@ -225,6 +288,9 @@ class MemorySubsystem:
         force_hit = cfg.l1_force_hit
         ports = l1_cfg.ports
         mshr_cap = l1_cfg.mshrs
+        faults = self._faults
+        if faults is not None:
+            mshr_cap = faults.mshr_cap(cycle, mshr_cap)
         hit_events = self._hit_events
         hit_at = cycle + l1_cfg.hit_latency
         l2_queue = self.l2_queue

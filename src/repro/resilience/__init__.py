@@ -1,0 +1,102 @@
+"""Resilience layer: typed errors, watchdog, fault injection, checkpoints.
+
+See ``docs/architecture.md`` §11.  Submodules:
+
+* :mod:`~repro.resilience.errors` — the :class:`SimulationError` hierarchy
+  and the CLI exit-code mapping;
+* :mod:`~repro.resilience.diagnostics` — structured state dumps attached
+  to deadlock/budget failures;
+* :mod:`~repro.resilience.watchdog` — the zero-retirement livelock
+  detector fed by ``GPU._run_loop``;
+* :mod:`~repro.resilience.faults` — deterministic, seeded fault injection
+  for guardrail meta-validation;
+* :mod:`~repro.resilience.checkpoint` — mid-run serialization + resume;
+* :mod:`~repro.resilience.selfcheck` — the one-fault-per-class battery
+  behind ``python -m repro selfcheck``.
+
+Only the stdlib-leaf modules (``errors``, ``faults``) are imported
+eagerly: ``core``/``mem``/``cars`` import them at module level, and an
+eager import of ``diagnostics`` here would re-enter ``repro.core`` while
+it is still initializing.  Everything else resolves lazily.
+"""
+
+from .errors import (
+    DeadlockError,
+    InvariantViolation,
+    MaxCyclesError,
+    SimulationError,
+    WorkerCrashError,
+    exit_code_for,
+)
+from .faults import (
+    CorruptStack,
+    DelayFill,
+    DropFill,
+    DropIdleCharge,
+    FaultPlan,
+    FaultSession,
+    StarveMSHR,
+    active_session,
+    inject_faults,
+    seeded_plan,
+)
+
+__all__ = [
+    # errors
+    "SimulationError",
+    "DeadlockError",
+    "MaxCyclesError",
+    "InvariantViolation",
+    "WorkerCrashError",
+    "exit_code_for",
+    # faults
+    "FaultPlan",
+    "FaultSession",
+    "DropFill",
+    "DelayFill",
+    "CorruptStack",
+    "StarveMSHR",
+    "DropIdleCharge",
+    "inject_faults",
+    "active_session",
+    "seeded_plan",
+    # lazy
+    "DiagnosticDump",
+    "collect_dump",
+    "Watchdog",
+    "CheckpointPolicy",
+    "CheckpointError",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "read_meta",
+    "resume_run",
+    "run_selfcheck",
+    "render_report",
+]
+
+_LAZY = {
+    "DiagnosticDump": "diagnostics",
+    "collect_dump": "diagnostics",
+    "Watchdog": "watchdog",
+    "CheckpointPolicy": "checkpoint",
+    "CheckpointError": "checkpoint",
+    "CHECKPOINT_SCHEMA_VERSION": "checkpoint",
+    "latest_checkpoint": "checkpoint",
+    "load_checkpoint": "checkpoint",
+    "read_meta": "checkpoint",
+    "resume_run": "checkpoint",
+    "run_selfcheck": "selfcheck",
+    "render_report": "selfcheck",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value

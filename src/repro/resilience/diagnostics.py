@@ -1,0 +1,236 @@
+"""Structured diagnostic dumps for wedged or over-budget simulations.
+
+When the timing model deadlocks, livelocks, or exhausts its cycle budget,
+the bare exception message ("deadlock at cycle N") is useless for finding
+*which* warp is stuck behind *what*.  :func:`collect_dump` snapshots the
+state a human needs:
+
+* per-warp: fetch cursor (the trace-level "pc"), park reason, scheduler
+  bounds (``ready_at``/``next_issue``), outstanding loads, the scoreboard
+  registers the head µop is waiting on, and — under CARS — the register
+  stack's RFP/RSP/depth and residency;
+* the memory hierarchy's in-flight census (queue depths, MSHR occupancy
+  and waiter counts, scheduled fills);
+* the CPI-stack picture: idle cycles attributed so far plus the recent
+  stall-window trail kept by the watchdog.
+
+The dump rides on the exception (``exc.diagnostics``) and renders to a
+readable block via :meth:`DiagnosticDump.render`; ``to_dict`` gives the
+same data as plain JSON-able structures for tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.uop import UopKind
+from ..core.warp import NEVER
+
+#: Cap on warp lines in the rendered dump (to_dict always carries all).
+_RENDER_WARP_LIMIT = 48
+
+
+def _fmt_cycle(value: int) -> Any:
+    """NEVER-parked bounds render as the sentinel name, not 2**60."""
+    return "NEVER" if value >= NEVER else value
+
+
+def _park_reason(sm, warp, cycle: int) -> str:
+    """Why this warp cannot issue right now (mirrors ``SM._ready``)."""
+    if warp.done:
+        return "done"
+    if warp.stalled:
+        return "reg_alloc_stall"
+    if warp.switched_out:
+        return "switched_out"
+    if warp.waiting_barrier:
+        return "barrier"
+    if warp.next_issue >= NEVER:
+        return "blocking_fill"
+    if warp.next_issue > cycle:
+        return "pipeline_latency"
+    if not warp.uops:
+        return "fetch" if warp.cursor < len(warp.records) else "drained"
+    head = warp.uops[0]
+    if (
+        head.kind == UopKind.MEM
+        and not head.is_store
+        and warp.outstanding_loads >= sm._max_out
+    ):
+        return "max_outstanding_loads"
+    get = warp.reg_ready.get
+    pending_load = False
+    blocked = False
+    for reg in head.deps:
+        t = get(reg, 0)
+        if t > cycle:
+            blocked = True
+            if t >= NEVER:
+                pending_load = True
+    if pending_load:
+        return "load_pending"
+    if blocked:
+        return "scoreboard"
+    return "runnable"
+
+
+def _warp_state(sm, warp, cycle: int) -> Dict[str, Any]:
+    state: Dict[str, Any] = {
+        "sm": sm.sm_id,
+        "warp": warp.global_index,
+        "slot": warp.slot,
+        "pc": warp.cursor,
+        "records": len(warp.records),
+        "park": _park_reason(sm, warp, cycle),
+        "ready_at": _fmt_cycle(warp.ready_at),
+        "next_issue": _fmt_cycle(warp.next_issue),
+        "outstanding_loads": warp.outstanding_loads,
+        "uops_pending": len(warp.uops),
+    }
+    if warp.uops:
+        waiting: Dict[int, Any] = {}
+        get = warp.reg_ready.get
+        for reg in warp.uops[0].deps:
+            t = get(reg, 0)
+            if t > cycle:
+                waiting[reg] = _fmt_cycle(t)
+        if waiting:
+            state["scoreboard"] = waiting
+    if warp.cars is not None:
+        state["stack"] = warp.cars.state_dict()
+    return state
+
+
+@dataclass
+class DiagnosticDump:
+    """Snapshot of the simulation at the point of failure."""
+
+    reason: str
+    cycle: int
+    kernel: str
+    blocks_remaining: int
+    pending_blocks: int
+    micro_ops: int
+    warps: List[Dict[str, Any]] = field(default_factory=list)
+    mem: Dict[str, Any] = field(default_factory=dict)
+    idle_buckets: Dict[str, int] = field(default_factory=dict)
+    issued_cycles: int = 0
+    #: Most recent (cycle, span, bucket) idle windows, oldest first.
+    stall_trail: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reason": self.reason,
+            "cycle": self.cycle,
+            "kernel": self.kernel,
+            "blocks_remaining": self.blocks_remaining,
+            "pending_blocks": self.pending_blocks,
+            "micro_ops": self.micro_ops,
+            "warps": list(self.warps),
+            "mem": dict(self.mem),
+            "idle_buckets": dict(self.idle_buckets),
+            "issued_cycles": self.issued_cycles,
+            "stall_trail": [list(entry) for entry in self.stall_trail],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"=== diagnostic dump: {self.reason} at cycle {self.cycle} "
+            f"(kernel {self.kernel!r}) ===",
+            f"blocks remaining: {self.blocks_remaining} "
+            f"({self.pending_blocks} not yet assigned to an SM)",
+            f"micro-ops retired: {self.micro_ops}; "
+            f"issue cycles: {self.issued_cycles}",
+        ]
+        if self.idle_buckets:
+            shares = ", ".join(
+                f"{bucket}={span}"
+                for bucket, span in sorted(
+                    self.idle_buckets.items(), key=lambda kv: -kv[1]
+                )
+            )
+            lines.append(f"idle cycles by bucket: {shares}")
+        if self.stall_trail:
+            tail = self.stall_trail[-8:]
+            trail = ", ".join(
+                f"@{cycle}+{span}:{bucket}" for cycle, span, bucket in tail
+            )
+            lines.append(f"recent stall windows: {trail}")
+        if self.mem:
+            mshrs = self.mem.get("l1_mshrs", [])
+            busy = [
+                f"sm{sm_id}:{entry['sectors']}mshr/{entry['waiters']}wait"
+                for sm_id, entry in enumerate(mshrs)
+                if entry["sectors"] or entry["waiters"]
+            ]
+            lines.append(
+                "memory: "
+                f"l1_queues={self.mem.get('l1_queues')} "
+                f"l2_queue={self.mem.get('l2_queue')} "
+                f"l2_mshr={self.mem.get('l2_mshr_sectors')} "
+                f"dram_queue={self.mem.get('dram_queue')} "
+                f"fills_in_flight={self.mem.get('inflight_fills')} "
+                f"hits_in_flight={self.mem.get('inflight_hits')}"
+            )
+            if busy:
+                lines.append("l1 mshr census: " + ", ".join(busy))
+        interesting = [w for w in self.warps if w["park"] != "done"]
+        shown = interesting[:_RENDER_WARP_LIMIT]
+        lines.append(
+            f"warps: {len(self.warps)} resident, "
+            f"{len(interesting)} not retired"
+        )
+        for w in shown:
+            extra = ""
+            if "scoreboard" in w:
+                regs = ", ".join(
+                    f"r{reg}@{t}" for reg, t in w["scoreboard"].items()
+                )
+                extra += f" waits[{regs}]"
+            if "stack" in w:
+                s = w["stack"]
+                extra += (
+                    f" stack[rfp={s['rfp']} rsp={s['rsp']} depth={s['depth']}"
+                    f" resident={s['resident_regs']}/{s['capacity']}]"
+                )
+            lines.append(
+                f"  sm{w['sm']} w{w['warp']}: {w['park']} pc={w['pc']}/"
+                f"{w['records']} ready_at={w['ready_at']} "
+                f"next_issue={w['next_issue']} "
+                f"loads={w['outstanding_loads']}{extra}"
+            )
+        if len(interesting) > len(shown):
+            lines.append(f"  ... (+{len(interesting) - len(shown)} more)")
+        return "\n".join(lines)
+
+
+def collect_dump(
+    gpu,
+    cycle: int,
+    *,
+    reason: str,
+    idle_buckets: Optional[Dict[str, int]] = None,
+    issued_cycles: int = 0,
+    trail=None,
+) -> DiagnosticDump:
+    """Snapshot *gpu* into a :class:`DiagnosticDump` (read-only)."""
+    warps: List[Dict[str, Any]] = []
+    for sm in gpu.sms:
+        for warp in sm.warps:
+            warps.append(_warp_state(sm, warp, cycle))
+    trace = getattr(gpu.ctx, "trace", None)
+    kernel = trace.kernel if trace is not None else "?"
+    return DiagnosticDump(
+        reason=reason,
+        cycle=cycle,
+        kernel=kernel,
+        blocks_remaining=gpu._blocks_remaining,
+        pending_blocks=len(gpu._pending),
+        micro_ops=gpu.stats.micro_ops,
+        warps=warps,
+        mem=gpu.mem.census(),
+        idle_buckets=dict(idle_buckets or {}),
+        issued_cycles=issued_cycles,
+        stall_trail=list(trail) if trail is not None else [],
+    )

@@ -1,0 +1,119 @@
+"""Typed failure taxonomy for the simulator and harness.
+
+Every way a simulation or sweep can fail maps to one subclass of
+:class:`SimulationError`, so callers (and the CLI's exit-code mapping)
+can tell a wedged timing model from an exhausted cycle budget from a
+corrupted invariant from a crashed worker:
+
+* :class:`DeadlockError` — the timing model stopped making forward
+  progress (no future events, or the watchdog saw a zero-retirement
+  window).  Carries a :class:`~repro.resilience.diagnostics.DiagnosticDump`.
+* :class:`MaxCyclesError` — the run exceeded its ``max_cycles`` budget
+  while work remained.  Also carries a dump (the state *at* the budget).
+* :class:`InvariantViolation` — internal bookkeeping broke: CPI-stack
+  accounting leaks, register-stack corruption, impossible register
+  balances.  ``RegisterStackError`` in :mod:`repro.cars.register_stack`
+  subclasses this.
+* :class:`WorkerCrashError` — a sweep request failed outside the model
+  itself (worker process died, retries exhausted); carries the worker's
+  formatted traceback.  ``ExecutorError`` subclasses this.
+
+This module is a leaf — it imports nothing from ``repro`` — so every
+layer (core, cars, mem, harness, cli) can use it without import cycles.
+Exceptions keep ``args == (message,)`` and store the extras in instance
+attributes, so they pickle cleanly across process-pool boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for every typed simulator/harness failure.
+
+    ``diagnostics`` (when present) is a
+    :class:`~repro.resilience.diagnostics.DiagnosticDump`; the message
+    stays short so logs are readable, and the dump carries the detail.
+    """
+
+    def __init__(self, message: str = "", *, diagnostics=None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class DeadlockError(SimulationError):
+    """The timing model stopped making forward progress.
+
+    Raised either structurally (no warp can issue and no memory event is
+    pending while blocks remain) or by the no-forward-progress watchdog
+    (a cycle window passed with zero retired µops — a livelock).
+    """
+
+
+class MaxCyclesError(SimulationError):
+    """The run exceeded its ``max_cycles`` budget with work remaining.
+
+    The boundary contract (pinned by ``tests/test_max_cycles_boundary``):
+    a run whose total length is ``T`` cycles completes iff
+    ``max_cycles >= T - 1``; both the per-cycle guard and the
+    fast-forward clamp fire at cycle ``max_cycles + 1``.
+    """
+
+
+class InvariantViolation(SimulationError):
+    """Internal model bookkeeping failed a self-check.
+
+    Covers CPI-stack conservation leaks, register-stack corruption
+    (``RegisterStackError``), and impossible register balances during
+    CARS context switches.
+    """
+
+
+class WorkerCrashError(SimulationError):
+    """A sweep request failed outside the timing model's own guards.
+
+    ``worker_traceback`` preserves the failing worker's formatted
+    traceback (remote tracebacks included) instead of swallowing it.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        worker_traceback: Optional[str] = None,
+        diagnostics=None,
+    ) -> None:
+        super().__init__(message, diagnostics=diagnostics)
+        self.worker_traceback = worker_traceback
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+
+#: Distinct process exit codes per failure class (0 = success, 1 = normal
+#: gate/usage failures, 2+ = typed simulation failures).  README's "When a
+#: run fails" section documents this mapping; keep them in lockstep.
+EXIT_SIMULATION = 2
+EXIT_DEADLOCK = 3
+EXIT_MAX_CYCLES = 4
+EXIT_INVARIANT = 5
+EXIT_WORKER_CRASH = 6
+
+_EXIT_BY_CLASS = (
+    (DeadlockError, EXIT_DEADLOCK),
+    (MaxCyclesError, EXIT_MAX_CYCLES),
+    (InvariantViolation, EXIT_INVARIANT),
+    (WorkerCrashError, EXIT_WORKER_CRASH),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Process exit code for *exc* (most specific class wins)."""
+    for cls, code in _EXIT_BY_CLASS:
+        if isinstance(exc, cls):
+            return code
+    if isinstance(exc, SimulationError):
+        return EXIT_SIMULATION
+    return 1

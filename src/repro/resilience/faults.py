@@ -1,0 +1,290 @@
+"""Deterministic, seeded fault injection for guardrail meta-validation.
+
+A simulator's self-checks are only trustworthy if they demonstrably fire.
+This module injects *known* damage at *deterministic* points and lets the
+test battery assert that the matching guardrail — watchdog, structural
+deadlock check, ``WarpRegisterStack.check_invariants``, CPI-stack
+conservation — converts each fault class into the right typed exception:
+
+===================  ==========================================  ====================
+fault                model effect                                expected detector
+===================  ==========================================  ====================
+:class:`DropFill`    a scheduled fill event vanishes             ``DeadlockError``
+                                                                 (structural: MSHR
+                                                                 never drains)
+:class:`DelayFill`   a fill lands N cycles late                  none — the run must
+                                                                 *complete*, slower,
+                                                                 with conservation
+                                                                 intact (control)
+:class:`CorruptStack`  register-stack bookkeeping skewed          ``InvariantViolation``
+                       (RSP offset / resident overflow)           (check_invariants)
+:class:`StarveMSHR`  L1 MSHR file reports size 0 in a window     ``DeadlockError``
+                                                                 (watchdog livelock)
+:class:`DropIdleCharge`  one idle window's CPI attribution lost  ``InvariantViolation``
+                                                                 (conservation check)
+===================  ==========================================  ====================
+
+Faults address *event ordinals*, not cycles (except ``StarveMSHR``):
+"the k-th fill delivered", "the k-th stack call".  Ordinals are stable
+across runs of a deterministic simulator, which makes seeded selection
+reproducible: count events with an empty plan first, then pick ordinals
+with a seeded RNG (:func:`seeded_plan`).
+
+Activation is scoped: components snapshot :func:`active_session` at
+construction, so only simulations *built inside* an
+:func:`inject_faults` block see the session — the hooks cost nothing
+(one ``is not None`` test) on every other run, and an **empty** plan
+doubles as a pure event counter.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Fault classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DropFill:
+    """Silently discard the *index*-th fill event delivery."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class DelayFill:
+    """Deliver the *index*-th fill event *delay* cycles late (>= 1)."""
+
+    index: int
+    delay: int = 200
+
+
+@dataclass(frozen=True)
+class CorruptStack:
+    """Skew register-stack bookkeeping at the *index*-th ``call``.
+
+    ``mode="rsp_skew"`` bumps the logical stack height (``_next_start``,
+    the RSP) without a frame to account for it; ``mode="resident_overflow"``
+    inflates the top frame past the stack capacity.
+    """
+
+    index: int
+    mode: str = "rsp_skew"
+
+
+@dataclass(frozen=True)
+class StarveMSHR:
+    """Report an L1 MSHR file of size 0 during ``[start, end]`` cycles."""
+
+    start: int
+    end: int = 1 << 62
+
+
+@dataclass(frozen=True)
+class DropIdleCharge:
+    """Lose the *index*-th idle window's CPI-stack attribution."""
+
+    index: int
+
+
+Fault = Union[DropFill, DelayFill, CorruptStack, StarveMSHR, DropIdleCharge]
+
+#: Class-name keys used by seeded_plan / the selfcheck battery.
+FAULT_CLASSES = (
+    "drop_fill",
+    "delay_fill",
+    "corrupt_stack",
+    "starve_mshr",
+    "drop_idle_charge",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults to inject into one run."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        return cls(tuple(faults))
+
+
+def seeded_plan(
+    seed: int,
+    counters: Dict[str, int],
+    classes: Sequence[str] = FAULT_CLASSES,
+) -> Dict[str, FaultPlan]:
+    """One deterministic single-fault plan per requested class.
+
+    *counters* are the event counts observed by a prior run under an
+    empty plan (:attr:`FaultSession.counters`); the seed positions each
+    fault inside the observed range.  Classes whose event never occurred
+    (count 0) are omitted.
+    """
+    rng = random.Random(seed)
+    plans: Dict[str, FaultPlan] = {}
+    fills = counters.get("fills", 0)
+    calls = counters.get("stack_calls", 0)
+    idles = counters.get("idle_charges", 0)
+    for name in classes:
+        if name == "drop_fill" and fills:
+            plans[name] = FaultPlan.of(DropFill(rng.randrange(fills)))
+        elif name == "delay_fill" and fills:
+            plans[name] = FaultPlan.of(
+                DelayFill(rng.randrange(fills), delay=100 + rng.randrange(400))
+            )
+        elif name == "corrupt_stack" and calls:
+            mode = rng.choice(("rsp_skew", "resident_overflow"))
+            plans[name] = FaultPlan.of(
+                CorruptStack(rng.randrange(calls), mode=mode)
+            )
+        elif name == "starve_mshr":
+            plans[name] = FaultPlan.of(StarveMSHR(start=0))
+        elif name == "drop_idle_charge" and idles:
+            plans[name] = FaultPlan.of(DropIdleCharge(rng.randrange(idles)))
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# Session: mutable per-run state
+# ---------------------------------------------------------------------------
+
+
+class FaultSession:
+    """Deterministic event counters plus the plan's trigger bookkeeping.
+
+    Components poll it through three hooks:
+
+    * :meth:`on_fill` — every fill-event delivery in
+      ``MemorySubsystem._drain_events``;
+    * :meth:`mshr_cap` — the per-cycle L1 MSHR capacity in ``_tick_l1``;
+    * :meth:`on_stack_call` — every ``WarpRegisterStack.call``;
+    * :meth:`drop_idle_charge` — every idle classification in
+      ``GPU._run_loop``.
+
+    ``triggered`` records each fault the run actually hit, so tests can
+    assert the damage landed (and not just that *something* blew up).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fills_seen = 0
+        self.stack_calls = 0
+        self.idle_charges = 0
+        self.triggered: List[Fault] = []
+        self._drop_fills: Dict[int, DropFill] = {}
+        self._delay_fills: Dict[int, DelayFill] = {}
+        self._corrupt: Dict[int, CorruptStack] = {}
+        self._starve: List[StarveMSHR] = []
+        self._drop_idle: Dict[int, DropIdleCharge] = {}
+        for fault in plan.faults:
+            if isinstance(fault, DropFill):
+                self._drop_fills[fault.index] = fault
+            elif isinstance(fault, DelayFill):
+                if fault.delay < 1:
+                    raise ValueError("DelayFill.delay must be >= 1")
+                self._delay_fills[fault.index] = fault
+            elif isinstance(fault, CorruptStack):
+                if fault.mode not in ("rsp_skew", "resident_overflow"):
+                    raise ValueError(f"unknown CorruptStack mode {fault.mode!r}")
+                self._corrupt[fault.index] = fault
+            elif isinstance(fault, StarveMSHR):
+                self._starve.append(fault)
+            elif isinstance(fault, DropIdleCharge):
+                self._drop_idle[fault.index] = fault
+            else:
+                raise TypeError(f"unknown fault {fault!r}")
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Deterministic event counts, for seeding a follow-up plan."""
+        return {
+            "fills": self.fills_seen,
+            "stack_calls": self.stack_calls,
+            "idle_charges": self.idle_charges,
+        }
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_fill(self, t: int, payload) -> Optional[int]:
+        """Returns None to deliver, -1 to drop, or a delay in cycles."""
+        index = self.fills_seen
+        self.fills_seen = index + 1
+        fault = self._drop_fills.get(index)
+        if fault is not None:
+            self.triggered.append(fault)
+            return -1
+        delay = self._delay_fills.get(index)
+        if delay is not None:
+            self.triggered.append(delay)
+            return delay.delay
+        return None
+
+    def mshr_cap(self, cycle: int, cap: int) -> int:
+        for fault in self._starve:
+            if fault.start <= cycle <= fault.end:
+                if not self.triggered or self.triggered[-1] is not fault:
+                    self.triggered.append(fault)
+                return 0
+        return cap
+
+    def on_stack_call(self, stack) -> None:
+        """Apply any scheduled corruption to *stack* after its call."""
+        index = self.stack_calls
+        self.stack_calls = index + 1
+        fault = self._corrupt.get(index)
+        if fault is None:
+            return
+        self.triggered.append(fault)
+        if fault.mode == "rsp_skew":
+            stack._next_start += 7
+        else:  # resident_overflow
+            stack.frames[-1].fru += stack.capacity + 1
+
+    def drop_idle_charge(self) -> bool:
+        index = self.idle_charges
+        self.idle_charges = index + 1
+        fault = self._drop_idle.get(index)
+        if fault is not None:
+            self.triggered.append(fault)
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultSession] = None
+
+
+def active_session() -> Optional[FaultSession]:
+    """The session components should bind at construction (usually None)."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject_faults(plan: Union[FaultPlan, FaultSession, None] = None):
+    """Activate a fault session for simulations built inside the block.
+
+    Yields the :class:`FaultSession` so callers can read counters and
+    ``triggered`` afterwards.  An empty/None plan still activates the
+    counting hooks — the cheapest way to measure a run's event ordinals.
+    """
+    global _ACTIVE
+    if isinstance(plan, FaultSession):
+        session = plan
+    else:
+        session = FaultSession(plan if plan is not None else FaultPlan())
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,93 @@
+"""No-forward-progress watchdog for the event-driven main loop.
+
+The structural deadlock check in ``GPU._run_loop`` (no warp can issue
+*and* no future event exists) misses livelocks: states where the model
+keeps generating events — an MSHR-starved L1 queue replaying every cycle,
+a pathological wake ping-pong — without ever retiring a µop.  The
+watchdog closes that gap with a pure observer: the loop reports every
+idle classification, and if the retired-µop counter stays flat across a
+configurable cycle window, the run is declared dead.
+
+Design constraints:
+
+* **Timing-invisible.**  The watchdog only reads ``stats.micro_ops`` and
+  appends to a bounded trail; enabling it (the default) cannot change a
+  single simulated number — golden stats stay byte-identical.
+* **Fast-forward aware.**  Progress is tracked in *cycles since the last
+  retirement*, not in observations, so one legitimate multi-thousand-cycle
+  DRAM stretch never false-fires, while a 1-cycle replay livelock is
+  caught after ``window`` cycles of zero retirement.
+* **Self-describing.**  The trail of recent (cycle, span, bucket) idle
+  windows rides into every diagnostic dump, so a deadlock report shows
+  what the model thought it was waiting for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from .diagnostics import collect_dump
+from .errors import DeadlockError
+
+#: Cycles of zero µop retirement before declaring a livelock.  Far above
+#: any legitimate stall (the deepest memory round trip is a few hundred
+#: cycles; barrier convoys a few thousand) and far below the default
+#: 50M-cycle budget, so real hangs die fast with a dump instead of
+#: grinding to MaxCyclesError.
+DEFAULT_WINDOW = 1_000_000
+
+#: Idle windows kept for the diagnostic trail.
+TRAIL_LEN = 32
+
+
+class Watchdog:
+    """Zero-retirement detector fed by ``GPU._run_loop``.
+
+    One instance observes one run (``GPU.run`` creates a fresh default
+    instance per call unless handed one).  ``note_idle`` is called once
+    per idle classification — at most once per skipped stretch — with the
+    window's span and CPI bucket.
+    """
+
+    __slots__ = ("window", "trail", "_last_ops", "_progress_cycle")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError("watchdog window must be positive")
+        self.window = window
+        self.trail: Deque[Tuple[int, int, str]] = deque(maxlen=TRAIL_LEN)
+        self._last_ops = -1  # forces the first note to count as progress
+        self._progress_cycle = 0
+
+    def note_idle(
+        self,
+        gpu,
+        cycle: int,
+        span: int,
+        bucket: str,
+        idle_buckets,
+        issued_cycles: int,
+    ) -> None:
+        """Record one idle window; raise on a zero-retirement overrun."""
+        self.trail.append((cycle, span, bucket))
+        ops = gpu.stats.micro_ops
+        if ops != self._last_ops:
+            self._last_ops = ops
+            self._progress_cycle = cycle
+            return
+        stalled = cycle + span - self._progress_cycle
+        if stalled > self.window:
+            raise DeadlockError(
+                f"no forward progress for {stalled} cycles "
+                f"(zero µops retired since cycle {self._progress_cycle}; "
+                f"current stall bucket {bucket!r}) — livelock suspected",
+                diagnostics=collect_dump(
+                    gpu,
+                    cycle,
+                    reason="watchdog: zero-retirement window",
+                    idle_buckets=idle_buckets,
+                    issued_cycles=issued_cycles,
+                    trail=self.trail,
+                ),
+            )

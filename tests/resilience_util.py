@@ -1,0 +1,54 @@
+"""Shared helpers for the resilience test battery (not a test module).
+
+Builds small workloads whose fill events are all load-bearing (chained
+loads feeding a CARS call chain) and runs one launch on a fresh GPU with
+watchdog/checkpoint plumbing exposed — the common substrate of the
+fault-injection, checkpoint, and max-cycles boundary tests.
+"""
+
+from repro.callgraph import analyze_kernel, build_call_graph
+from repro.config import volta
+from repro.core.gpu import GPU
+from repro.frontend import builder as b
+from repro.metrics.counters import SimStats
+from repro.workloads import KernelLaunch, Workload
+
+
+def chained_load_workload(threads=32, blocks=2, depth=3, pressure=8,
+                          name="resil"):
+    """Chained loads + a depth-N call ladder: idle-heavy and CARS-active."""
+    prog = b.program()
+    for level in range(1, depth):
+        b.device(prog, f"f{level}", ["x"],
+                 [b.ret(b.call(f"f{level + 1}", b.v("x") + level))],
+                 reg_pressure=pressure)
+    b.device(prog, f"f{depth}", ["x"], [b.ret(b.v("x") * 2 + 1)],
+             reg_pressure=pressure)
+    b.kernel(prog, "main", ["out"], [
+        b.let("i", b.gid()),
+        b.let("a", b.load(b.v("out") + (b.v("i") * 131 & 8191))),
+        b.let("r", b.call("f1", b.v("a"))),
+        b.let("c", b.load(b.v("out") + (b.v("r") * 17 & 8191))),
+        b.store(b.v("out") + b.v("i"), b.v("c")),
+    ])
+    return Workload(name=name, suite="t", program=prog,
+                    launches=[KernelLaunch("main", blocks, threads,
+                                           (1 << 20,))])
+
+
+def run_once(workload, technique, *, config=None, max_cycles=2_000_000,
+             watchdog=None, checkpoint=None, gpu_cls=GPU, obs=None):
+    """One launch of *workload* under *technique*; returns (gpu, stats)."""
+    cfg = technique.adjust_config(config or volta())
+    trace = workload.traces(inlined=technique.use_inlined)[0]
+    stats = SimStats()
+    analysis = None
+    if technique.abi == "cars":
+        analysis = analyze_kernel(
+            build_call_graph(workload.module()), trace.kernel
+        )
+    ctx = technique.make_context(trace, cfg, stats, analysis)
+    gpu = gpu_cls(cfg, ctx, stats, obs)
+    gpu.run(trace, max_cycles=max_cycles, watchdog=watchdog,
+            checkpoint=checkpoint)
+    return gpu, stats

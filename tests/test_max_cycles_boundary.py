@@ -1,0 +1,84 @@
+"""Pin the ``max_cycles`` boundary contract (the off-by-one audit).
+
+The per-cycle guard fires when ``cycle > max_cycles`` with blocks
+remaining, and the fast-forward clamp stops a skipped stretch at
+``max_cycles + 1`` so the guard is reached.  Both paths therefore agree:
+a run whose uninterrupted total is ``T`` cycles completes iff
+``max_cycles >= T - 1`` — the final iteration of a T-cycle run executes
+at ``cycle == T - 1``, so a budget of exactly ``T - 1`` finishes and
+``T - 2`` raises.  These tests pin that boundary for both the
+fast-forwarding loop and a single-stepped one.
+"""
+
+import pytest
+
+from repro.core.gpu import GPU
+from repro.core.techniques import BASELINE, CARS_LOW
+from repro.resilience import MaxCyclesError, SimulationError
+
+from tests.resilience_util import chained_load_workload, run_once
+
+
+class _SingleStepGPU(GPU):
+    """Idle stretches advance one cycle at a time (legacy per-cycle loop)."""
+
+    __slots__ = ()
+
+    def _next_event_after(self, cycle):
+        bound = GPU._next_event_after(self, cycle)
+        if bound is None:
+            return None
+        return cycle + 1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return chained_load_workload()
+
+
+@pytest.mark.parametrize("technique", [BASELINE, CARS_LOW],
+                         ids=["baseline", "cars"])
+@pytest.mark.parametrize("gpu_cls", [GPU, _SingleStepGPU],
+                         ids=["fast_forward", "single_step"])
+class TestBoundary:
+    def test_budget_t_minus_1_completes(self, workload, technique, gpu_cls):
+        _, free = run_once(workload, technique, gpu_cls=gpu_cls)
+        total = free.cycles
+        _, exact = run_once(workload, technique, gpu_cls=gpu_cls,
+                            max_cycles=total - 1)
+        assert exact.to_dict() == free.to_dict()
+
+    def test_budget_t_minus_2_raises(self, workload, technique, gpu_cls):
+        _, free = run_once(workload, technique, gpu_cls=gpu_cls)
+        total = free.cycles
+        with pytest.raises(MaxCyclesError) as info:
+            run_once(workload, technique, gpu_cls=gpu_cls,
+                     max_cycles=total - 2)
+        # Message contract other tests regex against; dump attached.
+        assert f"exceeded {total - 2} cycles" in str(info.value)
+        assert info.value.diagnostics is not None
+        assert info.value.diagnostics.warps
+        # The failure cycle is exactly the budget boundary.
+        assert info.value.diagnostics.cycle == total - 1
+
+    def test_typed_and_legacy_catchable(self, workload, technique, gpu_cls):
+        # MaxCyclesError still satisfies the historical SimulationError
+        # contract (tests and callers catch the base class).
+        with pytest.raises(SimulationError):
+            run_once(workload, technique, gpu_cls=gpu_cls, max_cycles=5)
+
+
+def test_budget_sweep_agrees_between_loops(workload):
+    """Every budget below T behaves identically in both loop flavors."""
+    _, free = run_once(workload, BASELINE)
+    total = free.cycles
+    for budget in (1, total // 3, total - 3, total - 2, total - 1, total):
+        outcomes = []
+        for gpu_cls in (GPU, _SingleStepGPU):
+            try:
+                _, stats = run_once(workload, BASELINE, gpu_cls=gpu_cls,
+                                    max_cycles=budget)
+                outcomes.append(("ok", stats.cycles))
+            except MaxCyclesError as exc:
+                outcomes.append(("raise", exc.diagnostics.cycle))
+        assert outcomes[0] == outcomes[1], f"budget={budget}: {outcomes}"

@@ -1,0 +1,164 @@
+"""Checkpoint/resume determinism and format validation.
+
+The load-bearing property: a checkpointed run, an uninterrupted run, and
+a run resumed from a mid-flight checkpoint must all end with
+byte-identical :meth:`SimStats.to_dict` payloads — serializing the
+simulation can never perturb the simulation.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.techniques import BASELINE, CARS_LOW
+from repro.obs import ObsSession
+from repro.resilience import MaxCyclesError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointPolicy,
+    latest_checkpoint,
+    load_checkpoint,
+    read_meta,
+    resume_run,
+)
+
+from tests.resilience_util import chained_load_workload, run_once
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return chained_load_workload(threads=64, blocks=4)
+
+
+@pytest.mark.parametrize("technique", [BASELINE, CARS_LOW],
+                         ids=["baseline", "cars"])
+class TestDeterminism:
+    def test_checkpointing_is_timing_invisible(self, tmp_path, workload,
+                                               technique):
+        _, straight = run_once(workload, technique)
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=200)
+        _, checked = run_once(workload, technique, checkpoint=policy)
+        assert checked.to_dict() == straight.to_dict()
+        assert policy.saved  # it actually wrote checkpoints
+
+    def test_resume_matches_straight_run(self, tmp_path, workload,
+                                         technique):
+        _, straight = run_once(workload, technique)
+        total = straight.cycles
+        # Interrupt mid-run (budget below the total) with checkpoints on.
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=total // 5)
+        with pytest.raises(MaxCyclesError):
+            run_once(workload, technique, checkpoint=policy,
+                     max_cycles=(total * 3) // 4)
+        path = latest_checkpoint(tmp_path / "ckpt")
+        assert path is not None
+        meta = read_meta(path)
+        assert 0 < meta["cycle"] < total
+        assert meta["blocks_remaining"] > 0
+        gpu, cycle = resume_run(path)
+        assert cycle == total
+        assert gpu.stats.to_dict() == straight.to_dict()
+
+    def test_double_checkpoint_chain(self, tmp_path, workload, technique):
+        # Resume a resumed run: checkpoint during the resumed leg too.
+        _, straight = run_once(workload, technique)
+        total = straight.cycles
+        first = CheckpointPolicy(tmp_path / "a", every_cycles=total // 6)
+        with pytest.raises(MaxCyclesError):
+            run_once(workload, technique, checkpoint=first,
+                     max_cycles=total // 2)
+        second = CheckpointPolicy(tmp_path / "b", every_cycles=total // 6)
+        # Seed the second policy's clock past the restored cycle so it
+        # saves during the remaining stretch.
+        payload = load_checkpoint(latest_checkpoint(tmp_path / "a"))
+        second.next_due = payload["cycle"] + total // 6
+        with pytest.raises(MaxCyclesError):
+            resume_run(payload, max_cycles=(total * 3) // 4,
+                       checkpoint=second)
+        assert second.saved
+        gpu, cycle = resume_run(latest_checkpoint(tmp_path / "b"))
+        assert cycle == total
+        assert gpu.stats.to_dict() == straight.to_dict()
+
+
+class TestPolicy:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(tmp_path, every_cycles=0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(tmp_path, keep=0)
+
+    def test_pruning_keeps_newest(self, tmp_path, workload):
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=100,
+                                  keep=2)
+        run_once(workload, BASELINE, checkpoint=policy)
+        remaining = sorted((tmp_path / "ckpt").glob("*.ckpt"))
+        assert len(remaining) == 2
+        assert remaining == sorted(policy.saved)
+
+    def test_obs_session_is_rejected(self, tmp_path, workload):
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=100)
+        with pytest.raises(ValueError, match="ObsSession"):
+            run_once(workload, BASELINE, checkpoint=policy,
+                     obs=ObsSession(trace=True))
+
+
+class TestFormat:
+    def _one_checkpoint(self, tmp_path, workload):
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=200)
+        run_once(workload, CARS_LOW, checkpoint=policy)
+        return policy.saved[-1]
+
+    def test_meta_line_is_json(self, tmp_path, workload):
+        path = self._one_checkpoint(tmp_path, workload)
+        with open(path, "rb") as fh:
+            assert fh.readline() == b"repro-checkpoint\n"
+            meta = json.loads(fh.readline().decode())
+        assert meta["schema"] == CHECKPOINT_SCHEMA_VERSION
+        assert meta["kernel"] == "main"
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"something else entirely\n")
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            read_meta(path)
+
+    def test_schema_mismatch_refuses(self, tmp_path, workload):
+        path = self._one_checkpoint(tmp_path, workload)
+        with open(path, "rb") as fh:
+            magic = fh.readline()
+            meta = json.loads(fh.readline().decode())
+            blob = fh.read()
+        meta["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        bad = tmp_path / "bad.ckpt"
+        with open(bad, "wb") as fh:
+            fh.write(magic)
+            fh.write(json.dumps(meta, sort_keys=True).encode() + b"\n")
+            fh.write(blob)
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(bad)
+
+    def test_corrupt_payload(self, tmp_path, workload):
+        path = self._one_checkpoint(tmp_path, workload)
+        with open(path, "rb") as fh:
+            head = fh.readline() + fh.readline()
+        bad = tmp_path / "trunc.ckpt"
+        bad.write_bytes(head + b"\x80garbage")
+        with pytest.raises(CheckpointError, match="corrupt payload"):
+            load_checkpoint(bad)
+
+    def test_payload_unpickles_cleanly(self, tmp_path, workload):
+        path = self._one_checkpoint(tmp_path, workload)
+        payload = load_checkpoint(path)
+        gpu = payload["gpu"]
+        # Sessions scoped to the writing process never cross the file.
+        assert gpu.obs is None
+        assert gpu._faults is None
+        assert gpu.mem.on_complete == gpu._on_load_complete
+        # The restored graph is itself checkpointable again.
+        pickle.dumps(gpu)
+
+    def test_latest_checkpoint_empty_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "missing") is None
