@@ -10,7 +10,11 @@ The package layers bottom-up:
 * :mod:`repro.analysis.diagnostics` — codes, severities, renderers;
 * :mod:`repro.analysis.lint` — the pass suite proving the link-time
   facts CARS depends on (ABI PUSH/POP discipline, FRU/MaxStackDepth
-  accounting, SSY/SYNC pairing) along *all* control-flow paths.
+  accounting, SSY/SYNC pairing) along *all* control-flow paths;
+* :mod:`repro.analysis.interproc` — context-sensitive interprocedural
+  register-pressure analysis with closed-form CARS predictions
+  (occupancy intervals, demand curves, trap-free depths) that the
+  simulator's counters are validated against.
 """
 
 from .cfg import CFG, BasicBlock, build_cfg, sync_scopes
@@ -25,13 +29,32 @@ from .dataflow import (
 )
 from .diagnostics import (
     CODES,
+    LINT_SCHEMA_VERSION,
     Diagnostic,
     LintReport,
     Severity,
     render_json,
     render_text,
 )
-from .lint import LintError, ensure_module_linted, lint_function, lint_module
+from .interproc import (
+    INTERPROC_SCHEMA_VERSION,
+    CallSiteInterval,
+    InterprocReport,
+    KernelInterproc,
+    SchemePrediction,
+    analyze_kernel_interproc,
+    analyze_module_interproc,
+    ensure_module_analyzed,
+    validate_against_stats,
+)
+from .lint import (
+    LintError,
+    clear_lint_cache,
+    ensure_module_linted,
+    lint_executions,
+    lint_function,
+    lint_module,
+)
 
 __all__ = [
     "CFG",
@@ -46,13 +69,25 @@ __all__ = [
     "per_instruction_reaching",
     "solve",
     "CODES",
+    "LINT_SCHEMA_VERSION",
     "Diagnostic",
     "LintReport",
     "Severity",
     "render_json",
     "render_text",
+    "INTERPROC_SCHEMA_VERSION",
+    "CallSiteInterval",
+    "InterprocReport",
+    "KernelInterproc",
+    "SchemePrediction",
+    "analyze_kernel_interproc",
+    "analyze_module_interproc",
+    "ensure_module_analyzed",
+    "validate_against_stats",
     "LintError",
+    "clear_lint_cache",
     "ensure_module_linted",
+    "lint_executions",
     "lint_function",
     "lint_module",
 ]

@@ -24,12 +24,16 @@ Registers and predicates share one location space: architectural register
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, Generic, List, Optional, Tuple, TypeVar
 
 from ..isa.instructions import Instruction, MAX_REGS, NUM_PREDS
 from ..isa.opcodes import Opcode, is_call
+from ..isa.program import Function
 from ..frontend import abi
 from .cfg import CFG, BasicBlock
+
+#: Lattice value type of a dataflow problem.
+V = TypeVar("V")
 
 #: Predicate registers live in the same location space, above the GPRs.
 PRED_LOC_BASE = MAX_REGS
@@ -103,14 +107,14 @@ def inst_defs(inst: Instruction) -> FrozenSet[Location]:
     return frozenset(defs)
 
 
-def entry_defined_locations(func) -> FrozenSet[Location]:
+def entry_defined_locations(func: Function) -> FrozenSet[Location]:
     """Locations holding defined values when *func* starts executing:
     the hardware special registers and the ABI argument registers (kernel
     launch parameters land there too)."""
     return frozenset(abi.SPECIAL_REGS.values()) | ARG_LOCS
 
 
-class DataflowProblem:
+class DataflowProblem(Generic[V]):
     """Base class for meet-over-paths dataflow problems.
 
     Subclasses set :attr:`FORWARD` and implement the four lattice hooks.
@@ -119,25 +123,25 @@ class DataflowProblem:
 
     FORWARD = True
 
-    def boundary(self, cfg: CFG):
+    def boundary(self, cfg: CFG) -> V:
         """Value entering the entry block (forward) / leaving exits (backward)."""
         raise NotImplementedError
 
-    def top(self, cfg: CFG):
+    def top(self, cfg: CFG) -> V:
         """Initial optimistic value for every non-boundary block edge."""
         raise NotImplementedError
 
-    def meet(self, a, b):
+    def meet(self, a: V, b: V) -> V:
         """Combine values at a control-flow join."""
         raise NotImplementedError
 
-    def transfer(self, cfg: CFG, block: BasicBlock, value):
+    def transfer(self, cfg: CFG, block: BasicBlock, value: V) -> V:
         """Push *value* through *block* (in execution order when forward,
         reverse order when backward)."""
         raise NotImplementedError
 
 
-class Solution:
+class Solution(Generic[V]):
     """Fixed-point result: per-block values on both sides of each block.
 
     ``inputs[b]`` is the value entering the transfer of block *b* —
@@ -145,26 +149,26 @@ class Solution:
     and ``outputs[b]`` the value it produces.
     """
 
-    def __init__(self, problem: DataflowProblem, cfg: CFG,
-                 inputs: List[object], outputs: List[object]) -> None:
+    def __init__(self, problem: DataflowProblem[V], cfg: CFG,
+                 inputs: List[V], outputs: List[V]) -> None:
         self.problem = problem
         self.cfg = cfg
         self.inputs = inputs
         self.outputs = outputs
 
-    def block_in(self, index: int):
+    def block_in(self, index: int) -> V:
         return self.inputs[index] if self.problem.FORWARD else self.outputs[index]
 
-    def block_out(self, index: int):
+    def block_out(self, index: int) -> V:
         return self.outputs[index] if self.problem.FORWARD else self.inputs[index]
 
 
-def solve(problem: DataflowProblem, cfg: CFG) -> Solution:
+def solve(problem: DataflowProblem[V], cfg: CFG) -> Solution[V]:
     """Run the worklist algorithm to a fixed point."""
     n = len(cfg.blocks)
-    inputs: List[object] = [problem.top(cfg) for _ in range(n)]
-    outputs: List[object] = [problem.transfer(cfg, b, inputs[b.index])
-                             for b in cfg.blocks]
+    inputs: List[V] = [problem.top(cfg) for _ in range(n)]
+    outputs: List[V] = [problem.transfer(cfg, b, inputs[b.index])
+                        for b in cfg.blocks]
 
     if problem.FORWARD:
         def feeders(b: BasicBlock) -> List[int]:
@@ -189,7 +193,7 @@ def solve(problem: DataflowProblem, cfg: CFG) -> Solution:
         # The boundary value feeds the entry block (forward) or every
         # exit block, i.e. one with no successors (backward).
         at_boundary = index == 0 if problem.FORWARD else not block.succs
-        value = boundary if at_boundary else None
+        value: Optional[V] = boundary if at_boundary else None
         for feeder in feeders(block):
             value = outputs[feeder] if value is None else problem.meet(
                 value, outputs[feeder])
@@ -210,7 +214,7 @@ def solve(problem: DataflowProblem, cfg: CFG) -> Solution:
 # Liveness
 
 
-class Liveness(DataflowProblem):
+class Liveness(DataflowProblem[FrozenSet[Location]]):
     """Backward may-analysis: which locations are live at each point.
 
     ``conservative_calls`` selects the call-effect model of
@@ -228,11 +232,12 @@ class Liveness(DataflowProblem):
     def top(self, cfg: CFG) -> FrozenSet[Location]:
         return frozenset()
 
-    def meet(self, a: FrozenSet[Location], b: FrozenSet[Location]):
+    def meet(self, a: FrozenSet[Location], b: FrozenSet[Location]) -> FrozenSet[Location]:
         return a | b
 
-    def transfer(self, cfg: CFG, block: BasicBlock, live: FrozenSet[Location]):
-        live = set(live)
+    def transfer(self, cfg: CFG, block: BasicBlock,
+                 value: FrozenSet[Location]) -> FrozenSet[Location]:
+        live = set(value)
         for inst in reversed(cfg.instructions(block)):
             live -= inst_defs(inst)
             live |= inst_uses(inst, self.conservative_calls)
@@ -240,7 +245,7 @@ class Liveness(DataflowProblem):
 
 
 def per_instruction_liveness(
-    cfg: CFG, solution: Solution
+    cfg: CFG, solution: Solution[FrozenSet[Location]]
 ) -> Tuple[List[FrozenSet[Location]], List[FrozenSet[Location]]]:
     """Expand a :class:`Liveness` solution to per-instruction live-in/out."""
     problem = solution.problem
@@ -263,7 +268,7 @@ def per_instruction_liveness(
 # Reaching definitions
 
 
-class ReachingDefinitions(DataflowProblem):
+class ReachingDefinitions(DataflowProblem[FrozenSet[DefSite]]):
     """Forward may-analysis over ``(location, def_index)`` pairs.
 
     The entry boundary seeds every ABI-defined location with
@@ -287,11 +292,12 @@ class ReachingDefinitions(DataflowProblem):
     def top(self, cfg: CFG) -> FrozenSet[DefSite]:
         return frozenset()
 
-    def meet(self, a: FrozenSet[DefSite], b: FrozenSet[DefSite]):
+    def meet(self, a: FrozenSet[DefSite], b: FrozenSet[DefSite]) -> FrozenSet[DefSite]:
         return a | b
 
-    def transfer(self, cfg: CFG, block: BasicBlock, reaching: FrozenSet[DefSite]):
-        sites = set(reaching)
+    def transfer(self, cfg: CFG, block: BasicBlock,
+                 value: FrozenSet[DefSite]) -> FrozenSet[DefSite]:
+        sites = set(value)
         for idx in range(block.start, block.end):
             defs = inst_defs(cfg.func.instructions[idx])
             if defs:
@@ -301,7 +307,7 @@ class ReachingDefinitions(DataflowProblem):
 
 
 def per_instruction_reaching(
-    cfg: CFG, solution: Solution
+    cfg: CFG, solution: Solution[FrozenSet[DefSite]]
 ) -> List[FrozenSet[DefSite]]:
     """Expand a :class:`ReachingDefinitions` solution to per-instruction
     reaching-definition sets (the set *entering* each instruction)."""

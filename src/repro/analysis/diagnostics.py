@@ -39,6 +39,9 @@ CODES: Dict[str, str] = {
     "CARS302": "divergent branch (CBRA) outside any SSY scope",
     "CARS401": "PUSH demand exceeds the call graph's MaxStackDepth",
     "CARS402": "declared callee-saved block and PUSH/FRU metadata disagree",
+    "CARS403": "unbounded recursion: no declared recursion bound",
+    "CARS404": "declared FRU is looser than the computed register pressure",
+    "CARS405": "call site statically exceeds the configured register stack",
 }
 
 
@@ -122,18 +125,26 @@ def render_text(reports: Sequence[LintReport], verbose: bool = True) -> str:
     return "\n".join(lines)
 
 
+#: Version of the ``render_json`` payload (golden-tested; bump on shape
+#: changes so downstream consumers can dispatch).
+LINT_SCHEMA_VERSION = 1
+
+
 def render_json(reports: Sequence[LintReport]) -> str:
-    """Machine-readable report (one object per module)."""
-    payload = [
-        {
-            "name": report.name,
-            "errors": len(report.errors()),
-            "warnings": len(report.warnings()),
-            "diagnostics": [
-                {**asdict(diag), "severity": diag.severity.value}
-                for diag in report.diagnostics
-            ],
-        }
-        for report in reports
-    ]
+    """Machine-readable report (schema-versioned, one object per module)."""
+    payload = {
+        "schema": LINT_SCHEMA_VERSION,
+        "modules": [
+            {
+                "name": report.name,
+                "errors": len(report.errors()),
+                "warnings": len(report.warnings()),
+                "diagnostics": [
+                    {**asdict(diag), "severity": diag.severity.value}
+                    for diag in report.diagnostics
+                ],
+            }
+            for report in reports
+        ],
+    }
     return json.dumps(payload, indent=2)

@@ -19,7 +19,11 @@ set (see :data:`repro.analysis.diagnostics.CODES`):
 * CARS301/302 — SYNC outside any SSY scope, divergent CBRA outside any
   SSY scope, and inconsistent scope depth at merges;
 * CARS401/402 — cross-checks of PUSH demand against the call graph's
-  MaxStackDepth and each function's declared FRU/callee-saved metadata.
+  MaxStackDepth and each function's declared FRU/callee-saved metadata;
+* CARS403/404/405 — interprocedural rules riding on
+  :mod:`repro.analysis.interproc`: unannotated recursion, FRU declared
+  looser than the computed PUSH pressure, and (given a concrete
+  ``stack_regs`` allocation) call sites statically guaranteed to trap.
 
 Use :func:`lint_function` / :func:`lint_module` directly, or
 :func:`ensure_module_linted` as the harness gate (raises
@@ -29,16 +33,17 @@ producing silently wrong numbers).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..callgraph import analyze_kernel, build_call_graph
-from ..isa.instructions import CALLEE_SAVED_BASE
+from ..isa.instructions import CALLEE_SAVED_BASE, Instruction
 from ..isa.opcodes import OpClass, Opcode, is_call
 from ..isa.program import Function, IsaError, Module
 from ..frontend import abi
 from .cfg import CFG, BasicBlock, build_cfg
 from .dataflow import (
     CALLER_SAVED,
+    DataflowProblem,
     Liveness,
     ReachingDefinitions,
     UNINIT_DEF,
@@ -50,6 +55,13 @@ from .dataflow import (
     solve,
 )
 from .diagnostics import Diagnostic, LintReport, error, warning
+
+
+def _push_range(inst: "Instruction") -> Tuple[int, int]:
+    """The (start, count) range of a PUSH/POP (validated non-None by the
+    ISA layer; this narrows the Optional for the checks below)."""
+    assert inst.push_regs is not None
+    return inst.push_regs
 
 
 class LintError(IsaError):
@@ -197,38 +209,42 @@ def _check_caller_saved_across_calls(cfg: CFG) -> List[Diagnostic]:
 # CARS202 / CARS203: callee-saved write discipline (must-pushed analysis)
 
 
-class _MustPushed:
+#: Must-pushed lattice value: pushed-register set, ``None`` = unreached.
+_Pushed = Optional[FrozenSet[int]]
+
+
+class _MustPushed(DataflowProblem[_Pushed]):
     """Forward must-analysis: registers covered by a PUSH on *every* path.
 
-    Implemented directly on the generic engine's protocol; the value is a
-    frozenset of pushed registers, with None as the unreached top.
+    The value is a frozenset of pushed registers, with None as the
+    unreached top.
     """
 
     FORWARD = True
 
-    def boundary(self, cfg: CFG) -> FrozenSet[int]:
+    def boundary(self, cfg: CFG) -> _Pushed:
         return frozenset()
 
-    def top(self, cfg: CFG) -> Optional[FrozenSet[int]]:
+    def top(self, cfg: CFG) -> _Pushed:
         return None
 
-    def meet(self, a, b):
+    def meet(self, a: _Pushed, b: _Pushed) -> _Pushed:
         if a is None:
             return b
         if b is None:
             return a
         return a & b
 
-    def transfer(self, cfg: CFG, block: BasicBlock, pushed):
-        if pushed is None:
+    def transfer(self, cfg: CFG, block: BasicBlock, value: _Pushed) -> _Pushed:
+        if value is None:
             return None
-        pushed = set(pushed)
+        pushed = set(value)
         for inst in cfg.instructions(block):
             if inst.op is Opcode.PUSH:
-                start, count = inst.push_regs
+                start, count = _push_range(inst)
                 pushed.update(range(start, start + count))
             elif inst.op is Opcode.POP:
-                start, count = inst.push_regs
+                start, count = _push_range(inst)
                 pushed.difference_update(range(start, start + count))
         return frozenset(pushed)
 
@@ -244,16 +260,16 @@ def _check_callee_saved_writes(cfg: CFG) -> List[Diagnostic]:
     for block in cfg.blocks:
         if block.index not in reachable:
             continue
-        pushed = solution.block_in(block.index)
-        pushed = set(pushed) if pushed is not None else set()
+        pushed_in = solution.block_in(block.index)
+        pushed = set(pushed_in) if pushed_in is not None else set()
         for idx in range(block.start, block.end):
             inst = func.instructions[idx]
             if inst.op is Opcode.PUSH:
-                start, count = inst.push_regs
+                start, count = _push_range(inst)
                 pushed.update(range(start, start + count))
                 continue
             if inst.op is Opcode.POP:
-                start, count = inst.push_regs
+                start, count = _push_range(inst)
                 pushed.difference_update(range(start, start + count))
                 continue
             for reg in inst.dst:
@@ -280,35 +296,43 @@ def _check_callee_saved_writes(cfg: CFG) -> List[Diagnostic]:
 # ---------------------------------------------------------------------------
 # CARS204 / CARS205: PUSH/POP balance along all paths
 
-#: Lattice sentinel: paths disagree on the stack below this point.
-_CONFLICT = "conflict"
+class _Conflict:
+    """Lattice sentinel: paths disagree on the value below this point."""
 
 
-class _PushStack:
+_CONFLICT = _Conflict()
+
+#: Abstract PUSH stack: tuple of (base, count) ranges; ``None`` =
+#: unreached; :class:`_Conflict` = paths disagree.
+_PushRanges = Tuple[Tuple[int, int], ...]
+_Stack = Union[None, _Conflict, _PushRanges]
+
+
+class _PushStack(DataflowProblem[_Stack]):
     """Forward analysis of the abstract PUSH stack (tuple of ranges)."""
 
     FORWARD = True
 
-    def boundary(self, cfg: CFG) -> Tuple:
+    def boundary(self, cfg: CFG) -> _Stack:
         return ()
 
-    def top(self, cfg: CFG):
+    def top(self, cfg: CFG) -> _Stack:
         return None  # unreached
 
-    def meet(self, a, b):
+    def meet(self, a: _Stack, b: _Stack) -> _Stack:
         if a is None:
             return b
         if b is None:
             return a
         return a if a == b else _CONFLICT
 
-    def transfer(self, cfg: CFG, block: BasicBlock, stack):
-        if stack is None or stack is _CONFLICT:
-            return stack
-        stack = list(stack)
+    def transfer(self, cfg: CFG, block: BasicBlock, value: _Stack) -> _Stack:
+        if value is None or isinstance(value, _Conflict):
+            return value
+        stack = list(value)
         for inst in cfg.instructions(block):
             if inst.op is Opcode.PUSH:
-                stack.append(inst.push_regs)
+                stack.append(_push_range(inst))
             elif inst.op is Opcode.POP:
                 if not stack or stack[-1] != inst.push_regs:
                     return _CONFLICT
@@ -316,7 +340,7 @@ class _PushStack:
         return tuple(stack)
 
 
-def _stack_regs(stack: Tuple) -> int:
+def _stack_regs(stack: _PushRanges) -> int:
     return sum(count for _, count in stack)
 
 
@@ -337,23 +361,22 @@ def _check_push_pop_balance(cfg: CFG) -> List[Diagnostic]:
     for block in cfg.blocks:
         if block.index not in reachable:
             continue
-        stack = solution.block_in(block.index)
-        if stack is _CONFLICT:
+        stack_in = solution.block_in(block.index)
+        if isinstance(stack_in, _Conflict):
             # Report only at the merge frontier, not down the cascade.
             feeders = [solution.block_out(p) for p in block.preds]
-            if any(f is not None and f is not _CONFLICT for f in feeders):
+            if any(f is not None and not isinstance(f, _Conflict)
+                   for f in feeders):
                 diags.append(error(
                     "CARS204", func.name,
                     "control-flow paths reach this point with different "
                     "PUSH stack depths", block.start))
             continue
-        if stack is None:
-            stack = ()
-        stack = list(stack)
+        stack = list(stack_in) if stack_in is not None else []
         for idx in range(block.start, block.end):
             inst = func.instructions[idx]
             if inst.op is Opcode.PUSH:
-                stack.append(inst.push_regs)
+                stack.append(_push_range(inst))
             elif inst.op is Opcode.POP:
                 if not stack:
                     diags.append(error(
@@ -380,28 +403,33 @@ def _check_push_pop_balance(cfg: CFG) -> List[Diagnostic]:
 # CARS301 / CARS302: SSY/SYNC pairing along all paths
 
 
-class _SsyScopes:
+#: Open-SSY-scope stack: tuple of reconvergence indices; ``None`` =
+#: unreached; :class:`_Conflict` = paths disagree on the depth.
+_Scopes = Union[None, _Conflict, Tuple[int, ...]]
+
+
+class _SsyScopes(DataflowProblem[_Scopes]):
     """Forward analysis of the open-SSY-scope stack (tuple of targets)."""
 
     FORWARD = True
 
-    def boundary(self, cfg: CFG) -> Tuple:
+    def boundary(self, cfg: CFG) -> _Scopes:
         return ()
 
-    def top(self, cfg: CFG):
+    def top(self, cfg: CFG) -> _Scopes:
         return None
 
-    def meet(self, a, b):
+    def meet(self, a: _Scopes, b: _Scopes) -> _Scopes:
         if a is None:
             return b
         if b is None:
             return a
         return a if a == b else _CONFLICT
 
-    def transfer(self, cfg: CFG, block: BasicBlock, scopes):
-        if scopes is None or scopes is _CONFLICT:
-            return scopes
-        scopes = list(scopes)
+    def transfer(self, cfg: CFG, block: BasicBlock, value: _Scopes) -> _Scopes:
+        if value is None or isinstance(value, _Conflict):
+            return value
+        scopes = list(value)
         for idx in range(block.start, block.end):
             while scopes and scopes[-1] == idx:
                 scopes.pop()  # execution reached the reconvergence point
@@ -419,16 +447,17 @@ def _check_ssy_sync(cfg: CFG) -> List[Diagnostic]:
     for block in cfg.blocks:
         if block.index not in reachable:
             continue
-        scopes = solution.block_in(block.index)
-        if scopes is _CONFLICT:
+        scopes_in = solution.block_in(block.index)
+        if isinstance(scopes_in, _Conflict):
             feeders = [solution.block_out(p) for p in block.preds]
-            if any(f is not None and f is not _CONFLICT for f in feeders):
+            if any(f is not None and not isinstance(f, _Conflict)
+                   for f in feeders):
                 diags.append(error(
                     "CARS301", func.name,
                     "control-flow paths reach this point with different "
                     "SSY scope depths", block.start))
             continue
-        scopes = list(scopes) if scopes is not None else []
+        scopes = list(scopes_in) if scopes_in is not None else []
         for idx in range(block.start, block.end):
             while scopes and scopes[-1] == idx:
                 scopes.pop()
@@ -459,13 +488,13 @@ def _max_push_depth(cfg: CFG) -> int:
     for block in cfg.blocks:
         if block.index not in reachable:
             continue
-        stack = solution.block_in(block.index)
-        if stack is None or stack is _CONFLICT:
+        stack_in = solution.block_in(block.index)
+        if stack_in is None or isinstance(stack_in, _Conflict):
             continue  # imbalance is CARS204's finding, not ours
-        stack = list(stack)
+        stack = list(stack_in)
         for inst in cfg.instructions(block):
             if inst.op is Opcode.PUSH:
-                stack.append(inst.push_regs)
+                stack.append(_push_range(inst))
                 worst = max(worst, _stack_regs(tuple(stack)))
             elif inst.op is Opcode.POP and stack:
                 stack.pop()
@@ -502,6 +531,32 @@ def _check_function_metadata(cfg: CFG) -> List[Diagnostic]:
     return diags
 
 
+def _check_fru_slack(cfg: CFG) -> List[Diagnostic]:
+    """CARS404: declared FRU looser than the computed register pressure.
+
+    The dual of CARS402's under-declaration check: a device function
+    whose declared FRU exceeds its worst-case PUSH pressure plus the
+    saved-RFP slot over-reserves register-stack space on every
+    activation, lowering CARS's trap-free call depth for no benefit.
+    (Registers that are *pushed* are never slack, even when dead across
+    every call — the PUSH protects the caller's value, and deliberate
+    pressure padding is expressed through the PUSH range; the
+    liveness-tightened bound is reported by ``repro analyze`` instead.)
+    """
+    func = cfg.func
+    if func.is_kernel:
+        return []
+    push_depth = _max_push_depth(cfg)
+    slack = func.fru - (push_depth + 1)
+    if slack > 0:
+        return [warning(
+            "CARS404", func.name,
+            f"declares fru={func.fru} but worst-case PUSH pressure is "
+            f"{push_depth} register(s) (+1 for the saved RFP): "
+            f"{slack} stack register(s) over-reserved per activation")]
+    return []
+
+
 def _check_stack_accounting(module: Module,
                             cfgs: Dict[str, CFG]) -> List[Diagnostic]:
     """CARS401: per-kernel PUSH demand vs the call graph's MaxStackDepth."""
@@ -531,6 +586,50 @@ def _check_stack_accounting(module: Module,
 
 
 # ---------------------------------------------------------------------------
+# CARS403 / CARS405: interprocedural diagnostics (recursion bounds and
+# statically-guaranteed traps)
+
+
+def _check_interprocedural(
+    module: Module, stack_regs: Optional[int]
+) -> List[Diagnostic]:
+    """CARS403 for every reachable unannotated recursive function; CARS405
+    (only when a concrete per-warp allocation is given) for call sites
+    whose *best-case* entry occupancy already exceeds the register stack —
+    every execution reaching such a site is guaranteed to trap."""
+    from .interproc import analyze_kernel_interproc
+
+    graph = build_call_graph(module)
+    diags: List[Diagnostic] = []
+    flagged: Set[str] = set()
+    for kernel in module.kernels():
+        info = analyze_kernel_interproc(module, graph, kernel.name)
+        for fname in info.unbounded_functions:
+            if fname in flagged:
+                continue
+            flagged.add(fname)
+            diags.append(warning(
+                "CARS403", fname,
+                "recursive with no declared recursion bound: worst-case "
+                "register-stack demand is unbounded (the one-iteration "
+                "rule was applied; annotate recursion_bound to bound it)"))
+        if stack_regs is None:
+            continue
+        capacity = max(0, stack_regs - info.kernel_fru)
+        for site in info.call_sites:
+            if site.min_entry_regs > capacity:
+                diags.append(error(
+                    "CARS405", site.caller,
+                    f"call to {site.callee} needs at least "
+                    f"{site.min_entry_regs} stacked register(s) on every "
+                    f"execution, but a {stack_regs}-register warp "
+                    f"allocation leaves a stack of {capacity} (kernel "
+                    f"{kernel.name} keeps {info.kernel_fru}): every such "
+                    f"call is guaranteed to trap"))
+    return diags
+
+
+# ---------------------------------------------------------------------------
 # Entry points
 
 _FUNCTION_PASSES = (
@@ -542,6 +641,7 @@ _FUNCTION_PASSES = (
     _check_push_pop_balance,
     _check_ssy_sync,
     _check_function_metadata,
+    _check_fru_slack,
 )
 
 
@@ -554,8 +654,17 @@ def lint_function(func: Function) -> List[Diagnostic]:
     return diags
 
 
-def lint_module(module: Module, name: str = "module") -> LintReport:
-    """Run all per-function and cross-module lint passes over *module*."""
+def lint_module(
+    module: Module,
+    name: str = "module",
+    stack_regs: Optional[int] = None,
+) -> LintReport:
+    """Run all per-function and cross-module lint passes over *module*.
+
+    *stack_regs* (a concrete per-warp register allocation) arms the
+    CARS405 guaranteed-trap check; without it the rule is vacuous (the
+    allocation is a runtime policy choice, not a module property).
+    """
     diags: List[Diagnostic] = []
     cfgs: Dict[str, CFG] = {}
     for func in module.functions.values():
@@ -564,19 +673,44 @@ def lint_module(module: Module, name: str = "module") -> LintReport:
         for lint_pass in _FUNCTION_PASSES:
             diags.extend(lint_pass(cfg))
     diags.extend(_check_stack_accounting(module, cfgs))
+    diags.extend(_check_interprocedural(module, stack_regs))
     return LintReport(name=name, diagnostics=diags)
 
 
+# Reports for the default (no stack_regs) gate, keyed by module content
+# digest — shared across every run of byte-identical modules.
+_LINT_CACHE: Dict[str, LintReport] = {}
+_lint_executions = 0
+
+
+def lint_executions() -> int:
+    """How many times :func:`ensure_module_linted` actually linted
+    (cache misses) — observability hook for the caching tests."""
+    return _lint_executions
+
+
+def clear_lint_cache() -> None:
+    global _lint_executions
+    _LINT_CACHE.clear()
+    _lint_executions = 0
+
+
 def ensure_module_linted(module: Module, name: str = "module") -> LintReport:
-    """Lint *module* once (cached on the module) and raise on errors.
+    """Lint *module* once per content digest and raise on errors.
 
     The harness calls this before every simulation so a miscompiled
     workload fails loudly instead of producing silently wrong numbers.
+    The cache is keyed by :meth:`Module.content_digest`, so rebuilding
+    the same workload (separate :class:`Module` instances, identical
+    bytes) never re-lints.
     """
-    report = getattr(module, "_lint_report", None)
+    global _lint_executions
+    digest = module.content_digest()
+    report = _LINT_CACHE.get(digest)
     if report is None:
         report = lint_module(module, name)
-        module._lint_report = report
+        _LINT_CACHE[digest] = report
+        _lint_executions += 1
     if report.errors():
         raise LintError(report)
     return report

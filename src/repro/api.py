@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .config.gpu_config import GPUConfig, ampere, volta
 from .core.techniques import TECHNIQUE_REGISTRY, Technique, resolve_technique
-from .harness.executor import Executor, ExperimentPlan, ExperimentRequest
+from .harness.executor import Executor, ExperimentPlan
 from .harness._runner import (
     RunResult,
     SWL_SWEEP,
@@ -60,6 +60,7 @@ from .resilience.errors import (
     SimulationError,
     WorkerCrashError,
 )
+from .analysis.interproc import InterprocReport, analyze_module_interproc
 from .workloads import Workload, make_workload
 from .workloads.suite import SMOKE_NAMES, WORKLOAD_NAMES
 
@@ -84,6 +85,9 @@ __all__ = [
     "geomean",
     "WORKLOAD_NAMES",
     "SMOKE_NAMES",
+    # static analysis
+    "InterprocReport",
+    "analyze_workload",
 ]
 
 #: Accepted by ``technique=``: a registry name or a Technique object.
@@ -96,6 +100,19 @@ def _resolve_workload(workload: WorkloadLike) -> Workload:
     if isinstance(workload, str):
         return make_workload(workload)
     return workload
+
+
+def analyze_workload(workload: WorkloadLike, *, inlined: bool = False) -> InterprocReport:
+    """Interprocedural register-pressure analysis of a workload binary.
+
+    Pure static computation (no simulation): per-kernel frame-depth and
+    register-demand bounds, call-site occupancy intervals,
+    liveness-tightened FRUs, and per-scheme CARS predictions.  Pass
+    ``inlined=True`` to analyze the LTO binary the ``lto``/``cars``
+    techniques simulate.
+    """
+    resolved = _resolve_workload(workload)
+    return analyze_module_interproc(resolved.module(inlined), resolved.name)
 
 
 class Simulation:

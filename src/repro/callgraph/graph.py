@@ -9,7 +9,7 @@ sites contribute one edge per candidate target).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..isa.program import Module
 
@@ -22,14 +22,84 @@ class CallGraph:
         edges: caller -> set of possible callees.
         fru: Function Register Usage per node.
         kernels: the ``__global__`` roots.
+        recursion_bounds: declared per-function activation bounds (None =
+            unknown), consumed by the interprocedural analysis.
     """
 
     edges: Dict[str, Set[str]] = field(default_factory=dict)
     fru: Dict[str, int] = field(default_factory=dict)
     kernels: Tuple[str, ...] = ()
+    recursion_bounds: Dict[str, Optional[int]] = field(default_factory=dict)
 
     def callees(self, name: str) -> Set[str]:
         return self.edges.get(name, set())
+
+    def nodes(self) -> Set[str]:
+        """Every function that appears as a caller or a callee."""
+        names: Set[str] = set(self.edges)
+        for targets in self.edges.values():
+            names |= targets
+        return names
+
+    def sccs(self) -> List[FrozenSet[str]]:
+        """Strongly connected components (iterative Tarjan).
+
+        Returned in reverse topological order (callees before callers),
+        which is exactly the order a bottom-up DP over the condensation
+        wants.  Trivial one-node components are included; whether a node
+        is *recursive* additionally requires a self-edge (see
+        :meth:`recursive_nodes`).
+        """
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[FrozenSet[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            # Explicit work stack: (node, iterator over callees) frames.
+            work: List[Tuple[str, List[str]]] = []
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, sorted(self.callees(root))))
+            while work:
+                node, todo = work[-1]
+                advanced = False
+                while todo:
+                    child = todo.pop()
+                    if child not in index:
+                        index[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, sorted(self.callees(child))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    members: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        members.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(members))
+
+        for name in sorted(self.nodes()):
+            if name not in index:
+                strongconnect(name)
+        return components
 
     def reachable(self, root: str) -> Set[str]:
         seen = {root}
@@ -93,5 +163,6 @@ def build_call_graph(module: Module) -> CallGraph:
             targets.update(site)
         graph.edges[func.name] = targets
         graph.fru[func.name] = func.fru
+        graph.recursion_bounds[func.name] = func.recursion_bound
     graph.kernels = tuple(f.name for f in module.kernels())
     return graph

@@ -16,7 +16,7 @@ Two cooperating models live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..isa.instructions import CALLEE_SAVED_BASE

@@ -1,8 +1,9 @@
 """Command-line interface.
 
     python -m repro list
-    python -m repro analyze --workload MST
-    python -m repro lint --workload MST [--strict] [--json]
+    python -m repro analyze --workload MST [--json] [--validate]
+    python -m repro analyze --all --json
+    python -m repro lint --workload MST [--strict] [--json] [--stack-regs N]
     python -m repro lint --all --strict
     python -m repro run --workload MST --technique cars [--config ampere] [--jobs 2]
     python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
@@ -45,17 +46,109 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
-    workload = make_workload(args.workload)
-    module = workload.module()
+def _print_analysis(name, workload, module, report) -> None:
     graph = build_call_graph(module)
-    print(f"{args.workload}: {len(module.functions)} functions, "
+    print(f"{name}: {len(module.functions)} functions, "
           f"{module.code_bytes} code bytes")
     for kernel in module.kernels():
         analysis = analyze_kernel(graph, kernel.name)
+        info = report.kernels[kernel.name]
+        depth = ("unbounded" if info.frame_depth_bound is None
+                 else info.frame_depth_bound)
+        demand = ("unbounded" if info.worst_demand is None
+                  else info.worst_demand)
         print(f"  kernel {kernel.name}: fru={analysis.kernel_fru} "
               f"low={analysis.low_watermark} high={analysis.high_watermark} "
               f"cyclic={analysis.cyclic} ladder={analysis.allocation_levels()}")
+        print(f"    frame depth <= {depth}, stacked registers <= {demand}, "
+              f"{len(info.call_sites)} call site(s)")
+        if info.unbounded_functions:
+            print("    unbounded recursion: "
+                  + ", ".join(info.unbounded_functions))
+        for site in info.call_sites:
+            worst = ("unbounded" if site.max_entry_regs is None
+                     else site.max_entry_regs)
+            print(f"    site {site.caller} -> {site.callee}: "
+                  f"occupancy [{site.min_entry_regs}, {worst}] "
+                  f"(frame {site.frame_regs})")
+        for func in sorted(info.live_fru):
+            declared = info.declared_fru[func]
+            live = info.live_fru[func]
+            note = f" (tightenable to {live})" if live < declared else ""
+            print(f"    {func}: declared fru={declared}, "
+                  f"live pressure {live}{note}")
+        for scheme in sorted(info.predictions):
+            pred = info.predictions[scheme]
+            tfd = ("any" if pred.trap_free_depth is None
+                   else pred.trap_free_depth)
+            print(f"    scheme {scheme}: {pred.regs_per_warp} regs/warp, "
+                  f"stack {pred.stack_capacity}, trap-free depth {tfd}, "
+                  f"guaranteed trap-free {pred.guaranteed_trap_free}, "
+                  f">= {pred.min_traps_per_call} trap(s)/call, "
+                  f"{pred.spill_bytes_avoided} spill bytes avoided")
+
+
+def _validate_analysis(workload, config) -> list:
+    """Simulate each CARS scheme and diff predictions against observation.
+
+    Returns violation strings (empty = the soundness contract held)."""
+    from .analysis.interproc import (
+        SCHEME_TECHNIQUES, ensure_module_analyzed, validate_against_stats,
+    )
+    from .core.techniques import resolve_technique
+    from .harness._runner import run_workload
+
+    launched = [launch.kernel for launch in workload.launches]
+    failures = []
+    for scheme in sorted(SCHEME_TECHNIQUES):
+        technique = resolve_technique(SCHEME_TECHNIQUES[scheme])
+        module = workload.module(technique.use_inlined)
+        report = ensure_module_analyzed(module, workload.name)
+        stats = run_workload(workload, technique, config=config).stats
+        violations = validate_against_stats(report, scheme, launched, stats)
+        status = "VIOLATED" if violations else "ok"
+        print(f"  validate {scheme} ({technique.name}): "
+              f"peak depth {stats.peak_stack_depth}, {stats.traps} trap(s), "
+              f"{stats.calls} call(s) -- {status}")
+        failures.extend(f"{workload.name}: {v}" for v in violations)
+    return failures
+
+
+def _cmd_analyze(args) -> int:
+    """Interprocedural register-pressure analysis of workload binaries.
+
+    ``--validate`` additionally simulates every CARS scheme and exits 1
+    if any static prediction is violated by the observed counters.
+    """
+    import json as _json
+
+    from .analysis.interproc import (
+        INTERPROC_SCHEMA_VERSION, analyze_module_interproc,
+    )
+
+    names = WORKLOAD_NAMES if args.all else [args.workload]
+    config = PRESETS[args.config]
+    payloads = []
+    failures = []
+    for name in names:
+        workload = make_workload(name)
+        module = workload.module()
+        report = analyze_module_interproc(module, name)
+        if args.json:
+            payloads.append(report.to_dict())
+        else:
+            _print_analysis(name, workload, module, report)
+        if args.validate:
+            failures.extend(_validate_analysis(workload, config))
+    if args.json:
+        print(_json.dumps(
+            {"schema": INTERPROC_SCHEMA_VERSION, "reports": payloads},
+            indent=2, sort_keys=True))
+    if failures:
+        print(f"\nPREDICTION VIOLATIONS ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -70,8 +163,11 @@ def _cmd_lint(args) -> int:
     reports = []
     for name in names:
         workload = make_workload(name)
-        reports.append(lint_module(workload.module(), name))
-        reports.append(lint_module(workload.module(inlined=True), f"{name}/lto"))
+        reports.append(
+            lint_module(workload.module(), name, stack_regs=args.stack_regs))
+        reports.append(
+            lint_module(workload.module(inlined=True), f"{name}/lto",
+                        stack_regs=args.stack_regs))
     print(render_json(reports) if args.json else render_text(reports))
     failed = [r.name for r in reports if not r.ok(strict=args.strict)]
     if failed:
@@ -331,8 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, techniques, configs")
 
-    analyze = sub.add_parser("analyze", help="call-graph analysis of a workload")
-    analyze.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    analyze = sub.add_parser(
+        "analyze",
+        help="interprocedural register-pressure analysis of a workload")
+    analyze_scope = analyze.add_mutually_exclusive_group(required=True)
+    analyze_scope.add_argument("--workload", choices=WORKLOAD_NAMES)
+    analyze_scope.add_argument("--all", action="store_true",
+                               help="analyze every Table I workload")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable analysis report")
+    analyze.add_argument("--validate", action="store_true",
+                         help="simulate each CARS scheme and exit 1 if any "
+                              "static prediction is violated")
+    analyze.add_argument("--config", default="volta", choices=sorted(PRESETS),
+                         help="hardware preset for --validate runs")
 
     lint = sub.add_parser(
         "lint", help="ABI/stack-safety lint of compiled workload binaries")
@@ -344,6 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="treat warnings as gate failures")
     lint.add_argument("--json", action="store_true",
                       help="machine-readable diagnostics")
+    lint.add_argument("--stack-regs", type=int, default=None, metavar="N",
+                      help="per-warp register allocation; arms the CARS405 "
+                           "guaranteed-trap check against it")
 
     run = sub.add_parser("run", help="simulate one (workload, technique)")
     run.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)

@@ -227,6 +227,8 @@ class SM:
     def _finish_warp(self, warp: WarpCtx, cycle: int) -> None:
         warp.done = True
         warp.ready_at = NEVER
+        if warp.cars is not None and warp.cars.peak_depth > self.stats.peak_stack_depth:
+            self.stats.peak_stack_depth = warp.cars.peak_depth
         block = warp.block
         block.alive -= 1
         if self.ctx.manages_registers and warp.alloc_regs:

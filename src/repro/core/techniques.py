@@ -13,18 +13,18 @@ model; what differs is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..callgraph.analysis import KernelStackAnalysis
-from ..cars.allocation import AllocationPlan, plan_allocation
+from ..cars.allocation import plan_allocation
 from ..cars.policy import DynamicReservationPolicy, PolicyMemory
 from ..cars.register_stack import WarpRegisterStack
 from ..config.gpu_config import GPUConfig
 from ..emu.trace import KernelTrace, TraceKind, TraceRecord
 from ..metrics.counters import SimStats, STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
 from .occupancy import Occupancy, compute_occupancy
-from .uop import Uop, UopKind, bar_uop, ctrl_uop, exec_uop, exit_uop, mem_uop
+from .uop import Uop, UopKind, bar_uop, ctrl_uop, exit_uop, mem_uop
 from .warp import WarpCtx
 
 # Hot-path aliases for the expansion fast paths below.

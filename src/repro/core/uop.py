@@ -9,9 +9,9 @@ when the register stack overflows).
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Tuple
 
-from ..metrics.counters import STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
+from ..metrics.counters import STREAM_GLOBAL
 
 
 class UopKind(enum.IntEnum):

@@ -11,7 +11,7 @@ sectors for the L1D, and call/return metadata for the register stack.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 
 class TraceKind(enum.IntEnum):

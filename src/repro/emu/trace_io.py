@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import gzip
 import json
-from typing import IO, Iterable, List, Union
+from typing import List
 
 from .trace import BlockTrace, KernelTrace, TraceKind, TraceRecord, WarpTrace
 

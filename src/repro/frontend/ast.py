@@ -13,7 +13,7 @@ call) and :class:`LoadGlobal`/:class:`LoadShared`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..isa.opcodes import CmpOp, Opcode
 
@@ -312,6 +312,11 @@ class FunctionDef:
             live values in the function body; the synthesizer uses it to
             control per-function FRU exactly (padding with live-across-call
             values when the body alone would not demand that many).
+        recursion_bound: declared bound on simultaneous activations of this
+            function on one call stack (for recursive functions), or None
+            when unknown.  Carried through lowering onto the compiled
+            :class:`repro.isa.program.Function` for the interprocedural
+            analysis.
     """
 
     name: str
@@ -320,6 +325,7 @@ class FunctionDef:
     is_kernel: bool = False
     shared_mem_bytes: int = 0
     reg_pressure: int = 0
+    recursion_bound: Optional[int] = None
 
 
 @dataclass

@@ -18,7 +18,7 @@ nodes::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from ..isa.opcodes import Opcode
 from ..isa.program import Module
@@ -87,8 +87,14 @@ def device(
     params: Sequence[str],
     body: Sequence[Stmt],
     reg_pressure: int = 0,
+    recursion_bound: Optional[int] = None,
 ) -> FunctionDef:
-    """Define a ``__device__`` function."""
+    """Define a ``__device__`` function.
+
+    ``recursion_bound`` declares the maximum simultaneous activations a
+    recursive function stacks (None when unknown); the interprocedural
+    analysis turns it into sound depth/demand bounds.
+    """
     return prog.add(
         FunctionDef(
             name=name,
@@ -96,6 +102,7 @@ def device(
             body=list(body),
             is_kernel=False,
             reg_pressure=reg_pressure,
+            recursion_bound=recursion_bound,
         )
     )
 

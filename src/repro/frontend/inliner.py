@@ -16,11 +16,10 @@ early return is treated as non-inlinable.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .ast import (
     BinOp,
-    Barrier,
     CallExpr,
     Cmp,
     Const,
@@ -34,14 +33,12 @@ from .ast import (
     IndirectCallExpr,
     Let,
     LoadGlobal,
-    LoadLocal,
     LoadShared,
     Mad,
     Mufu,
     ProgramDef,
     Return,
     Select,
-    Special,
     Stmt,
     StoreGlobal,
     StoreLocal,
@@ -494,6 +491,7 @@ def inline_program(program: ProgramDef) -> ProgramDef:
             is_kernel=func.is_kernel,
             shared_mem_bytes=func.shared_mem_bytes,
             reg_pressure=func.reg_pressure,
+            recursion_bound=func.recursion_bound,
         )
         new_kernels.append(new_func)
         still_needed |= _callees_of(body)
@@ -512,6 +510,7 @@ def inline_program(program: ProgramDef) -> ProgramDef:
                 body=body,
                 is_kernel=False,
                 reg_pressure=func.reg_pressure,
+                recursion_bound=func.recursion_bound,
             )
         )
         frontier |= _callees_of(body) - {f.name for f in out.functions}

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..isa.instructions import Instruction
-from ..isa.program import Function, Module
+from ..isa.program import Module
 from ..isa.validator import validate_module
 from .ast import ProgramDef
 from .lower import lower_function

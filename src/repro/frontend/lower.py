@@ -78,6 +78,7 @@ class LoweredFunction:
     is_kernel: bool = False
     shared_mem_bytes: int = 0
     reg_pressure: int = 0
+    recursion_bound: Optional[int] = None
     has_calls: bool = False
 
 
@@ -89,6 +90,7 @@ class _Lowerer:
             is_kernel=func.is_kernel,
             shared_mem_bytes=func.shared_mem_bytes,
             reg_pressure=func.reg_pressure,
+            recursion_bound=func.recursion_bound,
         )
         self._vars: Dict[str, int] = {}
         self._next_vreg = VREG_BASE

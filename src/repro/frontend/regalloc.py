@@ -248,6 +248,7 @@ def allocate_registers(lowered: LoweredFunction) -> Function:
         callee_saved=(CALLEE_SAVED_BASE, callee_count) if needs_push else None,
         is_kernel=lowered.is_kernel,
         shared_mem_bytes=lowered.shared_mem_bytes,
+        recursion_bound=lowered.recursion_bound,
     )
     # FRU: kernels contribute their whole frame; device functions contribute
     # their callee-saved block plus one slot for the caller's saved RFP.

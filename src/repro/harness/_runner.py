@@ -8,10 +8,11 @@ baseline run on that configuration.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..analysis import ensure_module_linted
+from ..analysis.interproc import ensure_module_analyzed
 from ..callgraph import analyze_kernel, build_call_graph
 from ..cars.policy import PolicyMemory
 from ..config.gpu_config import GPUConfig
@@ -35,6 +36,10 @@ class RunResult:
     technique: str
     config: GPUConfig
     stats: SimStats
+    #: Static-feature block from the interprocedural analysis (cached by
+    #: module digest alongside the lint gate); empty for results restored
+    #: from a pre-v3 store.
+    interproc: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def cycles(self) -> int:
@@ -70,6 +75,7 @@ class RunResult:
             "technique": self.technique,
             "config": self.config.to_dict(),
             "stats": self.stats.to_dict(),
+            "interproc": self.interproc,
         }
 
     @classmethod
@@ -79,6 +85,7 @@ class RunResult:
             technique=data["technique"],
             config=GPUConfig.from_dict(data["config"]),
             stats=SimStats.from_dict(data["stats"]),
+            interproc=data.get("interproc", {}),
         )
 
 
@@ -102,6 +109,9 @@ def run_workload(
     # a PUSH/POP imbalance or SSY mismatch would corrupt the simulated
     # register stack and produce garbage figures rather than a crash.
     ensure_module_linted(module, workload.name)
+    # The interprocedural static features ride along on every result;
+    # like the lint gate, the analysis is cached by module digest.
+    interproc = ensure_module_analyzed(module, workload.name).summary()
     traces = workload.traces(inlined=technique.use_inlined)
     graph = build_call_graph(module) if technique.abi == "cars" else None
     memory = policy_memory if policy_memory is not None else PolicyMemory()
@@ -113,7 +123,7 @@ def run_workload(
         ctx = technique.make_context(trace, cfg, kernel_stats, analysis, memory)
         GPU(cfg, ctx, kernel_stats, obs=obs).run(trace)
         total.merge_kernel(kernel_stats)
-    return RunResult(workload.name, technique.name, cfg, total)
+    return RunResult(workload.name, technique.name, cfg, total, interproc)
 
 
 def run_best_swl(
@@ -132,7 +142,8 @@ def run_best_swl(
         if best is None or result.cycles < best.cycles:
             best = result
     assert best is not None
-    return RunResult(best.workload, "best_swl", best.config, best.stats)
+    return RunResult(
+        best.workload, "best_swl", best.config, best.stats, best.interproc)
 
 
 def run_baseline(

@@ -62,7 +62,9 @@ from ._runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
 #: Bump whenever the stored JSON layout changes; old entries then miss.
 #: v2: SimStats grew the CPI-stack fields (cpi_stack, cpi_by_kernel,
 #: warp_stalls) — v1 entries lack them and would crash from_dict.
-STORE_SCHEMA_VERSION = 2
+#: v3: SimStats grew peak_stack_depth and RunResult grew the interproc
+#: static-feature block.
+STORE_SCHEMA_VERSION = 3
 
 #: Files under ``repro/`` whose edits cannot change simulation results and
 #: therefore stay out of the simulator digest (everything else is hashed).
@@ -134,30 +136,14 @@ def simulator_digest() -> str:
 def workload_digest(workload: Workload, inlined: bool = False) -> str:
     """Digest of the compiled module a run replays, plus its launch schedule.
 
-    Hashes every function's instruction listing and register metadata (for
-    the baseline or LTO-inlined binary, whichever *inlined* selects), the
-    linker's worst-case register table, and the kernel-launch schedule.
-    Cached on the module object, which workloads already memoize.
+    Hashes the module's :meth:`~repro.isa.program.Module.content_digest`
+    (every function's instruction listing and register metadata, for the
+    baseline or LTO-inlined binary, whichever *inlined* selects) together
+    with the kernel-launch schedule.  The module digest is the same key
+    the lint and interprocedural-analysis registries use.
     """
     module = workload.module(inlined)
-    cached = getattr(module, "_content_digest", None)
-    if cached is None:
-        digest = hashlib.sha256()
-        for name in sorted(module.functions):
-            func = module.functions[name]
-            digest.update(
-                f"func {name} regs={func.num_regs} fru={func.fru} "
-                f"kernel={int(func.is_kernel)} smem={func.shared_mem_bytes} "
-                f"callee={func.callee_saved}\n".encode()
-            )
-            for inst in func.instructions:
-                digest.update(repr(inst).encode())
-                digest.update(b"\n")
-        digest.update(repr(sorted(module.worst_case_regs.items())).encode())
-        digest.update(str(module.code_bytes).encode())
-        cached = digest.hexdigest()
-        module._content_digest = cached
-    outer = hashlib.sha256(cached.encode())
+    outer = hashlib.sha256(module.content_digest().encode())
     for launch in workload.launches:
         outer.update(repr(launch).encode())
     outer.update(str(workload.max_warp_instructions).encode())

@@ -7,7 +7,7 @@ register vectors under an active mask.  Register operands are plain integers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .opcodes import Opcode, op_class, OpClass

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .instructions import Instruction, CALLEE_SAVED_BASE, MAX_REGS
-from .opcodes import Opcode, is_call
+from .instructions import Instruction
+from .opcodes import Opcode
 
 
 class IsaError(Exception):
@@ -37,6 +37,11 @@ class Function:
         fru: Function Register Usage — the extra registers this function
             pushes on entry (the paper's FRU).  Filled by the compiler; for
             kernels it is the full register demand of the kernel frame.
+        recursion_bound: compiler/programmer-supplied bound on simultaneous
+            activations of this function on one call stack, or None when
+            unknown.  The interprocedural analysis uses it to generalize
+            the paper's one-iteration recursion rule (Section III-C) into
+            a sound depth bound; unannotated recursion stays unbounded.
     """
 
     name: str
@@ -47,6 +52,7 @@ class Function:
     is_kernel: bool = False
     shared_mem_bytes: int = 0
     fru: int = 0
+    recursion_bound: Optional[int] = None
 
     def label_index(self, label: str) -> int:
         try:
@@ -85,6 +91,37 @@ class Module:
     functions: Dict[str, Function] = field(default_factory=dict)
     worst_case_regs: Dict[str, int] = field(default_factory=dict)
     code_bytes: int = 0
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def content_digest(self) -> str:
+        """Stable digest of the linked code and its register metadata.
+
+        The digest keys every cache layered on modules — the result
+        store's workload component, the lint-report registry, and the
+        interprocedural-analysis registry — so two structurally identical
+        modules (however they were compiled) share one cache entry, and
+        any change to instructions or metadata misses.  Cached: modules
+        are immutable once linked.
+        """
+        if self._digest is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for name in sorted(self.functions):
+                func = self.functions[name]
+                digest.update(
+                    f"func {name} regs={func.num_regs} fru={func.fru} "
+                    f"kernel={int(func.is_kernel)} smem={func.shared_mem_bytes} "
+                    f"callee={func.callee_saved} "
+                    f"rbound={func.recursion_bound}\n".encode()
+                )
+                for inst in func.instructions:
+                    digest.update(repr(inst).encode())
+                    digest.update(b"\n")
+            digest.update(repr(sorted(self.worst_case_regs.items())).encode())
+            digest.update(str(self.code_bytes).encode())
+            self._digest = digest.hexdigest()
+        return self._digest
 
     def add(self, func: Function) -> None:
         if func.name in self.functions:

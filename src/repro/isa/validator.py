@@ -9,7 +9,6 @@ emits structured control flow).
 
 from __future__ import annotations
 
-from typing import List
 
 from .instructions import Instruction, CALLEE_SAVED_BASE, MAX_REGS, NUM_PREDS
 from .opcodes import Opcode

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 #: Access-stream tags (what generated an L1D access).
 STREAM_SPILL = "spill"  # ABI register spill/fill traffic
@@ -28,7 +28,7 @@ _SCALAR_FIELDS = (
     "cycles", "warp_instructions", "micro_ops",
     "l2_accesses", "l2_hits", "l2_misses", "dram_accesses",
     "calls", "returns", "pushes", "pops", "push_regs", "pop_regs",
-    "traps", "trap_spilled_regs", "trap_filled_regs",
+    "traps", "trap_spilled_regs", "trap_filled_regs", "peak_stack_depth",
     "context_switches", "context_switch_regs", "stalled_warp_cycles",
     "issue_cycles", "idle_cycles", "barrier_wait_cycles",
     "fetch_stall_cycles",
@@ -98,6 +98,10 @@ class SimStats:
         self.traps: int = 0
         self.trap_spilled_regs: int = 0
         self.trap_filled_regs: int = 0
+        # Deepest concurrent register-stack frame count observed by any
+        # warp (0 under the baseline ABI).  The interprocedural analyzer's
+        # static frame-depth bound must dominate this.
+        self.peak_stack_depth: int = 0
         self.context_switches: int = 0
         self.context_switch_regs: int = 0
         self.stalled_warp_cycles: int = 0
@@ -254,6 +258,8 @@ class SimStats:
         self.traps += other.traps
         self.trap_spilled_regs += other.trap_spilled_regs
         self.trap_filled_regs += other.trap_filled_regs
+        # A depth, not a count: the run-level peak is the max over launches.
+        self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
         self.context_switches += other.context_switches
         self.context_switch_regs += other.context_switch_regs
         self.stalled_warp_cycles += other.stalled_warp_cycles

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Deque, Dict, IO, Iterable, List, Optional, Tuple, Union
+from typing import Any, Deque, Dict, IO, List, Optional, Tuple, Union
 
 #: Default ring capacity (events, not bytes).
 DEFAULT_TRACE_LIMIT = 65536

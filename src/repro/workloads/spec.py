@@ -8,7 +8,7 @@ of an experiment replay identical traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..emu.machine import Emulator
 from ..emu.memory import GlobalMemory

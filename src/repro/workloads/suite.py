@@ -21,7 +21,7 @@ profiled SASS shows for real device functions; deep library chains
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List
+from typing import List
 
 from .spec import Workload
 from .synth import SynthKernel, build_workload

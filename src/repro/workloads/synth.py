@@ -30,8 +30,8 @@ block-wide barriers (the context-switch pressure of Section III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..frontend import builder as b
 from ..frontend.ast import Expr, ProgramDef, Stmt
@@ -135,7 +135,12 @@ def _recursive_function(prog: ProgramDef, spec: SynthKernel) -> str:
             b.ret(b.v("p") + b.v("q") + (b.v("w") & 0)),
         ]
     )
-    b.device(prog, name, ["n"], body, reg_pressure=spec.level_pressure(0))
+    # The argument strictly decreases and recursion stops below 2, so a
+    # top-level call with n = recursion_depth stacks at most
+    # recursion_depth simultaneous activations — declare that bound for
+    # the interprocedural analysis.
+    b.device(prog, name, ["n"], body, reg_pressure=spec.level_pressure(0),
+             recursion_bound=spec.recursion_depth)
     return name
 
 

@@ -258,6 +258,44 @@ class TestLintRules:
                       callee_saved=(16, 4), fru=2)
         assert "CARS402" in codes_of(func)
 
+    def test_cars403_unbounded_recursion(self):
+        k = kernel([call("r"), exit_()], fru=8, name="k")
+        r = device([push(16, 1), call("r"), pop(16, 1), ret()],
+                   callee_saved=(16, 1), fru=2, name="r")
+        report = lint_module(Module(functions={"k": k, "r": r}))
+        assert "CARS403" in report.codes()
+        # A declared bound discharges the warning.
+        bounded = Function(
+            name="r", instructions=r.instructions, labels={},
+            num_regs=32, callee_saved=(16, 1), fru=2, recursion_bound=4)
+        report = lint_module(Module(functions={"k": k, "r": bounded}))
+        assert "CARS403" not in report.codes()
+
+    def test_cars404_fru_overdeclared(self):
+        func = device([push(16, 1), movi(16, 1), pop(16, 1), ret()],
+                      callee_saved=(16, 1), fru=5)
+        report = [d for d in lint_function(func) if d.code == "CARS404"]
+        assert report and report[0].severity is Severity.WARNING
+
+    def test_cars404_exact_fru_is_clean(self):
+        func = device([push(16, 1), movi(16, 1), pop(16, 1), ret()],
+                      callee_saved=(16, 1), fru=2)
+        assert "CARS404" not in codes_of(func)
+
+    def test_cars405_guaranteed_trap_requires_stack_regs(self):
+        k = kernel([call("d"), exit_()], fru=8, name="k")
+        d = device([push(16, 3), pop(16, 3), ret()],
+                   callee_saved=(16, 3), fru=4, name="d")
+        module = Module(functions={"k": k, "d": d})
+        # Vacuous without a concrete allocation...
+        assert "CARS405" not in lint_module(module).codes()
+        # ... an ample stack is clean ...
+        assert "CARS405" not in lint_module(module, stack_regs=16).codes()
+        # ... and a stack the best-case entry occupancy cannot fit makes
+        # every call a guaranteed trap (an error, not a warning).
+        report = lint_module(module, stack_regs=10)
+        assert "CARS405" in {d.code for d in report.errors()}
+
     def test_no_rule_is_vacuous(self):
         """Every registered code is exercised by some fixture above."""
         triggered = set()
@@ -285,6 +323,12 @@ class TestLintRules:
         k = kernel([call("d"), exit_()], fru=8, name="k")
         d = device([push(16, 4), pop(16, 4), ret()], fru=2, name="d")
         triggered |= set(lint_module(Module(functions={"k": k, "d": d})).codes())
+        rec = device([push(16, 1), call("r"), pop(16, 1), ret()],
+                     callee_saved=(16, 1), fru=2, name="r")
+        recursive = Module(functions={"k": kernel([call("r"), exit_()],
+                                                  fru=8, name="k"),
+                                      "r": rec})
+        triggered |= set(lint_module(recursive, stack_regs=9).codes())
         assert triggered == set(CODES)
 
 

@@ -95,6 +95,95 @@ class TestRecursion:
         g = graph_from({"k": {"f"}, "f": set()}, {"k": 10, "f": 4})
         assert not analyze_kernel(g, "k").cyclic
 
+    def test_mutual_recursion_one_iteration_each(self):
+        # One iteration of the component means each member's frame is
+        # counted once on the worst chain: k -> a -> b (b's edge back to
+        # a is cut by the path set).
+        g = graph_from(
+            {"k": {"a"}, "a": {"b"}, "b": {"a"}},
+            {"k": 10, "a": 3, "b": 4},
+        )
+        assert max_stack_depth(g, "k") == 17
+        assert g.max_call_depth("k") == 2
+
+    def test_recursive_callee_shared_by_two_kernels(self):
+        # The same recursive device function reachable from two kernels:
+        # each kernel's analysis is independent and both see the cycle.
+        g = graph_from(
+            {"k1": {"f"}, "k2": {"g"}, "g": {"f"}, "f": {"f"}},
+            {"k1": 10, "k2": 20, "g": 2, "f": 4},
+            kernels=("k1", "k2"),
+        )
+        a1, a2 = analyze_kernel(g, "k1"), analyze_kernel(g, "k2")
+        assert a1.cyclic and a2.cyclic
+        assert a1.max_stack_depth == 14
+        assert a2.max_stack_depth == 26
+
+    def test_self_recursive_kernel(self):
+        g = graph_from({"k": {"k"}}, {"k": 10})
+        assert analyze_kernel(g, "k").cyclic
+        assert max_stack_depth(g, "k") == 10
+
+
+class TestSccs:
+    def test_components_and_order(self):
+        g = graph_from(
+            {"k": {"a"}, "a": {"b"}, "b": {"a", "c"}, "c": set()},
+            {"k": 1, "a": 1, "b": 1, "c": 1},
+        )
+        comps = g.sccs()
+        assert {frozenset({"a", "b"}), frozenset({"c"}),
+                frozenset({"k"})} == set(comps)
+        # Reverse topological: callees appear before their callers.
+        assert comps.index(frozenset({"c"})) < comps.index(
+            frozenset({"a", "b"}))
+        assert comps.index(frozenset({"a", "b"})) < comps.index(
+            frozenset({"k"}))
+
+    def test_self_loop_is_trivial_component(self):
+        # A self-caller forms a singleton SCC; the self-edge (not the
+        # component size) is what marks it recursive.
+        g = graph_from({"k": {"f"}, "f": {"f"}}, {"k": 1, "f": 1})
+        assert frozenset({"f"}) in g.sccs()
+        assert g.recursive_nodes() == {"f"}
+
+    def test_nodes_includes_call_only_targets(self):
+        g = CallGraph(edges={"k": {"ghost"}}, fru={"k": 1})
+        assert g.nodes() == {"k", "ghost"}
+
+
+class TestRecursionBounds:
+    def test_builder_bound_reaches_graph(self):
+        prog = b.program()
+        b.device(prog, "fact", ["n"], [
+            b.if_(b.v("n") < 2,
+                  [b.ret(b.c(1))],
+                  [b.ret(b.call("fact", b.v("n") - 1) * b.v("n"))]),
+        ], recursion_bound=6)
+        b.kernel(prog, "main", ["d"], [
+            b.store(b.v("d"), b.call("fact", b.load(b.v("d")))),
+        ])
+        graph = build_call_graph(b.compile(prog))
+        assert graph.recursion_bounds["fact"] == 6
+        assert graph.recursion_bounds["main"] is None
+
+    def test_bound_survives_inlining(self):
+        from repro.frontend.inliner import inline_program
+        from repro.frontend import compile_program
+
+        prog = b.program()
+        b.device(prog, "fact", ["n"], [
+            b.if_(b.v("n") < 2,
+                  [b.ret(b.c(1))],
+                  [b.ret(b.call("fact", b.v("n") - 1) * b.v("n"))]),
+        ], recursion_bound=6)
+        b.kernel(prog, "main", ["d"], [
+            b.store(b.v("d"), b.call("fact", b.load(b.v("d")))),
+        ])
+        graph = build_call_graph(compile_program(inline_program(prog)))
+        # The inliner keeps recursive functions; the bound must ride along.
+        assert graph.recursion_bounds["fact"] == 6
+
 
 class TestCallFreeKernels:
     def test_no_calls_analysis(self):

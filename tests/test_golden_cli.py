@@ -1,0 +1,82 @@
+"""Golden snapshots of the machine-readable CLI surfaces.
+
+``repro lint --json`` and ``repro analyze --json`` are consumed by CI and
+external tooling, so their payloads are schema-versioned and pinned here
+byte-for-byte (after JSON re-parse) for one acyclic workload (SSSP) and
+one recursive workload (FIB).  Any change to diagnostic codes, prediction
+fields, or schema layout shows up as a readable diff.
+
+Intentional changes are re-baselined with::
+
+    pytest tests/test_golden_cli.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import INTERPROC_SCHEMA_VERSION, LINT_SCHEMA_VERSION
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: One acyclic workload and the recursive one (exercises bounds/cycles).
+CLI_GOLDEN_WORKLOADS = ("SSSP", "FIB")
+
+
+def _cli_json(capsys, argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0, out
+    return json.loads(out)
+
+
+def _check_snapshot(request, payload, path):
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing snapshot {path.name}; generate it with "
+        f"`pytest {Path(__file__).name} --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    if expected != payload:
+        exp = json.dumps(expected, indent=1, sort_keys=True).splitlines()
+        act = json.dumps(payload, indent=1, sort_keys=True).splitlines()
+        import difflib
+
+        diff = "\n".join(difflib.unified_diff(exp, act, "expected", "actual",
+                                              lineterm=""))
+        pytest.fail(
+            f"{path.name} drifted (intentional changes: rerun with "
+            f"--update-golden):\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("workload_name", CLI_GOLDEN_WORKLOADS)
+def test_lint_json_matches_golden(workload_name, capsys, request):
+    payload = _cli_json(capsys, ["lint", "--workload", workload_name, "--json"])
+    assert payload["schema"] == LINT_SCHEMA_VERSION
+    _check_snapshot(request, payload,
+                    GOLDEN_DIR / f"cli_lint_{workload_name}.json")
+
+
+@pytest.mark.parametrize("workload_name", CLI_GOLDEN_WORKLOADS)
+def test_analyze_json_matches_golden(workload_name, capsys, request):
+    payload = _cli_json(
+        capsys, ["analyze", "--workload", workload_name, "--json"])
+    assert payload["schema"] == INTERPROC_SCHEMA_VERSION
+    _check_snapshot(request, payload,
+                    GOLDEN_DIR / f"cli_analyze_{workload_name}.json")
+
+
+def test_cli_snapshots_carry_schema_version():
+    """The pinned payloads themselves declare the schema they were cut
+    from (guards against hand-edited or pre-versioning snapshots)."""
+    paths = sorted(GOLDEN_DIR.glob("cli_*.json"))
+    assert paths, "no CLI golden snapshots checked in"
+    for path in paths:
+        data = json.loads(path.read_text())
+        assert isinstance(data.get("schema"), int), path.name

@@ -1,0 +1,380 @@
+"""Interprocedural analyzer tests: units, caches, and soundness batteries.
+
+The load-bearing property (ISSUE acceptance): for every suite workload
+and every CARS scheme, the static predictions *dominate* the simulator —
+the frame-depth bound is never exceeded by the observed peak stack depth,
+a guaranteed-trap-free prediction never observes a trap, and the trap
+lower bound never exceeds the observed trap count.  The same contract is
+hammered with Hypothesis-generated call trees driven through
+:class:`WarpRegisterStack` directly.
+"""
+
+import random
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.interproc import (
+    INTERPROC_SCHEMA_VERSION,
+    SCHEME_TECHNIQUES,
+    analyze_kernel_interproc,
+    analyze_module_interproc,
+    clear_analysis_cache,
+    ensure_module_analyzed,
+    analysis_executions,
+    validate_against_stats,
+)
+from repro.analysis.lint import (
+    clear_lint_cache,
+    ensure_module_linted,
+    lint_executions,
+)
+from repro.callgraph import CallGraph, build_call_graph, max_stack_depth
+from repro.cars import WarpRegisterStack
+from repro.core.techniques import resolve_technique
+from repro.harness._runner import run_workload
+from repro.isa.program import Module
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+
+def graph_from(edges, fru, kernels=("k",), bounds=None):
+    g = CallGraph()
+    g.edges = {n: set(t) for n, t in edges.items()}
+    for node in fru:
+        g.edges.setdefault(node, set())
+    g.fru = dict(fru)
+    g.kernels = tuple(kernels)
+    g.recursion_bounds = {n: (bounds or {}).get(n) for n in g.fru}
+    return g
+
+
+def analyze(graph, kernel="k"):
+    # An empty module is fine: live-FRU tightening just has nothing to
+    # report, and every stack-shape result comes from the graph alone.
+    return analyze_kernel_interproc(Module(functions={}), graph, kernel)
+
+
+# ---------------------------------------------------------------------------
+# Analyzer units
+
+
+class TestChainAndDiamond:
+    def test_linear_chain(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}}, {"k": 20, "a": 6, "b": 4})
+        info = analyze(g)
+        assert info.kernel_fru == 20
+        assert info.frame_depth_bound == 2
+        assert info.worst_demand == 10
+        assert info.demand_curve == (6, 10)
+        assert not info.cyclic and not info.unbounded_functions
+
+    def test_call_site_intervals_on_chain(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}}, {"k": 20, "a": 6, "b": 4})
+        sites = {(s.caller, s.callee): s for s in analyze(g).call_sites}
+        assert sites[("k", "a")].min_entry_regs == 6
+        assert sites[("k", "a")].max_entry_regs == 6
+        assert sites[("a", "b")].min_entry_regs == 10
+        assert sites[("a", "b")].max_entry_regs == 10
+
+    def test_diamond_interval_spread(self):
+        # k -> {light, heavy} -> shared: entering `shared` costs least via
+        # the light arm, most via the heavy arm.
+        g = graph_from(
+            {"k": {"light", "heavy"}, "light": {"shared"},
+             "heavy": {"shared"}},
+            {"k": 20, "light": 2, "heavy": 9, "shared": 3},
+        )
+        info = analyze(g)
+        site = {(s.caller, s.callee): s for s in info.call_sites}
+        assert site[("light", "shared")].min_entry_regs == 5
+        assert site[("heavy", "shared")].max_entry_regs == 12
+        assert info.worst_demand == 12
+        assert info.frame_depth_bound == 2
+
+    def test_call_free_kernel(self):
+        g = graph_from({"k": set()}, {"k": 16})
+        info = analyze(g)
+        assert info.frame_depth_bound == 0
+        assert info.worst_demand == 0
+        assert info.demand_curve == ()
+        for pred in info.predictions.values():
+            assert pred.guaranteed_trap_free
+            assert pred.trap_free_depth is None
+            assert pred.min_traps_per_call == 0
+
+
+class TestRecursionBounds:
+    def test_bounded_self_recursion(self):
+        g = graph_from({"k": {"f"}, "f": {"f"}}, {"k": 20, "f": 5},
+                       bounds={"f": 8})
+        info = analyze(g)
+        assert info.cyclic
+        assert info.frame_depth_bound == 8
+        assert info.worst_demand == 40
+        assert info.unbounded_functions == ()
+
+    def test_unbounded_self_recursion(self):
+        g = graph_from({"k": {"f"}, "f": {"f"}}, {"k": 20, "f": 5})
+        info = analyze(g)
+        assert info.frame_depth_bound is None
+        assert info.worst_demand is None
+        assert info.unbounded_functions == ("f",)
+        site = {(s.caller, s.callee): s for s in info.call_sites}
+        # Best case is still exact; worst case is honestly unknown.
+        assert site[("k", "f")].min_entry_regs == 5
+        assert site[("f", "f")].max_entry_regs is None
+
+    def test_bounded_mutual_recursion(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}, "b": {"a"}},
+                       {"k": 20, "a": 3, "b": 4},
+                       bounds={"a": 2, "b": 2})
+        info = analyze(g)
+        # The {a, b} component contributes 2 activations of each.
+        assert info.frame_depth_bound == 4
+        assert info.worst_demand == 2 * 3 + 2 * 4
+
+    def test_mixed_bounded_unbounded_component(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}, "b": {"a"}},
+                       {"k": 20, "a": 3, "b": 4}, bounds={"a": 2})
+        info = analyze(g)
+        assert info.frame_depth_bound is None
+        # Only the unannotated member is reported as needing a bound.
+        assert info.unbounded_functions == ("b",)
+
+    def test_bounded_recursion_behind_chain(self):
+        g = graph_from({"k": {"a"}, "a": {"f"}, "f": {"f"}},
+                       {"k": 10, "a": 2, "f": 3}, bounds={"f": 3})
+        info = analyze(g)
+        assert info.frame_depth_bound == 4
+        assert info.worst_demand == 2 + 9
+
+
+class TestPredictions:
+    def test_trap_free_depth_tracks_capacity(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}, "b": {"c"}},
+                       {"k": 20, "a": 6, "b": 5, "c": 5})
+        info = analyze(g)
+        # low watermark = 20 + 6 -> capacity 6 -> only one frame fits.
+        assert info.predictions["low"].trap_free_depth == 1
+        assert not info.predictions["low"].guaranteed_trap_free
+        # high watermark = MaxStackDepth -> everything fits forever.
+        assert info.predictions["high"].trap_free_depth is None
+        assert info.predictions["high"].guaranteed_trap_free
+
+    def test_min_traps_per_call_when_nothing_fits(self):
+        # One huge callee: every call must spill regardless of history
+        # whenever the capacity cannot hold even its own frame.
+        g = graph_from({"k": {"f"}, "f": set()}, {"k": 30, "f": 40})
+        info = analyze(g)
+        low = info.predictions["low"]
+        assert low.stack_capacity == 40  # low watermark covers one frame
+        assert low.min_traps_per_call == 0
+        # Force a smaller stack through the curve helper instead: the
+        # scheme set is fixed, so assert via trap_free_depth_for.
+        assert info.trap_free_depth_for(39) == 0
+
+    def test_spill_bytes_avoided_scales_with_capacity(self):
+        g = graph_from({"k": {"a"}, "a": {"b"}}, {"k": 20, "a": 6, "b": 4})
+        info = analyze(g)
+        low, high = info.predictions["low"], info.predictions["high"]
+        assert high.spill_bytes_avoided >= low.spill_bytes_avoided > 0
+
+    def test_schema_versioned_payload(self):
+        module = make_workload("FIB").module()
+        report = analyze_module_interproc(module, "FIB")
+        payload = report.to_dict()
+        assert payload["schema"] == INTERPROC_SCHEMA_VERSION
+        assert payload["module_digest"] == module.content_digest()
+        assert set(payload["kernels"]) == {"main"}
+
+
+# ---------------------------------------------------------------------------
+# Digest-keyed caches (satellite: lint + analysis run once per binary)
+
+
+class TestDigestCaches:
+    def _fresh_modules(self):
+        """Two byte-identical Modules that are distinct objects."""
+        build = make_workload.__wrapped__  # bypass the lru_cache
+        return build("SSSP").module(), build("SSSP").module()
+
+    def test_lint_runs_once_per_digest(self):
+        m1, m2 = self._fresh_modules()
+        assert m1 is not m2
+        clear_lint_cache()
+        ensure_module_linted(m1, "SSSP")
+        assert lint_executions() == 1
+        ensure_module_linted(m2, "SSSP")
+        assert lint_executions() == 1  # digest hit: no re-lint
+        clear_lint_cache()
+
+    def test_analysis_runs_once_per_digest(self):
+        m1, m2 = self._fresh_modules()
+        clear_analysis_cache()
+        r1 = ensure_module_analyzed(m1, "SSSP")
+        r2 = ensure_module_analyzed(m2, "SSSP")
+        assert analysis_executions() == 1
+        assert r1 is r2
+        clear_analysis_cache()
+
+    def test_digest_distinguishes_recursion_bounds(self):
+        m1, m2 = self._fresh_modules()
+        func = next(f for f in m2.functions.values() if not f.is_kernel)
+        func.recursion_bound = 7
+        assert m1.content_digest() != m2.content_digest()
+
+
+# ---------------------------------------------------------------------------
+# Soundness battery: every suite workload under every CARS scheme
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_suite_soundness(name):
+    """Static predictions must dominate the simulator for every scheme."""
+    workload = make_workload(name)
+    launched = [launch.kernel for launch in workload.launches]
+    for scheme, tech_name in sorted(SCHEME_TECHNIQUES.items()):
+        technique = resolve_technique(tech_name)
+        module = workload.module(technique.use_inlined)
+        report = ensure_module_analyzed(module, name)
+        result = run_workload(workload, technique)
+        violations = validate_against_stats(
+            report, scheme, launched, result.stats)
+        assert not violations, violations
+        # The static-feature block rides along on the result itself.
+        assert result.interproc["schema"] == INTERPROC_SCHEMA_VERSION
+        for kernel in launched:
+            assert scheme in result.interproc[kernel]["predictions"]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis battery: generated call trees vs WarpRegisterStack
+
+
+@st.composite
+def call_graphs(draw):
+    """Layered DAGs with optional bounded self-recursion."""
+    n_layers = draw(st.integers(1, 4))
+    layers = [[f"f{i}_{j}" for j in range(draw(st.integers(1, 3)))]
+              for i in range(n_layers)]
+    fru = {"k": draw(st.integers(4, 16))}
+    edges = {"k": set()}
+    bounds = {}
+    for i, layer in enumerate(layers):
+        for node in layer:
+            fru[node] = draw(st.integers(1, 6))
+            edges[node] = set()
+            if draw(st.booleans()):
+                edges[node].add(node)  # self-recursive
+                bounds[node] = draw(st.integers(1, 3))
+            if i + 1 < n_layers:
+                for callee in layers[i + 1]:
+                    if draw(st.booleans()):
+                        edges[node].add(callee)
+    for node in layers[0]:
+        if draw(st.booleans()) or node == layers[0][0]:
+            edges["k"].add(node)
+    return graph_from(edges, fru, bounds=bounds)
+
+
+def _random_walk(graph, rng, steps):
+    """A legal call/ret event sequence from the kernel root.
+
+    Respects declared recursion bounds (at most ``bound`` simultaneous
+    activations of a self-recursive function), like a real execution
+    compiled from annotated source would.
+    """
+    events = []
+    stack = ["k"]
+    active = {"k": 1}
+    for _ in range(steps):
+        here = stack[-1]
+        callees = [
+            c for c in sorted(graph.callees(here))
+            if graph.recursion_bounds.get(c) is None
+            or active.get(c, 0) < graph.recursion_bounds[c]
+        ]
+        if callees and (len(stack) == 1 or rng.random() < 0.6):
+            callee = rng.choice(callees)
+            events.append(("call", callee))
+            stack.append(callee)
+            active[callee] = active.get(callee, 0) + 1
+        elif len(stack) > 1:
+            node = stack.pop()
+            events.append(("ret", node))
+            active[node] -= 1
+        # else: a call-free kernel at the root has nothing to do.
+    while len(stack) > 1:
+        events.append(("ret", stack.pop()))
+    return events
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=call_graphs(), seed=st.integers(0, 2**32 - 1),
+       steps=st.integers(0, 60))
+def test_generated_trees_soundness(graph, seed, steps):
+    info = analyze(graph)
+    events = _random_walk(graph, random.Random(seed), steps)
+    calls = sum(1 for kind, _ in events if kind == "call")
+    for scheme, pred in info.predictions.items():
+        stack = WarpRegisterStack(pred.stack_capacity)
+        for kind, node in events:
+            if kind == "call":
+                stack.call(graph.fru[node])
+                # The demand curve dominates the live register total at
+                # every depth along every legal execution.
+                d = stack.depth
+                if d <= len(info.demand_curve):
+                    assert stack.total_regs <= info.demand_curve[d - 1]
+            else:
+                stack.ret()
+        if info.frame_depth_bound is not None:
+            assert stack.peak_depth <= info.frame_depth_bound
+        if pred.guaranteed_trap_free:
+            assert stack.traps == 0, (scheme, pred)
+        assert pred.min_traps_per_call * calls <= stack.traps
+        if (pred.trap_free_depth is None
+                or stack.peak_depth <= pred.trap_free_depth):
+            assert stack.traps == 0, (scheme, pred)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: memoized max_stack_depth on wide DAGs
+
+
+def _diamond_ladder(layers, width=2):
+    """A dense layered DAG: path count grows as width**layers."""
+    edges, fru = {"k": set()}, {"k": 10}
+    prev = ["k"]
+    for i in range(layers):
+        layer = [f"l{i}_{j}" for j in range(width)]
+        for node in layer:
+            fru[node] = 1 + (i % 3)
+            edges[node] = set()
+        for up in prev:
+            edges[up].update(layer)
+        prev = layer
+    return graph_from(edges, fru)
+
+
+class TestMaxStackDepthMemoization:
+    def test_wide_dag_completes_within_budget(self):
+        # 2**30 paths: the pre-memoization path-set recursion would not
+        # terminate in any reasonable time; the memoized walk is linear.
+        graph = _diamond_ladder(30)
+        t0 = time.perf_counter()
+        depth = max_stack_depth(graph, "k")
+        assert time.perf_counter() - t0 < 2.0
+        expected = 10 + sum(1 + (i % 3) for i in range(30))
+        assert depth == expected
+
+    def test_memoized_matches_recursive_semantics_with_cycles(self):
+        # Tainted nodes still take the path-set recursion: a cycle behind
+        # a diamond must count one iteration per path, not explode.
+        g = graph_from(
+            {"k": {"a", "b"}, "a": {"c"}, "b": {"c"}, "c": {"a"}},
+            {"k": 10, "a": 2, "b": 3, "c": 4},
+        )
+        # Heaviest chain: k -> b -> c -> a (a's revisit of c is cut).
+        assert max_stack_depth(g, "k") == 10 + 3 + 4 + 2
