@@ -15,6 +15,11 @@ Public entry points:
 
 __version__ = "1.0.0"
 
+# Importing the spill package registers the RegDem and register-file-cache
+# ABI models, techniques, and parametric families, so any process that
+# imports ``repro`` (pool workers included) can resolve them by name.
+from . import spill  # noqa: E402,F401
+
 __all__ = [
     "callgraph",
     "cars",
@@ -27,5 +32,6 @@ __all__ = [
     "mem",
     "metrics",
     "power",
+    "spill",
     "workloads",
 ]

@@ -19,13 +19,19 @@ layer underneath and computes, per kernel:
   registers actually live across some call plus the saved-RFP slot.
 
 * **Per-scheme predictions** for the CARS allocation levels (Low /
-  NxLow / High watermarks): the *demand curve* ``W*(d)`` (worst register
-  demand of any call chain of at most ``d`` frames) yields a
-  guaranteed-trap-free depth per stack capacity, a static frame-depth
-  bound that must dominate the simulator's observed
-  ``WarpRegisterStack.peak_depth``, a sound trap *lower* bound (a call
-  whose frame exceeds the whole stack capacity always traps), and a
-  closed-form estimate of spill bytes avoided versus the baseline ABI.
+  NxLow / High watermarks) *and* the rival plugin arms (``regdem``'s
+  shared-memory arena, ``rfcache``'s register-file cache): the *demand
+  curve* ``W*(d)`` (worst register demand of any call chain of at most
+  ``d`` frames) yields a guaranteed-trap-free depth per capacity, a
+  static frame-depth bound that must dominate the simulator's observed
+  peak stack depth, a sound trap *lower* bound (a call whose frame
+  exceeds the whole capacity always overflows), and a closed-form
+  estimate of spill bytes avoided versus the baseline ABI.  ``traps``
+  is the generic ABI-overflow event count (CARS traps, RegDem arena
+  overflows, rfcache evictions), so the same bounds apply to every arm;
+  for the pushed-only arms the per-frame resident cost excludes the
+  saved-RFP slot (only pushed registers occupy arena/cache slots),
+  which keeps the lower bound sound.
 
 Soundness contract (enforced by the property battery in
 ``tests/test_interproc.py`` and by ``repro analyze --validate``): for any
@@ -49,20 +55,23 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..callgraph import CallGraph, KernelStackAnalysis, analyze_kernel, build_call_graph
+from ..config.gpu_config import GPUConfig
 from ..isa.opcodes import is_call
 from ..isa.program import Function, Module
 from .cfg import build_cfg
 from .dataflow import Liveness, per_instruction_liveness, solve
 
 #: Version of the ``to_dict`` / ``--json`` payload (golden-tested).
-INTERPROC_SCHEMA_VERSION = 1
+#: v2 added the ``regdem`` / ``rfcache`` scheme predictions.
+INTERPROC_SCHEMA_VERSION = 2
 
 #: Bytes of baseline spill-store traffic per pushed register: 4 B x 32 lanes.
 _BYTES_PER_REG = 4 * 32
 
-#: The canonical allocation levels predictions are emitted for
-#: (``cars_low`` / ``cars_nxlow2`` / ``cars_high`` pin exactly these).
-SCHEME_KEYS = ("low", "nxlow2", "high")
+#: The canonical schemes predictions are emitted for: the CARS
+#: allocation levels (``cars_low`` / ``cars_nxlow2`` / ``cars_high`` pin
+#: exactly these) plus the rival plugin arms at their default knobs.
+SCHEME_KEYS = ("low", "nxlow2", "high", "regdem", "rfcache")
 
 
 @dataclass(frozen=True)
@@ -505,6 +514,7 @@ def _scheme_prediction(
     min_frame: Optional[int],
     chain_regs: int,
     chain_frames: int,
+    pushed_only: bool = False,
 ) -> SchemePrediction:
     capacity = max(0, regs_per_warp - base.kernel_fru)
     # trap_free_depth from the cumulative curve.
@@ -525,9 +535,15 @@ def _scheme_prediction(
         or (info_worst_demand is not None and info_worst_demand <= capacity)
     )
     # Every dynamic call traps when even the smallest reachable frame
-    # exceeds the whole stack region.
+    # exceeds the whole capacity.  Pushed-only arms (RegDem arena,
+    # register-file cache) never hold the saved-RFP slot, so their
+    # per-frame resident cost is one register smaller — using the full
+    # FRU here would overstate the lower bound and break soundness.
     min_rate = 0
-    if base.has_calls and min_frame is not None and min_frame > capacity:
+    min_resident = None
+    if min_frame is not None:
+        min_resident = min_frame - 1 if pushed_only else min_frame
+    if base.has_calls and min_resident is not None and min_resident > capacity:
         min_rate = 1
     resident = min(capacity, chain_regs)
     avoided = max(0, resident - min(chain_frames, resident)) * _BYTES_PER_REG
@@ -549,7 +565,22 @@ def analyze_kernel_interproc(
     base = analyze_kernel(graph, kernel)
     reachable = frozenset(graph.reachable(kernel))
     bounds = _condensation_bounds(graph, kernel, reachable)
-    capacity_hi = max(0, base.high_watermark - base.kernel_fru)
+    # Every scheme's capacity in register slots: the CARS watermarks
+    # come from the call-graph analysis itself; the plugin arms use the
+    # default config knobs (exactly what the ``regdem`` / ``rfcache``
+    # techniques simulate, so ``--validate`` compares like with like).
+    defaults = GPUConfig()
+    arena_regs = defaults.regdem_smem_bytes_per_warp // _BYTES_PER_REG
+    schemes: Dict[str, Tuple[int, bool]] = {
+        "low": (base.low_watermark, False),
+        "nxlow2": (base.nxlow_watermark(2), False),
+        "high": (base.high_watermark, False),
+        "regdem": (base.kernel_fru + arena_regs, True),
+        "rfcache": (base.kernel_fru + defaults.rfcache_regs, True),
+    }
+    capacity_hi = max(
+        max(0, regs - base.kernel_fru) for regs, _ in schemes.values()
+    )
     max_depth = capacity_hi + 1
     if bounds.frame_depth_bound is not None:
         max_depth = min(max_depth, bounds.frame_depth_bound)
@@ -570,11 +601,6 @@ def analyze_kernel_interproc(
     )
     chain_regs = max(0, base.max_stack_depth - base.kernel_fru)
     chain_frames = graph.max_call_depth(kernel)
-    predictions = {
-        "low": base.low_watermark,
-        "nxlow2": base.nxlow_watermark(2),
-        "high": base.high_watermark,
-    }
     return KernelInterproc(
         kernel=kernel,
         kernel_fru=base.kernel_fru,
@@ -597,8 +623,9 @@ def analyze_kernel_interproc(
                 min_frame,
                 chain_regs,
                 chain_frames,
+                pushed_only=pushed_only,
             )
-            for scheme, regs in predictions.items()
+            for scheme, (regs, pushed_only) in schemes.items()
         },
     )
 
@@ -650,11 +677,13 @@ def ensure_module_analyzed(module: Module, name: str = "module") -> InterprocRep
 # Prediction-vs-simulation validation (repro analyze --validate)
 # ---------------------------------------------------------------------------
 
-#: scheme key -> technique name that pins exactly that allocation level.
+#: scheme key -> technique name that pins exactly that capacity.
 SCHEME_TECHNIQUES = {
     "low": "cars_low",
     "nxlow2": "cars_nxlow2",
     "high": "cars_high",
+    "regdem": "regdem",
+    "rfcache": "rfcache",
 }
 
 

@@ -13,13 +13,18 @@ releases; the names exported here (see ``__all__``) are kept stable:
   cycles/speedup table.
 * The blessed types those return or accept: :class:`RunResult`,
   :class:`SimStats`, :class:`GPUConfig` (plus the :func:`volta` /
-  :func:`ampere` presets), and :data:`TECHNIQUE_REGISTRY` with the
-  technique names it accepts.
+  :func:`ampere` presets), :class:`Executor` / :class:`ExperimentPlan`
+  (the batch layer ``Sweep`` accepts), and the technique plugin surface:
+  :class:`Technique`, :class:`AbiModel`, :func:`list_techniques`,
+  :func:`resolve_technique`, :func:`register_technique`,
+  :func:`register_technique_family`, :func:`register_abi_model`, and
+  :data:`TECHNIQUE_REGISTRY` (read-only view of the fixed names).
 * The failure taxonomy every run can raise: :class:`SimulationError` and
   its subclasses :class:`DeadlockError`, :class:`MaxCyclesError`,
-  :class:`InvariantViolation`, :class:`WorkerCrashError` — catch the base
-  class around any ``run()`` that might wedge; ``exc.diagnostics`` (when
-  present) renders a per-warp state dump.
+  :class:`InvariantViolation`, :class:`WorkerCrashError`,
+  :class:`UnknownTechniqueError` — catch the base class around any
+  ``run()`` that might wedge; ``exc.diagnostics`` (when present) renders
+  a per-warp state dump.
 
 Quick start::
 
@@ -42,7 +47,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .config.gpu_config import GPUConfig, ampere, volta
-from .core.techniques import TECHNIQUE_REGISTRY, Technique, resolve_technique
+from .core.techniques import (
+    AbiModel,
+    TECHNIQUE_REGISTRY,
+    Technique,
+    list_techniques,
+    register_abi_model,
+    register_technique,
+    register_technique_family,
+    resolve_technique,
+)
 from .harness.executor import Executor, ExperimentPlan
 from .harness._runner import (
     RunResult,
@@ -58,6 +72,7 @@ from .resilience.errors import (
     InvariantViolation,
     MaxCyclesError,
     SimulationError,
+    UnknownTechniqueError,
     WorkerCrashError,
 )
 from .analysis.interproc import InterprocReport, analyze_module_interproc
@@ -68,17 +83,28 @@ __all__ = [
     # the two facade objects
     "Simulation",
     "Sweep",
-    # blessed result / config / registry types
+    # blessed result / config / batch types
     "RunResult",
     "SimStats",
     "GPUConfig",
+    "Executor",
+    "ExperimentPlan",
+    # the technique plugin surface
+    "Technique",
+    "AbiModel",
     "TECHNIQUE_REGISTRY",
+    "list_techniques",
+    "resolve_technique",
+    "register_technique",
+    "register_technique_family",
+    "register_abi_model",
     # the failure taxonomy
     "SimulationError",
     "DeadlockError",
     "MaxCyclesError",
     "InvariantViolation",
     "WorkerCrashError",
+    "UnknownTechniqueError",
     # conveniences those types are used with
     "volta",
     "ampere",
@@ -102,14 +128,18 @@ def _resolve_workload(workload: WorkloadLike) -> Workload:
     return workload
 
 
-def analyze_workload(workload: WorkloadLike, *, inlined: bool = False) -> InterprocReport:
+def analyze_workload(
+    *, workload: WorkloadLike, inlined: bool = False
+) -> InterprocReport:
     """Interprocedural register-pressure analysis of a workload binary.
 
-    Pure static computation (no simulation): per-kernel frame-depth and
+    All arguments are keyword-only (like the rest of the facade).  Pure
+    static computation (no simulation): per-kernel frame-depth and
     register-demand bounds, call-site occupancy intervals,
-    liveness-tightened FRUs, and per-scheme CARS predictions.  Pass
-    ``inlined=True`` to analyze the LTO binary the ``lto``/``cars``
-    techniques simulate.
+    liveness-tightened FRUs, and per-scheme predictions for every
+    capacity-limited arm (CARS watermarks, RegDem arena, register-file
+    cache).  Pass ``inlined=True`` to analyze the LTO binary the
+    ``lto``/``cars`` techniques simulate.
     """
     resolved = _resolve_workload(workload)
     return analyze_module_interproc(resolved.module(inlined), resolved.name)
@@ -222,6 +252,11 @@ class Sweep:
         self.techniques: List[str] = [
             t if isinstance(t, str) else t.name for t in techniques
         ]
+        for name in self.techniques:
+            if name != "best_swl":
+                # Fail at construction (UnknownTechniqueError with
+                # suggestions) rather than deep inside a worker pool.
+                resolve_technique(name)
         self.config = config if config is not None else volta()
         self.executor = executor if executor is not None else Executor(jobs=jobs)
         self._results: Optional[Dict[Tuple[str, str], RunResult]] = None

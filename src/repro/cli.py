@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro list
+    python -m repro techniques
     python -m repro analyze --workload MST [--json] [--validate]
     python -m repro analyze --all --json
     python -m repro lint --workload MST [--strict] [--json] [--stack-regs N]
@@ -15,7 +16,7 @@
 
 Typed simulation failures exit with distinct codes (see README, "When a
 run fails"): 2 generic, 3 deadlock/livelock, 4 max-cycles, 5 invariant
-violation, 6 worker crash.
+violation, 6 worker crash, 7 unknown technique name.
 """
 
 from __future__ import annotations
@@ -27,12 +28,16 @@ from typing import Optional, Sequence
 from .analysis import lint_module, render_json, render_text
 from .callgraph import analyze_kernel, build_call_graph
 from .config import PRESETS
-from .core.techniques import TECHNIQUE_REGISTRY
+from .core.techniques import (
+    TECHNIQUE_FAMILIES,
+    TECHNIQUE_REGISTRY,
+    list_technique_families,
+    list_techniques,
+    resolve_technique,
+)
 from .harness.executor import Executor, ExperimentRequest, ResultStore
 from .resilience.errors import SimulationError, exit_code_for
 from .workloads import WORKLOAD_NAMES, make_workload
-
-TECHNIQUES = dict(TECHNIQUE_REGISTRY)
 
 
 def _cmd_list(_args) -> int:
@@ -41,8 +46,31 @@ def _cmd_list(_args) -> int:
         workload = make_workload(name)
         print(f"  {name:14s} {workload.suite:10s} depth={workload.paper_call_depth:2d} "
               f"cpki={workload.paper_cpki:6.2f}  [{workload.bottleneck}]")
-    print("\ntechniques:", ", ".join(sorted(TECHNIQUES)), "+ best_swl")
+    print("\ntechniques:", ", ".join(list_techniques()), "+ best_swl")
+    print("families  :", ", ".join(list_technique_families()))
     print("configs   :", ", ".join(sorted(PRESETS)))
+    return 0
+
+
+def _cmd_techniques(_args) -> int:
+    """List every registered technique (live registry, plugins included)."""
+    print("registered techniques:")
+    for name in list_techniques():
+        technique = TECHNIQUE_REGISTRY[name]
+        notes = [f"abi={technique.abi}"]
+        if technique.abi == "cars":
+            notes.append(f"mode={technique.cars_mode}")
+        if technique.use_inlined:
+            notes.append("lto-inlined")
+        if technique.config_fn is not None:
+            notes.append("config-transform")
+        if technique.requires_analysis:
+            notes.append("needs call-graph analysis")
+        print(f"  {name:12s} {', '.join(notes)}")
+    print("\nparametric families (resolvable by name, e.g. in sweeps):")
+    for prefix in sorted(TECHNIQUE_FAMILIES):
+        print(f"  {TECHNIQUE_FAMILIES[prefix].pattern}")
+    print("\npseudo-techniques: best_swl (sweeps swl_<n>, keeps the fastest)")
     return 0
 
 
@@ -178,6 +206,10 @@ def _cmd_lint(args) -> int:
 
 def _cmd_run(args) -> int:
     config = PRESETS[args.config]
+    if args.technique != "best_swl":
+        # Fail fast (exit code 7 with did-you-mean suggestions) instead of
+        # burning executor retries on a name that can never resolve.
+        resolve_technique(args.technique)
     executor = Executor(jobs=args.jobs)
     base_req = ExperimentRequest(args.workload, "baseline", config)
     run_req = ExperimentRequest(args.workload, args.technique, config)
@@ -218,7 +250,7 @@ def _cmd_profile(args) -> int:
         per_warp=args.per_warp,
     )
     result = run_workload(
-        make_workload(args.workload), TECHNIQUES[args.technique],
+        make_workload(args.workload), resolve_technique(args.technique),
         config=config, obs=obs,
     )
     stats = result.stats
@@ -320,7 +352,7 @@ def _cmd_bench(args) -> int:
     failures = []
     for workload_name, technique_name in BENCH_PAIRS:
         workload = make_workload(workload_name)
-        technique = TECHNIQUES[technique_name]
+        technique = resolve_technique(technique_name)
         workload.traces(inlined=technique.use_inlined)  # compile+trace once
         run_workload(workload, technique, config=config)  # warm caches/JIT-ish
         best = float("inf")
@@ -427,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, techniques, configs")
 
+    sub.add_parser(
+        "techniques",
+        help="list registered techniques and parametric families")
+
     analyze = sub.add_parser(
         "analyze",
         help="interprocedural register-pressure analysis of a workload")
@@ -458,8 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one (workload, technique)")
     run.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
-    run.add_argument("--technique", default="cars",
-                     choices=sorted(TECHNIQUES) + ["best_swl"])
+    run.add_argument("--technique", default="cars", metavar="NAME",
+                     help="a registered technique, a parametric family "
+                          "name (swl_4, regdem_16, ...), or best_swl; "
+                          "see `repro techniques`")
     run.add_argument("--config", default="volta", choices=sorted(PRESETS))
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (results come from the store "
@@ -468,8 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile", help="CPI-stack stall attribution for one run")
     profile.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
-    profile.add_argument("--technique", default="baseline",
-                         choices=sorted(TECHNIQUES))
+    profile.add_argument("--technique", default="baseline", metavar="NAME",
+                         help="a registered technique or parametric family "
+                              "name; see `repro techniques`")
     profile.add_argument("--config", default="volta", choices=sorted(PRESETS))
     profile.add_argument("--trace", default="", metavar="OUT.JSONL",
                          help="dump the bounded event trace as JSONL")
@@ -523,6 +562,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "list": _cmd_list,
+        "techniques": _cmd_techniques,
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,
         "run": _cmd_run,

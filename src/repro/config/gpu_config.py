@@ -90,6 +90,14 @@ class GPUConfig:
     # CARS-specific knobs.
     cars_extra_pipeline_cycles: int = 1  # issue + operand-collector stages
     cars_max_context_switches: int = 64
+    # RegDem (shared-memory register demotion): per-warp spill arena carved
+    # out of shared memory.  One warp-wide register is 128 B (4 B x 32
+    # lanes), so the default arena holds 8 demoted registers per warp; the
+    # arena is charged against the block's shared-memory occupancy limit.
+    regdem_smem_bytes_per_warp: int = 1024
+    # Register-file cache: compiler-managed LRU cache of callee-saved
+    # registers, carved out of the per-warp register allocation.
+    rfcache_regs: int = 12
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form: every field, nested caches as dicts."""
@@ -137,6 +145,18 @@ class GPUConfig:
         return replace(
             self, name=f"{self.name}-idealvw", unlimited_occupancy=True
         )
+
+    def with_regdem_arena(self, regs: int) -> "GPUConfig":
+        """A copy whose RegDem shared-memory arena holds *regs* registers."""
+        return replace(
+            self,
+            name=f"{self.name}-regdem-{regs}",
+            regdem_smem_bytes_per_warp=128 * regs,
+        )
+
+    def with_rfcache_regs(self, regs: int) -> "GPUConfig":
+        """A copy with a *regs*-entry register-file cache per warp."""
+        return replace(self, name=f"{self.name}-rfc-{regs}", rfcache_regs=regs)
 
 
 def volta() -> GPUConfig:

@@ -9,12 +9,22 @@ model; what differs is
   - **baseline** — PUSH/POP become local-memory spill/fill accesses,
   - **CARS** — PUSH/POP become 1-cycle renames; CALL/RET drive the per-warp
     register stack, trapping to memory only on overflow (Fig 6).
+
+The expansion behaviour is pluggable: a :class:`Technique` holds an
+:class:`AbiModel` (a context factory plus capability flags), and
+:func:`register_technique` / :func:`register_technique_family` add new
+arms that :func:`resolve_technique` then reconstructs by bare name in any
+process that imported the registering module.  The ``"baseline"`` and
+``"cars"`` ``abi=`` strings are kept as compatibility aliases; the rival
+arms ``regdem`` and ``rfcache`` (see :mod:`repro.spill`) register
+themselves through this API exactly as a third-party plugin would.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, ClassVar, Deque, Dict, List, Optional, Tuple, Union
 
 from ..callgraph.analysis import KernelStackAnalysis
 from ..cars.allocation import plan_allocation
@@ -23,6 +33,7 @@ from ..cars.register_stack import WarpRegisterStack
 from ..config.gpu_config import GPUConfig
 from ..emu.trace import KernelTrace, TraceKind, TraceRecord
 from ..metrics.counters import SimStats, STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
+from ..resilience.errors import UnknownTechniqueError
 from .occupancy import Occupancy, compute_occupancy
 from .uop import Uop, UopKind, bar_uop, ctrl_uop, exit_uop, mem_uop
 from .warp import WarpCtx
@@ -38,7 +49,13 @@ class LaunchContext:
 
     #: When True the SM manages a register pool and may stall warps
     #: (CARS's issue-stage stalled-warp list).
-    manages_registers = False
+    manages_registers: bool = False
+
+    #: CPI-stack bucket charged while a warp is parked on a blocking
+    #: fill (``repro.obs.cpi`` reads this off the active context, so each
+    #: ABI's stall traffic is attributed under its own label).  Must name
+    #: a bucket :mod:`repro.obs.cpi` declares.
+    blocking_fill_bucket: str = "cars_trap"
 
     def __init__(self, trace: KernelTrace, config: GPUConfig, stats: SimStats) -> None:
         self.trace = trace
@@ -68,7 +85,7 @@ class LaunchContext:
 
     # -- CARS hooks (no-ops for static techniques) ----------------------
 
-    def stack_level_for_block(self, sm_id: int):
+    def stack_level_for_block(self, sm_id: int) -> Tuple[int, int]:
         """(level_index, regs_per_warp) for a block spawning on *sm_id*."""
         return 0, self.scheduler_regs_per_warp()
 
@@ -83,7 +100,7 @@ class LaunchContext:
 
     # -- expansion -------------------------------------------------------
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out: Deque[Uop]) -> None:
         """Append *rec*'s µops to *out* (the warp's issue deque).
 
         Appending into the caller's container rather than returning a
@@ -92,7 +109,9 @@ class LaunchContext:
         """
         raise NotImplementedError
 
-    def _expand_common(self, warp: WarpCtx, rec: TraceRecord, out, extra: int) -> None:
+    def _expand_common(
+        self, warp: WarpCtx, rec: TraceRecord, out: Deque[Uop], extra: int
+    ) -> None:
         """Records whose expansion is technique-independent.
 
         The ``Uop`` constructor is invoked directly (not through the
@@ -165,7 +184,7 @@ class BaselineContext(LaunchContext):
         # The linker's worst-case register usage over the call graph.
         return self.trace.regs_per_warp_baseline
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out: Deque[Uop]) -> None:
         kind = rec.kind
         stats = self.stats
         if kind == TraceKind.CALL:
@@ -251,12 +270,14 @@ class CarsContext(LaunchContext):
         # stack space is claimed inside the SM, stalling overflow warps.
         return self.analysis.kernel_fru
 
-    def stack_level_for_block(self, sm_id: int):
+    def stack_level_for_block(self, sm_id: int) -> Tuple[int, int]:
         if self.policy is not None:
             level = self.policy.level_for_new_block(sm_id)
             regs = self.policy.regs_for_level(level)
         else:
             level = 0
+            # __init__ guarantees exactly one of policy/_static_regs is set.
+            assert self._static_regs is not None
             regs = self._static_regs
         regs = max(regs, self.analysis.kernel_fru)
         self.stats.allocation_log.append((self.trace.kernel, level, regs))
@@ -276,7 +297,7 @@ class CarsContext(LaunchContext):
 
     # -- expansion -------------------------------------------------------
 
-    def expand(self, warp: WarpCtx, rec: TraceRecord, out) -> None:
+    def expand(self, warp: WarpCtx, rec: TraceRecord, out: Deque[Uop]) -> None:
         cfg = self.config
         stats = self.stats
         extra = cfg.cars_extra_pipeline_cycles
@@ -284,7 +305,9 @@ class CarsContext(LaunchContext):
         if kind == TraceKind.CALL:
             stats.calls += 1
             out.append(ctrl_uop(cfg.ctrl_latency + extra, "CALL"))
-            spilled = warp.cars.call(rec.fru)
+            stack = warp.cars
+            assert stack is not None  # attach_warp ran at allocation
+            spilled = stack.call(rec.fru)
             if spilled:
                 stats.traps += 1
                 for start, count in spilled:
@@ -304,7 +327,9 @@ class CarsContext(LaunchContext):
             stats.returns += 1
             out.append(ctrl_uop(cfg.ctrl_latency + extra, "RET"))
             if rec.frame_release:
-                filled = warp.cars.ret()
+                stack = warp.cars
+                assert stack is not None  # attach_warp ran at allocation
+                filled = stack.ret()
                 if filled is not None:
                     start, count = filled
                     stats.trap_filled_regs += count
@@ -346,15 +371,150 @@ class CarsContext(LaunchContext):
             )
 
 
+# ---------------------------------------------------------------------------
+# The pluggable ABI-model protocol
+# ---------------------------------------------------------------------------
+
+
+class AbiModel:
+    """Context factory plus capability flags for one ABI mechanism.
+
+    A :class:`Technique` holds one of these instead of branching on an
+    ``abi`` string, so new register-pressure mechanisms plug in without
+    editing this module: subclass, implement :meth:`make_context`, then
+    :func:`register_abi_model` the name and :func:`register_technique`
+    the arms built on it (see ``repro.spill`` for two worked examples).
+    """
+
+    #: Registry name; also what ``Technique.abi`` normalizes to.
+    name: ClassVar[str] = "abstract"
+    #: True when :meth:`make_context` needs a per-kernel
+    #: :class:`KernelStackAnalysis` (the harness builds the call graph
+    #: only for techniques that ask for it).
+    requires_analysis: ClassVar[bool] = False
+
+    def make_context(
+        self,
+        trace: KernelTrace,
+        config: GPUConfig,
+        stats: SimStats,
+        analysis: Optional[KernelStackAnalysis] = None,
+        policy_memory: Optional[PolicyMemory] = None,
+    ) -> LaunchContext:
+        raise NotImplementedError
+
+    def _require_analysis(
+        self, analysis: Optional[KernelStackAnalysis]
+    ) -> KernelStackAnalysis:
+        if analysis is None:
+            raise ValueError(
+                f"{type(self).__name__} requires a call-graph analysis"
+            )
+        return analysis
+
+
+@dataclass(frozen=True)
+class BaselineAbi(AbiModel):
+    """Contemporary ABI: spills/fills are local-memory instructions."""
+
+    name: ClassVar[str] = "baseline"
+
+    def make_context(
+        self,
+        trace: KernelTrace,
+        config: GPUConfig,
+        stats: SimStats,
+        analysis: Optional[KernelStackAnalysis] = None,
+        policy_memory: Optional[PolicyMemory] = None,
+    ) -> LaunchContext:
+        return BaselineContext(trace, config, stats)
+
+
+@dataclass(frozen=True)
+class CarsAbi(AbiModel):
+    """CARS register stacks at one reservation mode."""
+
+    mode: str = "dynamic"
+
+    name: ClassVar[str] = "cars"
+    requires_analysis: ClassVar[bool] = True
+
+    def make_context(
+        self,
+        trace: KernelTrace,
+        config: GPUConfig,
+        stats: SimStats,
+        analysis: Optional[KernelStackAnalysis] = None,
+        policy_memory: Optional[PolicyMemory] = None,
+    ) -> LaunchContext:
+        if analysis is None:
+            # Preserved verbatim: callers catch this exact message.
+            raise ValueError("CARS requires a call-graph analysis")
+        return CarsContext(
+            trace, config, stats, analysis, self.mode, policy_memory
+        )
+
+
+#: ``abi`` string -> model factory (receives the owning Technique, so
+#: factories can read knobs like ``cars_mode``).  ``"baseline"`` and
+#: ``"cars"`` are the compatibility aliases the pre-plugin API accepted.
+ABI_MODELS: Dict[str, Callable[["Technique"], AbiModel]] = {}
+
+
+def register_abi_model(
+    name: str,
+    factory: Callable[["Technique"], AbiModel],
+    *,
+    replace: bool = False,
+) -> None:
+    """Make ``Technique(abi=name)`` resolve to *factory*'s model."""
+    if name in ABI_MODELS and not replace:
+        raise ValueError(
+            f"ABI model {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    ABI_MODELS[name] = factory
+
+
+register_abi_model("baseline", lambda technique: BaselineAbi())
+register_abi_model("cars", lambda technique: CarsAbi(technique.cars_mode))
+
+
 @dataclass(frozen=True)
 class Technique:
-    """A named (config transform, binary choice, ABI model) bundle."""
+    """A named (config transform, binary choice, ABI model) bundle.
+
+    ``abi`` accepts either a registered ABI-model name (``"baseline"``,
+    ``"cars"``, ``"regdem"``, ``"rfcache"``, …) or an :class:`AbiModel`
+    instance; it is normalized to the model's name, and the model itself
+    lands on :attr:`model`.
+    """
 
     name: str
-    abi: str = "baseline"  # "baseline" | "cars"
+    abi: Union[str, AbiModel] = "baseline"
     use_inlined: bool = False
     cars_mode: str = "dynamic"
     config_fn: Optional[Callable[[GPUConfig], GPUConfig]] = None
+    model: AbiModel = dataclasses.field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.abi, AbiModel):
+            model = self.abi
+            object.__setattr__(self, "abi", model.name)
+        else:
+            factory = ABI_MODELS.get(self.abi)
+            if factory is None:
+                raise ValueError(
+                    f"unknown ABI model {self.abi!r} "
+                    f"(registered: {', '.join(sorted(ABI_MODELS))})"
+                )
+            model = factory(self)
+        object.__setattr__(self, "model", model)
+
+    @property
+    def requires_analysis(self) -> bool:
+        """Whether the harness must build a call-graph analysis."""
+        return self.model.requires_analysis
 
     def adjust_config(self, config: GPUConfig) -> GPUConfig:
         return self.config_fn(config) if self.config_fn else config
@@ -367,29 +527,141 @@ class Technique:
         analysis: Optional[KernelStackAnalysis] = None,
         policy_memory: Optional[PolicyMemory] = None,
     ) -> LaunchContext:
-        if self.abi == "cars":
-            if analysis is None:
-                raise ValueError("CARS requires a call-graph analysis")
-            return CarsContext(
-                trace, config, stats, analysis, self.cars_mode, policy_memory
-            )
-        return BaselineContext(trace, config, stats)
+        return self.model.make_context(
+            trace, config, stats, analysis, policy_memory
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registration: fixed names and parametric families
+# ---------------------------------------------------------------------------
+
+#: The registered fixed techniques, by name.  Mutate through
+#: :func:`register_technique`, not directly.
+TECHNIQUE_REGISTRY: Dict[str, Technique] = {}
+
+
+@dataclass(frozen=True)
+class TechniqueFamily:
+    """A parametric technique family (``swl_<n>``, ``cars_nxlow<n>``, …).
+
+    ``factory`` receives the name's suffix after ``prefix`` and returns
+    the reconstructed :class:`Technique`; a :class:`ValueError` from it
+    means "suffix not mine" and resolution moves on.
+    """
+
+    prefix: str
+    factory: Callable[[str], Technique]
+    pattern: str
+
+
+#: Registered parametric families, by prefix.
+TECHNIQUE_FAMILIES: Dict[str, TechniqueFamily] = {}
+
+
+def register_technique(technique: Technique, *, replace: bool = False) -> Technique:
+    """Add *technique* to :data:`TECHNIQUE_REGISTRY` and return it.
+
+    Registering the same object again is a no-op; a *different* technique
+    under an existing name raises unless ``replace=True`` (collisions are
+    almost always a plugin bug, not an intent).
+    """
+    existing = TECHNIQUE_REGISTRY.get(technique.name)
+    if existing is not None and existing is not technique and not replace:
+        raise ValueError(
+            f"technique {technique.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    TECHNIQUE_REGISTRY[technique.name] = technique
+    return technique
+
+
+def register_technique_family(
+    prefix: str,
+    factory: Callable[[str], Technique],
+    *,
+    pattern: Optional[str] = None,
+    replace: bool = False,
+) -> None:
+    """Make :func:`resolve_technique` reconstruct ``<prefix><suffix>`` names.
+
+    Families make parametric arms resolvable across process boundaries:
+    the executor ships bare names, and any worker that imported the
+    registering module rebuilds the technique from the suffix.
+    """
+    if prefix in TECHNIQUE_FAMILIES and not replace:
+        raise ValueError(
+            f"technique family {prefix!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    TECHNIQUE_FAMILIES[prefix] = TechniqueFamily(
+        prefix=prefix,
+        factory=factory,
+        pattern=pattern if pattern is not None else f"{prefix}<n>",
+    )
+
+
+def list_techniques() -> List[str]:
+    """Sorted names of every registered fixed technique."""
+    return sorted(TECHNIQUE_REGISTRY)
+
+
+def list_technique_families() -> List[str]:
+    """Sorted display patterns of the registered parametric families."""
+    return sorted(family.pattern for family in TECHNIQUE_FAMILIES.values())
+
+
+def resolve_technique(name: str) -> Technique:
+    """Look a technique up by name, including the parametric families.
+
+    Techniques carry ``config_fn`` closures that cannot cross a process
+    boundary, so the parallel executor ships *names* and workers resolve
+    them here: fixed names come from :data:`TECHNIQUE_REGISTRY`, and
+    family names (``swl_<n>``, ``cars_nxlow<n>``, ``regdem_<r>``, …) are
+    reconstructed on demand via :data:`TECHNIQUE_FAMILIES`.
+
+    Raises :class:`~repro.resilience.errors.UnknownTechniqueError` (a
+    ``KeyError`` subclass) with did-you-mean suggestions otherwise.
+    """
+    technique = TECHNIQUE_REGISTRY.get(name)
+    if technique is not None:
+        return technique
+    # Longest prefix first so e.g. "cars_nxlow2" never falls into a
+    # hypothetical shorter "cars_" family.
+    for prefix in sorted(TECHNIQUE_FAMILIES, key=len, reverse=True):
+        if not name.startswith(prefix) or len(name) <= len(prefix):
+            continue
+        family = TECHNIQUE_FAMILIES[prefix]
+        try:
+            technique = family.factory(name[len(prefix):])
+        except ValueError:
+            continue  # suffix did not parse; try a shorter family
+        if technique.name == name:
+            return technique
+    known = list_techniques() + list_technique_families()
+    raise UnknownTechniqueError.for_name(name, known)
 
 
 # -- the paper's studied configurations -------------------------------------
 
-BASELINE = Technique("baseline")
-IDEAL_VW = Technique(
-    "ideal_vw", config_fn=lambda c: c.with_unlimited_occupancy()
+BASELINE = register_technique(Technique("baseline"))
+IDEAL_VW = register_technique(
+    Technique("ideal_vw", config_fn=lambda c: c.with_unlimited_occupancy())
 )
-L1_HUGE = Technique(
-    "l1_10mb", config_fn=lambda c: c.with_l1_size(2 * 1024 * 1024)
+L1_HUGE = register_technique(
+    Technique("l1_10mb", config_fn=lambda c: c.with_l1_size(2 * 1024 * 1024))
 )
-ALL_HIT = Technique("all_hit", config_fn=lambda c: c.with_force_hit())
-LTO = Technique("lto", use_inlined=True)
-CARS = Technique("cars", abi="cars")
-CARS_LOW = Technique("cars_low", abi="cars", cars_mode="low")
-CARS_HIGH = Technique("cars_high", abi="cars", cars_mode="high")
+ALL_HIT = register_technique(
+    Technique("all_hit", config_fn=lambda c: c.with_force_hit())
+)
+LTO = register_technique(Technique("lto", use_inlined=True))
+CARS = register_technique(Technique("cars", abi="cars"))
+CARS_LOW = register_technique(
+    Technique("cars_low", abi="cars", cars_mode="low")
+)
+CARS_HIGH = register_technique(
+    Technique("cars_high", abi="cars", cars_mode="high")
+)
 
 
 def swl(limit: int) -> Technique:
@@ -404,25 +676,9 @@ def cars_nxlow(n: int) -> Technique:
     return Technique(f"cars_nxlow{n}", abi="cars", cars_mode=f"nxlow{n}")
 
 
-#: The fixed studied techniques, by name.
-TECHNIQUE_REGISTRY: dict = {
-    t.name: t
-    for t in (BASELINE, IDEAL_VW, L1_HUGE, ALL_HIT, LTO, CARS, CARS_LOW, CARS_HIGH)
-}
-
-
-def resolve_technique(name: str) -> Technique:
-    """Look a technique up by name, including the parametric families.
-
-    Techniques carry ``config_fn`` closures that cannot cross a process
-    boundary, so the parallel executor ships *names* and workers resolve
-    them here: ``swl_<n>`` and ``cars_nxlow<n>`` are reconstructed on
-    demand, everything else comes from :data:`TECHNIQUE_REGISTRY`.
-    """
-    if name in TECHNIQUE_REGISTRY:
-        return TECHNIQUE_REGISTRY[name]
-    if name.startswith("swl_"):
-        return swl(int(name[len("swl_"):]))
-    if name.startswith("cars_nxlow"):
-        return cars_nxlow(int(name[len("cars_nxlow"):]))
-    raise KeyError(f"unknown technique {name!r}")
+register_technique_family(
+    "swl_", lambda suffix: swl(int(suffix)), pattern="swl_<n>"
+)
+register_technique_family(
+    "cars_nxlow", lambda suffix: cars_nxlow(int(suffix)), pattern="cars_nxlow<n>"
+)

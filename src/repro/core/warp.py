@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
 
 from .uop import Uop
+
+if TYPE_CHECKING:
+    from ..cars.register_stack import WarpRegisterStack
 
 #: Sector address space carved out for per-warp local memory (spills,
 #: genuine locals, CARS trap region).  Global data sectors from the
@@ -42,6 +45,7 @@ class WarpCtx:
         "fetch_debt",
         "frame_starts",
         "spill_depth",
+        "abi_state",
         "cars",
         "stalled",
         "switched_out",
@@ -69,7 +73,8 @@ class WarpCtx:
         self.fetch_debt = 0.0
         self.frame_starts: List[int] = []  # baseline spill-stack frames
         self.spill_depth = 0  # registers currently on the in-memory stack
-        self.cars = None  # WarpRegisterStack under CARS, else None
+        self.abi_state: Any = None  # plugin-ABI per-warp state (rfcache LRU)
+        self.cars: Optional[WarpRegisterStack] = None  # set under CARS only
         self.stalled = False  # CARS: waiting for register allocation
         self.switched_out = False  # CARS: state spilled at a barrier
         self.needs_fill = False  # CARS: must refill state when resumed

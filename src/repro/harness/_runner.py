@@ -113,7 +113,7 @@ def run_workload(
     # like the lint gate, the analysis is cached by module digest.
     interproc = ensure_module_analyzed(module, workload.name).summary()
     traces = workload.traces(inlined=technique.use_inlined)
-    graph = build_call_graph(module) if technique.abi == "cars" else None
+    graph = build_call_graph(module) if technique.requires_analysis else None
     memory = policy_memory if policy_memory is not None else PolicyMemory()
 
     total = SimStats()

@@ -64,7 +64,9 @@ from ._runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
 #: warp_stalls) — v1 entries lack them and would crash from_dict.
 #: v3: SimStats grew peak_stack_depth and RunResult grew the interproc
 #: static-feature block.
-STORE_SCHEMA_VERSION = 3
+#: v4: SimStats grew the plugin-ABI spill/fill and register-file-cache
+#: counters (smem_spill_regs .. rfcache_evictions).
+STORE_SCHEMA_VERSION = 4
 
 #: Files under ``repro/`` whose edits cannot change simulation results and
 #: therefore stay out of the simulator digest (everything else is hashed).

@@ -37,12 +37,16 @@ from ..core.techniques import (
 )
 from ..metrics.counters import STREAM_GLOBAL, STREAM_LOCAL, STREAM_SPILL
 from ..power.model import DEFAULT_ENERGY_MODEL
+from ..spill import REGDEM, RFCACHE
 from ..workloads import WORKLOAD_NAMES, SMOKE_NAMES, make_workload
 from .executor import Executor, ExperimentPlan, ExperimentRequest, ProgressFn, ResultStore
 from ._runner import RunResult, geomean
 
 #: Fig 8's studied techniques, in the paper's order.
 FIG8_TECHNIQUES = ("ideal_vw", "l1_10mb", "best_swl", "cars")
+
+#: The rival register-pressure arms compared by :func:`table_rivals`.
+RIVAL_TECHNIQUES = ("cars", "regdem", "rfcache")
 
 _EXECUTOR: Optional[Executor] = None
 
@@ -593,4 +597,32 @@ def table3_trap_stats(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[s
             "bytes_per_call": stats.bytes_spilled_per_call(),
             "context_switches": stats.context_switches,
         }
+    return rows
+
+
+def table_rivals(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Rival register-pressure arms: CARS vs RegDem vs register-file cache.
+
+    Per workload: speedup over the baseline ABI and the spill share of
+    L1D accesses under each arm (the traffic the mechanism was supposed
+    to remove), plus the register-file cache's hit rate.  The geomean
+    row summarizes the speedups, as Fig 8 does for the idealized arms.
+    """
+    names = list(names) if names is not None else workload_names()
+    _sweep(names, (BASELINE, CARS, REGDEM, RFCACHE))
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        row: Dict[str, float] = {}
+        for technique in (CARS, REGDEM, RFCACHE):
+            stats = _run(name, technique).stats
+            row[f"{technique.name}_speedup"] = _speedup(name, technique)
+            row[f"{technique.name}_spill_share"] = stats.spill_fraction()
+        row["rfcache_hit_rate"] = _run(name, RFCACHE).stats.rfcache_hit_rate()
+        rows[name] = row
+    rows["geomean"] = {
+        f"{tech}_speedup": geomean(
+            [rows[n][f"{tech}_speedup"] for n in names]
+        )
+        for tech in RIVAL_TECHNIQUES
+    }
     return rows

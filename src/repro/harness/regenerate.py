@@ -52,6 +52,8 @@ _PAPER_NOTES = {
     "tab1": "paper: Table I call depth / CPKI per workload",
     "tab2": "paper: Table II main speedup factor per workload",
     "tab3": "paper: only PTA traps: 0.014% of functions, 0.78 B spilled/filled per call",
+    "rivals": "related work: RegDem (arXiv 1907.02894) and a register-file "
+              "cache (arXiv 2310.17501) vs CARS on the identical model",
 }
 
 
@@ -118,6 +120,8 @@ def generate_markdown() -> str:
             format_table(ex.table2_speedup_factors(names)))
     section("tab3", "Table III — Software-trap frequency/severity",
             format_table(ex.table3_trap_stats(names), float_fmt="{:.4f}"))
+    section("rivals", "Rival arms — CARS vs RegDem vs register-file cache",
+            format_table(ex.table_rivals(names)))
 
     out.append(f"\n---\nGenerated in {time.time() - t0:.0f}s.\n")
     return "".join(out)

@@ -29,6 +29,8 @@ _SCALAR_FIELDS = (
     "l2_accesses", "l2_hits", "l2_misses", "dram_accesses",
     "calls", "returns", "pushes", "pops", "push_regs", "pop_regs",
     "traps", "trap_spilled_regs", "trap_filled_regs", "peak_stack_depth",
+    "smem_spill_regs", "smem_fill_regs", "spill_overflow_regs",
+    "rfcache_hits", "rfcache_misses", "rfcache_evictions",
     "context_switches", "context_switch_regs", "stalled_warp_cycles",
     "issue_cycles", "idle_cycles", "barrier_wait_cycles",
     "fetch_stall_cycles",
@@ -94,10 +96,23 @@ class SimStats:
         self.pops: int = 0
         self.push_regs: int = 0
         self.pop_regs: int = 0
-        # CARS events.
+        # CARS events.  ``traps`` is the generic ABI-overflow event count:
+        # CARS register-stack traps, RegDem arena overflows, and rfcache
+        # evict-causing pushes all land here, so the interprocedural
+        # trap-rate bounds apply uniformly across arms.
         self.traps: int = 0
         self.trap_spilled_regs: int = 0
         self.trap_filled_regs: int = 0
+        # RegDem: registers demoted to the shared-memory arena (and filled
+        # back), plus registers that overflowed the arena into local memory.
+        self.smem_spill_regs: int = 0
+        self.smem_fill_regs: int = 0
+        self.spill_overflow_regs: int = 0
+        # Register-file cache: cross-call reuse hits, fills that had to go
+        # to local memory, and LRU evictions out of the cache.
+        self.rfcache_hits: int = 0
+        self.rfcache_misses: int = 0
+        self.rfcache_evictions: int = 0
         # Deepest concurrent register-stack frame count observed by any
         # warp (0 under the baseline ABI).  The interprocedural analyzer's
         # static frame-depth bound must dominate this.
@@ -219,6 +234,11 @@ class SimStats:
         """Fraction of calls that invoked the trap handler (Table III)."""
         return self.traps / self.calls if self.calls else 0.0
 
+    def rfcache_hit_rate(self) -> float:
+        """Fraction of register-file-cache fills served without memory."""
+        lookups = self.rfcache_hits + self.rfcache_misses
+        return self.rfcache_hits / lookups if lookups else 0.0
+
     def bytes_spilled_per_call(self) -> float:
         """Per-thread bytes spilled+filled per function call (Table III).
 
@@ -260,6 +280,12 @@ class SimStats:
         self.trap_filled_regs += other.trap_filled_regs
         # A depth, not a count: the run-level peak is the max over launches.
         self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
+        self.smem_spill_regs += other.smem_spill_regs
+        self.smem_fill_regs += other.smem_fill_regs
+        self.spill_overflow_regs += other.spill_overflow_regs
+        self.rfcache_hits += other.rfcache_hits
+        self.rfcache_misses += other.rfcache_misses
+        self.rfcache_evictions += other.rfcache_evictions
         self.context_switches += other.context_switches
         self.context_switch_regs += other.context_switch_regs
         self.stalled_warp_cycles += other.stalled_warp_cycles

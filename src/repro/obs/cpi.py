@@ -16,6 +16,8 @@ bucket                 meaning
 =====================  ======================================================
 ``issued``             at least one scheduler issued this cycle
 ``cars_trap``          a warp is blocked on a CARS trap / context-switch fill
+``spill_fill``         a warp is blocked on a plugin-ABI spill refill
+                       (RegDem arena overflow, register-file-cache miss)
 ``mem_mshr_full``      L1D backlog behind a full MSHR file
 ``mem_l1_port``        sectors queued for L1D ports (bandwidth interference)
 ``mem_l2_dram``        outstanding loads in the L2/DRAM service path
@@ -41,6 +43,7 @@ from ..core.warp import NEVER
 
 BUCKET_ISSUED = "issued"
 BUCKET_CARS_TRAP = "cars_trap"
+BUCKET_SPILL = "spill_fill"
 BUCKET_MSHR = "mem_mshr_full"
 BUCKET_L1_PORT = "mem_l1_port"
 BUCKET_L2_DRAM = "mem_l2_dram"
@@ -55,6 +58,7 @@ BUCKET_EMPTY = "no_warp"
 CPI_BUCKETS: Tuple[str, ...] = (
     BUCKET_ISSUED,
     BUCKET_CARS_TRAP,
+    BUCKET_SPILL,
     BUCKET_MSHR,
     BUCKET_L1_PORT,
     BUCKET_L2_DRAM,
@@ -83,15 +87,17 @@ HINT_FETCH = "fetch"
 def classify_idle(gpu, cycle: int) -> str:
     """Attribute one no-issue cycle (and the stretch it opens) to a bucket.
 
-    Inspection order is the stall-cause priority: CARS blocking fills,
-    then the memory subsystem's own classification, then a scan of the
-    resident warps for compute/synchronization causes.  The scan only
-    happens when the memory system is fully drained, which keeps the
-    common (memory-bound) idle path O(num_sms).
+    Inspection order is the stall-cause priority: blocking ABI fills
+    (CARS traps, plugin-ABI spill refills — the active context names its
+    bucket via ``blocking_fill_bucket``), then the memory subsystem's own
+    classification, then a scan of the resident warps for
+    compute/synchronization causes.  The scan only happens when the
+    memory system is fully drained, which keeps the common (memory-bound)
+    idle path O(num_sms).
     """
     for sm in gpu.sms:
         if sm.blocked_fill_warps:
-            return BUCKET_CARS_TRAP
+            return gpu.ctx.blocking_fill_bucket
     mem_class = gpu.mem.stall_class()
     if mem_class is not None:
         return _MEM_CLASS_TO_BUCKET[mem_class]
@@ -150,7 +156,7 @@ def warp_stall_reasons(gpu, cycle: int) -> List[Tuple[object, str]]:
             elif warp.waiting_barrier:
                 out.append((warp, BUCKET_BARRIER))
             elif warp.next_issue >= NEVER:
-                out.append((warp, BUCKET_CARS_TRAP))
+                out.append((warp, gpu.ctx.blocking_fill_bucket))
             elif warp.outstanding_loads > 0:
                 out.append((warp, mem_bucket))
             elif warp.next_issue > cycle:

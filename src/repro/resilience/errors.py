@@ -17,6 +17,10 @@ corrupted invariant from a crashed worker:
 * :class:`WorkerCrashError` — a sweep request failed outside the model
   itself (worker process died, retries exhausted); carries the worker's
   formatted traceback.  ``ExecutorError`` subclasses this.
+* :class:`UnknownTechniqueError` — a technique name matched neither the
+  registry nor any registered parametric family.  Also a ``KeyError``,
+  so pre-existing ``except KeyError`` callers keep working; carries
+  difflib "did you mean" suggestions.
 
 This module is a leaf — it imports nothing from ``repro`` — so every
 layer (core, cars, mem, harness, cli) can use it without import cycles.
@@ -26,7 +30,8 @@ attributes, so they pickle cleanly across process-pool boundaries.
 
 from __future__ import annotations
 
-from typing import Optional
+import difflib
+from typing import Optional, Sequence
 
 
 class SimulationError(RuntimeError):
@@ -88,6 +93,35 @@ class WorkerCrashError(SimulationError):
         self.worker_traceback = worker_traceback
 
 
+class UnknownTechniqueError(SimulationError, KeyError):
+    """A technique name resolved to nothing.
+
+    Subclasses both :class:`SimulationError` (typed taxonomy, own exit
+    code) and :class:`KeyError` (the historical contract of
+    ``resolve_technique``).  ``suggestions`` holds close-match names.
+    """
+
+    def __init__(
+        self, message: str = "", *, suggestions: Sequence[str] = (), diagnostics=None
+    ) -> None:
+        super().__init__(message, diagnostics=diagnostics)
+        self.suggestions = tuple(suggestions)
+
+    # KeyError.__str__ would repr() the message; keep it readable.
+    __str__ = RuntimeError.__str__
+
+    @classmethod
+    def for_name(
+        cls, name: str, known: Sequence[str]
+    ) -> "UnknownTechniqueError":
+        """Build the error with difflib did-you-mean suggestions."""
+        suggestions = difflib.get_close_matches(name, list(known), n=3, cutoff=0.5)
+        message = f"unknown technique {name!r}"
+        if suggestions:
+            message += " (did you mean: " + ", ".join(suggestions) + "?)"
+        return cls(message, suggestions=suggestions)
+
+
 # ---------------------------------------------------------------------------
 # CLI exit codes
 # ---------------------------------------------------------------------------
@@ -100,12 +134,14 @@ EXIT_DEADLOCK = 3
 EXIT_MAX_CYCLES = 4
 EXIT_INVARIANT = 5
 EXIT_WORKER_CRASH = 6
+EXIT_UNKNOWN_TECHNIQUE = 7
 
 _EXIT_BY_CLASS = (
     (DeadlockError, EXIT_DEADLOCK),
     (MaxCyclesError, EXIT_MAX_CYCLES),
     (InvariantViolation, EXIT_INVARIANT),
     (WorkerCrashError, EXIT_WORKER_CRASH),
+    (UnknownTechniqueError, EXIT_UNKNOWN_TECHNIQUE),
 )
 
 

@@ -1,0 +1,84 @@
+"""Rival register-pressure arms built on the technique plugin API.
+
+Two published alternatives to CARS, implemented end-to-end against the
+:class:`~repro.core.techniques.AbiModel` protocol:
+
+* ``regdem`` — shared-memory register demotion (RegDem, arXiv
+  1907.02894): call-boundary spills land in a per-warp shared-memory
+  arena instead of local memory, trading shared-memory occupancy for
+  cheaper spill traffic.  Parametric family ``regdem_<r>`` sizes the
+  arena at ``r`` registers.
+* ``rfcache`` — a compiler-managed register-file cache absorbing
+  cross-call register reuse; deep chains evict to local memory.
+  Parametric family ``rfcache_<r>`` sizes the cache.
+
+Importing this package registers both ABI models, both fixed arms, and
+both parametric families, so ``resolve_technique("regdem")`` works in
+any process that imported :mod:`repro` (the top-level ``__init__``
+imports this module exactly so pool workers get the registrations).
+This module is also the worked example for adding an arm of your own:
+subclass ``AbiModel``, register it, register the techniques built on
+it — no edits to ``repro.core`` required.
+"""
+
+from __future__ import annotations
+
+from ..core.techniques import (
+    Technique,
+    register_abi_model,
+    register_technique,
+    register_technique_family,
+)
+from .regdem import RegDemAbi, RegDemContext
+from .rfcache import RegisterFileCache, RfCacheAbi, RfCacheContext
+
+register_abi_model("regdem", lambda technique: RegDemAbi())
+register_abi_model("rfcache", lambda technique: RfCacheAbi())
+
+#: RegDem at the config's default arena (8 demoted registers per warp).
+REGDEM = register_technique(Technique("regdem", abi="regdem"))
+
+#: Register-file cache at the config's default capacity (12 entries).
+RFCACHE = register_technique(Technique("rfcache", abi="rfcache"))
+
+
+def regdem(arena_regs: int) -> Technique:
+    """RegDem with a shared-memory arena of *arena_regs* registers."""
+    if arena_regs <= 0:
+        raise ValueError(f"arena must hold at least one register: {arena_regs}")
+    return Technique(
+        f"regdem_{arena_regs}",
+        abi="regdem",
+        config_fn=lambda c, r=arena_regs: c.with_regdem_arena(r),
+    )
+
+
+def rfcache(regs: int) -> Technique:
+    """Register-file cache with *regs* entries per warp."""
+    if regs <= 0:
+        raise ValueError(f"cache must hold at least one register: {regs}")
+    return Technique(
+        f"rfcache_{regs}",
+        abi="rfcache",
+        config_fn=lambda c, r=regs: c.with_rfcache_regs(r),
+    )
+
+
+register_technique_family(
+    "regdem_", lambda suffix: regdem(int(suffix)), pattern="regdem_<r>"
+)
+register_technique_family(
+    "rfcache_", lambda suffix: rfcache(int(suffix)), pattern="rfcache_<r>"
+)
+
+__all__ = [
+    "REGDEM",
+    "RFCACHE",
+    "RegDemAbi",
+    "RegDemContext",
+    "RegisterFileCache",
+    "RfCacheAbi",
+    "RfCacheContext",
+    "regdem",
+    "rfcache",
+]

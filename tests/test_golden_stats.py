@@ -1,10 +1,11 @@
 """Golden-statistics regression snapshots.
 
 The full :meth:`SimStats.to_dict` payload of three small workloads, under
-both the baseline ABI and CARS, is pinned in ``tests/golden/``.  Any
-timing-model change that shifts a cycle count, a cache counter, or a CPI
-bucket shows up here as a readable diff instead of a silent drift in the
-paper figures.
+the baseline ABI, CARS, and the two rival plugin arms (RegDem and the
+register-file cache), is pinned in ``tests/golden/``.  Any timing-model
+change that shifts a cycle count, a cache counter, or a CPI bucket shows
+up here as a readable diff instead of a silent drift in the paper
+figures.
 
 Intentional changes are re-baselined with::
 
@@ -21,13 +22,19 @@ import pytest
 
 from repro.core.techniques import BASELINE, CARS
 from repro.harness._runner import run_workload
+from repro.spill import REGDEM, RFCACHE
 from repro.workloads import make_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: Small, fast workloads covering the three bottleneck classes.
 GOLDEN_WORKLOADS = ("SSSP", "MST", "FIB")
-GOLDEN_TECHNIQUES = {"baseline": BASELINE, "cars": CARS}
+GOLDEN_TECHNIQUES = {
+    "baseline": BASELINE,
+    "cars": CARS,
+    "regdem": REGDEM,
+    "rfcache": RFCACHE,
+}
 
 
 def _flat_diff(expected, actual, prefix=""):

@@ -1,0 +1,245 @@
+"""Technique plugin API: registries, families, errors, process boundary.
+
+Covers the registration-based technique surface introduced with the
+RegDem / register-file-cache arms:
+
+* ``resolve_technique`` round-trips for every registered parametric
+  family (``swl_<n>``, ``cars_nxlow<n>``, ``regdem_<r>``, ``rfcache_<r>``);
+* registry collision / re-registration semantics;
+* :class:`UnknownTechniqueError` (typed, ``KeyError``-compatible, with
+  did-you-mean suggestions and its own CLI exit code);
+* pickling of resolved techniques and name-based resolution in a fresh
+  process (what the executor's pool workers rely on);
+* registering a brand-new ABI model + technique without touching
+  ``repro.core`` (the docs' worked example, kept honest).
+"""
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.techniques import (
+    ABI_MODELS,
+    AbiModel,
+    BaselineContext,
+    TECHNIQUE_FAMILIES,
+    TECHNIQUE_REGISTRY,
+    Technique,
+    list_technique_families,
+    list_techniques,
+    register_abi_model,
+    register_technique,
+    register_technique_family,
+    resolve_technique,
+)
+from repro.resilience.errors import (
+    EXIT_UNKNOWN_TECHNIQUE,
+    SimulationError,
+    UnknownTechniqueError,
+    exit_code_for,
+)
+
+SRC_DIR = Path(__file__).parent.parent / "src"
+
+#: (name, expected abi, requires_analysis) for one member of each family.
+FAMILY_SAMPLES = [
+    ("swl_4", "baseline", False),
+    ("swl_12", "baseline", False),
+    ("cars_nxlow2", "cars", True),
+    ("cars_nxlow3", "cars", True),
+    ("regdem_4", "regdem", True),
+    ("regdem_16", "regdem", True),
+    ("rfcache_4", "rfcache", True),
+    ("rfcache_24", "rfcache", True),
+]
+
+
+class TestResolution:
+    def test_every_fixed_name_resolves_to_itself(self):
+        for name in list_techniques():
+            technique = resolve_technique(name)
+            assert technique.name == name
+            assert technique is TECHNIQUE_REGISTRY[name]
+
+    @pytest.mark.parametrize("name,abi,needs", FAMILY_SAMPLES)
+    def test_family_round_trip(self, name, abi, needs):
+        technique = resolve_technique(name)
+        assert technique.name == name
+        assert technique.abi == abi
+        assert technique.requires_analysis is needs
+
+    def test_all_registered_families_have_a_resolvable_sample(self):
+        prefixes = {name.rsplit("_", 1)[0] + "_" if "_" in name else name
+                    for name, _, _ in FAMILY_SAMPLES}
+        missing = set(TECHNIQUE_FAMILIES) - {
+            p for p in TECHNIQUE_FAMILIES if any(
+                s.startswith(p) for s, _, _ in FAMILY_SAMPLES)
+        }
+        assert not missing, (
+            f"families {sorted(missing)} lack a FAMILY_SAMPLES round-trip; "
+            f"add one when registering a new family"
+        )
+        assert prefixes  # sanity: the sample table is non-empty
+
+    def test_family_config_transform_applies(self):
+        from repro.config.gpu_config import volta
+
+        cfg = resolve_technique("regdem_4").adjust_config(volta())
+        assert cfg.regdem_smem_bytes_per_warp == 4 * 128
+        cfg = resolve_technique("rfcache_4").adjust_config(volta())
+        assert cfg.rfcache_regs == 4
+
+    def test_longest_prefix_wins(self):
+        # "cars_nxlow3" must hit the cars_nxlow family, not any shorter
+        # hypothetical prefix; the suffix parses as the watermark level.
+        technique = resolve_technique("cars_nxlow3")
+        assert technique.cars_mode == "nxlow3"
+
+    def test_non_numeric_suffix_is_unknown(self):
+        with pytest.raises(UnknownTechniqueError):
+            resolve_technique("swl_fast")
+
+    def test_listing_is_sorted_and_complete(self):
+        names = list_techniques()
+        assert names == sorted(names)
+        assert {"baseline", "cars", "regdem", "rfcache"} <= set(names)
+        patterns = list_technique_families()
+        assert {"swl_<n>", "cars_nxlow<n>", "regdem_<r>", "rfcache_<r>"} <= set(
+            patterns
+        )
+
+
+class TestUnknownTechniqueError:
+    def test_is_typed_and_keyerror_compatible(self):
+        with pytest.raises(UnknownTechniqueError) as excinfo:
+            resolve_technique("warp-drive")
+        assert isinstance(excinfo.value, SimulationError)
+        assert isinstance(excinfo.value, KeyError)  # historical contract
+
+    def test_suggestions_and_message(self):
+        with pytest.raises(UnknownTechniqueError) as excinfo:
+            resolve_technique("carz")
+        assert "cars" in excinfo.value.suggestions
+        assert "did you mean" in str(excinfo.value)
+        # KeyError.__str__ would wrap the message in quotes; ours reads
+        # like a normal error string.
+        assert not str(excinfo.value).startswith('"')
+
+    def test_own_exit_code(self):
+        assert exit_code_for(UnknownTechniqueError("x")) == EXIT_UNKNOWN_TECHNIQUE
+
+
+class TestRegistration:
+    def test_reregistering_same_object_is_idempotent(self):
+        baseline = TECHNIQUE_REGISTRY["baseline"]
+        assert register_technique(baseline) is baseline
+
+    def test_name_collision_raises(self):
+        impostor = Technique("baseline", abi="baseline", use_inlined=True)
+        with pytest.raises(ValueError, match="already registered"):
+            register_technique(impostor)
+        # The original stays in place after the failed registration.
+        assert TECHNIQUE_REGISTRY["baseline"].use_inlined is False
+
+    def test_replace_overrides_and_restores(self):
+        original = TECHNIQUE_REGISTRY["baseline"]
+        impostor = Technique("baseline", abi="baseline", use_inlined=True)
+        try:
+            assert register_technique(impostor, replace=True) is impostor
+            assert TECHNIQUE_REGISTRY["baseline"] is impostor
+        finally:
+            register_technique(original, replace=True)
+        assert TECHNIQUE_REGISTRY["baseline"] is original
+
+    def test_family_collision_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_technique_family("swl_", lambda suffix: None)
+
+    def test_abi_model_collision_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_abi_model("baseline", lambda technique: None)
+
+    def test_unknown_abi_string_raises(self):
+        with pytest.raises(ValueError, match="unknown ABI model"):
+            Technique("bogus", abi="no-such-abi")
+
+    def test_register_new_arm_end_to_end(self):
+        """The docs' worked example: a new arm without touching core."""
+
+        class NoopAbi(AbiModel):
+            name = "test_noop"
+            requires_analysis = False
+
+            def make_context(self, trace, config, stats, analysis=None,
+                             policy_memory=None):
+                return BaselineContext(trace, config, stats)
+
+        try:
+            register_abi_model("test_noop", lambda technique: NoopAbi())
+            arm = register_technique(Technique("test_noop", abi="test_noop"))
+            register_technique_family(
+                "test_noop_",
+                lambda suffix: Technique(f"test_noop_{int(suffix)}",
+                                         abi="test_noop"),
+                pattern="test_noop_<n>",
+            )
+            assert resolve_technique("test_noop") is arm
+            assert resolve_technique("test_noop_7").name == "test_noop_7"
+            assert "test_noop" in list_techniques()
+        finally:
+            TECHNIQUE_REGISTRY.pop("test_noop", None)
+            TECHNIQUE_FAMILIES.pop("test_noop_", None)
+            ABI_MODELS.pop("test_noop", None)
+
+
+class TestProcessBoundary:
+    @pytest.mark.parametrize(
+        "name", ["baseline", "cars", "regdem", "rfcache", "cars_nxlow2"]
+    )
+    def test_resolved_technique_pickles(self, name):
+        technique = resolve_technique(name)
+        clone = pickle.loads(pickle.dumps(technique))
+        assert clone.name == technique.name
+        assert clone.abi == technique.abi
+        assert clone.model.name == technique.model.name
+        assert clone.requires_analysis == technique.requires_analysis
+
+    def test_plugin_names_resolve_in_fresh_process(self):
+        """Pool workers resolve plugin arms by bare name: importing
+        ``repro`` must be enough to re-register them (no parent state)."""
+        script = (
+            "from repro.core.techniques import resolve_technique\n"
+            "import repro  # noqa: F401 -- triggers plugin registration\n"
+            "for name in ('regdem', 'rfcache', 'regdem_4', 'rfcache_24'):\n"
+            "    technique = resolve_technique(name)\n"
+            "    assert technique.name == name, name\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+
+class TestFacade:
+    def test_api_reexports(self):
+        from repro import api
+
+        assert api.list_techniques is list_techniques
+        assert api.register_technique is register_technique
+        assert api.resolve_technique is resolve_technique
+        assert api.UnknownTechniqueError is UnknownTechniqueError
+        for name in ("Executor", "ExperimentPlan", "AbiModel", "Technique"):
+            assert name in api.__all__
+
+    def test_sweep_rejects_unknown_technique_at_construction(self):
+        from repro.api import Sweep
+
+        with pytest.raises(UnknownTechniqueError):
+            Sweep(workloads=["SSSP"], techniques=["baseline", "regdme"])
