@@ -11,6 +11,14 @@ releases; the names exported here (see ``__all__``) are kept stable:
   grid, deduplicated and served through the parallel executor with its
   content-addressed result store; :meth:`Sweep.report` renders the
   cycles/speedup table.
+* :class:`Batch` — one (workload × technique) under N configurations in
+  a single pass, sharing every config-independent stage (compile, lint,
+  static analysis, traces, call graph) across the members.
+* Timing backends: ``Simulation``/``Sweep``/``Batch`` take
+  ``backend="event"`` (the reference event-driven core) or
+  ``backend="vectorized"`` (struct-of-arrays NumPy core); both produce
+  byte-identical statistics by contract.  :func:`list_backends`
+  enumerates the registry.
 * The blessed types those return or accept: :class:`RunResult`,
   :class:`SimStats`, :class:`GPUConfig` (plus the :func:`volta` /
   :func:`ampere` presets), :class:`Executor` / :class:`ExperimentPlan`
@@ -47,6 +55,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .config.gpu_config import GPUConfig, ampere, volta
+from .core.backends import list_backends, resolve_backend
 from .core.techniques import (
     AbiModel,
     TECHNIQUE_REGISTRY,
@@ -64,6 +73,7 @@ from .harness._runner import (
     geomean,
     run_best_swl,
     run_workload,
+    run_workload_batch,
 )
 from .harness.tables import format_table
 from .metrics.counters import SimStats
@@ -73,6 +83,7 @@ from .resilience.errors import (
     MaxCyclesError,
     SimulationError,
     UnknownTechniqueError,
+    UnsupportedFeatureError,
     WorkerCrashError,
 )
 from .analysis.interproc import InterprocReport, analyze_module_interproc
@@ -80,15 +91,18 @@ from .workloads import Workload, make_workload
 from .workloads.suite import SMOKE_NAMES, WORKLOAD_NAMES
 
 __all__ = [
-    # the two facade objects
+    # the facade objects
     "Simulation",
     "Sweep",
+    "Batch",
     # blessed result / config / batch types
     "RunResult",
     "SimStats",
     "GPUConfig",
     "Executor",
     "ExperimentPlan",
+    # the timing-backend registry surface
+    "list_backends",
     # the technique plugin surface
     "Technique",
     "AbiModel",
@@ -105,6 +119,7 @@ __all__ = [
     "InvariantViolation",
     "WorkerCrashError",
     "UnknownTechniqueError",
+    "UnsupportedFeatureError",
     # conveniences those types are used with
     "volta",
     "ampere",
@@ -164,6 +179,11 @@ class Simulation:
         policy_memory: an optional
             :class:`~repro.cars.policy.PolicyMemory` carried across
             launches (the CARS dynamic policy's cross-launch state).
+        backend: timing-backend name (see :func:`list_backends`;
+            ``"event"`` or ``"vectorized"``).  ``None`` defers to
+            ``config.backend``.  Backends are byte-identical by
+            contract, so this changes how the run is computed, never
+            what it computes.
 
     ``run()`` simulates to completion and returns the merged
     :class:`SimStats`; the surrounding :class:`RunResult` (config echo,
@@ -179,6 +199,7 @@ class Simulation:
         sweep: Sequence[int] = SWL_SWEEP,
         obs=None,
         policy_memory=None,
+        backend: Optional[str] = None,
     ) -> None:
         self.workload = _resolve_workload(workload)
         self.technique = technique
@@ -186,6 +207,9 @@ class Simulation:
         self.sweep = tuple(sweep)
         self.obs = obs
         self.policy_memory = policy_memory
+        if backend is not None:
+            resolve_backend(backend)  # fail at construction, with hints
+        self.backend = backend
         self.result: Optional[RunResult] = None
 
     def run(self) -> SimStats:
@@ -193,7 +217,8 @@ class Simulation:
         if self.result is None:
             if self.technique == "best_swl":
                 self.result = run_best_swl(
-                    self.workload, config=self.config, sweep=self.sweep
+                    self.workload, config=self.config, sweep=self.sweep,
+                    backend=self.backend,
                 )
             else:
                 technique = (
@@ -207,6 +232,7 @@ class Simulation:
                     config=self.config,
                     obs=self.obs,
                     policy_memory=self.policy_memory,
+                    backend=self.backend,
                 )
         return self.result.stats
 
@@ -229,6 +255,10 @@ class Sweep:
         config: shared :class:`GPUConfig` for every cell (default Volta).
         jobs: worker processes (default 1 = serial, deterministic).
         executor: bring your own :class:`Executor` (overrides ``jobs``).
+        backend: timing-backend name applied to every cell (``None``
+            keeps ``config.backend``).  Store keys deliberately ignore
+            the backend — byte-identical by contract — so a sweep rerun
+            under another backend is served from the same warm store.
 
     ``run()`` executes the plan — deduplicated, memoized, store-backed —
     and returns ``{(workload, technique): RunResult}``.  ``report()``
@@ -244,6 +274,7 @@ class Sweep:
         config: Optional[GPUConfig] = None,
         jobs: int = 1,
         executor: Optional[Executor] = None,
+        backend: Optional[str] = None,
     ) -> None:
         unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
         if unknown:
@@ -258,6 +289,9 @@ class Sweep:
                 # suggestions) rather than deep inside a worker pool.
                 resolve_technique(name)
         self.config = config if config is not None else volta()
+        if backend is not None:
+            resolve_backend(backend)  # fail at construction, with hints
+            self.config = self.config.with_backend(backend)
         self.executor = executor if executor is not None else Executor(jobs=jobs)
         self._results: Optional[Dict[Tuple[str, str], RunResult]] = None
 
@@ -299,3 +333,66 @@ class Sweep:
                     )
             rows[workload] = row
         return format_table(rows)
+
+
+class Batch:
+    """One workload × one technique simulated under N configurations.
+
+    The batched entry point the vectorized backend's struct-of-arrays
+    design targets: every config-independent stage — the compile, the
+    ABI/stack-safety lint gate, the interprocedural static analysis, the
+    emulator traces, the call graph — runs once and is shared across all
+    N timing simulations (a config sweep repeats only the timing model).
+    Results are positionally aligned with ``configs`` and equal, member
+    for member, what N independent :class:`Simulation` runs would
+    produce (pinned by ``tests/test_backend_equivalence.py``).
+
+    All constructor arguments are keyword-only.
+
+    Args:
+        workload: a suite workload name or a built ``Workload``.
+        technique: a :data:`TECHNIQUE_REGISTRY` name or ``Technique``
+            object (``"best_swl"`` is not batchable — it is itself a
+            sweep; use :class:`Simulation`).
+        configs: the :class:`GPUConfig` members to simulate.
+        backend: timing-backend name applied to every member (``None``
+            defers to each member's own ``config.backend``).
+    """
+
+    def __init__(
+        self,
+        *,
+        workload: WorkloadLike,
+        technique: TechniqueLike = "baseline",
+        configs: Sequence[GPUConfig],
+        backend: Optional[str] = None,
+    ) -> None:
+        if technique == "best_swl":
+            raise ValueError(
+                "best_swl is itself a sweep and cannot be batched; "
+                "use Simulation(technique='best_swl') per config"
+            )
+        self.workload = _resolve_workload(workload)
+        self.technique = (
+            resolve_technique(technique)
+            if isinstance(technique, str)
+            else technique
+        )
+        self.configs = list(configs)
+        if not self.configs:
+            raise ValueError("Batch requires at least one config")
+        if backend is not None:
+            resolve_backend(backend)  # fail at construction, with hints
+        self.backend = backend
+        self.results: Optional[List[RunResult]] = None
+
+    def run(self) -> List[RunResult]:
+        """Simulate (once); returns results aligned with ``configs``."""
+        if self.results is None:
+            self.results = run_workload_batch(
+                self.workload,
+                self.technique,
+                configs=self.configs,
+                backend=self.backend,
+            )
+        return self.results

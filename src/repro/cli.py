@@ -7,16 +7,22 @@
     python -m repro lint --workload MST [--strict] [--json] [--stack-regs N]
     python -m repro lint --all --strict
     python -m repro run --workload MST --technique cars [--config ampere] [--jobs 2]
+    python -m repro run --workload MST --backend vectorized
     python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
-    python -m repro bench [--check] [--json bench.json]
+    python -m repro bench [--check] [--json bench.json] [--backend vectorized]
     python -m repro regen [output.md] [--jobs 4]
-    python -m repro selfcheck [--seed 0]
+    python -m repro selfcheck [--seed 0] [--backend vectorized]
     python -m repro cache info
     python -m repro cache clear
 
+``--backend`` (run/bench/selfcheck) picks the timing backend (``event``
+or ``vectorized``); backends are byte-identical by contract, so it
+changes how a result is computed, never what it is.
+
 Typed simulation failures exit with distinct codes (see README, "When a
 run fails"): 2 generic, 3 deadlock/livelock, 4 max-cycles, 5 invariant
-violation, 6 worker crash, 7 unknown technique name.
+violation, 6 worker crash, 7 unknown technique name, 8 unsupported
+feature (e.g. checkpoint/resume under the vectorized backend).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Optional, Sequence
 from .analysis import lint_module, render_json, render_text
 from .callgraph import analyze_kernel, build_call_graph
 from .config import PRESETS
+from .core.backends import DEFAULT_BACKEND, list_backends
 from .core.techniques import (
     TECHNIQUE_FAMILIES,
     TECHNIQUE_REGISTRY,
@@ -205,7 +212,7 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    config = PRESETS[args.config]
+    config = PRESETS[args.config].with_backend(args.backend)
     if args.technique != "best_swl":
         # Fail fast (exit code 7 with did-you-mean suggestions) instead of
         # burning executor retries on a name that can never resolve.
@@ -216,7 +223,8 @@ def _cmd_run(args) -> int:
     results = executor.run_many([base_req, run_req])
     baseline, result = results[base_req], results[run_req]
     stats = result.stats
-    print(f"workload={args.workload} technique={args.technique} config={args.config}")
+    print(f"workload={args.workload} technique={args.technique} "
+          f"config={args.config} backend={args.backend}")
     print(f"  cycles            : {stats.cycles}")
     print(f"  speedup vs base   : {baseline.cycles / stats.cycles:.3f}x")
     print(f"  warp instructions : {stats.warp_instructions}")
@@ -328,6 +336,14 @@ def _cmd_bench(args) -> int:
     ``BENCH_core.json`` baseline, and with ``--check`` exits 1 when the
     calibration-normalized throughput of any pair regresses more than
     ``--tolerance`` below the baseline's ``after_cps``.
+
+    ``--backend`` times the same grid under another timing backend.
+    Baseline entries record the backend they were measured under (a
+    missing ``backend`` field means ``event``); the throughput gate only
+    compares same-backend entries, so an event-core baseline can never
+    flag a vectorized run (or vice versa) as a regression.  Simulated
+    *cycle* counts, by contrast, are compared across backends on
+    purpose: byte-identity is the backend contract.
     """
     import json
     import time
@@ -335,7 +351,8 @@ def _cmd_bench(args) -> int:
 
     from .harness._runner import run_workload
 
-    config = PRESETS[args.config]
+    backend = args.backend
+    config = PRESETS[args.config].with_backend(backend)
     baseline_path = Path(args.baseline)
     baseline = (
         json.loads(baseline_path.read_text()) if baseline_path.exists() else None
@@ -347,6 +364,7 @@ def _cmd_bench(args) -> int:
     print(f"calibration: {calib:.3f}s spin "
           f"(baseline machine x{scale:.2f})" if baseline else
           f"calibration: {calib:.3f}s spin")
+    print(f"backend: {backend}")
 
     measured = {}
     failures = []
@@ -363,18 +381,34 @@ def _cmd_bench(args) -> int:
             best = min(best, time.process_time() - t0)
             cycles = result.cycles
         cps = cycles / best
-        key = f"{workload_name}/{technique_name}"
-        measured[key] = {"cycles": cycles, "cycles_per_sec": round(cps)}
+        pair = f"{workload_name}/{technique_name}"
+        # Non-default backends get distinct baseline keys so their entries
+        # can coexist with the event core's in one BENCH_core.json.
+        key = pair if backend == DEFAULT_BACKEND else f"{pair}@{backend}"
+        measured[key] = {
+            "cycles": cycles, "cycles_per_sec": round(cps), "backend": backend,
+        }
         line = f"  {key:<18} {cycles:>9} cycles  {cps:>12,.0f} cyc/s"
-        if baseline is not None and key in baseline.get("workloads", {}):
-            ref = baseline["workloads"][key]
+        stored = baseline.get("workloads", {}) if baseline is not None else {}
+        # Cycle drift is checked against *any* backend's entry for this
+        # pair (backends are byte-identical by contract) ...
+        for ref_key in (pair, f"{pair}@{backend}"):
+            ref = stored.get(ref_key)
+            if ref is not None and ref.get("cycles") is not None:
+                if cycles != ref["cycles"]:
+                    failures.append(
+                        f"{key}: simulated {cycles} cycles, baseline recorded "
+                        f"{ref['cycles']} under {ref_key!r} "
+                        f"(timing model drifted)"
+                    )
+                break
+        # ... but the throughput gate only ever compares same-backend
+        # entries: cross-backend cycles/sec differences are implementation
+        # facts, not regressions.
+        ref = stored.get(key)
+        if ref is not None and ref.get("backend", DEFAULT_BACKEND) == backend:
             ratio = (cps * scale) / ref["after_cps"]
             line += f"  vs baseline x{ratio:.2f}"
-            if ref.get("cycles") is not None and cycles != ref["cycles"]:
-                failures.append(
-                    f"{key}: simulated {cycles} cycles, baseline recorded "
-                    f"{ref['cycles']} (timing model drifted)"
-                )
             if ratio < 1.0 - args.tolerance:
                 failures.append(
                     f"{key}: normalized throughput x{ratio:.2f} is below "
@@ -383,9 +417,13 @@ def _cmd_bench(args) -> int:
         print(line)
 
     if args.json:
+        import numpy
+
         payload = {
             "schema": 1,
             "config": args.config,
+            "backend": backend,
+            "numpy_version": numpy.__version__,
             "calibration_sec": round(calib, 4),
             "results": measured,
         }
@@ -430,7 +468,8 @@ def _cmd_selfcheck(args) -> int:
     """
     from .resilience.selfcheck import render_report, run_selfcheck
 
-    reports = run_selfcheck(seed=args.seed)
+    reports = run_selfcheck(seed=args.seed, backend=args.backend)
+    print(f"backend: {args.backend}")
     print(render_report(reports))
     return 0 if all(r.ok for r in reports) else 1
 
@@ -499,6 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "name (swl_4, regdem_16, ...), or best_swl; "
                           "see `repro techniques`")
     run.add_argument("--config", default="volta", choices=sorted(PRESETS))
+    run.add_argument("--backend", default=DEFAULT_BACKEND,
+                     choices=list_backends(),
+                     help="timing backend (byte-identical results; see "
+                          "docs/architecture.md §14)")
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (results come from the store "
                           "when warm)")
@@ -534,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional throughput drop (default 0.20)")
     bench.add_argument("--json", default="", metavar="OUT.JSON",
                        help="write measured numbers as JSON (CI artifact)")
+    bench.add_argument("--backend", default=DEFAULT_BACKEND,
+                       choices=list_backends(),
+                       help="time the grid under this backend (the gate "
+                            "only compares same-backend baseline entries)")
 
     regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
     regen.add_argument("output", nargs="?", default="")
@@ -547,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection battery: prove each guardrail fires")
     selfcheck.add_argument("--seed", type=int, default=0,
                            help="seed for fault-ordinal selection")
+    selfcheck.add_argument("--backend", default=DEFAULT_BACKEND,
+                           choices=list_backends(),
+                           help="run every probe under this timing backend")
 
     cache = sub.add_parser(
         "cache", help="inspect/clear the content-addressed result store")

@@ -1,0 +1,122 @@
+"""Timing-backend registry.
+
+The simulator ships more than one implementation of the cycle-level
+timing core.  Each *backend* is a :class:`~repro.core.gpu.GPU` subclass
+(or ``GPU`` itself) that simulates a kernel launch to completion; every
+registered backend must produce **byte-identical** :class:`SimStats` for
+every (workload, technique, config) cell — the cross-backend battery in
+``tests/test_backend_equivalence.py`` and the backend-parameterized
+golden suite enforce this, and the result store relies on it (store keys
+deliberately exclude the backend; see
+:meth:`repro.harness.executor.ExperimentRequest.store_key`).
+
+Built-in backends:
+
+* ``"event"`` — the event-driven pure-Python core (:class:`GPU`).  The
+  default, and the reference implementation: supports every harness
+  feature including checkpoint/resume.
+* ``"vectorized"`` — the struct-of-arrays core
+  (:class:`repro.core.vectorized.VectorizedGPU`), registered when NumPy
+  is importable.  Keeps per-warp scheduler state in shared NumPy
+  buffers, replaces the per-warp ready scans and next-event reductions
+  with array operations, and backs the batched multi-config runner
+  (:func:`repro.harness._runner.run_workload_batch`).  Does not support
+  checkpointing (a typed
+  :class:`~repro.resilience.errors.UnsupportedFeatureError` is raised).
+
+Like the technique registry in :mod:`repro.core.techniques`, unknown
+names fail with a typed, suggestion-carrying error so CLI users get
+"did you mean" hints and exit code 8.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
+
+from ..resilience.errors import UnsupportedFeatureError
+
+__all__ = [
+    "BackendInfo",
+    "DEFAULT_BACKEND",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Name every config/CLI surface defaults to.
+DEFAULT_BACKEND = "event"
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registered timing backend.
+
+    ``gpu_cls`` is the :class:`~repro.core.gpu.GPU` (sub)class the runner
+    instantiates; ``supports_checkpoint`` gates the checkpoint/resume
+    harness feature (the only optional feature today).
+    """
+
+    name: str
+    gpu_cls: Type
+    description: str
+    supports_checkpoint: bool = True
+
+
+_REGISTRY: Dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    name: str,
+    gpu_cls: Type,
+    *,
+    description: str,
+    supports_checkpoint: bool = True,
+) -> BackendInfo:
+    """Register (or idempotently re-register) a timing backend.
+
+    Re-registration with a different class is refused: backends are
+    resolved by name across process-pool boundaries, so silently
+    swapping an implementation mid-session would let two workers
+    simulate the same store key with different code.
+    """
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing.gpu_cls is not gpu_cls:
+        raise ValueError(
+            f"backend {name!r} is already registered to "
+            f"{existing.gpu_cls.__name__}"
+        )
+    info = BackendInfo(
+        name=name,
+        gpu_cls=gpu_cls,
+        description=description,
+        supports_checkpoint=supports_checkpoint,
+    )
+    _REGISTRY[name] = info
+    return info
+
+
+def resolve_backend(name: str) -> BackendInfo:
+    """The :class:`BackendInfo` registered under *name*.
+
+    Unknown names raise :class:`UnsupportedFeatureError` (exit code 8)
+    with difflib "did you mean" suggestions, mirroring
+    :func:`repro.core.techniques.resolve_technique`.
+    """
+    info = _REGISTRY.get(name)
+    if info is not None:
+        return info
+    known = sorted(_REGISTRY)
+    suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+    message = f"unknown timing backend {name!r} (registered: {', '.join(known)})"
+    if suggestions:
+        message += " — did you mean: " + ", ".join(suggestions) + "?"
+    raise UnsupportedFeatureError(message, feature="backend", backend=name)
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Registered backend names, default first, then alphabetical."""
+    rest = sorted(n for n in _REGISTRY if n != DEFAULT_BACKEND)
+    head: List[str] = [DEFAULT_BACKEND] if DEFAULT_BACKEND in _REGISTRY else []
+    return tuple(head + rest)

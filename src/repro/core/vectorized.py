@@ -1,0 +1,284 @@
+"""Struct-of-arrays (vectorized) timing backend.
+
+The ``"vectorized"`` backend keeps the scheduler-visible per-warp state —
+``ready_at`` and ``next_issue``, the two fields the event-driven contract
+is built on — in shared NumPy int64 buffers (:class:`WarpSoA`), one pair
+of arrays per SM, instead of per-object attributes.  The per-cycle warp
+scan then runs as an array operation: one vectorized compare over each
+scheduler's partition replaces the per-warp ``ready_at`` guard, and the
+SM's next-event reduction (``_earliest_ready``) becomes a single
+``min()`` over the buffer.
+
+Byte-identity by construction
+-----------------------------
+
+Everything that *decides* or *charges* anything — µop expansion, the
+greedy-then-oldest pick, issue side effects, barrier and context-switch
+handling, CPI-stack accounting — is inherited from the event-driven
+:class:`~repro.core.sm.SM` / :class:`~repro.core.gpu.GPU` unchanged; the
+SoA layer only changes *where the two scheduler fields live* and *how
+candidate warps are prefiltered*.  The prefilter is sound because every
+wake path in the model parks ``ready_at`` either at the wake cycle
+itself (memory completions, which run before the SM tick) or strictly in
+the future (barrier releases, activations), so a warp excluded by
+``ready_at > cycle`` could never have been picked by the scalar scan —
+and the inherited pick re-checks every candidate anyway.  The
+cross-backend battery (``tests/test_backend_equivalence.py`` and the
+backend-parameterized golden suite) holds the two backends to
+byte-identical :class:`SimStats` on every workload × technique cell.
+
+Two scheduler flavours fall back to the inherited scalar tick wholesale:
+loose round-robin (its rotation pointer depends on the *unfiltered*
+candidate ordering) and the static wavefront limiter (its window is
+recomputed from the full warp list each cycle).
+
+Rows are allocated monotonically and never reused: a retired warp's row
+keeps ``NEVER`` so the full-buffer ``min()`` stays sound, and a late
+memory completion for an already-retired warp is re-parked explicitly
+(see :meth:`VectorizedSM.complete_load`).
+
+Checkpoint/resume is deliberately unsupported (state lives in shared
+buffers whose identity a pickle round-trip would sever); requesting it
+raises a typed :class:`~repro.resilience.errors.UnsupportedFeatureError`
+before any simulation state changes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..resilience.errors import UnsupportedFeatureError
+from .backends import register_backend
+from .gpu import GPU
+from .sm import SM
+from .warp import NEVER, WarpCtx
+
+__all__ = ["VecWarpCtx", "VectorizedGPU", "VectorizedSM", "WarpSoA"]
+
+
+class WarpSoA:
+    """Struct-of-arrays storage for one SM's scheduler-visible warp state.
+
+    ``ready_at[row]`` / ``next_issue[row]`` mirror the same-named
+    :class:`~repro.core.warp.WarpCtx` fields; ``n`` is the high-water
+    mark of allocated rows.  Buffers double on demand — the owning
+    :class:`VectorizedSM` re-points its live warps' cached array
+    references after a growth (see :meth:`VectorizedSM._new_warp`).
+    """
+
+    __slots__ = ("ready_at", "next_issue", "n")
+
+    def __init__(self, capacity: int) -> None:
+        capacity = max(8, capacity)
+        self.ready_at = np.zeros(capacity, dtype=np.int64)
+        self.next_issue = np.zeros(capacity, dtype=np.int64)
+        self.n = 0
+
+    def grow(self) -> None:
+        """Double capacity, preserving every allocated row's value."""
+        pad = np.zeros(self.ready_at.shape[0], dtype=np.int64)
+        self.ready_at = np.concatenate([self.ready_at, pad])
+        self.next_issue = np.concatenate([self.next_issue, pad])
+
+    def alloc_row(self) -> int:
+        """Next free row (the caller grows the buffers when full)."""
+        row = self.n
+        self.n = row + 1
+        return row
+
+
+class VecWarpCtx(WarpCtx):
+    """A :class:`WarpCtx` whose scheduler fields live in SoA buffers.
+
+    ``ready_at`` and ``next_issue`` shadow the parent slots with
+    properties over ``soa_array[row]``; the getters cast back to plain
+    ``int`` so NumPy scalars never leak into ``SimStats`` (whose JSON
+    serialization — and therefore the golden snapshots and the result
+    store — they would silently change).  Every other field keeps the
+    parent's plain-slot storage.
+    """
+
+    __slots__ = ("_ra", "_ni", "_row")
+
+    def __init__(
+        self, soa: WarpSoA, row: int, slot: int, global_index: int,
+        records, block,
+    ) -> None:
+        # The array refs must exist before WarpCtx.__init__ assigns the
+        # shadowed fields (its `self.ready_at = 0` lands in the setters).
+        self._ra = soa.ready_at
+        self._ni = soa.next_issue
+        self._row = row
+        super().__init__(slot, global_index, records, block)
+
+    @property
+    def ready_at(self) -> int:
+        return int(self._ra[self._row])
+
+    @ready_at.setter
+    def ready_at(self, value: int) -> None:
+        self._ra[self._row] = value
+
+    @property
+    def next_issue(self) -> int:
+        return int(self._ni[self._row])
+
+    @next_issue.setter
+    def next_issue(self, value: int) -> None:
+        self._ni[self._row] = value
+
+
+class VectorizedSM(SM):
+    """An :class:`SM` whose ready scan and next-event reduction are
+    array operations over the :class:`WarpSoA` buffers."""
+
+    __slots__ = ("soa", "_sched_rows")
+
+    def __init__(self, sm_id, config, ctx, mem, stats, gpu) -> None:
+        super().__init__(sm_id, config, ctx, mem, stats, gpu)
+        self.soa = WarpSoA(2 * config.max_warps_per_sm)
+        self._sched_rows: List[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in range(self._n_sched)
+        ]
+
+    # -- construction seams ---------------------------------------------
+
+    def _new_warp(self, slot, global_index, records, block):
+        soa = self.soa
+        if soa.n >= soa.ready_at.shape[0]:
+            soa.grow()
+            ra, ni = soa.ready_at, soa.next_issue
+            # Re-point every live warp at the grown buffers.  Retired
+            # warps may keep stale references: their rows are parked at
+            # NEVER in both generations and stay write-quiesced (a late
+            # load completion is re-parked in complete_load).
+            for warp in self.warps:
+                warp._ra = ra
+                warp._ni = ni
+            for warp in block.warps:
+                warp._ra = ra
+                warp._ni = ni
+        return VecWarpCtx(
+            soa, soa.alloc_row(), slot, global_index, records, block
+        )
+
+    def _rebuild_sched_lists(self) -> None:
+        super()._rebuild_sched_lists()
+        self._sched_rows = [
+            np.fromiter((w._row for w in lst), dtype=np.intp, count=len(lst))
+            for lst in self._sched_warps
+        ]
+
+    # -- vectorized issue -------------------------------------------------
+
+    def tick(self, cycle: int) -> int:
+        if self._warp_limit is not None or self._is_lrr:
+            # SWL re-windows every cycle and LRR's rotation pointer is
+            # defined over the unfiltered partition order; both use the
+            # inherited scalar scan (state still lives in the SoA).
+            return super().tick(cycle)
+        issued = 0
+        # Capture the partition (and its row view): block arrival or
+        # retirement mid-tick swaps in fresh ones that must only be seen
+        # from the next tick on — same contract as the scalar tick.
+        sched_lists = self._sched_warps
+        rows_lists = self._sched_rows
+        soa = self.soa
+        pick = self._pick_warp
+        issue = self._issue
+        last = self._last_issued
+        for sched in range(self._n_sched):
+            # Greedy fast path: under GTO the last-issued warp usually
+            # issues again, and the inherited pick resolves that from
+            # `_last_issued` alone — no candidate list, no array op.
+            # A failed greedy check parks that warp's bound in the
+            # future, so re-entering the pick below re-checks it for
+            # free via the ready_at guard (same idempotence the scalar
+            # scan relies on).
+            warp = pick(sched, (), cycle)
+            if warp is None:
+                rows = rows_lists[sched]
+                if not rows.shape[0]:
+                    continue
+                # Re-read per scheduler: an earlier pick this tick can
+                # add a block (growing the buffers) or wake warps of
+                # later schedulers; the compare must see those writes,
+                # exactly as the scalar scan's live attribute reads do.
+                hits = (soa.ready_at[rows] <= cycle).nonzero()[0]
+                if not hits.shape[0]:
+                    # No candidate: every wake path parks excluded warps
+                    # strictly past `cycle`, so the scalar scan could
+                    # not have picked one either.
+                    continue
+                lst = sched_lists[sched]
+                warp = pick(sched, [lst[i] for i in hits], cycle)
+                if warp is None:
+                    continue
+            issue(warp, cycle)
+            last[sched] = warp
+            issued += 1
+        if issued:
+            self._next_try = cycle + 1
+        else:
+            self._next_try = self._earliest_ready_all(cycle)
+        return issued
+
+    def _earliest_ready_all(self, cycle: int) -> int:
+        """Full-buffer form of ``_earliest_ready(self.warps, cycle)``.
+
+        Sound because rows outside ``self.warps`` (retired warps) are
+        pinned at ``NEVER``; see :meth:`complete_load`.
+        """
+        n = self.soa.n
+        if not n:
+            return NEVER
+        nt = int(self.soa.ready_at[:n].min())
+        if nt <= cycle:
+            return cycle + 1
+        return nt
+
+    def complete_load(self, request, cycle: int) -> None:
+        super().complete_load(request, cycle)
+        warp = request.warp
+        if warp.done:
+            # The scalar backend leaves a retired warp's ready_at at the
+            # completion cycle and lets the next scan's done-check park
+            # it again; a retired warp dropped from the partitions is
+            # never scanned here, so re-park immediately to keep the
+            # full-buffer min (and the no-future-events deadlock check)
+            # from seeing a phantom event.
+            warp.ready_at = NEVER
+
+
+class VectorizedGPU(GPU):
+    """The ``"vectorized"`` timing backend."""
+
+    backend_name = "vectorized"
+    sm_cls = VectorizedSM
+    supports_checkpoint = False
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        # Checkpointing is refused up front in run(); this guards the
+        # direct-pickle path (e.g. CheckpointPolicy.save on a GPU that
+        # was built by hand) with the same typed error.
+        raise UnsupportedFeatureError(
+            "the 'vectorized' timing backend does not support pickling "
+            "(checkpoint/resume); use backend='event'",
+            feature="checkpoint",
+            backend=self.backend_name,
+        )
+
+
+register_backend(
+    "vectorized",
+    VectorizedGPU,
+    description=(
+        "struct-of-arrays core: NumPy-buffered warp state, vectorized "
+        "ready scan and next-event reduction"
+    ),
+    supports_checkpoint=False,
+)

@@ -54,7 +54,11 @@ from typing import (
 from ..config.gpu_config import GPUConfig
 from ..config import volta
 from ..core.techniques import resolve_technique
-from ..resilience.errors import SimulationError, WorkerCrashError
+from ..resilience.errors import (
+    InvariantViolation,
+    SimulationError,
+    WorkerCrashError,
+)
 from ..workloads import make_workload
 from ..workloads.spec import Workload
 from ._runner import RunResult, SWL_SWEEP, run_best_swl, run_workload
@@ -188,23 +192,35 @@ class ExperimentRequest:
         return resolve_technique(self.technique).use_inlined
 
     def to_dict(self) -> Dict[str, Any]:
+        # config.to_dict() deliberately drops the backend (it is not part
+        # of the simulated machine); thread it at the request level so
+        # pool workers honour the caller's backend choice.
         return {
             "workload": self.workload,
             "technique": self.technique,
             "config": self.config.to_dict(),
+            "backend": self.config.backend,
             "sweep": list(self.sweep),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentRequest":
+        config = GPUConfig.from_dict(data["config"])
+        backend = data.get("backend", "event")
+        if backend != config.backend:
+            config = config.with_backend(backend)
         return cls(
             workload=data["workload"],
             technique=data["technique"],
-            config=GPUConfig.from_dict(data["config"]),
+            config=config,
             sweep=tuple(data["sweep"]),
         )
 
     def store_key(self, workload: Workload) -> str:
+        # ``config.fingerprint()`` excludes the timing backend on
+        # purpose: backends are byte-identical by contract, so both
+        # backends address the same entry (ResultStore.save cross-checks
+        # the contract whenever an entry is recomputed).
         material = {
             "schema": STORE_SCHEMA_VERSION,
             "simulator": simulator_digest(),
@@ -275,6 +291,22 @@ class ResultStore:
         return RunResult.from_dict(payload["result"])
 
     def save(self, key: str, request: ExperimentRequest, result: RunResult) -> Path:
+        # Store keys exclude the timing backend, so a recompute under a
+        # different backend (or a racing worker) must land on identical
+        # statistics.  A mismatch here means the backends diverged — a
+        # correctness bug, never something to silently overwrite.
+        existing = self.load(key)
+        if (
+            existing is not None
+            and existing.stats.to_dict() != result.stats.to_dict()
+        ):
+            raise InvariantViolation(
+                f"result store divergence for {request.workload}/"
+                f"{request.technique} (key {key[:12]}…): a recomputation "
+                f"under backend {request.config.backend!r} produced "
+                f"different statistics than the stored entry; timing "
+                f"backends must be byte-identical"
+            )
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,

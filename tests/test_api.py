@@ -18,10 +18,13 @@ from repro.api import (
     SMOKE_NAMES,
     TECHNIQUE_REGISTRY,
     WORKLOAD_NAMES,
+    Batch,
     RunResult,
     Simulation,
     SimStats,
     Sweep,
+    UnsupportedFeatureError,
+    list_backends,
     volta,
 )
 from repro.core.techniques import CARS
@@ -77,6 +80,48 @@ class TestSimulation:
         with pytest.raises(TypeError):
             Simulation("SSSP", "cars")
 
+    def test_backend_selects_equal_result(self):
+        by_backend = {
+            backend: Simulation(workload="SSSP", technique="cars",
+                                backend=backend).run().to_dict()
+            for backend in list_backends()
+        }
+        reference = by_backend["event"]
+        assert all(payload == reference for payload in by_backend.values())
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(UnsupportedFeatureError, match="did you mean"):
+            Simulation(workload="SSSP", backend="vectorised")
+
+
+class TestBatch:
+    def test_members_align_with_configs(self):
+        configs = [volta(), volta().with_warp_limit(2)]
+        results = Batch(workload="SSSP", technique="baseline",
+                        configs=configs).run()
+        assert [r.config for r in results] == configs
+        single = run_workload(
+            make_workload("SSSP"), TECHNIQUE_REGISTRY["baseline"],
+            config=configs[0],
+        )
+        assert results[0].stats.to_dict() == single.stats.to_dict()
+
+    def test_run_is_memoized(self):
+        batch = Batch(workload="SSSP", configs=[volta()])
+        assert batch.run() is batch.run()
+
+    def test_best_swl_rejected(self):
+        with pytest.raises(ValueError, match="best_swl"):
+            Batch(workload="SSSP", technique="best_swl", configs=[volta()])
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Batch(workload="SSSP", configs=[])
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(UnsupportedFeatureError):
+            Batch(workload="SSSP", configs=[volta()], backend="nope")
+
 
 class TestSweep:
     def test_grid_and_report(self, tmp_path, monkeypatch):
@@ -97,6 +142,20 @@ class TestSweep:
     def test_unknown_workload_rejected_eagerly(self):
         with pytest.raises(KeyError):
             Sweep(workloads=["SSSP", "NOPE"])
+
+    def test_backend_applies_to_every_cell(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        sweep = Sweep(workloads=["SSSP"], techniques=["baseline"],
+                      backend="vectorized")
+        assert sweep.config.backend == "vectorized"
+        results = sweep.run()
+        reference = Simulation(workload="SSSP", technique="baseline").run()
+        assert (results[("SSSP", "baseline")].stats.to_dict()
+                == reference.to_dict())
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(UnsupportedFeatureError):
+            Sweep(workloads=["SSSP"], backend="nope")
 
     def test_names_are_exported(self):
         assert set(SMOKE_NAMES) <= set(WORKLOAD_NAMES)

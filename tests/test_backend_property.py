@@ -1,0 +1,97 @@
+"""Property-based cross-backend equivalence on generated workloads.
+
+The handwritten equivalence battery pins the suite workloads; this module
+lets Hypothesis hunt for divergence in corners no suite workload happens
+to hit — random small synthetic kernels (call depth, register pressure,
+loop trip counts, grid sizes) crossed with random hardware configurations
+(SM/warp-slot counts, scheduler flavour, warp limits, cache geometry,
+DRAM latency).  For every sampled point, every selected timing backend
+must produce the same cycles, the same CPI stack, the same full
+:class:`SimStats` payload (canonical JSON, so a NumPy scalar leak fails
+too), and the same final architectural memory.
+
+The random configs deliberately cover the vectorized backend's
+scalar-fallback schedulers (``lrr`` and static warp limits) as well as
+its vectorized GTO path.
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import volta
+from repro.core.techniques import BASELINE, CARS_HIGH, CARS_LOW
+from repro.harness._runner import run_workload
+from repro.workloads import SynthKernel, build_workload
+
+_TECHNIQUES = {"baseline": BASELINE, "cars_high": CARS_HIGH,
+               "cars_low": CARS_LOW}
+
+_counter = [0]
+
+
+def _workload(depth, fru, iters, blocks):
+    _counter[0] += 1
+    spec = SynthKernel(
+        name="k",
+        depth=depth,
+        fru_chain=(fru,) * depth,
+        iters=iters,
+        grid_blocks=blocks,
+        loads_per_iter=1,
+        stores_per_iter=1,
+        alu_per_level=1,
+    )
+    return build_workload(f"bprop{_counter[0]}", "t", [spec])
+
+
+@st.composite
+def _config(draw):
+    return dataclasses.replace(
+        volta(),
+        num_sms=draw(st.integers(min_value=1, max_value=3)),
+        max_warps_per_sm=draw(st.integers(min_value=2, max_value=8)),
+        schedulers_per_sm=draw(st.integers(min_value=1, max_value=2)),
+        scheduler=draw(st.sampled_from(["gto", "lrr"])),
+        warp_limit=draw(st.sampled_from([None, 1, 2])),
+        registers_per_sm=draw(st.sampled_from([256, 512, 1024])),
+        dram_latency=draw(st.sampled_from([80, 220])),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    fru=st.integers(min_value=2, max_value=8),
+    iters=st.integers(min_value=1, max_value=2),
+    blocks=st.integers(min_value=1, max_value=3),
+    technique_name=st.sampled_from(sorted(_TECHNIQUES)),
+    config=_config(),
+)
+def test_random_workload_and_config_byte_identical(
+    depth, fru, iters, blocks, technique_name, config, all_backends
+):
+    technique = _TECHNIQUES[technique_name]
+    reference = None
+    for backend in all_backends:
+        # A fresh workload per backend: the trace/memory caches are then
+        # populated independently, so final-memory agreement below is a
+        # real cross-run property, not one object compared to itself.
+        workload = _workload(depth, fru, iters, blocks)
+        result = run_workload(
+            workload, technique, config=config, backend=backend
+        )
+        stats = result.stats
+        payload = json.dumps(stats.to_dict(), sort_keys=True)
+        assert sum(stats.cpi_stack.values()) == stats.cycles
+        current = (payload, workload.final_memory())
+        if reference is None:
+            reference = (backend, current)
+        else:
+            ref_payload, ref_memory = reference[1]
+            assert current[0] == ref_payload, (
+                f"{technique_name}: backend {backend!r} diverged from "
+                f"{reference[0]!r} under config {config.name}"
+            )
+            assert current[1].equal_state(ref_memory)

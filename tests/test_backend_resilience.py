@@ -1,0 +1,89 @@
+"""Resilience layer under the vectorized timing backend.
+
+The watchdog, the fault-injection guardrails, and checkpoint/resume were
+built against the event-driven core; this module pins how each behaves
+under the struct-of-arrays backend: watchdog and fault injection are part
+of the backend contract (identical behaviour, same typed alarms), while
+checkpoint/resume is a declared-unsupported feature — requested anyway,
+it must fail *before* any simulation state changes, with the typed
+:class:`UnsupportedFeatureError` that maps to exit code 8.
+"""
+
+import pytest
+
+from repro.core import GPU, VectorizedGPU
+from repro.core.techniques import BASELINE, CARS_LOW
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.resilience.errors import UnsupportedFeatureError, exit_code_for
+from repro.resilience.selfcheck import run_selfcheck
+from repro.resilience.watchdog import Watchdog
+
+from tests.resilience_util import chained_load_workload, run_once
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return chained_load_workload(threads=64, blocks=4)
+
+
+class TestWatchdog:
+    def test_watchdog_is_timing_invisible(self, workload):
+        """A healthy vectorized run under a tight-but-sufficient watchdog
+        window is byte-identical to the unwatched run on either backend."""
+        _, plain = run_once(workload, CARS_LOW, gpu_cls=VectorizedGPU)
+        _, watched = run_once(workload, CARS_LOW, gpu_cls=VectorizedGPU,
+                              watchdog=Watchdog(window=50_000))
+        _, event = run_once(workload, CARS_LOW, gpu_cls=GPU,
+                            watchdog=Watchdog(window=50_000))
+        assert watched.to_dict() == plain.to_dict()
+        assert watched.to_dict() == event.to_dict()
+
+
+class TestFaultInjection:
+    def test_selfcheck_battery_passes_under_vectorized(self):
+        """Every fault class converts into its expected typed alarm under
+        the vectorized backend — drop_fill/starve_mshr deadlocks (the
+        full-buffer next-event reduction must not mask a wedged warp),
+        corrupt_stack/drop_idle_charge invariant violations, and the
+        delay control completing with conservation intact."""
+        reports = run_selfcheck(seed=0, backend="vectorized")
+        failed = [r for r in reports if not r.ok]
+        assert not failed, "; ".join(
+            f"{r.fault_class}: expected {r.expected}, got {r.outcome}"
+            for r in failed
+        )
+
+
+class TestCheckpointUnsupported:
+    def test_checkpoint_request_raises_typed_error(self, tmp_path, workload):
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=200)
+        with pytest.raises(UnsupportedFeatureError) as excinfo:
+            run_once(workload, BASELINE, gpu_cls=VectorizedGPU,
+                     checkpoint=policy)
+        assert excinfo.value.feature == "checkpoint"
+        assert excinfo.value.backend == "vectorized"
+        # Refused before the run loop started: nothing was written.
+        assert not policy.saved
+        ckpt_dir = tmp_path / "ckpt"
+        assert not ckpt_dir.exists() or not list(ckpt_dir.glob("*"))
+
+    def test_exit_code_is_8(self):
+        err = UnsupportedFeatureError("x", feature="checkpoint",
+                                      backend="vectorized")
+        assert exit_code_for(err) == 8
+
+    def test_direct_pickle_is_refused(self, workload):
+        import pickle
+
+        gpu, _ = run_once(workload, BASELINE, gpu_cls=VectorizedGPU)
+        with pytest.raises(UnsupportedFeatureError):
+            pickle.dumps(gpu)
+
+    def test_event_backend_still_checkpoints(self, tmp_path, workload):
+        """The refusal is scoped to the declaring backend: the reference
+        core's checkpoint path is untouched."""
+        policy = CheckpointPolicy(tmp_path / "ckpt", every_cycles=200)
+        _, straight = run_once(workload, BASELINE)
+        _, checked = run_once(workload, BASELINE, checkpoint=policy)
+        assert policy.saved
+        assert checked.to_dict() == straight.to_dict()

@@ -74,6 +74,16 @@ class TestSerialization:
         assert volta().fingerprint() != ampere().fingerprint()
         assert volta().fingerprint() != volta().with_force_hit().fingerprint()
 
+    def test_backend_is_not_part_of_the_simulated_machine(self):
+        # Backends are byte-identical by contract, so the backend choice
+        # must never fork a store key or a serialized config.
+        vec = volta().with_backend("vectorized")
+        assert vec.backend == "vectorized"
+        assert "backend" not in vec.to_dict()
+        assert vec.to_dict() == volta().to_dict()
+        assert vec.fingerprint() == volta().fingerprint()
+        assert vec.name == volta().name
+
 
 class TestCli:
     def test_parser_subcommands(self):

@@ -51,11 +51,15 @@ def test_final_memory_is_deterministic(workload):
 
 @pytest.mark.parametrize("technique", [BASELINE, CARS, LTO],
                          ids=lambda t: t.name)
-def test_timing_replays_every_traced_instruction(workload, technique):
-    """Timing-model issue count == emulator dynamic instruction count."""
+def test_timing_replays_every_traced_instruction(workload, technique, backend):
+    """Timing-model issue count == emulator dynamic instruction count.
+
+    Runs under every selected timing backend (conftest's ``backend``
+    fixture): the replay contract is part of the backend contract.
+    """
     traces = workload.traces(inlined=technique.use_inlined)
     dynamic = sum(t.dynamic_instructions for t in traces)
-    result = run_workload(workload, technique)
+    result = run_workload(workload, technique, backend=backend)
     assert result.stats.warp_instructions == dynamic, (
         f"{workload.name}/{technique.name}: timing model issued "
         f"{result.stats.warp_instructions} warp instructions, emulator "

@@ -8,6 +8,11 @@ warp mid-stretch — by running each scenario twice, once with fast-forward
 active and once forced to single-step every idle cycle (the legacy
 per-cycle loop), and requiring byte-identical :meth:`SimStats.to_dict`
 payloads.
+
+The battery is three-way: every scenario also runs under the vectorized
+(struct-of-arrays) backend, so its array-op ready scan and full-buffer
+next-event reduction are held to the same per-cycle ground truth as the
+event core's bounds.
 """
 
 import dataclasses
@@ -16,7 +21,7 @@ import pytest
 
 from repro.callgraph import analyze_kernel, build_call_graph
 from repro.config import volta
-from repro.core import GPU, SimulationError
+from repro.core import GPU, SimulationError, VectorizedGPU
 from repro.core.techniques import BASELINE, CARS, CARS_LOW, Technique
 from repro.frontend import builder as b
 from repro.metrics.counters import SimStats
@@ -79,7 +84,9 @@ def _run(workload, technique, config=None, gpu_cls=GPU, max_cycles=None):
 def _assert_identical(workload, technique, config=None):
     fast = _run(workload, technique, config)
     stepped = _run(workload, technique, config, gpu_cls=_SingleStepGPU)
+    vectorized = _run(workload, technique, config, gpu_cls=VectorizedGPU)
     assert fast.to_dict() == stepped.to_dict()
+    assert vectorized.to_dict() == stepped.to_dict()
     return fast
 
 
@@ -162,11 +169,12 @@ class TestMaxCyclesMidSkip:
         total = _run(wl, BASELINE).cycles
         for budget in (1, total // 4, total // 2, total - 2, total, total + 1):
             outcomes = []
-            for gpu_cls in (GPU, _SingleStepGPU):
+            for gpu_cls in (GPU, _SingleStepGPU, VectorizedGPU):
                 try:
                     stats = _run(wl, BASELINE, gpu_cls=gpu_cls,
                                  max_cycles=budget)
                     outcomes.append(("done", stats.to_dict()))
                 except SimulationError:
                     outcomes.append(("raised", None))
-            assert outcomes[0] == outcomes[1], f"budget={budget}"
+            assert outcomes[0] == outcomes[1] == outcomes[2], \
+                f"budget={budget}"
