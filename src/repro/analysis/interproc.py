@@ -20,7 +20,8 @@ layer underneath and computes, per kernel:
 
 * **Per-scheme predictions** for the CARS allocation levels (Low /
   NxLow / High watermarks) *and* the rival plugin arms (``regdem``'s
-  shared-memory arena, ``rfcache``'s register-file cache): the *demand
+  shared-memory arena, ``rfcache``'s register-file cache, ``regcomp``'s
+  compressed static allocation with zero stack capacity): the *demand
   curve* ``W*(d)`` (worst register demand of any call chain of at most
   ``d`` frames) yields a guaranteed-trap-free depth per capacity, a
   static frame-depth bound that must dominate the simulator's observed
@@ -62,8 +63,9 @@ from .cfg import build_cfg
 from .dataflow import Liveness, per_instruction_liveness, solve
 
 #: Version of the ``to_dict`` / ``--json`` payload (golden-tested).
-#: v2 added the ``regdem`` / ``rfcache`` scheme predictions.
-INTERPROC_SCHEMA_VERSION = 2
+#: v2 added the ``regdem`` / ``rfcache`` scheme predictions; v3 added
+#: ``regcomp`` (static register compression, arXiv 2006.05693).
+INTERPROC_SCHEMA_VERSION = 3
 
 #: Bytes of baseline spill-store traffic per pushed register: 4 B x 32 lanes.
 _BYTES_PER_REG = 4 * 32
@@ -71,7 +73,7 @@ _BYTES_PER_REG = 4 * 32
 #: The canonical schemes predictions are emitted for: the CARS
 #: allocation levels (``cars_low`` / ``cars_nxlow2`` / ``cars_high`` pin
 #: exactly these) plus the rival plugin arms at their default knobs.
-SCHEME_KEYS = ("low", "nxlow2", "high", "regdem", "rfcache")
+SCHEME_KEYS = ("low", "nxlow2", "high", "regdem", "rfcache", "regcomp")
 
 
 @dataclass(frozen=True)
@@ -515,8 +517,16 @@ def _scheme_prediction(
     chain_regs: int,
     chain_frames: int,
     pushed_only: bool = False,
+    capacity: Optional[int] = None,
 ) -> SchemePrediction:
-    capacity = max(0, regs_per_warp - base.kernel_fru)
+    # Stack capacity defaults to whatever the allocation leaves above the
+    # kernel's own frame; schemes with no register stack at all (regcomp
+    # compresses the static allocation but spills every call boundary to
+    # memory, exactly like the baseline ABI) override it explicitly —
+    # deriving it from ``regs_per_warp`` would invent stack space out of
+    # the *compressed* footprint.
+    if capacity is None:
+        capacity = max(0, regs_per_warp - base.kernel_fru)
     # trap_free_depth from the cumulative curve.
     depth: Optional[int] = 0
     for demand in curve:
@@ -571,15 +581,26 @@ def analyze_kernel_interproc(
     # techniques simulate, so ``--validate`` compares like with like).
     defaults = GPUConfig()
     arena_regs = defaults.regdem_smem_bytes_per_warp // _BYTES_PER_REG
-    schemes: Dict[str, Tuple[int, bool]] = {
-        "low": (base.low_watermark, False),
-        "nxlow2": (base.nxlow_watermark(2), False),
-        "high": (base.high_watermark, False),
-        "regdem": (base.kernel_fru + arena_regs, True),
-        "rfcache": (base.kernel_fru + defaults.rfcache_regs, True),
+    # Static register compression shrinks the scheduler-visible footprint
+    # to a percentage of the kernel frame but holds *no* stack space:
+    # every call boundary still spills to memory, so its capacity is
+    # pinned to 0 rather than derived from the (compressed) allocation.
+    regcomp_regs = max(
+        1, -(-base.kernel_fru * defaults.regcomp_ratio_pct // 100)
+    )
+    # scheme -> (scheduler-visible regs/warp, pushed_only, capacity
+    # override; None derives capacity from the allocation).
+    schemes: Dict[str, Tuple[int, bool, Optional[int]]] = {
+        "low": (base.low_watermark, False, None),
+        "nxlow2": (base.nxlow_watermark(2), False, None),
+        "high": (base.high_watermark, False, None),
+        "regdem": (base.kernel_fru + arena_regs, True, None),
+        "rfcache": (base.kernel_fru + defaults.rfcache_regs, True, None),
+        "regcomp": (regcomp_regs, True, 0),
     }
     capacity_hi = max(
-        max(0, regs - base.kernel_fru) for regs, _ in schemes.values()
+        max(0, regs - base.kernel_fru) if cap is None else cap
+        for regs, _, cap in schemes.values()
     )
     max_depth = capacity_hi + 1
     if bounds.frame_depth_bound is not None:
@@ -624,8 +645,9 @@ def analyze_kernel_interproc(
                 chain_regs,
                 chain_frames,
                 pushed_only=pushed_only,
+                capacity=capacity,
             )
-            for scheme, (regs, pushed_only) in schemes.items()
+            for scheme, (regs, pushed_only, capacity) in schemes.items()
         },
     )
 
@@ -684,6 +706,7 @@ SCHEME_TECHNIQUES = {
     "high": "cars_high",
     "regdem": "regdem",
     "rfcache": "rfcache",
+    "regcomp": "regcomp",
 }
 
 

@@ -14,6 +14,15 @@ releases; the names exported here (see ``__all__``) are kept stable:
 * :class:`Batch` — one (workload × technique) under N configurations in
   a single pass, sharing every config-independent stage (compile, lint,
   static analysis, traces, call graph) across the members.
+* Design-space exploration: :class:`Space` (declarative parameter grid
+  with derived columns and pruning, compiling to deduplicated
+  :class:`ExperimentPlan` cells — see
+  :meth:`ExperimentPlan.from_space`), :func:`explore` (compile, execute,
+  join results back onto the rows), and :class:`Tuner` (per-workload-
+  class CARS policy search over :class:`CarsPolicy` grids with
+  successive-halving pruning; CLI twin: ``repro tune``).  Plan-level
+  progress/resume is exposed via :meth:`ExperimentPlan.progress`
+  (a :class:`PlanProgress`).
 * Timing backends: ``Simulation``/``Sweep``/``Batch`` take
   ``backend="event"`` (the reference event-driven core) or
   ``backend="vectorized"`` (struct-of-arrays NumPy core); both produce
@@ -66,7 +75,16 @@ from .core.techniques import (
     register_technique_family,
     resolve_technique,
 )
-from .harness.executor import Executor, ExperimentPlan
+from .dse import (
+    CarsPolicy,
+    DEFAULT_POLICY,
+    Space,
+    SpaceError,
+    TuneReport,
+    Tuner,
+    explore,
+)
+from .harness.executor import Executor, ExperimentPlan, PlanProgress
 from .harness._runner import (
     RunResult,
     SWL_SWEEP,
@@ -95,12 +113,21 @@ __all__ = [
     "Simulation",
     "Sweep",
     "Batch",
+    # design-space exploration
+    "Space",
+    "SpaceError",
+    "Tuner",
+    "CarsPolicy",
+    "DEFAULT_POLICY",
+    "TuneReport",
+    "explore",
     # blessed result / config / batch types
     "RunResult",
     "SimStats",
     "GPUConfig",
     "Executor",
     "ExperimentPlan",
+    "PlanProgress",
     # the timing-backend registry surface
     "list_backends",
     # the technique plugin surface

@@ -51,9 +51,14 @@ class DynamicReservationPolicy:
         levels: List[int],
         num_sms: int,
         memory: Optional[PolicyMemory] = None,
+        *,
+        min_samples: int = 1,
     ) -> None:
         if not levels:
             raise ValueError("empty allocation ladder")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.min_samples = min_samples
         self.kernel = kernel
         self.levels = levels
         self.num_sms = num_sms
@@ -100,16 +105,21 @@ class DynamicReservationPolicy:
     def _adjust(self, sm_id: int) -> None:
         """Move this SM's level one step toward the best measured level.
 
-        The comparison only starts once at least one block has completed
-        from each of the two seed populations (the paper waits for one
-        High- and one Low-watermark block before engaging the machine).
+        The comparison only starts once ``min_samples`` blocks have
+        completed at each of two allocation levels (the paper's default,
+        ``min_samples=1``, waits for one High- and one Low-watermark
+        block before engaging the machine; larger thresholds keep the
+        seed populations running longer before trusting the averages).
         """
-        measured = self._measured_levels()
+        measured = [
+            lvl for lvl, s in self.stats.items()
+            if s.blocks >= self.min_samples
+        ]
         if len(measured) < 2:
             return
         current = self._sm_level[sm_id]
-        best = self.best_measured_level()
-        if best is None or best == current:
+        best = min(measured, key=lambda lvl: self.stats[lvl].average)
+        if best == current:
             return
         # "If the current selection performs worse than the recorded
         # performance of a higher or lower allocation, adjust accordingly."

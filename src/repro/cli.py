@@ -10,6 +10,7 @@
     python -m repro run --workload MST --backend vectorized
     python -m repro profile --workload MST [--technique baseline] [--trace out.jsonl]
     python -m repro bench [--check] [--json bench.json] [--backend vectorized]
+    python -m repro tune --workloads SSSP,MST --budget 50 [--json]
     python -m repro regen [output.md] [--jobs 4]
     python -m repro selfcheck [--seed 0] [--backend vectorized]
     python -m repro cache info
@@ -443,14 +444,50 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_regen(args) -> int:
-    import warnings
+def _cmd_tune(args) -> int:
+    """Search CARS policy per workload class (``repro tune``).
 
-    with warnings.catch_warnings():
-        # The CLI is a supported way in; only *importing* regenerate as a
-        # library is deprecated.
-        warnings.simplefilter("ignore", DeprecationWarning)
-        from .harness.regenerate import main as regen_main
+    Runs :class:`repro.dse.Tuner` over the requested workloads, prints
+    the best-policy-per-workload table (or the schema-versioned JSON
+    payload with ``--json``).  Every cell goes through the result store,
+    so a repeated invocation simulates nothing.
+    """
+    import json as _json
+
+    from .dse import Tuner, default_policy_grid
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    unknown = sorted(set(workloads) - set(WORKLOAD_NAMES))
+    if unknown:
+        print(f"error: unknown workload(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    grid_kwargs = {}
+    if args.schemes:
+        grid_kwargs["schemes"] = tuple(
+            s.strip() for s in args.schemes.split(",") if s.strip())
+    if args.schedulers:
+        grid_kwargs["schedulers"] = tuple(
+            s.strip() for s in args.schedulers.split(",") if s.strip())
+    policies = default_policy_grid(**grid_kwargs) if grid_kwargs else None
+    tuner = Tuner(
+        workloads=workloads,
+        policies=policies,
+        budget=args.budget,
+        seed=args.seed,
+        base_config=PRESETS[args.config],
+        executor=Executor(jobs=args.jobs),
+    )
+    report = tuner.search()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0
+
+
+def _cmd_regen(args) -> int:
+    from .harness._regenerate import main as regen_main
 
     argv = [args.output] if args.output else []
     if args.jobs is not None:
@@ -582,6 +619,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time the grid under this backend (the gate "
                             "only compares same-backend baseline entries)")
 
+    tune = sub.add_parser(
+        "tune", help="search CARS policy per workload class")
+    tune.add_argument("--workloads", required=True, metavar="CSV",
+                      help="comma-separated workload names (see `repro list`)")
+    tune.add_argument("--budget", type=int, default=None, metavar="N",
+                      help="cap on evaluated cells (store-warm cells count "
+                           "toward it; rungs that no longer fit are skipped)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="rung-order shuffle seed (equal seeds give "
+                           "byte-equal searches)")
+    tune.add_argument("--config", default="volta", choices=sorted(PRESETS),
+                      help="hardware preset the policies are applied to")
+    tune.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for each rung's grid")
+    tune.add_argument("--schemes", default="", metavar="CSV",
+                      help="watermark schemes to grid over (default: "
+                           "dynamic,low,nxlow2,nxlow4,high)")
+    tune.add_argument("--schedulers", default="", metavar="CSV",
+                      help="warp schedulers to grid over (default: gto,lrr)")
+    tune.add_argument("--json", action="store_true",
+                      help="machine-readable report (schema-versioned)")
+
     regen = sub.add_parser("regen", help="regenerate EXPERIMENTS.md")
     regen.add_argument("output", nargs="?", default="")
     regen.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
@@ -618,6 +677,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "profile": _cmd_profile,
         "bench": _cmd_bench,
+        "tune": _cmd_tune,
         "regen": _cmd_regen,
         "selfcheck": _cmd_selfcheck,
         "cache": _cmd_cache,

@@ -90,6 +90,12 @@ class GPUConfig:
     # CARS-specific knobs.
     cars_extra_pipeline_cycles: int = 1  # issue + operand-collector stages
     cars_max_context_switches: int = 64
+    # Completed blocks required *per measured allocation level* before the
+    # Fig 5 state machine starts steering SMs.  1 is the paper's behaviour
+    # (engage once each seed population has retired a block); larger
+    # values trade adaptation speed for less noisy runtime averages, and
+    # the `repro tune` search explores this as a policy threshold.
+    cars_policy_min_samples: int = 1
     # RegDem (shared-memory register demotion): per-warp spill arena carved
     # out of shared memory.  One warp-wide register is 128 B (4 B x 32
     # lanes), so the default arena holds 8 demoted registers per warp; the
@@ -98,6 +104,13 @@ class GPUConfig:
     # Register-file cache: compiler-managed LRU cache of callee-saved
     # registers, carved out of the per-warp register allocation.
     rfcache_regs: int = 12
+    # Static register compression (arXiv 2006.05693): the compiler
+    # re-encodes the kernel's register footprint at this percentage of
+    # the baseline linker demand, shrinking the allocation the block
+    # scheduler sees; every function call pays ``regcomp_extra_cycles``
+    # to unpack the callee's compressed frame metadata.
+    regcomp_ratio_pct: int = 70
+    regcomp_extra_cycles: int = 1
     # Timing backend that simulates this configuration (a name from
     # repro.core.backends; "event" or "vectorized").  Deliberately NOT
     # part of to_dict()/fingerprint(): every registered backend must
@@ -176,6 +189,35 @@ class GPUConfig:
     def with_rfcache_regs(self, regs: int) -> "GPUConfig":
         """A copy with a *regs*-entry register-file cache per warp."""
         return replace(self, name=f"{self.name}-rfc-{regs}", rfcache_regs=regs)
+
+    def with_scheduler(self, scheduler: str) -> "GPUConfig":
+        """A copy issued under a different warp scheduler (``gto``/``lrr``)."""
+        if scheduler == self.scheduler:
+            return self
+        return replace(
+            self, name=f"{self.name}-{scheduler}", scheduler=scheduler
+        )
+
+    def with_cars_policy(self, *, min_samples: int) -> "GPUConfig":
+        """A copy whose Fig 5 state machine waits for *min_samples*
+        completed blocks per allocation level before steering SMs."""
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if min_samples == self.cars_policy_min_samples:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-ms{min_samples}",
+            cars_policy_min_samples=min_samples,
+        )
+
+    def with_regcomp_ratio(self, pct: int) -> "GPUConfig":
+        """A copy whose regcomp arm compresses frames to *pct* percent."""
+        if not 1 <= pct <= 100:
+            raise ValueError("regcomp ratio must be in 1..100 percent")
+        return replace(
+            self, name=f"{self.name}-regcomp-{pct}", regcomp_ratio_pct=pct
+        )
 
 
 def volta() -> GPUConfig:

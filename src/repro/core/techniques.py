@@ -246,7 +246,9 @@ class CarsContext(LaunchContext):
         if mode == "dynamic":
             if self.plan.dynamic:
                 self.policy = DynamicReservationPolicy(
-                    trace.kernel, self.plan.levels, config.num_sms, policy_memory
+                    trace.kernel, self.plan.levels, config.num_sms,
+                    policy_memory,
+                    min_samples=config.cars_policy_min_samples,
                 )
             else:
                 self._static_regs = self.plan.levels[self.plan.static_level]
@@ -601,6 +603,24 @@ def register_technique_family(
     )
 
 
+def parse_family_int(suffix: str) -> int:
+    """Parse a family-name suffix as a canonical decimal integer.
+
+    Family names are store keys, so they must be canonical: ``swl_8``
+    parses, while trailing or leading garbage (``8x``, ``08``, ``+8``,
+    `` 8``, ``8_0``, unicode digits) raises :class:`ValueError` so that
+    :func:`resolve_technique` falls through to
+    :class:`~repro.resilience.errors.UnknownTechniqueError` instead of
+    silently truncating the name.  ``int()`` alone is too permissive
+    here — it strips whitespace and accepts signs and underscores.
+    """
+    if not (suffix.isascii() and suffix.isdigit()):
+        raise ValueError(f"non-canonical family suffix {suffix!r}")
+    if len(suffix) > 1 and suffix[0] == "0":
+        raise ValueError(f"non-canonical family suffix {suffix!r}")
+    return int(suffix)
+
+
 def list_techniques() -> List[str]:
     """Sorted names of every registered fixed technique."""
     return sorted(TECHNIQUE_REGISTRY)
@@ -677,8 +697,10 @@ def cars_nxlow(n: int) -> Technique:
 
 
 register_technique_family(
-    "swl_", lambda suffix: swl(int(suffix)), pattern="swl_<n>"
+    "swl_", lambda suffix: swl(parse_family_int(suffix)), pattern="swl_<n>"
 )
 register_technique_family(
-    "cars_nxlow", lambda suffix: cars_nxlow(int(suffix)), pattern="cars_nxlow<n>"
+    "cars_nxlow",
+    lambda suffix: cars_nxlow(parse_family_int(suffix)),
+    pattern="cars_nxlow<n>",
 )

@@ -1,0 +1,44 @@
+"""Design-space exploration: the declarative DSL and the policy tuner.
+
+Two layers, both orchestration-only (this package is digest-exempt — it
+decides *which* cells to simulate, never what a cell computes):
+
+* :class:`Space` — a parameter grid with dependency-aware derived
+  columns and pruning conditions that compiles to deduplicated
+  :class:`~repro.harness.executor.ExperimentRequest` cells;
+  :func:`explore` is the one-call compile-execute-join convenience.
+* :class:`Tuner` — searches the CARS policy space (:class:`CarsPolicy`:
+  watermark scheme x warp scheduler x state-machine threshold) per
+  workload class with successive-halving pruning, reporting a
+  best-policy-per-workload table against :data:`DEFAULT_POLICY`.
+
+The blessed import path is :mod:`repro.api`, which re-exports
+``Space`` / ``Tuner`` / ``explore``; the CLI surface is ``repro tune``.
+"""
+
+from .space import RESERVED_COLUMNS, Space, SpaceError, explore
+from .tuner import (
+    DEFAULT_POLICY,
+    TUNE_SCHEMA_VERSION,
+    CarsPolicy,
+    ClassSearch,
+    TuneReport,
+    Tuner,
+    WorkloadBest,
+    default_policy_grid,
+)
+
+__all__ = [
+    "CarsPolicy",
+    "ClassSearch",
+    "DEFAULT_POLICY",
+    "RESERVED_COLUMNS",
+    "Space",
+    "SpaceError",
+    "TUNE_SCHEMA_VERSION",
+    "TuneReport",
+    "Tuner",
+    "WorkloadBest",
+    "default_policy_grid",
+    "explore",
+]

@@ -1,0 +1,273 @@
+"""The declarative design-space DSL.
+
+A :class:`Space` is a parameter grid with *derived columns* and
+*conditions*, declared in the style of the IML-CP-Proxy simulator DSL:
+
+    space = (
+        Space()
+        .add_parameter("workload", ["SSSP", "MST"])
+        .add_parameter("limit", [2, 4, 8])
+        .add_function("technique", lambda limit: f"swl_{limit}")
+        .add_condition("skip_tiny", lambda limit: limit >= 4)
+    )
+
+* ``add_parameter`` axes span the grid (their Cartesian product).
+* ``add_function`` columns are computed per row; their dependencies are
+  read off the function's signature (any parameter or previously added
+  function), with extra constants bound via ``params=``.
+* ``add_condition`` predicates prune rows; they run at their declaration
+  position, so later (possibly expensive) functions never see pruned
+  rows.
+
+The reserved columns ``workload``, ``technique``, ``config`` and
+``sweep`` give each surviving row its meaning as one experiment cell:
+:meth:`Space.compile_requests` turns them into deduplicated
+:class:`~repro.harness.executor.ExperimentRequest` objects, which is the
+hook :meth:`ExperimentPlan.from_space
+<repro.harness.executor.ExperimentPlan.from_space>` builds on.  Because
+requests are content-addressed, two equivalent spaces declared in any
+order compile to byte-identical store keys.
+"""
+
+from __future__ import annotations
+
+import inspect
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..config.gpu_config import GPUConfig
+from ..harness.executor import (
+    Executor,
+    ExperimentPlan,
+    ExperimentRequest,
+)
+from ..harness._runner import RunResult
+
+#: Row columns with experiment-cell meaning (everything else is free).
+RESERVED_COLUMNS = ("workload", "technique", "config", "sweep")
+
+
+class SpaceError(ValueError):
+    """A malformed space declaration (bad name, unknown dependency, …)."""
+
+
+def _dependencies(
+    name: str, fn: Callable[..., Any], bound: Dict[str, Any],
+    known: Sequence[str],
+) -> Tuple[str, ...]:
+    """Column names *fn* reads, from its signature minus bound params."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError) as exc:
+        raise SpaceError(f"{name!r}: cannot inspect its signature") from exc
+    deps: List[str] = []
+    for param in signature.parameters.values():
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            raise SpaceError(
+                f"{name!r}: *args/**kwargs are ambiguous as dependencies; "
+                f"declare explicit column-named parameters"
+            )
+        if param.name in bound:
+            continue
+        if param.name not in known:
+            if param.default is not param.empty:
+                continue  # an optional knob, not a column read
+            raise SpaceError(
+                f"{name!r} depends on unknown column {param.name!r} "
+                f"(known: {', '.join(sorted(known)) or 'none'}; "
+                f"declare parameters/functions before what reads them)"
+            )
+        deps.append(param.name)
+    return tuple(deps)
+
+
+class Space:
+    """A declarative parameter grid with derived columns and pruning.
+
+    Every ``add_*`` method validates eagerly and returns ``self`` for
+    chaining.  The grid itself is only materialized by :meth:`rows` /
+    :meth:`compile_requests`, and its enumeration order is canonical —
+    the Cartesian product over parameters *sorted by name* — so the
+    declaration order of parameters never changes what (or in which
+    order) a compiled plan simulates.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Tuple[Any, ...]] = {}
+        #: (kind, name, fn, deps, bound) in declaration order; ``kind``
+        #: is "function" (adds a column) or "condition" (prunes).
+        self._steps: List[
+            Tuple[str, str, Callable[..., Any], Tuple[str, ...],
+                  Dict[str, Any]]
+        ] = []
+        self._columns: List[str] = []
+
+    # -- declaration ----------------------------------------------------
+
+    def _check_new_column(self, name: str) -> None:
+        if not isinstance(name, str) or not name.isidentifier():
+            raise SpaceError(f"column name must be an identifier: {name!r}")
+        if name in self._columns:
+            raise SpaceError(f"column {name!r} is already declared")
+
+    def add_parameter(self, name: str, values: Sequence[Any]) -> "Space":
+        """Declare grid axis *name* spanning *values* (kept in order,
+        deduplicated; must be non-empty)."""
+        self._check_new_column(name)
+        ordered: List[Any] = []
+        for value in values:
+            if value not in ordered:
+                ordered.append(value)
+        if not ordered:
+            raise SpaceError(f"parameter {name!r} needs at least one value")
+        self._parameters[name] = tuple(ordered)
+        self._columns.append(name)
+        return self
+
+    def add_function(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "Space":
+        """Declare derived column *name* computed per row by *fn*.
+
+        *fn*'s parameter names select the columns it reads (declare those
+        first); *params* binds extra keyword constants that are passed
+        through verbatim and never treated as columns.
+        """
+        self._check_new_column(name)
+        bound = dict(params or {})
+        deps = _dependencies(name, fn, bound, self._columns)
+        self._steps.append(("function", name, fn, deps, bound))
+        self._columns.append(name)
+        return self
+
+    def add_condition(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "Space":
+        """Declare pruning predicate *name*: rows where *fn* is falsy are
+        dropped, at this position — later functions never run for them.
+        """
+        if not isinstance(name, str) or not name.isidentifier():
+            raise SpaceError(f"condition name must be an identifier: {name!r}")
+        bound = dict(params or {})
+        deps = _dependencies(name, fn, bound, self._columns)
+        self._steps.append(("condition", name, fn, deps, bound))
+        return self
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def columns(self) -> List[str]:
+        """Every row column, in declaration order."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        """Surviving rows (materializes the grid)."""
+        return sum(1 for _ in self.rows())
+
+    # -- materialization ------------------------------------------------
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Yield surviving rows in canonical order.
+
+        Canonical = the Cartesian product over parameters sorted by
+        name, steps applied in declaration order.  Conditions prune
+        mid-pipeline; surviving rows carry every parameter and derived
+        column.
+        """
+        names = sorted(self._parameters)
+        axes = [self._parameters[name] for name in names]
+        for combo in product(*axes):
+            row: Dict[str, Any] = dict(zip(names, combo))
+            pruned = False
+            for kind, name, fn, deps, bound in self._steps:
+                kwargs = {dep: row[dep] for dep in deps}
+                kwargs.update(bound)
+                value = fn(**kwargs)
+                if kind == "condition":
+                    if not value:
+                        pruned = True
+                        break
+                else:
+                    row[name] = value
+            if not pruned:
+                yield row
+
+    @staticmethod
+    def _request_for(row: Dict[str, Any]) -> ExperimentRequest:
+        workload = row.get("workload")
+        if not isinstance(workload, str):
+            raise SpaceError(
+                "every row needs a string 'workload' column to compile "
+                f"(got {workload!r}); declare it as a parameter or function"
+            )
+        technique = row.get("technique", "baseline")
+        name = technique if isinstance(technique, str) else technique.name
+        config = row.get("config")
+        if config is None:
+            config = GPUConfig()
+        elif not isinstance(config, GPUConfig):
+            raise SpaceError(
+                f"'config' column must be a GPUConfig, got {type(config)!r}"
+            )
+        sweep = row.get("sweep") or ()
+        return ExperimentRequest(
+            workload=workload, technique=name, config=config,
+            sweep=tuple(sweep),
+        )
+
+    def compiled_rows(self) -> List[Tuple[Dict[str, Any], ExperimentRequest]]:
+        """Every surviving row paired with its experiment cell."""
+        return [(row, self._request_for(row)) for row in self.rows()]
+
+    def compile_requests(self) -> List[ExperimentRequest]:
+        """Deduplicated requests in canonical order (the
+        :meth:`ExperimentPlan.add_space
+        <repro.harness.executor.ExperimentPlan.add_space>` hook)."""
+        ordered: List[ExperimentRequest] = []
+        seen = set()
+        for _, request in self.compiled_rows():
+            if request not in seen:
+                seen.add(request)
+                ordered.append(request)
+        return ordered
+
+
+def explore(
+    *,
+    space: Space,
+    executor: Optional[Executor] = None,
+    jobs: int = 1,
+) -> List[Dict[str, Any]]:
+    """Compile *space*, execute it, and return the enriched rows.
+
+    Each returned row is the DSL row plus two keys: ``request`` (the
+    compiled :class:`~repro.harness.executor.ExperimentRequest`) and
+    ``result`` (its :class:`~repro.harness._runner.RunResult`).  Rows
+    that deduplicate onto the same cell share one result object.  Pass
+    an *executor* to reuse its memo/store wiring; otherwise a fresh one
+    with *jobs* workers is built.
+    """
+    if executor is None:
+        executor = Executor(jobs=jobs)
+    plan = ExperimentPlan.from_space(space=space, executor=executor)
+    results: Dict[ExperimentRequest, RunResult] = plan.execute()
+    enriched: List[Dict[str, Any]] = []
+    for row, request in space.compiled_rows():
+        enriched.append({**row, "request": request,
+                         "result": results[request]})
+    return enriched

@@ -1,0 +1,430 @@
+"""CARS policy auto-tuning over the design-space DSL.
+
+The paper fixes one allocation policy (the Fig 5 dynamic state machine,
+greedy-then-oldest issue, engage-after-one-block thresholds) for every
+figure.  :class:`Tuner` runs the search the paper never did: per
+*workload class* (the Table II bottleneck taxonomy), it explores the
+policy space
+
+    watermark scheme x warp scheduler x state-machine threshold
+
+with a grid seeded through the :class:`~repro.dse.space.Space` DSL and
+pruned by successive halving — each rung adds one more workload of the
+class, ranks the surviving policies by their geomean cycles ratio
+against the paper default, and keeps the top ``1/eta`` (the default is
+never pruned, so every ratio stays anchored).  Every cell is an
+ordinary :class:`~repro.harness.executor.ExperimentRequest`, so the
+whole search is store-deduplicated: re-running a finished search
+simulates nothing.
+
+The objective is :func:`repro.obs.objective.objective` (cycles); each
+winner is reported with its CPI-share delta against the default
+(:func:`repro.obs.objective.feature_delta`) so the table shows *what*
+the winning policy traded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config.gpu_config import GPUConfig
+from ..core.techniques import resolve_technique
+from ..harness._runner import RunResult, geomean
+from ..harness.executor import Executor, ExperimentPlan
+from ..obs.objective import OBJECTIVE_METRIC, feature_delta, top_movers
+from ..workloads import make_workload
+from .space import Space
+
+#: Version of the ``Tuner`` report / ``repro tune --json`` payload.
+TUNE_SCHEMA_VERSION = 1
+
+DEFAULT_SCHEMES = ("dynamic", "low", "nxlow2", "nxlow4", "high")
+DEFAULT_SCHEDULERS = ("gto", "lrr")
+#: Fig 5 engage thresholds explored for the dynamic scheme (static
+#: watermarks have no state machine, so only the first value applies).
+DEFAULT_MIN_SAMPLES = (1, 2)
+
+
+@dataclass(frozen=True)
+class CarsPolicy:
+    """One point of the CARS policy space.
+
+    ``scheme`` picks the reservation mode (``dynamic`` = the Fig 5 state
+    machine; ``low`` / ``nxlow<n>`` / ``high`` pin that watermark),
+    ``scheduler`` the warp issue order, and ``min_samples`` the state
+    machine's engage threshold (blocks per measured level).  The default
+    instance is exactly the paper's configuration.
+    """
+
+    scheme: str = "dynamic"
+    scheduler: str = "gto"
+    min_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        resolve_technique(self.technique)  # rejects unknown schemes
+
+    @property
+    def technique(self) -> str:
+        """The technique name pinning this policy's reservation mode."""
+        return "cars" if self.scheme == "dynamic" else f"cars_{self.scheme}"
+
+    def apply(self, config: GPUConfig) -> GPUConfig:
+        """*config* with this policy's scheduler and thresholds applied."""
+        return config.with_scheduler(self.scheduler).with_cars_policy(
+            min_samples=self.min_samples
+        )
+
+    @property
+    def label(self) -> str:
+        text = f"{self.scheme}+{self.scheduler}"
+        if self.min_samples != 1:
+            text += f"+ms{self.min_samples}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "scheduler": self.scheduler,
+            "min_samples": self.min_samples,
+            "technique": self.technique,
+        }
+
+
+#: The paper's own policy: dynamic state machine, GTO, engage after one
+#: block per seed population.
+DEFAULT_POLICY = CarsPolicy()
+
+
+def default_policy_grid(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    min_samples: Sequence[int] = DEFAULT_MIN_SAMPLES,
+) -> List[CarsPolicy]:
+    """The grid the tuner searches by default (12 policies).
+
+    ``min_samples`` beyond the first value is only meaningful for the
+    dynamic scheme — static watermarks have no state machine — so those
+    variants are emitted for ``dynamic`` alone, keeping the grid free of
+    cells that could only duplicate results under different keys.
+    """
+    policies: List[CarsPolicy] = []
+    for scheme in schemes:
+        for scheduler in schedulers:
+            thresholds = min_samples if scheme == "dynamic" else min_samples[:1]
+            for samples in thresholds:
+                policies.append(CarsPolicy(
+                    scheme=scheme, scheduler=scheduler, min_samples=samples
+                ))
+    return policies
+
+
+@dataclass
+class WorkloadBest:
+    """The per-workload row of the best-policy table."""
+
+    workload: str
+    bottleneck: str
+    policy: CarsPolicy
+    cycles: int
+    default_cycles: int
+    #: CPI-share shift of the winner against the default (top movers).
+    feature_shift: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.default_cycles / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "bottleneck": self.bottleneck,
+            "policy": self.policy.to_dict(),
+            "label": self.policy.label,
+            "cycles": self.cycles,
+            "default_cycles": self.default_cycles,
+            "speedup": round(self.speedup, 4),
+            "feature_shift": {
+                k: round(v, 4) for k, v in self.feature_shift.items()
+            },
+        }
+
+
+@dataclass
+class ClassSearch:
+    """One workload class's successive-halving trajectory."""
+
+    bottleneck: str
+    workloads: List[str]  # rung order (seeded)
+    rungs: List[Dict[str, Any]] = field(default_factory=list)
+    winner: Optional[CarsPolicy] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bottleneck": self.bottleneck,
+            "workloads": list(self.workloads),
+            "rungs": list(self.rungs),
+            "winner": self.winner.to_dict() if self.winner else None,
+        }
+
+
+@dataclass
+class TuneReport:
+    """Everything one :meth:`Tuner.search` produced."""
+
+    workloads: List[str]
+    budget: Optional[int]
+    seed: int
+    cells: int
+    classes: List[ClassSearch]
+    best: List[WorkloadBest]
+    executor_summary: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TUNE_SCHEMA_VERSION,
+            "objective": OBJECTIVE_METRIC,
+            "workloads": list(self.workloads),
+            "budget": self.budget,
+            "seed": self.seed,
+            "cells": self.cells,
+            "classes": [c.to_dict() for c in self.classes],
+            "best": [b.to_dict() for b in self.best],
+            "executor": self.executor_summary,
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"CARS policy search: {len(self.workloads)} workload(s), "
+            f"{len(self.classes)} class(es), {self.cells} cell(s)"
+            + (f" (budget {self.budget})" if self.budget is not None else ""),
+            "",
+            f"{'workload':<12} {'class':<22} {'best policy':<20} "
+            f"{'cycles':>9} {'default':>9} {'speedup':>8}",
+        ]
+        for row in self.best:
+            lines.append(
+                f"{row.workload:<12} {row.bottleneck or '-':<22} "
+                f"{row.policy.label:<20} {row.cycles:>9} "
+                f"{row.default_cycles:>9} {row.speedup:>7.3f}x"
+            )
+            if row.feature_shift:
+                shift = ", ".join(
+                    f"{bucket} {value:+.3f}"
+                    for bucket, value in row.feature_shift.items()
+                )
+                lines.append(f"{'':<12} cpi-share shift vs default: {shift}")
+        if self.executor_summary:
+            lines += ["", self.executor_summary]
+        return "\n".join(lines)
+
+
+class Tuner:
+    """Search CARS policy per workload class (grid + successive halving).
+
+    Args (keyword-only):
+        workloads: workload names to tune over (validated eagerly).
+        policies: the policy grid; default :func:`default_policy_grid`.
+            The paper-default policy is always included (it anchors the
+            ratios and is never pruned).
+        budget: optional global cap on evaluated cells; rungs that do
+            not fit are skipped (the first rung of a class is trimmed to
+            fit rather than skipped, so small budgets still rank).
+        seed: shuffles each class's rung (workload) order; everything
+            else is deterministic, so equal seeds give equal searches.
+        base_config: the hardware config policies are applied to
+            (default: the Volta preset).
+        executor: reuse an existing :class:`Executor` (its store makes
+            repeated searches 100% warm); otherwise a serial one is
+            built.
+        eta: successive-halving keep factor (survivors = ceil(n/eta)).
+    """
+
+    def __init__(
+        self,
+        *,
+        workloads: Sequence[str],
+        policies: Optional[Sequence[CarsPolicy]] = None,
+        budget: Optional[int] = None,
+        seed: int = 0,
+        base_config: Optional[GPUConfig] = None,
+        executor: Optional[Executor] = None,
+        eta: int = 2,
+    ) -> None:
+        if not workloads:
+            raise ValueError("need at least one workload to tune")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if budget is not None and budget < 2:
+            raise ValueError("budget must allow at least two cells")
+        self.workloads = list(dict.fromkeys(workloads))
+        self.bottlenecks = {
+            name: (make_workload(name).bottleneck or "unclassified")
+            for name in self.workloads  # KeyError now, not mid-search
+        }
+        grid = list(policies) if policies is not None else default_policy_grid()
+        if DEFAULT_POLICY not in grid:
+            grid.insert(0, DEFAULT_POLICY)
+        self.policies = grid
+        self.budget = budget
+        self.seed = seed
+        self.base_config = base_config if base_config is not None else GPUConfig()
+        self.executor = executor if executor is not None else Executor()
+        self.eta = eta
+
+    # -- internals ------------------------------------------------------
+
+    def _evaluate(
+        self, workload: str, policies: Sequence[CarsPolicy]
+    ) -> Dict[CarsPolicy, RunResult]:
+        """One rung: a Space over (workload x policies), executed."""
+        space = (
+            Space()
+            .add_parameter("workload", [workload])
+            .add_parameter("policy", policies)
+            .add_function("technique", lambda policy: policy.technique)
+            .add_function(
+                "config",
+                lambda policy, base: policy.apply(base),
+                params={"base": self.base_config},
+            )
+        )
+        plan = ExperimentPlan.from_space(space=space, executor=self.executor)
+        results = plan.execute()
+        return {
+            row["policy"]: results[request]
+            for row, request in space.compiled_rows()
+        }
+
+    def _rank(
+        self,
+        survivors: Sequence[CarsPolicy],
+        evaluated: Dict[Tuple[str, CarsPolicy], RunResult],
+        rung_workloads: Sequence[str],
+    ) -> List[Tuple[CarsPolicy, float]]:
+        """Policies ordered by geomean cycles ratio vs the default."""
+        order = {policy: i for i, policy in enumerate(self.policies)}
+
+        def ratio(policy: CarsPolicy) -> float:
+            ratios = [
+                evaluated[(w, policy)].stats.cycles
+                / max(1, evaluated[(w, DEFAULT_POLICY)].stats.cycles)
+                for w in rung_workloads
+            ]
+            return geomean(ratios)
+
+        ranked = sorted(
+            survivors, key=lambda p: (ratio(p), order.get(p, len(order)))
+        )
+        return [(policy, ratio(policy)) for policy in ranked]
+
+    def _fit_first_rung(
+        self, survivors: List[CarsPolicy], afford: int
+    ) -> List[CarsPolicy]:
+        """Trim a first rung to the remaining budget, keeping the default."""
+        if len(survivors) <= afford:
+            return survivors
+        trimmed = survivors[:afford]
+        if DEFAULT_POLICY not in trimmed:
+            trimmed = survivors[:afford - 1] + [DEFAULT_POLICY]
+        return trimmed
+
+    # -- search ---------------------------------------------------------
+
+    def search(self) -> TuneReport:
+        """Run the full search and return the schema-versioned report."""
+        rng = random.Random(self.seed)
+        by_class: Dict[str, List[str]] = {}
+        for name in self.workloads:
+            by_class.setdefault(self.bottlenecks[name], []).append(name)
+
+        cells = 0
+        classes: List[ClassSearch] = []
+        evaluated: Dict[Tuple[str, CarsPolicy], RunResult] = {}
+        for bottleneck in sorted(by_class):
+            names = list(by_class[bottleneck])
+            rng.shuffle(names)
+            search = ClassSearch(bottleneck=bottleneck, workloads=names)
+            survivors = list(self.policies)
+            rung_workloads: List[str] = []
+            for rung, workload in enumerate(names):
+                if self.budget is not None:
+                    afford = self.budget - cells
+                    if rung == 0:
+                        survivors = self._fit_first_rung(survivors, afford)
+                        if len(survivors) < 2:
+                            break  # nothing left to compare
+                    elif len(survivors) > afford:
+                        break  # this rung no longer fits
+                results = self._evaluate(workload, survivors)
+                cells += len(results)
+                for policy, result in results.items():
+                    evaluated[(workload, policy)] = result
+                rung_workloads.append(workload)
+                ranked = self._rank(survivors, evaluated, rung_workloads)
+                search.rungs.append({
+                    "workload": workload,
+                    "policies": len(survivors),
+                    "ranking": [
+                        {"label": policy.label, "ratio": round(r, 4)}
+                        for policy, r in ranked
+                    ],
+                })
+                if rung < len(names) - 1:
+                    keep = max(1, ceil(len(survivors) / self.eta))
+                    survivors = [policy for policy, _ in ranked[:keep]]
+                    if DEFAULT_POLICY not in survivors:
+                        survivors.append(DEFAULT_POLICY)
+            if rung_workloads:
+                final = self._rank(survivors, evaluated, rung_workloads)
+                search.winner = final[0][0]
+            classes.append(search)
+
+        best = self._best_table(evaluated)
+        return TuneReport(
+            workloads=list(self.workloads),
+            budget=self.budget,
+            seed=self.seed,
+            cells=cells,
+            classes=classes,
+            best=best,
+            executor_summary=self.executor.stats.summary(),
+        )
+
+    def _best_table(
+        self, evaluated: Dict[Tuple[str, CarsPolicy], RunResult]
+    ) -> List[WorkloadBest]:
+        order = {policy: i for i, policy in enumerate(self.policies)}
+        table: List[WorkloadBest] = []
+        for workload in self.workloads:
+            scored = [
+                (result.stats.cycles, order.get(policy, len(order)), policy)
+                for (name, policy), result in evaluated.items()
+                if name == workload
+            ]
+            if not scored:
+                continue  # budget never reached this workload's rung
+            scored.sort(key=lambda item: (item[0], item[1]))
+            cycles, _, policy = scored[0]
+            default = evaluated.get((workload, DEFAULT_POLICY))
+            default_cycles = default.stats.cycles if default else cycles
+            shift: Dict[str, float] = {}
+            if default is not None and policy != DEFAULT_POLICY:
+                shift = top_movers(feature_delta(
+                    evaluated[(workload, policy)].stats, default.stats
+                ))
+            table.append(WorkloadBest(
+                workload=workload,
+                bottleneck=self.bottlenecks[workload],
+                policy=policy,
+                cycles=cycles,
+                default_cycles=default_cycles,
+                feature_shift=shift,
+            ))
+        return table

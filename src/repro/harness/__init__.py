@@ -1,13 +1,14 @@
 """Experiment harness: the executor with its content-addressed result
 store, per-figure experiments, table formatting.
 
-Programmatic entry points have moved to the stable facade in
-:mod:`repro.api` (``Simulation`` / ``Sweep``); the legacy names
-(``run_workload``/``run_best_swl``/``run_baseline``) are still importable
-from here but emit a :class:`DeprecationWarning` on first access.
+Programmatic entry points live in the stable facade :mod:`repro.api`
+(``Simulation`` / ``Sweep`` / ``Batch`` / ``Space`` / ``Tuner``); the
+modules here are the plumbing those classes drive.  The PR-4 era
+``run_workload``/``run_best_swl``/``run_baseline`` deprecation shims
+(and the ``repro.harness.runner`` module) have been removed — the
+implementations remain in :mod:`repro.harness._runner` for harness
+internals and tests.
 """
-
-import warnings as _warnings
 
 from ._runner import (
     RunResult,
@@ -20,6 +21,7 @@ from .executor import (
     ExecutorStats,
     ExperimentPlan,
     ExperimentRequest,
+    PlanProgress,
     ResultStore,
     STORE_SCHEMA_VERSION,
     default_store_root,
@@ -34,15 +36,13 @@ __all__ = [
     "RunResult",
     "SWL_SWEEP",
     "geomean",
-    "run_baseline",
-    "run_best_swl",
-    "run_workload",
     # executor + result store
     "Executor",
     "ExecutorError",
     "ExecutorStats",
     "ExperimentPlan",
     "ExperimentRequest",
+    "PlanProgress",
     "ResultStore",
     "STORE_SCHEMA_VERSION",
     "default_store_root",
@@ -53,23 +53,3 @@ __all__ = [
     "format_table",
     "format_series",
 ]
-
-#: Legacy entry points, now behind repro.api: resolved lazily so the
-#: deprecation fires only on use, once per name.
-_DEPRECATED_RUNNERS = ("run_workload", "run_best_swl", "run_baseline")
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_RUNNERS:
-        _warnings.warn(
-            f"repro.harness.{name} is deprecated; use the stable facade in "
-            "repro.api (Simulation / Sweep) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import _runner
-
-        func = getattr(_runner, name)
-        globals()[name] = func  # warn once; later lookups bypass this hook
-        return func
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,7 +2,10 @@
 
 Usage::
 
-    python -m repro.harness.regenerate [output.md] [--jobs N]
+    python -m repro regen [output.md] [--jobs N]
+
+(The ``repro regen`` subcommand is the supported entry point; this
+module is harness-internal plumbing, like :mod:`repro.harness._runner`.)
 
 Set ``REPRO_WORKLOADS=smoke`` (or a comma list) to restrict scope.
 Expect ~15-40 minutes for the full 22-workload suite on one core;
@@ -17,23 +20,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-import warnings
 from typing import Optional, Sequence
 
 from . import experiments as ex
 from .tables import format_table
-
-if __name__ != "__main__":
-    # Importing this module for its functions is deprecated (the CLI via
-    # ``python -m repro.harness.regenerate`` is the supported use); the
-    # programmatic surface lives in repro.api.
-    warnings.warn(
-        "importing repro.harness.regenerate is deprecated; drive sweeps "
-        "through repro.api (Simulation / Sweep) or run this module with "
-        "python -m",
-        DeprecationWarning,
-        stacklevel=2,
-    )
 
 
 _PAPER_NOTES = {
@@ -67,7 +57,7 @@ def generate_markdown() -> str:
         f"Workloads in scope: {', '.join(names)}\n\n"
         "All speedups are normalized to the baseline (spills/fills ABI) on\n"
         "the identical scaled configuration; see DESIGN.md for scaling and\n"
-        "fidelity notes. Regenerate with `python -m repro.harness.regenerate`.\n"
+        "fidelity notes. Regenerate with `python -m repro regen`.\n"
     )
 
     def section(tag: str, title: str, body: str) -> None:
@@ -134,7 +124,7 @@ def _progress(done: int, total: int, request, source: str) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro.harness.regenerate",
+        prog="repro regen",
         description="Regenerate every paper figure/table into a markdown file.",
     )
     parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")

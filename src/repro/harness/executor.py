@@ -76,7 +76,10 @@ STORE_SCHEMA_VERSION = 4
 #: therefore stay out of the simulator digest (everything else is hashed).
 _DIGEST_EXEMPT_TOP = ("cli.py", "__main__.py")
 _DIGEST_EXEMPT_HARNESS = ("__init__.py", "executor.py", "experiments.py",
-                          "regenerate.py", "tables.py")
+                          "_regenerate.py", "tables.py")
+#: Whole packages that only orchestrate (which cells to run, in what
+#: order) and can never change what a single simulation computes.
+_DIGEST_EXEMPT_PACKAGES = ("dse",)
 
 
 def _canonical_json(obj: Any) -> str:
@@ -131,6 +134,8 @@ def simulator_digest() -> str:
         if len(rel.parts) == 1 and rel.name in _DIGEST_EXEMPT_TOP:
             continue
         if rel.parts[0] == "harness" and rel.name in _DIGEST_EXEMPT_HARNESS:
+            continue
+        if rel.parts[0] in _DIGEST_EXEMPT_PACKAGES:
             continue
         digest.update(str(rel).encode())
         digest.update(b"\0")
@@ -686,19 +691,77 @@ class Executor:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class PlanProgress:
+    """Where a plan stands against the caches, without simulating.
+
+    ``memo`` cells resolve from this executor's in-memory memo, ``stored``
+    from the on-disk result store; ``pending`` is what :meth:`execute`
+    would actually have to simulate.  Probing is pure reads — the memo,
+    the store, and the counters are all untouched.
+    """
+
+    total: int
+    memo: int
+    stored: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.memo - self.stored
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "memo": self.memo,
+            "stored": self.stored,
+            "pending": self.pending,
+        }
+
+
 class ExperimentPlan:
     """An ordered, deduplicated batch of requests bound to an executor.
 
     Figure functions declare *what* they need here; the executor decides
     how to satisfy it (memo, store, pool).  A plan is resumable mid-sweep:
     every completed request is persisted individually, so re-running an
-    interrupted plan only simulates the remainder.
+    interrupted plan only simulates the remainder (:meth:`progress`
+    reports the split without triggering any simulation).
+
+    Beyond the imperative :meth:`add` / :meth:`add_best_swl` path, a plan
+    can be compiled from a declarative :class:`repro.dse.Space` via
+    :meth:`from_space` / :meth:`add_space` — anything exposing
+    ``compile_requests() -> Iterable[ExperimentRequest]`` qualifies, so
+    the executor layer stays import-free of the DSL.
     """
 
     def __init__(self, executor: Executor) -> None:
         self.executor = executor
         self._requests: List[ExperimentRequest] = []
         self._seen: set = set()
+
+    @classmethod
+    def from_space(cls, *, space: Any, executor: Executor) -> "ExperimentPlan":
+        """Compile *space* into a fresh plan bound to *executor*.
+
+        Keyword-only by contract: this is the stable constructor path the
+        DSL (and :func:`repro.api.explore`) builds on.
+        """
+        plan = cls(executor)
+        plan.add_space(space)
+        return plan
+
+    def add_space(self, space: Any) -> List[ExperimentRequest]:
+        """Queue every cell *space* compiles to; returns them in order.
+
+        Cells already queued (by a previous space, or imperatively)
+        deduplicate exactly like repeated :meth:`add` calls, so
+        overlapping spaces share simulations.
+        """
+        return [self.add_request(r) for r in space.compile_requests()]
 
     def add_request(self, request: ExperimentRequest) -> ExperimentRequest:
         if request not in self._seen:
@@ -740,6 +803,27 @@ class ExperimentPlan:
 
     def __len__(self) -> int:
         return len(self._requests)
+
+    def progress(self) -> PlanProgress:
+        """Split the plan's cells into memo / stored / pending.
+
+        Pure probe: nothing is simulated and no executor counter moves,
+        so it is safe to call before :meth:`execute` (resume reporting)
+        or after a kill to see how much of a grid survived.
+        """
+        memo = stored = 0
+        executor = self.executor
+        for request in self._requests:
+            if request in executor._memo:
+                memo += 1
+                continue
+            try:
+                if executor.store.load(executor.key_for(request)) is not None:
+                    stored += 1
+            except Exception:
+                pass  # unloadable entries count as pending, like run_many
+        return PlanProgress(total=len(self._requests), memo=memo,
+                            stored=stored)
 
     def execute(self) -> Dict[ExperimentRequest, RunResult]:
         return self.executor.run_many(self._requests)

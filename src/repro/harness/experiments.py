@@ -12,8 +12,8 @@ interrupted sweep resumes where it stopped).
 
 Workload scope is controlled by ``REPRO_WORKLOADS`` (comma list, ``all``,
 or ``smoke``); the default executor's parallelism by ``REPRO_JOBS``.  The
-benchmark suite and ``repro.harness.regenerate`` both go through these
-functions.
+benchmark suite and ``repro regen`` (:mod:`repro.harness._regenerate`)
+both go through these functions.
 """
 
 from __future__ import annotations
@@ -126,13 +126,28 @@ def _sweep(
     best_swl: bool = False,
     config: Optional[GPUConfig] = None,
 ) -> None:
-    """Execute the (names x techniques) grid, deduplicated, via one plan."""
+    """Execute the (names x techniques) grid, deduplicated, via one plan.
+
+    The grid is declared as a :class:`repro.dse.Space` and compiled to a
+    plan — the same path ``repro tune`` and user-written explorations
+    take — so dedup and store keying have exactly one implementation.
+    """
+    from ..dse import Space
+
+    arms: List[TechniqueLike] = list(techniques)
+    if best_swl:
+        arms.append("best_swl")
+    if not names or not arms:
+        return
+    space = (
+        Space()
+        .add_parameter("workload", list(names))
+        .add_parameter("technique", arms)
+    )
+    if config is not None:
+        space.add_function("config", lambda cfg: cfg, params={"cfg": config})
     plan = _plan()
-    for name in names:
-        for technique in techniques:
-            plan.add(name, technique, config=config)
-        if best_swl:
-            plan.add_best_swl(name, config=config)
+    plan.add_space(space)
     plan.execute()
 
 

@@ -32,6 +32,13 @@ from .cpi import (
     ordered_buckets,
     warp_stall_reasons,
 )
+from .objective import (
+    OBJECTIVE_METRIC,
+    cpi_features,
+    feature_delta,
+    objective,
+    top_movers,
+)
 from .tracer import DEFAULT_TRACE_LIMIT, EventTracer, ObsSession, read_jsonl
 
 __all__ = [
@@ -50,10 +57,15 @@ __all__ = [
     "MEM_BUCKETS",
     "DEFAULT_TRACE_LIMIT",
     "EventTracer",
+    "OBJECTIVE_METRIC",
     "ObsSession",
     "classify_idle",
+    "cpi_features",
     "cpi_shares",
+    "feature_delta",
+    "objective",
     "ordered_buckets",
     "read_jsonl",
+    "top_movers",
     "warp_stall_reasons",
 ]

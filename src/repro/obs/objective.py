@@ -1,0 +1,64 @@
+"""Objective extraction for design-space search (:mod:`repro.dse`).
+
+The tuner needs two things from every run, both already computed by the
+always-on accounting layer:
+
+* a **scalar to minimize** — total simulated cycles; and
+* a **feature vector** explaining *why* one policy beats another — the
+  CPI stack normalized to shares, which the conservation invariant
+  (``sum(buckets) == cycles``) makes directly comparable across runs of
+  different lengths.
+
+Kept here (not in ``repro.dse``) so the objective definition lives next
+to the bucket semantics it depends on; the DSL layer treats it as
+opaque.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..metrics.counters import SimStats
+from .cpi import CPI_BUCKETS, cpi_shares
+
+#: The scalar the tuner minimizes (documented for report payloads).
+OBJECTIVE_METRIC = "cycles"
+
+
+def objective(stats: SimStats) -> int:
+    """The search objective for one run: total simulated cycles."""
+    return stats.cycles
+
+
+def cpi_features(stats: SimStats) -> Dict[str, float]:
+    """Normalized CPI-stack shares over the canonical bucket order.
+
+    Every canonical bucket is present (0.0 when the run never stalled
+    there), so vectors from different runs align component-wise.
+    """
+    shares = cpi_shares(stats.cpi_stack)
+    return {bucket: shares.get(bucket, 0.0) for bucket in CPI_BUCKETS}
+
+
+def feature_delta(
+    stats: SimStats, reference: SimStats
+) -> Dict[str, float]:
+    """Per-bucket share shift of *stats* minus *reference*.
+
+    Positive means *stats* spends a larger fraction of its cycles in
+    that bucket.  The tuner reports this for each winning policy against
+    the paper default, so "won by trading trap stalls for issue slots"
+    is visible straight from the table.
+    """
+    ours = cpi_features(stats)
+    theirs = cpi_features(reference)
+    return {bucket: ours[bucket] - theirs[bucket] for bucket in CPI_BUCKETS}
+
+
+def top_movers(delta: Dict[str, float], count: int = 2) -> Dict[str, float]:
+    """The *count* largest-magnitude non-zero components of *delta*."""
+    movers = sorted(
+        ((b, v) for b, v in delta.items() if v != 0.0),
+        key=lambda item: (-abs(item[1]), item[0]),
+    )
+    return dict(movers[:count])

@@ -112,7 +112,7 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 class ObsSession:
     """Observability configuration + state for one simulated run.
 
-    Passed to :func:`repro.harness.runner.run_workload` (and from there to
+    Passed to :func:`repro.harness._runner.run_workload` (and from there to
     every :class:`~repro.core.gpu.GPU`); ``None`` — the default everywhere
     — means fully disabled: no tracer object exists and the per-warp
     accumulation never runs, so the timing core's hot path only ever pays

@@ -1,7 +1,7 @@
 """Rival register-pressure arms built on the technique plugin API.
 
-Two published alternatives to CARS, implemented end-to-end against the
-:class:`~repro.core.techniques.AbiModel` protocol:
+Three published alternatives to CARS, implemented end-to-end against
+the :class:`~repro.core.techniques.AbiModel` protocol:
 
 * ``regdem`` — shared-memory register demotion (RegDem, arXiv
   1907.02894): call-boundary spills land in a per-warp shared-memory
@@ -11,9 +11,15 @@ Two published alternatives to CARS, implemented end-to-end against the
 * ``rfcache`` — a compiler-managed register-file cache absorbing
   cross-call register reuse; deep chains evict to local memory.
   Parametric family ``rfcache_<r>`` sizes the cache.
+* ``regcomp`` — static register compression (arXiv 2006.05693): the
+  scheduler-visible allocation shrinks to a fixed percentage of the
+  baseline footprint (occupancy upside on register-limited kernels),
+  while every instruction pays a decompression charge and every call
+  still spills through memory.  Parametric family ``regcomp_<pct>``
+  sets the compression ratio.
 
-Importing this package registers both ABI models, both fixed arms, and
-both parametric families, so ``resolve_technique("regdem")`` works in
+Importing this package registers the ABI models, the fixed arms, and
+the parametric families, so ``resolve_technique("regdem")`` works in
 any process that imported :mod:`repro` (the top-level ``__init__``
 imports this module exactly so pool workers get the registrations).
 This module is also the worked example for adding an arm of your own:
@@ -25,21 +31,27 @@ from __future__ import annotations
 
 from ..core.techniques import (
     Technique,
+    parse_family_int,
     register_abi_model,
     register_technique,
     register_technique_family,
 )
+from .regcomp import RegCompAbi, RegCompContext
 from .regdem import RegDemAbi, RegDemContext
 from .rfcache import RegisterFileCache, RfCacheAbi, RfCacheContext
 
 register_abi_model("regdem", lambda technique: RegDemAbi())
 register_abi_model("rfcache", lambda technique: RfCacheAbi())
+register_abi_model("regcomp", lambda technique: RegCompAbi())
 
 #: RegDem at the config's default arena (8 demoted registers per warp).
 REGDEM = register_technique(Technique("regdem", abi="regdem"))
 
 #: Register-file cache at the config's default capacity (12 entries).
 RFCACHE = register_technique(Technique("rfcache", abi="rfcache"))
+
+#: Static register compression at the config's default ratio (70%).
+REGCOMP = register_technique(Technique("regcomp", abi="regcomp"))
 
 
 def regdem(arena_regs: int) -> Technique:
@@ -64,21 +76,42 @@ def rfcache(regs: int) -> Technique:
     )
 
 
+def regcomp(ratio_pct: int) -> Technique:
+    """Static register compression at *ratio_pct* percent of baseline."""
+    if not 1 <= ratio_pct <= 100:
+        raise ValueError(f"ratio must be in 1..100 percent: {ratio_pct}")
+    return Technique(
+        f"regcomp_{ratio_pct}",
+        abi="regcomp",
+        config_fn=lambda c, p=ratio_pct: c.with_regcomp_ratio(p),
+    )
+
+
 register_technique_family(
-    "regdem_", lambda suffix: regdem(int(suffix)), pattern="regdem_<r>"
+    "regdem_", lambda suffix: regdem(parse_family_int(suffix)),
+    pattern="regdem_<r>",
 )
 register_technique_family(
-    "rfcache_", lambda suffix: rfcache(int(suffix)), pattern="rfcache_<r>"
+    "rfcache_", lambda suffix: rfcache(parse_family_int(suffix)),
+    pattern="rfcache_<r>",
+)
+register_technique_family(
+    "regcomp_", lambda suffix: regcomp(parse_family_int(suffix)),
+    pattern="regcomp_<pct>",
 )
 
 __all__ = [
+    "REGCOMP",
     "REGDEM",
     "RFCACHE",
+    "RegCompAbi",
+    "RegCompContext",
     "RegDemAbi",
     "RegDemContext",
     "RegisterFileCache",
     "RfCacheAbi",
     "RfCacheContext",
+    "regcomp",
     "regdem",
     "rfcache",
 ]

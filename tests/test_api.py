@@ -1,16 +1,18 @@
-"""The stable public facade (:mod:`repro.api`) and its deprecation story.
+"""The stable public facade (:mod:`repro.api`) and its surface contract.
 
-Covers the two facade objects (``Simulation`` / ``Sweep``), their
-agreement with the underlying runner, and the three legacy entry points
-that now warn: importing ``repro.harness.runner``, touching
-``repro.harness.run_workload`` (and friends) as attributes, and importing
-``repro.harness.regenerate`` as a library.
+Covers the facade objects (``Simulation`` / ``Sweep`` / ``Batch``),
+their agreement with the underlying runner, and the surface audit: the
+``__all__`` list matches the documented surface, every blessed symbol
+resolves with a docstring, facade entry points are keyword-only, and
+the PR-4 deprecation shims (``repro.harness.runner``, library imports
+of ``repro.harness.regenerate``, lazy ``repro.harness.run_workload``
+attributes) stay removed.
 """
 
 import importlib
+import inspect
 import subprocess
 import sys
-import warnings
 
 import pytest
 
@@ -28,7 +30,7 @@ from repro.api import (
     volta,
 )
 from repro.core.techniques import CARS
-from repro.harness._runner import run_best_swl, run_workload
+from repro.harness._runner import run_workload
 from repro.workloads import make_workload
 
 
@@ -161,42 +163,85 @@ class TestSweep:
         assert set(SMOKE_NAMES) <= set(WORKLOAD_NAMES)
 
 
-class TestDeprecations:
-    def _purge(self, *names):
-        for name in names:
+#: The documented facade surface (README "Stable API"): the test pins it
+#: so adding/removing a blessed name forces a deliberate doc update.
+DOCUMENTED_SURFACE = (
+    # the facade objects
+    "Simulation", "Sweep", "Batch",
+    # design-space exploration
+    "Space", "SpaceError", "Tuner", "CarsPolicy", "DEFAULT_POLICY",
+    "TuneReport", "explore",
+    # blessed result / config / batch types
+    "RunResult", "SimStats", "GPUConfig", "Executor", "ExperimentPlan",
+    "PlanProgress",
+    # the timing-backend registry surface
+    "list_backends",
+    # the technique plugin surface
+    "Technique", "AbiModel", "TECHNIQUE_REGISTRY", "list_techniques",
+    "resolve_technique", "register_technique", "register_technique_family",
+    "register_abi_model",
+    # the failure taxonomy
+    "SimulationError", "DeadlockError", "MaxCyclesError",
+    "InvariantViolation", "WorkerCrashError", "UnknownTechniqueError",
+    "UnsupportedFeatureError",
+    # conveniences those types are used with
+    "volta", "ampere", "geomean", "WORKLOAD_NAMES", "SMOKE_NAMES",
+    # static analysis
+    "InterprocReport", "analyze_workload",
+)
+
+#: Entry points that must stay keyword-only: anything that *launches*
+#: work (simulation, search, analysis) from the facade.
+KEYWORD_ONLY_ENTRY_POINTS = (
+    "Simulation", "Sweep", "Batch", "Tuner", "explore", "analyze_workload",
+)
+
+
+class TestSurface:
+    def test_all_matches_documented_surface(self):
+        import repro.api as api
+
+        assert len(api.__all__) == len(set(api.__all__)), "duplicate names"
+        assert sorted(api.__all__) == sorted(DOCUMENTED_SURFACE)
+
+    def test_every_blessed_symbol_resolves_with_docstring(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            obj = getattr(api, name)  # raises if __all__ overpromises
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+    def test_entry_points_are_keyword_only(self):
+        import repro.api as api
+
+        for name in KEYWORD_ONLY_ENTRY_POINTS:
+            signature = inspect.signature(getattr(api, name))
+            positional = [
+                p.name for p in signature.parameters.values()
+                if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+                and p.name not in ("self", "cls")
+            ]
+            assert not positional, f"{name} accepts positional {positional}"
+
+    def test_plan_from_space_is_keyword_only(self):
+        from repro.api import ExperimentPlan
+
+        signature = inspect.signature(ExperimentPlan.from_space)
+        kinds = {p.name: p.kind for p in signature.parameters.values()}
+        assert kinds["space"] == inspect.Parameter.KEYWORD_ONLY
+        assert kinds["executor"] == inspect.Parameter.KEYWORD_ONLY
+
+    def test_removed_shims_stay_removed(self):
+        for name in ("repro.harness.runner", "repro.harness.regenerate"):
             sys.modules.pop(name, None)
+            with pytest.raises(ModuleNotFoundError):
+                importlib.import_module(name)
+        import repro.harness as harness
 
-    def test_harness_runner_import_warns(self):
-        self._purge("repro.harness.runner")
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            importlib.import_module("repro.harness.runner")
-        # ... but still re-exports the legacy surface.
-        import repro.harness.runner as legacy
-
-        assert legacy.run_workload is run_workload
-        assert legacy.run_best_swl is run_best_swl
-
-    def test_harness_attribute_access_warns_once(self):
-        # A fresh interpreter: the lazy __getattr__ hook caches the name
-        # after the first (warning) access, so in-process reloads would
-        # see the cached binding instead of the hook.
-        code = (
-            "import warnings\n"
-            "import repro.harness as h\n"
-            "with warnings.catch_warnings(record=True) as caught:\n"
-            "    warnings.simplefilter('always')\n"
-            "    h.run_workload\n"
-            "    h.run_workload\n"
-            "dep = [w for w in caught if w.category is DeprecationWarning]\n"
-            "assert len(dep) == 1, caught\n"
-            "assert 'repro.api' in str(dep[0].message)\n"
-        )
-        subprocess.run([sys.executable, "-c", code], check=True)
-
-    def test_regenerate_import_warns(self):
-        self._purge("repro.harness.regenerate")
-        with pytest.warns(DeprecationWarning, match="python -m"):
-            importlib.import_module("repro.harness.regenerate")
+        assert not hasattr(harness, "run_workload")
+        assert not hasattr(harness, "run_best_swl")
+        assert not hasattr(harness, "run_baseline")
 
     def test_facade_and_harness_import_warning_free(self):
         code = (
@@ -204,6 +249,7 @@ class TestDeprecations:
             "warnings.simplefilter('error', DeprecationWarning)\n"
             "import repro.api\n"
             "import repro.harness\n"
+            "import repro.dse\n"
             "from repro.harness import RunResult, SWL_SWEEP, geomean\n"
         )
         subprocess.run([sys.executable, "-c", code], check=True)

@@ -1,0 +1,298 @@
+"""The design-space DSL (:mod:`repro.dse`) and the CARS policy tuner.
+
+Covers the DSL contract (dependency inference, condition pruning,
+canonical ordering, dedup through the content-addressed store), plan
+progress/resume over compiled grids, and the :class:`Tuner` search
+(determinism, budget trimming, successive halving, store warmth).
+"""
+
+import pytest
+
+from repro.dse import (
+    DEFAULT_POLICY,
+    TUNE_SCHEMA_VERSION,
+    CarsPolicy,
+    Space,
+    SpaceError,
+    Tuner,
+    default_policy_grid,
+    explore,
+)
+from repro.harness.executor import Executor, ExperimentPlan
+from repro.resilience.errors import UnknownTechniqueError
+
+
+@pytest.fixture()
+def store_dir(tmp_path_factory, monkeypatch):
+    """A result-store root shared across this module's tests, so cells
+    simulated by one test warm the next (and the suite stays fast)."""
+    path = tmp_path_factory.getbasetemp() / "dse-shared-store"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(path))
+    return path
+
+
+class TestSpaceDeclaration:
+    def test_dependencies_read_from_signature(self):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("limit", [2, 4])
+            .add_function("technique", lambda limit: f"swl_{limit}")
+        )
+        assert space.columns == ["workload", "limit", "technique"]
+        assert [r["technique"] for r in space.rows()] == ["swl_2", "swl_4"]
+
+    def test_bound_params_are_constants_not_columns(self):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_function("tag", lambda workload, suffix: workload + suffix,
+                          params={"suffix": "!"})
+        )
+        assert [r["tag"] for r in space.rows()] == ["SSSP!"]
+
+    def test_unknown_dependency_rejected_at_declaration(self):
+        with pytest.raises(SpaceError, match="unknown column"):
+            Space().add_parameter("workload", ["SSSP"]).add_function(
+                "technique", lambda limit: f"swl_{limit}")
+
+    def test_var_args_rejected(self):
+        with pytest.raises(SpaceError, match="args"):
+            Space().add_function("technique", lambda *a: "baseline")
+
+    def test_duplicate_and_bad_column_names_rejected(self):
+        space = Space().add_parameter("workload", ["SSSP"])
+        with pytest.raises(SpaceError, match="already declared"):
+            space.add_parameter("workload", ["MST"])
+        with pytest.raises(SpaceError, match="identifier"):
+            Space().add_parameter("not a name", [1])
+        with pytest.raises(SpaceError, match="at least one"):
+            Space().add_parameter("empty", [])
+
+    def test_parameter_values_deduplicate_in_order(self):
+        space = Space().add_parameter("x", [3, 1, 3, 1, 2])
+        assert space._parameters["x"] == (3, 1, 2)
+
+
+class TestSpaceCompilation:
+    def test_condition_prunes_before_later_steps(self):
+        evaluated = []
+
+        def derive(limit):
+            evaluated.append(limit)
+            return f"swl_{limit}"
+
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("limit", [2, 4, 8])
+            .add_condition("big_enough", lambda limit: limit >= 4)
+            .add_function("technique", derive)
+        )
+        requests = space.compile_requests()
+        assert evaluated == [4, 8]  # the pruned row never reached derive
+        assert [r.technique for r in requests] == ["swl_4", "swl_8"]
+
+    def test_rows_collapsing_to_one_cell_deduplicate(self):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("rep", [1, 2, 3])  # not a reserved column
+        )
+        assert len(space.compile_requests()) == 1
+
+    def test_workload_column_is_required_and_string(self):
+        with pytest.raises(SpaceError, match="workload"):
+            Space().add_parameter("technique", ["baseline"]).compile_requests()
+        with pytest.raises(SpaceError, match="workload"):
+            Space().add_parameter("workload", [7]).compile_requests()
+
+    def test_config_column_must_be_gpuconfig(self):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_function("config", lambda: "volta")
+        )
+        with pytest.raises(SpaceError, match="GPUConfig"):
+            space.compile_requests()
+
+    def test_best_swl_rows_normalize_their_sweep(self):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("technique", ["best_swl"])
+        )
+        (request,) = space.compile_requests()
+        assert request.sweep  # ExperimentRequest filled in SWL_SWEEP
+
+    def test_reordered_declarations_compile_to_identical_store_keys(
+        self, store_dir
+    ):
+        executor = Executor()
+        forward = (
+            Space()
+            .add_parameter("workload", ["SSSP", "FIB"])
+            .add_parameter("technique", ["baseline", "cars"])
+        )
+        backward = (
+            Space()
+            .add_parameter("technique", ["cars", "baseline"])
+            .add_parameter("workload", ["FIB", "SSSP"])
+        )
+        keys_fwd = sorted(
+            executor.key_for(r) for r in forward.compile_requests())
+        keys_bwd = sorted(
+            executor.key_for(r) for r in backward.compile_requests())
+        assert keys_fwd == keys_bwd
+
+    def test_overlapping_spaces_share_cells_in_one_plan(self, store_dir):
+        plan = ExperimentPlan(Executor())
+        first = (
+            Space()
+            .add_parameter("workload", ["SSSP", "FIB"])
+            .add_parameter("technique", ["baseline"])
+        )
+        second = (  # overlaps on (SSSP, baseline)
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("technique", ["baseline", "cars"])
+        )
+        plan.add_space(first)
+        plan.add_space(second)
+        assert len(plan) == 3  # not 4: the overlap deduplicated
+
+
+class TestPlanProgressAndResume:
+    def test_explore_returns_enriched_rows(self, store_dir):
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP"])
+            .add_parameter("technique", ["baseline"])
+        )
+        rows = explore(space=space)
+        assert len(rows) == 1
+        assert rows[0]["workload"] == "SSSP"
+        assert rows[0]["request"].technique == "baseline"
+        assert rows[0]["result"].stats.cycles > 0
+
+    def test_resume_after_kill_mid_grid(self, tmp_path, monkeypatch):
+        # An isolated store: this test depends on exactly which cells are
+        # cold, so the module-shared store would perturb it.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        space = (
+            Space()
+            .add_parameter("workload", ["SSSP", "FIB"])
+            .add_parameter("technique", ["baseline"])
+        )
+
+        def kill_after_first_run(done, total, request, source):
+            if source == "run":
+                raise RuntimeError("simulated kill")
+
+        killed = Executor(progress=kill_after_first_run)
+        plan = ExperimentPlan.from_space(space=space, executor=killed)
+        before = plan.progress()
+        assert (before.total, before.pending) == (2, 2)
+        assert not before.complete
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            plan.execute()
+
+        # The committed cell persisted; a fresh executor resumes from it.
+        fresh = Executor()
+        resumed = ExperimentPlan.from_space(space=space, executor=fresh)
+        middle = resumed.progress()
+        assert middle.to_dict() == {
+            "total": 2, "memo": 0, "stored": 1, "pending": 1,
+        }
+        resumed.execute()
+        assert fresh.stats.executed == 1  # only the missing cell ran
+        assert fresh.stats.store_hits == 1
+        after = resumed.progress()
+        assert after.complete
+        assert after.memo == 2  # everything now memoized in-process
+
+
+SMALL_GRID = default_policy_grid(
+    schemes=("dynamic", "high"), schedulers=("gto", "lrr"), min_samples=(1,)
+)
+
+
+class TestCarsPolicy:
+    def test_default_policy_is_the_papers(self):
+        assert DEFAULT_POLICY == CarsPolicy(
+            scheme="dynamic", scheduler="gto", min_samples=1)
+        assert DEFAULT_POLICY.technique == "cars"
+        assert DEFAULT_POLICY.label == "dynamic+gto"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            CarsPolicy(scheduler="fifo")
+        with pytest.raises(ValueError, match="min_samples"):
+            CarsPolicy(min_samples=0)
+        with pytest.raises(UnknownTechniqueError):
+            CarsPolicy(scheme="bogus")
+
+    def test_grid_restricts_thresholds_to_dynamic(self):
+        grid = default_policy_grid(min_samples=(1, 2))
+        dynamic = [p for p in grid if p.scheme == "dynamic"]
+        static = [p for p in grid if p.scheme != "dynamic"]
+        assert {p.min_samples for p in dynamic} == {1, 2}
+        assert {p.min_samples for p in static} == {1}
+
+    def test_apply_threads_scheduler_and_threshold(self):
+        from repro.config.gpu_config import volta
+
+        cfg = CarsPolicy(scheduler="lrr", min_samples=2).apply(volta())
+        assert cfg.scheduler == "lrr"
+        assert cfg.cars_policy_min_samples == 2
+        assert volta().fingerprint() != cfg.fingerprint()
+
+
+class TestTuner:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Tuner(workloads=[])
+        with pytest.raises(ValueError, match="budget"):
+            Tuner(workloads=["SSSP"], budget=1)
+        with pytest.raises(KeyError):
+            Tuner(workloads=["NO_SUCH_WORKLOAD"])
+
+    def test_search_is_deterministic_and_store_warm(self, store_dir):
+        first = Tuner(workloads=["SSSP"], policies=SMALL_GRID, seed=3)
+        report = first.search()
+        again = Tuner(workloads=["SSSP"], policies=SMALL_GRID, seed=3)
+        rerun = again.search()
+
+        payload, repeat = report.to_dict(), rerun.to_dict()
+        assert payload["schema"] == TUNE_SCHEMA_VERSION
+        assert "simulated 0 runs" in repeat.pop("executor")
+        payload.pop("executor")
+        assert payload == repeat  # byte-equal search, zero recomputation
+
+    def test_winner_beats_default_on_sssp(self, store_dir):
+        report = Tuner(workloads=["SSSP"], policies=SMALL_GRID).search()
+        (best,) = report.best
+        assert best.workload == "SSSP"
+        assert best.policy.scheduler == "lrr"  # SSSP prefers fair issue
+        assert best.cycles < best.default_cycles
+        assert best.speedup > 1.0
+        assert best.feature_shift  # the CPI story of the win is reported
+
+    def test_budget_trims_first_rung_keeping_default(self, store_dir):
+        tuner = Tuner(workloads=["SSSP"], policies=SMALL_GRID, budget=3)
+        report = tuner.search()
+        assert report.cells <= 3
+        rung = report.classes[0].rungs[0]
+        labels = {entry["label"] for entry in rung["ranking"]}
+        assert DEFAULT_POLICY.label in labels  # the ratio anchor survived
+
+    def test_successive_halving_prunes_across_rungs(self, store_dir):
+        tuner = Tuner(workloads=["SSSP", "FIB"], policies=SMALL_GRID, seed=0)
+        report = tuner.search()
+        (search,) = report.classes  # SSSP and FIB share the bandwidth class
+        assert search.bottleneck == "bandwidth"
+        assert len(search.rungs) == 2
+        assert search.rungs[1]["policies"] < search.rungs[0]["policies"]
+        assert report.cells == sum(r["policies"] for r in search.rungs)
+        assert search.winner is not None
+        assert {b.workload for b in report.best} == {"SSSP", "FIB"}

@@ -1,8 +1,9 @@
 """Golden-statistics regression snapshots.
 
 The full :meth:`SimStats.to_dict` payload of three small workloads, under
-the baseline ABI, CARS, and the two rival plugin arms (RegDem and the
-register-file cache), is pinned in ``tests/golden/``.  Any timing-model
+the baseline ABI, CARS, and the three rival plugin arms (RegDem, the
+register-file cache, and static register compression), is pinned in
+``tests/golden/``.  Any timing-model
 change that shifts a cycle count, a cache counter, or a CPI bucket shows
 up here as a readable diff instead of a silent drift in the paper
 figures.
@@ -28,7 +29,7 @@ import pytest
 
 from repro.core.techniques import BASELINE, CARS
 from repro.harness._runner import run_workload
-from repro.spill import REGDEM, RFCACHE
+from repro.spill import REGCOMP, REGDEM, RFCACHE
 from repro.workloads import make_workload
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -40,6 +41,7 @@ GOLDEN_TECHNIQUES = {
     "cars": CARS,
     "regdem": REGDEM,
     "rfcache": RFCACHE,
+    "regcomp": REGCOMP,
 }
 
 

@@ -54,6 +54,8 @@ FAMILY_SAMPLES = [
     ("regdem_16", "regdem", True),
     ("rfcache_4", "rfcache", True),
     ("rfcache_24", "rfcache", True),
+    ("regcomp_50", "regcomp", True),
+    ("regcomp_90", "regcomp", True),
 ]
 
 
@@ -91,6 +93,8 @@ class TestResolution:
         assert cfg.regdem_smem_bytes_per_warp == 4 * 128
         cfg = resolve_technique("rfcache_4").adjust_config(volta())
         assert cfg.rfcache_regs == 4
+        cfg = resolve_technique("regcomp_50").adjust_config(volta())
+        assert cfg.regcomp_ratio_pct == 50
 
     def test_longest_prefix_wins(self):
         # "cars_nxlow3" must hit the cars_nxlow family, not any shorter
@@ -105,11 +109,51 @@ class TestResolution:
     def test_listing_is_sorted_and_complete(self):
         names = list_techniques()
         assert names == sorted(names)
-        assert {"baseline", "cars", "regdem", "rfcache"} <= set(names)
+        assert {"baseline", "cars", "regdem", "rfcache", "regcomp"} <= set(names)
         patterns = list_technique_families()
-        assert {"swl_<n>", "cars_nxlow<n>", "regdem_<r>", "rfcache_<r>"} <= set(
-            patterns
-        )
+        assert {
+            "swl_<n>", "cars_nxlow<n>", "regdem_<r>", "rfcache_<r>",
+            "regcomp_<pct>",
+        } <= set(patterns)
+
+
+class TestStrictFamilySuffix:
+    """Family names with trailing garbage must be *unknown*, not parsed.
+
+    ``int()`` accepts surrounding whitespace, sign characters, and
+    underscore separators, so a pre-strictness resolver would quietly
+    turn ``swl_ 8`` or ``swl_+8`` into ``swl_8``; the family parser now
+    insists the suffix is a canonical decimal literal.
+    """
+
+    @pytest.mark.parametrize("name", [
+        "swl_8x", "swl_08", "swl_+8", "swl_ 8", "swl_8_0", "swl_-1",
+        "swl_٨",  # non-ASCII digit: int() would accept it
+        "cars_nxlow2x", "regdem_4x", "rfcache_04", "regcomp_070",
+    ])
+    def test_trailing_garbage_is_unknown(self, name):
+        with pytest.raises(UnknownTechniqueError):
+            resolve_technique(name)
+
+    @pytest.mark.parametrize("name,resolved", [
+        ("swl_8", "swl_8"),
+        ("cars_nxlow2", "cars_nxlow2"),
+        ("regdem_4", "regdem_4"),
+        ("rfcache_4", "rfcache_4"),
+        ("regcomp_50", "regcomp_50"),
+    ])
+    def test_canonical_names_still_resolve(self, name, resolved):
+        assert resolve_technique(name).name == resolved
+
+    def test_parse_family_int_contract(self):
+        from repro.core.techniques import parse_family_int
+
+        assert parse_family_int("8") == 8
+        assert parse_family_int("0") == 0
+        assert parse_family_int("120") == 120
+        for bad in ("08", "+8", "-1", " 8", "8 ", "8_0", "", "x", "٨"):
+            with pytest.raises(ValueError):
+                parse_family_int(bad)
 
 
 class TestUnknownTechniqueError:
@@ -197,7 +241,8 @@ class TestRegistration:
 
 class TestProcessBoundary:
     @pytest.mark.parametrize(
-        "name", ["baseline", "cars", "regdem", "rfcache", "cars_nxlow2"]
+        "name", ["baseline", "cars", "regdem", "rfcache", "regcomp",
+                 "cars_nxlow2"]
     )
     def test_resolved_technique_pickles(self, name):
         technique = resolve_technique(name)
@@ -213,7 +258,8 @@ class TestProcessBoundary:
         script = (
             "from repro.core.techniques import resolve_technique\n"
             "import repro  # noqa: F401 -- triggers plugin registration\n"
-            "for name in ('regdem', 'rfcache', 'regdem_4', 'rfcache_24'):\n"
+            "for name in ('regdem', 'rfcache', 'regcomp', 'regdem_4',\n"
+            "             'rfcache_24', 'regcomp_50'):\n"
             "    technique = resolve_technique(name)\n"
             "    assert technique.name == name, name\n"
             "print('ok')\n"
