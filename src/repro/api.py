@@ -42,6 +42,14 @@ releases; the names exported here (see ``__all__``) are kept stable:
   :class:`UnknownTechniqueError` — catch the base class around any
   ``run()`` that might wedge; ``exc.diagnostics`` (when present) renders
   a per-warp state dump.
+* The service surface (``repro serve``): :func:`submit_plan` submits an
+  :class:`ExperimentPlan` (or any iterable of requests) to a running
+  service and returns :class:`JobHandle` objects whose ``result()``
+  blocks on the remote job; :class:`JobState` enumerates the journaled
+  lifecycle, and :class:`ServiceError` (plus its typed subclasses, e.g.
+  rate-limit or deadline failures) is what remote submission can raise —
+  the HTTP error body round-trips back into the same class the server
+  raised.  See docs/architecture.md §16.
 
 Quick start::
 
@@ -99,11 +107,13 @@ from .resilience.errors import (
     DeadlockError,
     InvariantViolation,
     MaxCyclesError,
+    ServiceError,
     SimulationError,
     UnknownTechniqueError,
     UnsupportedFeatureError,
     WorkerCrashError,
 )
+from .service import JobHandle, JobState, submit_plan
 from .analysis.interproc import InterprocReport, analyze_module_interproc
 from .workloads import Workload, make_workload
 from .workloads.suite import SMOKE_NAMES, WORKLOAD_NAMES
@@ -147,6 +157,11 @@ __all__ = [
     "WorkerCrashError",
     "UnknownTechniqueError",
     "UnsupportedFeatureError",
+    # the service surface (repro serve)
+    "submit_plan",
+    "JobHandle",
+    "JobState",
+    "ServiceError",
     # conveniences those types are used with
     "volta",
     "ampere",

@@ -13,7 +13,9 @@
     python -m repro tune --workloads SSSP,MST --budget 50 [--json]
     python -m repro regen [output.md] [--jobs 4]
     python -m repro selfcheck [--seed 0] [--backend vectorized]
+    python -m repro serve [--host 127.0.0.1] [--port 8642] [--root DIR]
     python -m repro cache info
+    python -m repro cache verify [--strict]
     python -m repro cache clear
 
 ``--backend`` (run/bench/selfcheck) picks the timing backend (``event``
@@ -23,7 +25,9 @@ changes how a result is computed, never what it is.
 Typed simulation failures exit with distinct codes (see README, "When a
 run fails"): 2 generic, 3 deadlock/livelock, 4 max-cycles, 5 invariant
 violation, 6 worker crash, 7 unknown technique name, 8 unsupported
-feature (e.g. checkpoint/resume under the vectorized backend).
+feature (e.g. checkpoint/resume under the vectorized backend), 9
+service-layer failure, 10 deadline exceeded, 11 store corruption
+(``repro cache verify`` found and quarantined bad entries).
 """
 
 from __future__ import annotations
@@ -511,8 +515,38 @@ def _cmd_selfcheck(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the resilient simulation service (``repro serve``).
+
+    Blocks until SIGTERM/SIGINT, then drains gracefully: in-flight
+    launches checkpoint at their next idle boundary and every job's
+    state is journaled, so a restarted service resumes where this one
+    stopped (docs/architecture.md §16).
+    """
+    from .service import ServiceConfig, TenantQuota
+    from .service.http import serve
+
+    config = ServiceConfig(
+        root=args.root,
+        store_root=args.store_dir or None,
+        max_attempts=args.max_attempts,
+        workers=args.workers,
+        executor_jobs=args.jobs,
+        executor_timeout=args.timeout,
+        high_watermark=args.high_watermark,
+        default_quota=TenantQuota(
+            max_queued=args.tenant_queued,
+            max_concurrent=args.tenant_concurrent,
+            rate=args.tenant_rate,
+        ),
+        checkpoint_every_cycles=args.checkpoint_every,
+    )
+    serve(config, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_cache(args) -> int:
-    """Inspect or clear the content-addressed result store."""
+    """Inspect, fsck, or clear the content-addressed result store."""
     store = ResultStore(args.dir or None)
     if args.action == "info":
         info = store.info()
@@ -520,6 +554,34 @@ def _cmd_cache(args) -> int:
         print(f"schema  : v{info['schema']}")
         print(f"entries : {info['entries']}")
         print(f"bytes   : {info['bytes']}")
+        return 0
+    if args.action == "verify":
+        from .resilience.errors import StoreCorruptionError
+
+        report = store.verify(strict=False)
+        print(f"root        : {report['root']}")
+        print(f"checked     : {report['checked']}")
+        print(f"ok          : {report['ok']}")
+        print(f"stale       : {report['stale']} "
+              f"(older schema; ignored, not corrupt)")
+        print(f"tmp removed : {report['removed_tmp']}")
+        print(f"quarantined : {len(report['quarantined'])}")
+        for name in report["quarantined"]:
+            print(f"  -> {store.quarantine_dir / name}")
+        if report["quarantined"]:
+            # Raised *after* the report so the log shows what moved;
+            # main() maps this to the distinct exit code 11.
+            raise StoreCorruptionError(
+                f"{len(report['quarantined'])} corrupt store entr"
+                f"{'y' if len(report['quarantined']) == 1 else 'ies'} "
+                f"moved to {store.quarantine_dir}",
+                quarantined=report["quarantined"],
+            )
+        if args.strict and report["stale"]:
+            print(f"strict: {report['stale']} stale entries present",
+                  file=sys.stderr)
+            return 1
+        print("store: clean")
         return 0
     removed = store.clear()
     print(f"removed {removed} entries from {store.root}")
@@ -657,9 +719,51 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=list_backends(),
                            help="run every probe under this timing backend")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe simulation service (HTTP JSON API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--root", default="service-state", metavar="DIR",
+                       help="journal + resume-state directory")
+    serve.add_argument("--store-dir", default="", metavar="DIR",
+                       help="result store root (default: the shared "
+                            "on-disk store, REPRO_CACHE_DIR)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="concurrent scheduler workers")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="executor worker processes per run")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-attempt executor timeout")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per job before it fails "
+                            "(transient crashes only; deterministic "
+                            "failures never retry)")
+    serve.add_argument("--high-watermark", type=int, default=256,
+                       metavar="N",
+                       help="global queue depth beyond which submissions "
+                            "are shed with 503")
+    serve.add_argument("--tenant-queued", type=int, default=64, metavar="N",
+                       help="per-tenant max queued jobs")
+    serve.add_argument("--tenant-concurrent", type=int, default=4,
+                       metavar="N", help="per-tenant max running jobs")
+    serve.add_argument("--tenant-rate", type=float, default=0.0,
+                       metavar="PER_SEC",
+                       help="per-tenant token-bucket submit rate "
+                            "(0 = unlimited)")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="CYCLES",
+                       help="rolling checkpoint period for long launches "
+                            "(default: checkpoint only on drain)")
+
     cache = sub.add_parser(
-        "cache", help="inspect/clear the content-addressed result store")
-    cache.add_argument("action", choices=["info", "clear"])
+        "cache",
+        help="inspect/fsck/clear the content-addressed result store")
+    cache.add_argument("action", choices=["info", "verify", "clear"])
+    cache.add_argument("--strict", action="store_true",
+                       help="verify: also fail (exit 1) on stale-schema "
+                            "entries, not just corrupt ones")
     cache.add_argument("--dir", default="",
                        help="store root (default: REPRO_CACHE_DIR or "
                             "~/.cache/repro-cars)")
@@ -680,6 +784,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "tune": _cmd_tune,
         "regen": _cmd_regen,
         "selfcheck": _cmd_selfcheck,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
     }[args.command]
     try:

@@ -54,9 +54,11 @@ from typing import (
 from ..config.gpu_config import GPUConfig
 from ..config import volta
 from ..core.techniques import resolve_technique
+from ..resilience.checkpoint import DrainInterrupt
 from ..resilience.errors import (
     InvariantViolation,
     SimulationError,
+    StoreCorruptionError,
     WorkerCrashError,
 )
 from ..workloads import make_workload
@@ -79,7 +81,10 @@ _DIGEST_EXEMPT_HARNESS = ("__init__.py", "executor.py", "experiments.py",
                           "_regenerate.py", "tables.py")
 #: Whole packages that only orchestrate (which cells to run, in what
 #: order) and can never change what a single simulation computes.
-_DIGEST_EXEMPT_PACKAGES = ("dse",)
+#: ``service`` qualifies because checkpoint/resume is byte-identical by
+#: contract — a drained-and-resumed run stores the same statistics an
+#: uninterrupted one would.
+_DIGEST_EXEMPT_PACKAGES = ("dse", "service")
 
 
 def _canonical_json(obj: Any) -> str:
@@ -92,7 +97,27 @@ class ExecutorError(WorkerCrashError):
     ``worker_traceback`` carries the last failing attempt's formatted
     traceback — remote (pool-worker) tracebacks included — and every
     attempt's traceback lands in ``ExecutorStats.crash_log``.
+
+    ``transient`` tells callers with their own retry budget (the service
+    scheduler) whether re-submitting could plausibly succeed: ``True``
+    for environmental failures (worker death, timeouts, pickling), and
+    ``False`` when the underlying cause is a deterministic
+    :class:`SimulationError` or the request is quarantined — replaying
+    those can only fail again, identically.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        worker_traceback: Optional[str] = None,
+        transient: bool = True,
+        diagnostics=None,
+    ) -> None:
+        super().__init__(
+            message, worker_traceback=worker_traceback, diagnostics=diagnostics
+        )
+        self.transient = transient
 
 
 def _remote_traceback(exc: BaseException) -> str:
@@ -323,7 +348,13 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_name(f"{key}.{os.getpid()}.tmp")
-        tmp.write_text(_canonical_json(payload) + "\n")
+        # flush + fsync before the rename: rename-only guarantees the
+        # *name* is atomic, not that the bytes hit disk — a power cut
+        # between write and sync could publish a truncated entry.
+        with open(tmp, "w") as fh:
+            fh.write(_canonical_json(payload) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path
 
@@ -347,6 +378,89 @@ class ResultStore:
             path.unlink()
             removed += 1
         return removed
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def verify(self, *, strict: bool = False) -> Dict[str, Any]:
+        """Fsck the store: quarantine torn/corrupt entries, report the rest.
+
+        Each entry must parse as JSON, carry the ``schema``/``key``/
+        ``result`` fields :meth:`save` writes, name itself consistently
+        (filename stem == embedded key), and decode back into a
+        :class:`RunResult`.  Entries failing any of those are moved to
+        ``quarantine/`` (kept, not deleted — they are evidence).  Entries
+        from an older schema version are *stale*, not corrupt: they were
+        written correctly and simply miss, exactly as :meth:`load` treats
+        them.  Leftover ``*.tmp`` files from interrupted saves are debris
+        by construction (a completed save renames them away) and are
+        removed.
+
+        With ``strict=True`` a non-empty quarantine raises
+        :class:`StoreCorruptionError` (after quarantining), which the CLI
+        maps to a distinct non-zero exit code.
+        """
+        ok = stale = 0
+        quarantined: List[str] = []
+        removed_tmp = 0
+        if self.root.is_dir():
+            for debris in sorted(self.root.glob("*.tmp")):
+                try:
+                    debris.unlink()
+                    removed_tmp += 1
+                except OSError:
+                    pass
+        for path in self.entries():
+            reason = self._entry_fault(path)
+            if reason is None:
+                ok += 1
+            elif reason == "stale":
+                stale += 1
+            else:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, self.quarantine_dir / path.name)
+                quarantined.append(path.name)
+        report = {
+            "root": str(self.root),
+            "checked": ok + stale + len(quarantined),
+            "ok": ok,
+            "stale": stale,
+            "removed_tmp": removed_tmp,
+            "quarantined": quarantined,
+        }
+        if strict and quarantined:
+            raise StoreCorruptionError(
+                f"{len(quarantined)} corrupt store entr"
+                f"{'y' if len(quarantined) == 1 else 'ies'} moved to "
+                f"{self.quarantine_dir}",
+                quarantined=quarantined,
+            )
+        return report
+
+    def _entry_fault(self, path: Path) -> Optional[str]:
+        """Why *path* is not a healthy entry: None, ``"stale"``, or a
+        corruption reason."""
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            return None  # vanished under us (concurrent clear); not corrupt
+        except ValueError:
+            return "undecodable JSON (torn or truncated write)"
+        if not isinstance(payload, dict):
+            return "payload is not an object"
+        for field_name in ("schema", "key", "workload", "technique", "result"):
+            if field_name not in payload:
+                return f"missing field {field_name!r}"
+        if payload["schema"] != STORE_SCHEMA_VERSION:
+            return "stale"
+        if payload["key"] != path.stem:
+            return "embedded key does not match filename"
+        try:
+            RunResult.from_dict(payload["result"])
+        except Exception:
+            return "result block does not decode"
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -422,6 +536,17 @@ class Executor:
             re-crashing the sweep (circuit breaker).
         backoff_base: first retry delay in seconds; doubles per attempt
             (capped at 30 s).  Zero disables sleeping.
+        runner: the callable the *in-process* path uses to simulate one
+            request, ``(request, workload) -> RunResult`` (default
+            :func:`execute_request`).  The service layer swaps in a
+            drain-aware, checkpoint-resuming runner here; pool workers
+            always use the plain :func:`execute_request` since a runner
+            closure cannot cross the process boundary.
+
+    A :class:`~repro.resilience.checkpoint.DrainInterrupt` raised by the
+    runner is *not* a failure: it propagates untouched — no retry, no
+    crash-log entry, no breaker count — because it means the run was
+    deliberately checkpointed for a graceful shutdown.
 
     Degradation: a broken process pool (a worker killed by the OS takes
     the whole ``ProcessPoolExecutor`` down) fails its in-flight requests
@@ -440,6 +565,9 @@ class Executor:
         workload_factory: Callable[[str], Workload] = make_workload,
         breaker_threshold: int = 3,
         backoff_base: float = 0.1,
+        runner: Callable[[ExperimentRequest, Workload], RunResult] = (
+            execute_request
+        ),
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.store = store if store is not None else ResultStore()
@@ -449,6 +577,7 @@ class Executor:
         self.workload_factory = workload_factory
         self.breaker_threshold = max(1, int(breaker_threshold))
         self.backoff_base = backoff_base
+        self.runner = runner
         self.stats = ExecutorStats()
         self._memo: Dict[ExperimentRequest, RunResult] = {}
         self._keys: Dict[ExperimentRequest, str] = {}
@@ -566,16 +695,32 @@ class Executor:
             self._quarantined.add(request)
             self.stats.quarantined += 1
 
-    def _run_local(self, request: ExperimentRequest, total: int) -> RunResult:
+    def _run_local(
+        self,
+        request: ExperimentRequest,
+        total: int,
+        *,
+        attempts_used: int = 0,
+        last_error: Optional[BaseException] = None,
+        last_tb: Optional[str] = None,
+    ) -> RunResult:
+        """In-process attempts for *request*.
+
+        ``attempts_used`` (with the failure that consumed them) carries
+        over attempts already burned by the pool path — a timed-out or
+        crashed pool attempt counts against the same retry budget instead
+        of granting a fresh one, and if the budget is gone the error
+        raised here chains from that original pool failure.
+        """
         if request in self._quarantined:
             raise ExecutorError(
                 f"{request.workload}/{request.technique} is quarantined "
                 f"after {self._fail_streak.get(request, 0)} failed sweeps "
-                f"(circuit breaker; see stats.crash_log)"
+                f"(circuit breaker; see stats.crash_log)",
+                transient=False,
             )
-        last_error: Optional[BaseException] = None
-        last_tb: Optional[str] = None
-        for attempt in range(self.retries):
+        deterministic = False
+        for attempt in range(attempts_used, self.retries):
             if attempt:
                 self.stats.retries += 1
                 if self.backoff_base > 0:
@@ -583,15 +728,20 @@ class Executor:
                         min(self.backoff_base * 2 ** (attempt - 1), 30.0)
                     )
             try:
-                result = execute_request(
+                result = self.runner(
                     request, self.workload_factory(request.workload)
                 )
+            except DrainInterrupt:
+                # Deliberate checkpoint-and-stop, not a failure; the
+                # service resumes this run after restart.
+                raise
             except SimulationError as exc:
                 # The model itself failed (deadlock, budget, invariant):
                 # deterministic, so a replay cannot go differently.
                 last_error = exc
                 last_tb = traceback.format_exc()
                 self._record_crash(request, "local", exc, last_tb)
+                deterministic = True
                 break
             except Exception as exc:
                 last_error = exc
@@ -603,8 +753,9 @@ class Executor:
         self._note_failure(request)
         raise ExecutorError(
             f"{request.workload}/{request.technique} failed after "
-            f"{self.retries} attempts: {last_error!r}",
+            f"{max(self.retries, attempts_used)} attempts: {last_error!r}",
             worker_traceback=last_tb,
+            transient=not deterministic,
         ) from last_error
 
     def _run_pool(
@@ -616,7 +767,13 @@ class Executor:
         workers = min(self.jobs, len(pending))
         pool = ProcessPoolExecutor(max_workers=workers)
         futures: List[Tuple[ExperimentRequest, Any]] = []
-        failed: List[ExperimentRequest] = []
+        # (request, attempts_used, last_error, last_tb): what falls back
+        # to the in-process path, with the attempts (and the failure that
+        # burned them) the pool already consumed from the retry budget.
+        failed: List[
+            Tuple[ExperimentRequest, int,
+                  Optional[BaseException], Optional[str]]
+        ] = []
         hung = False
         try:
             try:
@@ -632,20 +789,33 @@ class Executor:
             for index, (request, future) in enumerate(futures):
                 try:
                     data = future.result(timeout=self.timeout)
-                except FutureTimeoutError:
+                except FutureTimeoutError as exc:
+                    # A hung attempt is still an attempt: it counts
+                    # against the retry budget (attempts_used=1) and is
+                    # logged so the final failure chain shows the hang,
+                    # not just whatever the replay does.
                     self.stats.timeouts += 1
                     hung = True
-                    failed.append(request)
+                    tb = (
+                        f"worker exceeded the {self.timeout}s per-request "
+                        f"timeout for {request.workload}/{request.technique}"
+                    )
+                    self._record_crash(request, "timeout", exc, tb)
+                    failed.append((request, 1, exc, tb))
                 except BrokenProcessPool as exc:
                     # A worker died hard (signal/OOM): the pool is gone,
                     # and so is every in-flight future.  Degrade to the
                     # serial path for the rest of this executor's life.
+                    # The collateral futures get a fresh budget — their
+                    # own attempts never ran.
                     self.stats.pool_breaks += 1
                     self._pool_broken = True
                     self._record_crash(
                         request, "pool", exc, _remote_traceback(exc)
                     )
-                    failed.extend(r for r, _ in futures[index:])
+                    failed.extend(
+                        (r, 0, None, None) for r, _ in futures[index:]
+                    )
                     break
                 except SimulationError as exc:
                     # A typed simulator failure is deterministic; re-running
@@ -657,15 +827,15 @@ class Executor:
                         f"{request.workload}/{request.technique} failed in "
                         f"a worker: {exc}",
                         worker_traceback=tb,
+                        transient=False,
                     ) from exc
                 except Exception as exc:
                     # Environmental failure (pickling, transient OS error):
-                    # worth one in-process replay below.
-                    self.stats.retries += 1
-                    self._record_crash(
-                        request, "pool", exc, _remote_traceback(exc)
-                    )
-                    failed.append(request)
+                    # worth an in-process replay, charged one attempt
+                    # (_run_local counts it via attempts_used).
+                    tb = _remote_traceback(exc)
+                    self._record_crash(request, "pool", exc, tb)
+                    failed.append((request, 1, exc, tb))
                 else:
                     results[request] = self._commit(
                         request, RunResult.from_dict(data), total
@@ -679,11 +849,16 @@ class Executor:
                 self.stats.pool_breaks += 1
                 self._pool_broken = True
             submitted = {request for request, _ in futures}
-            failed.extend(r for r in pending if r not in submitted)
-        # Whatever the pool could not finish runs in-process (still
-        # counted by stats.retries/timeouts above).
-        for request in failed:
-            results[request] = self._run_local(request, total)
+            failed.extend(
+                (r, 0, None, None) for r in pending if r not in submitted
+            )
+        # Whatever the pool could not finish runs in-process, resuming
+        # the retry budget where the pool attempt left it.
+        for request, used, exc, tb in failed:
+            results[request] = self._run_local(
+                request, total,
+                attempts_used=used, last_error=exc, last_tb=tb,
+            )
 
 
 # ---------------------------------------------------------------------------

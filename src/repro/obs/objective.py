@@ -55,6 +55,27 @@ def feature_delta(
     return {bucket: ours[bucket] - theirs[bucket] for bucket in CPI_BUCKETS}
 
 
+def progress_event(stats: SimStats) -> Dict[str, object]:
+    """JSON-friendly run summary for streaming event feeds.
+
+    The service layer attaches this to a finished job's final event so
+    remote clients see the same objective + explanation pair the tuner
+    consumes, without shipping the full :class:`SimStats`.  Zero-share
+    buckets are dropped: the payload rides in every job poll response.
+    """
+    return {
+        "objective": OBJECTIVE_METRIC,
+        "cycles": objective(stats),
+        "ipc": round(stats.ipc(), 4),
+        "traps": stats.traps,
+        "cpi_shares": {
+            bucket: round(share, 4)
+            for bucket, share in cpi_features(stats).items()
+            if share
+        },
+    }
+
+
 def top_movers(delta: Dict[str, float], count: int = 2) -> Dict[str, float]:
     """The *count* largest-magnitude non-zero components of *delta*."""
     movers = sorted(

@@ -21,10 +21,13 @@ it is still initializing.  Everything else resolves lazily.
 """
 
 from .errors import (
+    DeadlineExceededError,
     DeadlockError,
     InvariantViolation,
     MaxCyclesError,
+    ServiceError,
     SimulationError,
+    StoreCorruptionError,
     WorkerCrashError,
     exit_code_for,
 )
@@ -48,6 +51,9 @@ __all__ = [
     "MaxCyclesError",
     "InvariantViolation",
     "WorkerCrashError",
+    "ServiceError",
+    "DeadlineExceededError",
+    "StoreCorruptionError",
     "exit_code_for",
     # faults
     "FaultPlan",
@@ -66,6 +72,8 @@ __all__ = [
     "Watchdog",
     "CheckpointPolicy",
     "CheckpointError",
+    "DrainController",
+    "DrainInterrupt",
     "CHECKPOINT_SCHEMA_VERSION",
     "latest_checkpoint",
     "load_checkpoint",
@@ -81,6 +89,8 @@ _LAZY = {
     "Watchdog": "watchdog",
     "CheckpointPolicy": "checkpoint",
     "CheckpointError": "checkpoint",
+    "DrainController": "checkpoint",
+    "DrainInterrupt": "checkpoint",
     "CHECKPOINT_SCHEMA_VERSION": "checkpoint",
     "latest_checkpoint": "checkpoint",
     "load_checkpoint": "checkpoint",

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -129,6 +130,114 @@ class CheckpointPolicy:
             except OSError:
                 pass
         return path
+
+
+class DrainInterrupt(SimulationError):
+    """A run was checkpointed and stopped on purpose (graceful drain).
+
+    Raised by a :class:`DrainController` policy right *after* the
+    checkpoint hit disk, at an idle-stretch boundary where no
+    half-applied cycle exists — so the caller (the service's SIGTERM
+    handler, typically) can exit immediately and a restart resumes from
+    the saved state with byte-identical final statistics.  This is a
+    cooperative shutdown signal, not a failure: the executor's retry
+    machinery lets it propagate untouched instead of recording a crash.
+    """
+
+    def __init__(
+        self, message: str = "", *, path: Optional[Path] = None,
+        cycle: int = 0, diagnostics=None,
+    ) -> None:
+        super().__init__(message, diagnostics=diagnostics)
+        self.path = path
+        self.cycle = cycle
+
+
+class _DrainCheckpoint(CheckpointPolicy):
+    """A checkpoint policy that turns a drain request into save-and-stop.
+
+    Until the controller's event is set it behaves like its base (saving
+    every ``every_cycles``, which defaults to "never" here); once drain
+    is requested, ``next_due`` collapses to zero so the run loop saves at
+    the very next idle-stretch boundary, and that save raises
+    :class:`DrainInterrupt` carrying the checkpoint path.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        event: threading.Event,
+        every_cycles: int,
+        *,
+        keep: int = 3,
+        prefix: str = "ckpt",
+    ) -> None:
+        self._event = event
+        super().__init__(directory, every_cycles, keep=keep, prefix=prefix)
+
+    @property
+    def next_due(self) -> int:
+        return 0 if self._event.is_set() else self._base_due
+
+    @next_due.setter
+    def next_due(self, value: int) -> None:
+        self._base_due = value
+
+    def save(self, gpu, trace, cycle, issued_cycles, idle_buckets) -> Path:
+        path = super().save(gpu, trace, cycle, issued_cycles, idle_buckets)
+        if self._event.is_set():
+            raise DrainInterrupt(
+                f"run drained at cycle {cycle}: checkpoint {path}",
+                path=path, cycle=cycle,
+            )
+        return path
+
+
+class DrainController:
+    """Shared drain switch for every in-flight checkpointable run.
+
+    The service hands each run a policy from :meth:`policy_for`; calling
+    :meth:`drain` (from a signal handler or another thread — the switch
+    is a :class:`threading.Event`) makes every armed run save a
+    checkpoint at its next idle-stretch boundary and stop with
+    :class:`DrainInterrupt`.  Runs armed after the drain fire at their
+    first boundary, so a drain request can never be lost to a race.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    @property
+    def draining(self) -> bool:
+        return self._event.is_set()
+
+    def drain(self) -> None:
+        """Request save-and-stop on every armed run (idempotent)."""
+        self._event.set()
+
+    def reset(self) -> None:
+        """Re-arm after a completed drain (a restarted service does this)."""
+        self._event.clear()
+
+    def policy_for(
+        self,
+        directory: Union[str, Path],
+        *,
+        every_cycles: Optional[int] = None,
+        keep: int = 3,
+        prefix: str = "ckpt",
+    ) -> CheckpointPolicy:
+        """A drain-armed policy writing to *directory*.
+
+        ``every_cycles=None`` means "only on drain" — no periodic saves;
+        pass a cycle count to also keep rolling crash-insurance
+        checkpoints while the run is healthy.
+        """
+        return _DrainCheckpoint(
+            directory, self._event,
+            every_cycles if every_cycles is not None else 1 << 62,
+            keep=keep, prefix=prefix,
+        )
 
 
 def read_meta(path: Union[str, Path]) -> Dict[str, Any]:

@@ -123,6 +123,57 @@ class UnsupportedFeatureError(SimulationError):
         self.backend = backend
 
 
+class StoreCorruptionError(SimulationError):
+    """The result store holds torn, truncated, or undecodable entries.
+
+    Raised by ``ResultStore.verify(strict=True)`` (``repro cache
+    verify``) after the offending files have been moved to the store's
+    ``quarantine/`` directory, so a corrupted cache is contained rather
+    than silently served or repeatedly re-crashing sweeps.
+    ``quarantined`` lists the quarantined file names.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        quarantined: Sequence[str] = (),
+        diagnostics=None,
+    ) -> None:
+        super().__init__(message, diagnostics=diagnostics)
+        self.quarantined = tuple(quarantined)
+
+
+class ServiceError(SimulationError):
+    """Base class for service-layer (job queue / HTTP) failures.
+
+    Every subclass carries an ``http_status`` and a stable machine
+    ``code`` so the HTTP adapter can map failures to distinct response
+    statuses and the client can re-raise the same typed error from a
+    response body (:mod:`repro.service.errors` defines the concrete
+    admission/queue/job subclasses).
+    """
+
+    #: HTTP response status the adapter maps this failure to.
+    http_status: int = 500
+    #: Stable machine-readable code carried in response bodies.
+    code: str = "service_error"
+
+
+class DeadlineExceededError(ServiceError):
+    """A job (or one of its requests) outlived its submission deadline.
+
+    Deadline-exceeded jobs are *cancelled*, not failed: the work is
+    abandoned (results already committed to the store stay), the job is
+    journalled ``cancelled`` with reason ``deadline``, and both the HTTP
+    adapter (504) and the CLI exit code (:data:`EXIT_DEADLINE`) report
+    it distinctly from every other failure class.
+    """
+
+    http_status = 504
+    code = "deadline_exceeded"
+
+
 class UnknownTechniqueError(SimulationError, KeyError):
     """A technique name resolved to nothing.
 
@@ -166,14 +217,20 @@ EXIT_INVARIANT = 5
 EXIT_WORKER_CRASH = 6
 EXIT_UNKNOWN_TECHNIQUE = 7
 EXIT_UNSUPPORTED_FEATURE = 8
+EXIT_SERVICE = 9
+EXIT_DEADLINE = 10
+EXIT_STORE_CORRUPTION = 11
 
 _EXIT_BY_CLASS = (
     (DeadlockError, EXIT_DEADLOCK),
     (MaxCyclesError, EXIT_MAX_CYCLES),
+    (StoreCorruptionError, EXIT_STORE_CORRUPTION),
     (InvariantViolation, EXIT_INVARIANT),
     (WorkerCrashError, EXIT_WORKER_CRASH),
     (UnknownTechniqueError, EXIT_UNKNOWN_TECHNIQUE),
     (UnsupportedFeatureError, EXIT_UNSUPPORTED_FEATURE),
+    (DeadlineExceededError, EXIT_DEADLINE),
+    (ServiceError, EXIT_SERVICE),
 )
 
 

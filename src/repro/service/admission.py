@@ -1,0 +1,278 @@
+"""Per-tenant admission control: quotas, rate limits, circuit breaking.
+
+Every submission passes :meth:`AdmissionController.admit` before any
+state is journaled.  Checks, in order (cheapest first, and each raising
+its own :class:`~repro.resilience.errors.ServiceError` subclass so the
+HTTP adapter can map them to distinct statuses):
+
+1. **load shedding** — the *global* queue is past ``high_watermark``:
+   :class:`~repro.service.errors.QueueFullError` (503).  Protects the
+   machine from every tenant at once.
+2. **circuit breaker** — the tenant's recent submissions kept failing:
+   :class:`~repro.service.errors.CircuitOpenError` (503).  This is the
+   PR-5 executor breaker promoted to per-client scope: ``threshold``
+   consecutive job failures open the circuit, ``cooldown`` seconds
+   later one probe job is allowed through (half-open); its success
+   closes the circuit, its failure re-opens it for another cooldown.
+3. **quotas** — the tenant's own queued/concurrent counts:
+   :class:`~repro.service.errors.QuotaExceededError` (429).
+4. **rate** — the tenant's token bucket is empty:
+   :class:`~repro.service.errors.RateLimitedError` (429) with a
+   ``retry_after`` hint.
+
+Clocks are injectable everywhere so tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .errors import (
+    CircuitOpenError,
+    QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TenantBreaker",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capped at ``burst``.
+
+    ``take()`` consumes one token if available; ``retry_after()`` says
+    how long until the next token exists.  A non-positive ``rate``
+    disables limiting entirely (the bucket is always full).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def take(self) -> bool:
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        missing = max(0.0, 1.0 - self._tokens)
+        return missing / self.rate
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission knobs (the controller's defaults apply when a
+    tenant has no explicit quota).
+
+    ``max_queued`` counts jobs in ``submitted``/``retrying``;
+    ``max_concurrent`` counts ``running`` jobs.  ``rate``/``burst``
+    parameterize the submit token bucket (``rate <= 0`` disables it).
+    """
+
+    max_queued: int = 64
+    max_concurrent: int = 4
+    rate: float = 0.0
+    burst: int = 8
+
+
+class TenantBreaker:
+    """Per-tenant circuit breaker with cooldown and half-open probing."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = cooldown
+        self._clock = clock
+        self._streak = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def open(self) -> bool:
+        return self._opened_at is not None
+
+    def allow(self) -> bool:
+        """May this tenant submit right now?
+
+        While open, returns False until ``cooldown`` elapses; then one
+        probe submission is allowed through (half-open) and the breaker
+        waits on its outcome.
+        """
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False
+        if self._clock() - self._opened_at >= self.cooldown:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._streak = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._streak += 1
+        if self._probing or self._streak >= self.threshold:
+            self._opened_at = self._clock()
+            self._probing = False
+
+
+class AdmissionController:
+    """Gatekeeper in front of the scheduler; all counters live here."""
+
+    def __init__(
+        self,
+        *,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        high_watermark: int = 256,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.high_watermark = max(1, int(high_watermark))
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._breakers: Dict[str, TenantBreaker] = {}
+        self.queued: Dict[str, int] = {}
+        self.running: Dict[str, int] = {}
+
+    # -- lookups --------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self.quota_for(tenant)
+            bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def breaker(self, tenant: str) -> TenantBreaker:
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = TenantBreaker(
+                self.breaker_threshold, self.breaker_cooldown,
+                clock=self._clock,
+            )
+            self._breakers[tenant] = breaker
+        return breaker
+
+    @property
+    def total_queued(self) -> int:
+        return sum(self.queued.values())
+
+    # -- the gate -------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Raise a typed refusal, or record the admission (queued += 1)."""
+        if self.total_queued >= self.high_watermark:
+            raise QueueFullError(
+                f"queue at high-watermark ({self.high_watermark}); "
+                f"shedding load"
+            )
+        if not self.breaker(tenant).allow():
+            raise CircuitOpenError(
+                f"tenant {tenant!r}: circuit open after repeated failures; "
+                f"retry after cooldown"
+            )
+        quota = self.quota_for(tenant)
+        if self.queued.get(tenant, 0) >= quota.max_queued:
+            raise QuotaExceededError(
+                f"tenant {tenant!r}: {quota.max_queued} jobs already queued"
+            )
+        bucket = self._bucket(tenant)
+        if not bucket.take():
+            raise RateLimitedError(
+                f"tenant {tenant!r}: submit rate exceeded",
+                retry_after=bucket.retry_after(),
+            )
+        self.queued[tenant] = self.queued.get(tenant, 0) + 1
+
+    # -- lifecycle accounting (called by the scheduler) -----------------
+
+    def requeue(self, tenant: str) -> None:
+        """A recovered/retrying job re-enters the queue (no gate checks —
+        it was admitted once already and refusing it now would lose it)."""
+        self.queued[tenant] = self.queued.get(tenant, 0) + 1
+
+    def may_start(self, tenant: str) -> bool:
+        return (
+            self.running.get(tenant, 0)
+            < self.quota_for(tenant).max_concurrent
+        )
+
+    def on_start(self, tenant: str) -> None:
+        self.queued[tenant] = max(0, self.queued.get(tenant, 0) - 1)
+        self.running[tenant] = self.running.get(tenant, 0) + 1
+
+    def on_finish(self, tenant: str, *, success: Optional[bool]) -> None:
+        """A running job left the executor.
+
+        ``success`` drives the breaker: ``True`` closes it, ``False``
+        counts toward opening it, ``None`` leaves it untouched (retries
+        and drains are not final outcomes).
+        """
+        self.running[tenant] = max(0, self.running.get(tenant, 0) - 1)
+        if success is True:
+            self.breaker(tenant).record_success()
+        elif success is False:
+            self.breaker(tenant).record_failure()
+
+    def on_dequeue(self, tenant: str) -> None:
+        """A queued job left without running (cancelled, deadline)."""
+        self.queued[tenant] = max(0, self.queued.get(tenant, 0) - 1)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "total_queued": self.total_queued,
+            "high_watermark": self.high_watermark,
+            "queued": dict(self.queued),
+            "running": dict(self.running),
+            "open_circuits": sorted(
+                t for t, b in self._breakers.items() if b.open
+            ),
+        }

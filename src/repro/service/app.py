@@ -1,0 +1,225 @@
+"""The transport-agnostic service core: composition + lifecycle.
+
+:class:`SimulationService` wires together the store, the executor (with
+the drain-aware resumable runner), the WAL journal, admission control,
+and the scheduler.  Adapters (HTTP today, anything later) talk only to
+this class; it owns startup recovery, health/readiness probes, and the
+SIGTERM drain sequence:
+
+1. stop admitting (``readiness`` flips false, submissions get 503);
+2. flip the :class:`~repro.resilience.checkpoint.DrainController` — the
+   in-flight launch checkpoints at its next idle boundary and stops;
+3. journal + close; a restarted service replays the WAL, re-queues
+   every non-terminal job, and the resumable runner continues from
+   sidecars/checkpoints — only genuinely lost work recomputes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..harness.executor import Executor, ExperimentRequest, ResultStore
+from ..resilience.checkpoint import DrainController
+from .admission import AdmissionController, TenantQuota
+from .journal import JobJournal
+from .runner import make_resumable_runner
+from .scheduler import JobScheduler
+
+__all__ = ["ServiceConfig", "SimulationService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a service instance needs, in one picklable bundle.
+
+    ``root`` holds the journal (``journal/``) and per-request resume
+    state (``work/``); the result store lives wherever ``store_root``
+    points (default: the shared on-disk store, so the service and the
+    CLI deduplicate against each other).
+    """
+
+    root: Union[str, Path] = "service-state"
+    store_root: Optional[str] = None
+    #: scheduler
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    jitter_seed: int = 0
+    workers: int = 1
+    #: executor (retries=1: the scheduler owns retry policy)
+    executor_jobs: int = 1
+    executor_timeout: Optional[float] = None
+    #: admission
+    high_watermark: int = 256
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
+    #: journal
+    rotate_after: int = 1024
+    #: rolling checkpoint period for long launches (None = only on drain)
+    checkpoint_every_cycles: Optional[int] = None
+
+
+class SimulationService:
+    """Crash-safe simulation job service (compose → recover → serve)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        root = Path(self.config.root)
+        self.store = ResultStore(self.config.store_root)
+        self.drain_controller = DrainController()
+        runner = make_resumable_runner(
+            root / "work", self.drain_controller,
+            every_cycles=self.config.checkpoint_every_cycles,
+        )
+        self.executor = Executor(
+            jobs=self.config.executor_jobs,
+            store=self.store,
+            timeout=self.config.executor_timeout,
+            retries=1,
+            backoff_base=0.0,
+            # The scheduler owns the retry budget; the per-request
+            # quarantine must outlast it so one flaky job never trips
+            # the executor breaker before its retries are spent.
+            breaker_threshold=self.config.max_attempts + 1,
+            runner=runner,
+        )
+        self.journal = JobJournal(
+            root / "journal", rotate_after=self.config.rotate_after
+        )
+        self.admission = AdmissionController(
+            default_quota=self.config.default_quota,
+            quotas=self.config.quotas,
+            high_watermark=self.config.high_watermark,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown,
+        )
+        self.scheduler = JobScheduler(
+            self.executor,
+            self.journal,
+            self.admission,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            jitter_seed=self.config.jitter_seed,
+        )
+        self.recovery_report: Dict[str, int] = {}
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> Dict[str, int]:
+        """Recover the journal and start the worker loop (idempotent)."""
+        if self._started:
+            return self.recovery_report
+        self.recovery_report = self.scheduler.recover()
+        self.scheduler.start(self.config.workers)
+        self._started = True
+        return self.recovery_report
+
+    async def drain(self, timeout: float = 60.0) -> Dict[str, Any]:
+        """Graceful shutdown: shed, checkpoint, settle, close.
+
+        Returns a report of what was still in flight.  Safe to call more
+        than once (SIGTERM handler + finally block).
+        """
+        from .jobs import JobState
+
+        self.scheduler.draining = True
+        self.drain_controller.drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        # Wait for running jobs to checkpoint out (DrainInterrupt) or
+        # finish naturally, bounded by *timeout*.
+        while loop.time() < deadline:
+            if not any(self.admission.running.values()):
+                break
+            await asyncio.sleep(0.05)
+        await self.scheduler.stop()
+        self.journal.close()
+        return {
+            "running_at_drain": [
+                r.job_id
+                for r in self.scheduler.jobs_in_state(JobState.RUNNING)
+            ],
+            "queue_depth": self.scheduler.stats()["queue_depth"],
+        }
+
+    # -- adapter surface ------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        request: ExperimentRequest,
+        *,
+        deadline_s: Optional[float] = None,
+    ):
+        return self.scheduler.submit(tenant, request, deadline_s=deadline_s)
+
+    def job(self, job_id: str):
+        return self.scheduler.job(job_id)
+
+    def result(self, job_id: str):
+        return self.scheduler.result(job_id)
+
+    def cancel(self, job_id: str):
+        return self.scheduler.cancel(job_id)
+
+    def events(self, job_id: str):
+        return self.scheduler.events(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.scheduler.stats()
+
+    # -- probes ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness: the store root is writable and the executor answers.
+
+        ``ok`` stays true while degraded (e.g. a broken pool pinned the
+        executor serial) — degraded is slow, not dead; readiness is the
+        probe that gates new traffic.
+        """
+        store_ok = True
+        store_error = ""
+        try:
+            self.store.root.mkdir(parents=True, exist_ok=True)
+            probe = self.store.root / f".probe.{os.getpid()}"
+            probe.write_text("ok")
+            probe.unlink()
+        except OSError as exc:
+            store_ok = False
+            store_error = str(exc)
+        return {
+            "ok": store_ok,
+            "store": {
+                "ok": store_ok, "root": str(self.store.root),
+                "error": store_error,
+            },
+            "executor": {
+                "degraded_serial": self.executor._pool_broken,
+                "quarantined": self.executor.stats.quarantined,
+            },
+            "draining": self.scheduler.draining,
+        }
+
+    def ready(self) -> Dict[str, Any]:
+        """Readiness: started, not draining, queue under the watermark."""
+        depth = self.admission.total_queued
+        ready = (
+            self._started
+            and not self.scheduler.draining
+            and depth < self.admission.high_watermark
+        )
+        return {
+            "ready": ready,
+            "started": self._started,
+            "draining": self.scheduler.draining,
+            "queue_depth": depth,
+            "high_watermark": self.admission.high_watermark,
+        }

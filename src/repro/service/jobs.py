@@ -1,0 +1,137 @@
+"""Job records: the unit of work the journal persists and recovers.
+
+One job is one :class:`~repro.harness.executor.ExperimentRequest` plus
+its service-side lifecycle.  The full request rides along in every
+``submitted`` journal entry, so recovery needs nothing but the WAL — the
+in-memory job table is a pure cache.
+
+State machine::
+
+    submitted ──> running ──> done
+        │            │  └───> failed
+        │            └──────> retrying ──> running (again)
+        └──(deadline/cancel)─> cancelled   (also from running/retrying)
+
+``done``/``failed``/``cancelled`` are terminal.  ``retrying`` is only
+entered for *transient* failures (``ExecutorError.transient``);
+deterministic :class:`~repro.resilience.errors.SimulationError`\\ s go
+straight to ``failed`` — replaying them cannot go differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..harness.executor import ExperimentRequest
+
+__all__ = ["JobRecord", "JobState", "TERMINAL_STATES"]
+
+
+class JobState(str, Enum):
+    """Lifecycle states a job moves through (journaled on every change)."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    RETRYING = "retrying"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # journal lines carry the bare value
+        return self.value
+
+
+#: States no transition leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: Legal transitions (enforced by :meth:`JobRecord.advance`).
+_TRANSITIONS = {
+    JobState.SUBMITTED: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {
+        JobState.DONE, JobState.FAILED, JobState.RETRYING,
+        JobState.CANCELLED,
+    },
+    JobState.RETRYING: {JobState.RUNNING, JobState.CANCELLED,
+                        JobState.FAILED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's journaled state (immutable; transitions make new records).
+
+    ``deadline`` is absolute wall-clock seconds (``time.time()`` scale)
+    so it survives a restart; ``None`` means no deadline.  ``error`` and
+    ``error_code`` describe the final failure (or cancellation reason);
+    ``store_key`` is filled once computed so restart-time dedupe against
+    the result store needs no workload compilation.
+    """
+
+    job_id: str
+    tenant: str
+    request: ExperimentRequest
+    state: JobState = JobState.SUBMITTED
+    submitted_at: float = 0.0
+    deadline: Optional[float] = None
+    attempts: int = 0
+    error: str = ""
+    error_code: str = ""
+    store_key: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def recovered(self) -> "JobRecord":
+        """The record re-queued after a service restart.
+
+        Recovery legitimately rewinds ``running``/``retrying`` back to
+        ``submitted`` — the transition table forbids that in normal
+        operation, so this bypasses :meth:`advance` on purpose.
+        """
+        return replace(self, state=JobState.SUBMITTED)
+
+    def advance(self, state: JobState, **changes: Any) -> "JobRecord":
+        """A copy in *state* (validating the transition) with *changes*."""
+        if state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {state.value}"
+            )
+        return replace(self, state=state, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "request": self.request.to_dict(),
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "deadline": self.deadline,
+            "attempts": self.attempts,
+            "error": self.error,
+            "error_code": self.error_code,
+            "store_key": self.store_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=data["job_id"],
+            tenant=data["tenant"],
+            request=ExperimentRequest.from_dict(data["request"]),
+            state=JobState(data["state"]),
+            submitted_at=data.get("submitted_at", 0.0),
+            deadline=data.get("deadline"),
+            attempts=data.get("attempts", 0),
+            error=data.get("error", ""),
+            error_code=data.get("error_code", ""),
+            store_key=data.get("store_key", ""),
+        )

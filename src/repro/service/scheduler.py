@@ -1,0 +1,401 @@
+"""Asyncio job scheduler over the executor.
+
+One scheduler owns the job table, the queue, and the retry machinery;
+the executor stays a dumb, synchronous engine behind a lock.  Design
+points (``docs/architecture.md`` §16):
+
+* **Dedupe against the store** — jobs run through
+  ``Executor.run_many``, whose memo → store → simulate pipeline means a
+  request whose result already exists (from a previous life of the
+  service, or a concurrent duplicate job that finished first) costs a
+  JSON read, not a simulation.  The journal records the job either way;
+  only genuinely missing work computes.
+* **Deadlines with cancellation** — a job's ``deadline`` is absolute
+  wall-clock time.  Queued jobs past it are cancelled at dequeue;
+  running jobs are abandoned via ``asyncio.wait_for`` and journaled
+  ``cancelled``/``deadline_exceeded``.  The worker thread itself cannot
+  be killed mid-simulation — it finishes in the background and its
+  result still lands in the store, so a resubmission is nearly free.
+* **Retry with backoff + jitter** — only *transient* failures
+  (``ExecutorError.transient``) retry: delay =
+  ``min(cap, base * 2**(attempt-1)) * (0.5 + rand())``, seeded, so two
+  recovering services do not stampede in lockstep.  Deterministic
+  :class:`~repro.resilience.errors.SimulationError`\\ s fail immediately
+  — replaying them cannot go differently.
+* **Drain** — a :class:`~repro.resilience.checkpoint.DrainInterrupt`
+  from the runner leaves the job journaled ``running``; restart
+  recovery re-queues it and the resumable runner continues from the
+  checkpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional
+
+from ..harness._runner import RunResult
+from ..harness.executor import Executor, ExecutorError, ExperimentRequest
+from ..resilience.checkpoint import DrainInterrupt
+from ..resilience.errors import (
+    DeadlineExceededError,
+    SimulationError,
+)
+from .admission import AdmissionController
+from .errors import (
+    JobNotFoundError,
+    ResultNotReadyError,
+    ServiceUnavailableError,
+)
+from .jobs import JobRecord, JobState
+from .journal import JobJournal
+
+__all__ = ["JobScheduler"]
+
+
+class JobScheduler:
+    """Owns job lifecycle: admission → journal → queue → executor."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        journal: JobJournal,
+        admission: AdmissionController,
+        *,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        jitter_seed: int = 0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.executor = executor
+        self.journal = journal
+        self.admission = admission
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        self._clock = clock
+        # Created lazily inside the running loop: on 3.9 an asyncio.Queue
+        # binds its loop at construction, and the scheduler is typically
+        # built before asyncio.run() starts the real one.
+        self.__queue: Optional["asyncio.Queue[str]"] = None
+        self._jobs: Dict[str, JobRecord] = {}
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self._cancel_requested: set = set()
+        self._exec_lock = threading.Lock()
+        self._workers: List[asyncio.Task] = []
+        self._retry_tasks: set = set()
+        self.draining = False
+        self.counters = {
+            "submitted": 0, "done": 0, "failed": 0,
+            "cancelled": 0, "retried": 0, "recovered": 0,
+        }
+
+    @property
+    def _queue(self) -> "asyncio.Queue[str]":
+        if self.__queue is None:
+            self.__queue = asyncio.Queue()
+        return self.__queue
+
+    # -- submission / queries -------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        request: ExperimentRequest,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> JobRecord:
+        """Admit, journal, and queue one job; returns its record."""
+        if self.draining:
+            raise ServiceUnavailableError(
+                "service is draining; not accepting new jobs"
+            )
+        self.admission.admit(tenant)  # raises the typed refusal
+        now = self._clock()
+        record = JobRecord(
+            job_id=uuid.uuid4().hex[:16],
+            tenant=tenant,
+            request=request,
+            submitted_at=now,
+            deadline=(now + deadline_s) if deadline_s else None,
+        )
+        self._journal(record, note="submitted")
+        self.counters["submitted"] += 1
+        self._queue.put_nowait(record.job_id)
+        return record
+
+    def job(self, job_id: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return record
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        self.job(job_id)  # 404 before returning an empty stream
+        return list(self._events.get(job_id, ()))
+
+    def result(self, job_id: str) -> RunResult:
+        """The stored result of a ``done`` job (typed refusal otherwise)."""
+        record = self.job(job_id)
+        if record.state is not JobState.DONE:
+            raise ResultNotReadyError(
+                f"job {job_id} is {record.state.value}, not done"
+            )
+        stored = self.executor.store.load(record.store_key)
+        if stored is None:  # schema bumped / cache cleared between polls
+            raise ResultNotReadyError(
+                f"job {job_id}: stored result is gone; resubmit"
+            )
+        return stored
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job now, or flag a running one for abandon."""
+        record = self.job(job_id)
+        if record.terminal:
+            return record
+        if record.state in (JobState.SUBMITTED, JobState.RETRYING):
+            self.admission.on_dequeue(record.tenant)
+            record = record.advance(
+                JobState.CANCELLED, error="cancelled by client",
+                error_code="cancelled",
+            )
+            self._journal(record, note="cancelled by client")
+            self.counters["cancelled"] += 1
+            self._finish(record.job_id)
+        else:
+            self._cancel_requested.add(job_id)
+        return record
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until *job_id* reaches a terminal state."""
+        record = self.job(job_id)
+        if record.terminal:
+            return record
+        event = self._done_events.setdefault(job_id, asyncio.Event())
+        await asyncio.wait_for(event.wait(), timeout)
+        return self.job(job_id)
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Replay the journal; re-queue every non-terminal job."""
+        jobs, report = self.journal.recover()
+        requeued = 0
+        for job_id in sorted(jobs):
+            record = jobs[job_id]
+            self._jobs[job_id] = record
+            if record.terminal:
+                continue
+            record = record.recovered()
+            self._journal(record, note="recovered after restart")
+            self.admission.requeue(record.tenant)
+            self._queue.put_nowait(job_id)
+            requeued += 1
+        self.counters["recovered"] += requeued
+        report["requeued"] = requeued
+        return report
+
+    # -- the worker loop ------------------------------------------------
+
+    def start(self, workers: int = 1) -> None:
+        for _ in range(max(1, workers)):
+            self._workers.append(asyncio.ensure_future(self._worker()))
+
+    async def stop(self) -> None:
+        """Stop workers (does not drain; see the service's drain path)."""
+        self.draining = True
+        for task in self._workers:
+            task.cancel()
+        for task in list(self._retry_tasks):
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            try:
+                await self._process(job_id)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a bug must not kill the loop
+                record = self._jobs.get(job_id)
+                if record is not None and not record.terminal:
+                    self._fail(record, exc)
+
+    async def _process(self, job_id: str) -> None:
+        record = self._jobs.get(job_id)
+        if record is None or record.terminal:
+            return
+        tenant = record.tenant
+        if job_id in self._cancel_requested:
+            self._cancel_requested.discard(job_id)
+            self.admission.on_dequeue(tenant)
+            record = record.advance(
+                JobState.CANCELLED, error="cancelled by client",
+                error_code="cancelled",
+            )
+            self._journal(record, note="cancelled before start")
+            self.counters["cancelled"] += 1
+            self._finish(job_id)
+            return
+        now = self._clock()
+        if record.deadline is not None and now >= record.deadline:
+            self.admission.on_dequeue(tenant)
+            self._cancel_deadline(record, where="queued")
+            return
+        if not self.admission.may_start(tenant):
+            # At the tenant's concurrency cap: rotate to the back.
+            await asyncio.sleep(0.05)
+            self._queue.put_nowait(job_id)
+            return
+
+        self.admission.on_start(tenant)
+        record = record.advance(
+            JobState.RUNNING, attempts=record.attempts + 1
+        )
+        self._journal(record, note=f"attempt {record.attempts}")
+        budget = (
+            None if record.deadline is None
+            else max(0.01, record.deadline - self._clock())
+        )
+        try:
+            key, result = await asyncio.wait_for(
+                asyncio.to_thread(self._execute, record), timeout=budget
+            )
+        except asyncio.TimeoutError:
+            self.admission.on_finish(tenant, success=None)
+            self._cancel_deadline(record, where="running")
+        except DrainInterrupt:
+            # Checkpointed and stopped on purpose.  Leave the job
+            # journaled ``running``: restart recovery re-queues it and
+            # the resumable runner continues from the checkpoint.
+            self.admission.on_finish(tenant, success=None)
+        except ExecutorError as exc:
+            self.admission.on_finish(tenant, success=None)
+            if exc.transient and record.attempts < self.max_attempts:
+                self._schedule_retry(record, exc)
+            else:
+                self.admission.breaker(tenant).record_failure()
+                self._fail(record, exc)
+        except SimulationError as exc:
+            self.admission.on_finish(tenant, success=False)
+            self._fail(record, exc)
+        except Exception as exc:
+            # Untyped escape (factory bug, store I/O): final, counted
+            # against the tenant's breaker like any other failure.
+            self.admission.on_finish(tenant, success=False)
+            self._fail(record, exc)
+        else:
+            self.admission.on_finish(tenant, success=True)
+            record = record.advance(JobState.DONE, store_key=key)
+            self._journal(record, note="result stored")
+            self.counters["done"] += 1
+            self._emit_progress(job_id, result)
+            self._finish(job_id)
+
+    def _execute(self, record: JobRecord):
+        """Synchronous executor round (runs in a thread, serialized)."""
+        with self._exec_lock:
+            # run_many first: it routes a workload-factory failure
+            # through the retry/typing machinery, where a bare key_for
+            # call would raise it raw.  Afterwards the key is cached.
+            result = self.executor.run_many([record.request])[record.request]
+            return self.executor.key_for(record.request), result
+
+    # -- outcome plumbing -----------------------------------------------
+
+    def _schedule_retry(self, record: JobRecord, exc: BaseException) -> None:
+        delay = min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** (record.attempts - 1)),
+        ) * (0.5 + self._rng.random())
+        record = record.advance(
+            JobState.RETRYING, error=repr(exc), error_code="transient",
+        )
+        self._journal(
+            record, note=f"transient failure; retry in {delay:.2f}s"
+        )
+        self.counters["retried"] += 1
+        self.admission.requeue(record.tenant)
+
+        async def requeue() -> None:
+            await asyncio.sleep(delay)
+            if not self.draining:
+                self._queue.put_nowait(record.job_id)
+
+        task = asyncio.ensure_future(requeue())
+        self._retry_tasks.add(task)
+        task.add_done_callback(self._retry_tasks.discard)
+
+    def _cancel_deadline(self, record: JobRecord, *, where: str) -> None:
+        err = DeadlineExceededError(
+            f"job {record.job_id} exceeded its deadline while {where}"
+        )
+        record = record.advance(
+            JobState.CANCELLED, error=str(err), error_code=err.code,
+        )
+        self._journal(record, note=f"deadline exceeded ({where})")
+        self.counters["cancelled"] += 1
+        self._finish(record.job_id)
+
+    def _fail(self, record: JobRecord, exc: BaseException) -> None:
+        # Prefer the typed cause over the ExecutorError wrapper so the
+        # journaled code names the real failure class.
+        cause = exc.__cause__ if isinstance(exc, ExecutorError) else None
+        source = cause if isinstance(cause, SimulationError) else exc
+        code = getattr(source, "code", "") or type(source).__name__
+        record = record.advance(
+            JobState.FAILED, error=repr(exc), error_code=code,
+        )
+        self._journal(record, note="failed")
+        self.counters["failed"] += 1
+        self._finish(record.job_id)
+
+    def _finish(self, job_id: str) -> None:
+        event = self._done_events.get(job_id)
+        if event is not None:
+            event.set()
+
+    def _journal(self, record: JobRecord, *, note: str = "") -> None:
+        self._jobs[record.job_id] = record
+        self.journal.append(record)
+        self._events.setdefault(record.job_id, []).append({
+            "ts": self._clock(),
+            "state": record.state.value,
+            "attempts": record.attempts,
+            "note": note,
+        })
+
+    def _emit_progress(self, job_id: str, result: RunResult) -> None:
+        # Per-job CPI/objective streaming (repro.obs): the final event of
+        # a successful job carries the run's observable summary.
+        try:
+            from ..obs.objective import progress_event
+            payload = progress_event(result.stats)
+        except Exception:
+            payload = {"cycles": result.stats.cycles}
+        self._events[job_id].append({
+            "ts": self._clock(), "state": "done", "progress": payload,
+        })
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "queue_depth": self._queue.qsize(),
+            "jobs": len(self._jobs),
+            "executor": self.executor.stats.as_dict(),
+            "admission": self.admission.snapshot(),
+        }
+
+    def jobs_in_state(self, *states: JobState) -> List[JobRecord]:
+        wanted = set(states)
+        return [r for r in self._jobs.values() if r.state in wanted]

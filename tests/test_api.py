@@ -184,6 +184,8 @@ DOCUMENTED_SURFACE = (
     "SimulationError", "DeadlockError", "MaxCyclesError",
     "InvariantViolation", "WorkerCrashError", "UnknownTechniqueError",
     "UnsupportedFeatureError",
+    # the service surface (repro serve)
+    "submit_plan", "JobHandle", "JobState", "ServiceError",
     # conveniences those types are used with
     "volta", "ampere", "geomean", "WORKLOAD_NAMES", "SMOKE_NAMES",
     # static analysis
@@ -223,6 +225,33 @@ class TestSurface:
                 and p.name not in ("self", "cls")
             ]
             assert not positional, f"{name} accepts positional {positional}"
+
+    def test_submit_plan_is_keyword_only_after_plan(self):
+        # The one positional is the plan itself; everything configuring
+        # *where/how* it is submitted must be named.
+        from repro.api import submit_plan
+
+        signature = inspect.signature(submit_plan)
+        positional = [
+            p.name for p in signature.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        assert positional == ["plan"]
+
+    def test_service_error_taxonomy_is_typed(self):
+        from repro.api import ServiceError, SimulationError
+        from repro.service.errors import error_for_code
+
+        assert issubclass(ServiceError, SimulationError)
+        rebuilt = error_for_code("rate_limited", "slow down")
+        assert isinstance(rebuilt, ServiceError)
+        assert rebuilt.code == "rate_limited"
+
+    def test_job_state_round_trips_as_string(self):
+        from repro.api import JobState
+
+        for state in JobState:
+            assert JobState(str(state)) is state
 
     def test_plan_from_space_is_keyword_only(self):
         from repro.api import ExperimentPlan

@@ -277,6 +277,42 @@ class TestExecution:
         assert events == [(1, 1, "baseline", "run"),
                           (1, 1, "baseline", "memo")]
 
+    def test_pool_timeout_counts_against_retry_budget(self, tmp_path):
+        # retries=1 and a timeout so small the worker cannot finish: the
+        # hung pool attempt *is* the budget.  The in-process fallback
+        # must not grant a fresh attempt — it fails immediately, and the
+        # error chains from the original timeout rather than hiding it.
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        executor = _executor(tmp_path, jobs=2, retries=1, timeout=1e-9)
+        reqs = [ExperimentRequest("tiny", "baseline", volta()),
+                ExperimentRequest("tiny", "cars_high", volta())]
+        with pytest.raises(ExecutorError) as info:
+            executor.run_many(reqs)
+        assert executor.stats.timeouts >= 1
+        assert executor.stats.executed == 0
+        assert isinstance(info.value.__cause__, FutureTimeoutError)
+        assert info.value.transient  # a hang is retryable, not a model bug
+        assert any(
+            entry["stage"] == "timeout" for entry in executor.stats.crash_log
+        ), "the hang must be visible in the crash log"
+
+    def test_pool_timeout_leaves_remaining_budget_usable(self, tmp_path):
+        # retries=2: the timeout burns attempt #1; the fallback gets
+        # exactly one more attempt (counted in stats.retries) and wins.
+        executor = _executor(
+            tmp_path, jobs=2, retries=2, timeout=1e-9, backoff_base=0.0,
+        )
+        reqs = [ExperimentRequest("tiny", "baseline", volta()),
+                ExperimentRequest("tiny", "cars_high", volta())]
+        results = executor.run_many(reqs)
+        assert {r.technique for r in results.values()} == {
+            "baseline", "cars_high"}
+        assert executor.stats.timeouts >= 1
+        assert executor.stats.executed == 2
+        # Each timed-out request consumed one retry in the fallback.
+        assert executor.stats.retries == executor.stats.timeouts
+
     def test_parallel_and_serial_store_identical_bytes(self, tmp_path):
         reqs = [ExperimentRequest("tiny", "baseline", volta()),
                 ExperimentRequest("tiny", "cars_high", volta())]

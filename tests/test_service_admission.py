@@ -1,0 +1,198 @@
+"""Per-tenant admission control (``repro.service.admission``).
+
+All clocks are injected fakes, so rate limits, breaker cooldowns, and
+half-open probes are driven deterministically — no sleeps.
+"""
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    TenantBreaker,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.service.errors import (
+    CircuitOpenError,
+    QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.take() and bucket.take()
+        assert not bucket.take()
+        clock.advance(1.0)
+        assert bucket.take()
+
+    def test_retry_after_names_the_gap(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.take()
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=FakeClock())
+        assert all(bucket.take() for _ in range(100))
+        assert bucket.retry_after() == 0.0
+
+
+class TestTenantBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = TenantBreaker(threshold=3, cooldown=10.0, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert not breaker.open
+        breaker.record_failure()
+        assert breaker.open
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = TenantBreaker(threshold=2, cooldown=10.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert not breaker.open
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = TenantBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # only one probe at a time
+        breaker.record_success()
+        assert breaker.allow()
+        assert not breaker.open
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = TenantBreaker(threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: re-open immediately
+        assert breaker.open
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # next cooldown earns the next probe
+
+
+class TestAdmissionController:
+    def _controller(self, clock=None, **kwargs):
+        return AdmissionController(clock=clock or FakeClock(), **kwargs)
+
+    def test_admit_counts_queued(self):
+        admission = self._controller()
+        admission.admit("a")
+        admission.admit("b")
+        assert admission.total_queued == 2
+        assert admission.queued == {"a": 1, "b": 1}
+
+    def test_queue_full_sheds_every_tenant(self):
+        admission = self._controller(high_watermark=2)
+        admission.admit("a")
+        admission.admit("a")
+        with pytest.raises(QueueFullError):
+            admission.admit("b")  # global: even a fresh tenant is shed
+
+    def test_per_tenant_queue_quota(self):
+        admission = self._controller(
+            default_quota=TenantQuota(max_queued=1)
+        )
+        admission.admit("a")
+        with pytest.raises(QuotaExceededError):
+            admission.admit("a")
+        admission.admit("b")  # other tenants unaffected
+
+    def test_named_quota_overrides_default(self):
+        admission = self._controller(
+            default_quota=TenantQuota(max_queued=1),
+            quotas={"vip": TenantQuota(max_queued=3)},
+        )
+        for _ in range(3):
+            admission.admit("vip")
+        with pytest.raises(QuotaExceededError):
+            admission.admit("vip")
+
+    def test_rate_limit_carries_retry_after(self):
+        clock = FakeClock()
+        admission = self._controller(
+            clock=clock,
+            default_quota=TenantQuota(max_queued=99, rate=1.0, burst=1),
+        )
+        admission.admit("a")
+        with pytest.raises(RateLimitedError) as info:
+            admission.admit("a")
+        assert info.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        admission.admit("a")
+
+    def test_concurrency_gate(self):
+        admission = self._controller(
+            default_quota=TenantQuota(max_concurrent=1)
+        )
+        admission.admit("a")
+        admission.admit("a")
+        assert admission.may_start("a")
+        admission.on_start("a")
+        assert not admission.may_start("a")
+        admission.on_finish("a", success=True)
+        assert admission.may_start("a")
+
+    def test_breaker_opens_per_tenant_not_globally(self):
+        admission = self._controller(breaker_threshold=2)
+        for _ in range(2):
+            admission.breaker("flaky").record_failure()
+        with pytest.raises(CircuitOpenError):
+            admission.admit("flaky")
+        admission.admit("healthy")  # isolation: other tenants unaffected
+        assert admission.snapshot()["open_circuits"] == ["flaky"]
+
+    def test_failure_then_success_drives_breaker_through_on_finish(self):
+        clock = FakeClock()
+        admission = self._controller(
+            clock=clock, breaker_threshold=1, breaker_cooldown=5.0
+        )
+        admission.admit("a")
+        admission.on_start("a")
+        admission.on_finish("a", success=False)
+        with pytest.raises(CircuitOpenError):
+            admission.admit("a")
+        clock.advance(5.0)
+        admission.admit("a")  # the half-open probe job
+        admission.on_start("a")
+        admission.on_finish("a", success=True)
+        admission.admit("a")  # closed again
+
+    def test_retry_outcome_none_leaves_breaker_untouched(self):
+        admission = self._controller(breaker_threshold=1)
+        admission.admit("a")
+        admission.on_start("a")
+        admission.on_finish("a", success=None)  # retry/drain: not final
+        admission.admit("a")
+
+    def test_requeue_skips_the_gate(self):
+        # A recovered job was admitted in a previous life; refusing it at
+        # restart would lose journaled work.
+        admission = self._controller(high_watermark=1)
+        admission.admit("a")
+        admission.requeue("a")  # would raise QueueFullError via admit()
+        assert admission.total_queued == 2

@@ -1,0 +1,168 @@
+"""HTTP adapter + blessed client (``repro.service.http`` / ``.client``).
+
+One real server per test on an ephemeral port; the stdlib client runs
+in a thread (it is blocking urllib) while the server loop owns the main
+thread's event loop.  Typed errors must round-trip: the class the
+server raised is the class the client re-raises.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import JobState, ServiceError, submit_plan
+from repro.harness.executor import ExperimentRequest
+from repro.service import ServiceConfig, SimulationService, TenantQuota
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    InvalidRequestError,
+    JobNotFoundError,
+    QuotaExceededError,
+)
+from repro.service.http import ServiceServer
+
+WORKLOAD = "FIB"
+
+
+def _serve(tmp_path, client_body, **config_overrides):
+    """Run *client_body(client)* in a thread against a live server."""
+    defaults = dict(
+        root=str(tmp_path / "service"),
+        store_root=str(tmp_path / "store"),
+        backoff_base=0.01,
+    )
+    defaults.update(config_overrides)
+    service = SimulationService(ServiceConfig(**defaults))
+    outcome = {}
+
+    async def main():
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.port}", tenant="t", timeout=30
+        )
+
+        def run_client():
+            try:
+                outcome["result"] = client_body(client)
+            except BaseException as exc:  # pragma: no cover - reraised
+                outcome["error"] = exc
+            finally:
+                loop.call_soon_threadsafe(server._shutdown.set)
+
+        loop = asyncio.get_running_loop()
+        thread = threading.Thread(target=run_client)
+        thread.start()
+        try:
+            await asyncio.wait_for(server.serve_forever(
+                install_signals=False
+            ), timeout=120)
+        finally:
+            thread.join(timeout=10)
+
+    asyncio.run(main())
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("result")
+
+
+class TestRoundTrip:
+    def test_submit_wait_result(self, tmp_path):
+        def body(client):
+            assert client.health()["ok"]
+            assert client.ready()["ready"]
+            handle = client.submit(ExperimentRequest(WORKLOAD, "baseline"))
+            result = handle.result(timeout=60)
+            assert result.cycles > 0
+            assert handle.state() is JobState.DONE
+            record = handle.poll()
+            assert record["tenant"] == "t"
+            assert [e["state"] for e in record["events"]][:2] == [
+                "submitted", "running",
+            ]
+            stats = client.stats()
+            assert stats["counters"]["done"] == 1
+            return result.cycles
+
+        assert _serve(tmp_path, body) > 0
+
+    def test_submit_plan_facade(self, tmp_path):
+        def body(client):
+            handles = submit_plan(
+                [
+                    ExperimentRequest(WORKLOAD, "baseline"),
+                    ExperimentRequest(WORKLOAD, "cars"),
+                ],
+                client=client,
+            )
+            assert len(handles) == 2
+            results = [h.result(timeout=120) for h in handles]
+            assert all(r.cycles > 0 for r in results)
+            assert results[0].technique == "baseline"
+            assert results[1].technique == "cars"
+
+        _serve(tmp_path, body)
+
+    def test_minimal_body_defaults_config(self, tmp_path):
+        # Hand-written curl-style submissions: workload alone is enough.
+        def body(client):
+            payload = client.call(
+                "POST", "/v1/jobs",
+                {"request": {"workload": WORKLOAD}},
+            )
+            from repro.service.client import JobHandle
+
+            handle = JobHandle(client, payload["job_id"])
+            assert handle.result(timeout=60).technique == "baseline"
+
+        _serve(tmp_path, body)
+
+
+class TestTypedErrors:
+    def test_unknown_job_is_404_class(self, tmp_path):
+        def body(client):
+            with pytest.raises(JobNotFoundError):
+                client.call("GET", "/v1/jobs/nope")
+
+        _serve(tmp_path, body)
+
+    def test_bad_body_is_400_class(self, tmp_path):
+        def body(client):
+            with pytest.raises(InvalidRequestError):
+                client.call("POST", "/v1/jobs", {"request": {}})
+            with pytest.raises(InvalidRequestError):
+                client.call(
+                    "POST", "/v1/jobs",
+                    {"request": {"workload": WORKLOAD, "config": "nope"}},
+                )
+
+        _serve(tmp_path, body)
+
+    def test_quota_refusal_round_trips(self, tmp_path):
+        def body(client):
+            first = client.submit(ExperimentRequest(WORKLOAD, "baseline"))
+            try:
+                with pytest.raises(QuotaExceededError):
+                    for _ in range(5):
+                        client.submit(
+                            ExperimentRequest(WORKLOAD, "cars")
+                        )
+            finally:
+                first.wait(timeout=60)
+
+        _serve(
+            tmp_path, body,
+            default_quota=TenantQuota(max_queued=2, max_concurrent=1),
+        )
+
+    def test_failed_job_result_raises_journaled_code(self, tmp_path):
+        def body(client):
+            handle = client.submit(
+                ExperimentRequest(WORKLOAD, "no_such_technique")
+            )
+            assert handle.wait(timeout=60) is JobState.FAILED
+            with pytest.raises(ServiceError):
+                handle.result(timeout=60)
+
+        _serve(tmp_path, body)

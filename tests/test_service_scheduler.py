@@ -1,0 +1,259 @@
+"""The asyncio job scheduler + service core (``repro.service``).
+
+In-process (no HTTP): each test builds a :class:`SimulationService`
+under ``tmp_path`` and drives it inside ``asyncio.run`` — the repo has
+no pytest-asyncio, so the coroutine is the test body.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.harness.executor import ExperimentRequest
+from repro.resilience.errors import SimulationError, UnknownTechniqueError
+from repro.service import (
+    ResultNotReadyError,
+    ServiceConfig,
+    ServiceUnavailableError,
+    SimulationService,
+)
+from repro.service.jobs import JobState
+
+WORKLOAD = "FIB"  # smallest smoke workload: fast, deterministic
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        root=str(tmp_path / "service"),
+        store_root=str(tmp_path / "store"),
+        max_attempts=3,
+        backoff_base=0.01,
+        backoff_cap=0.02,
+        jitter_seed=7,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_and_serves_result(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            service.start()
+            try:
+                record = service.submit(
+                    "t", ExperimentRequest(WORKLOAD, "baseline")
+                )
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.DONE
+                assert final.attempts == 1
+                result = service.result(record.job_id)
+                assert result.cycles > 0
+                events = service.events(record.job_id)
+                assert [e["state"] for e in events] == [
+                    "submitted", "running", "done", "done",
+                ]
+                # The final event streams the run's objective summary.
+                assert events[-1]["progress"]["cycles"] == result.cycles
+                assert "cpi_shares" in events[-1]["progress"]
+            finally:
+                await service.drain(timeout=5)
+
+        _run(body())
+
+    def test_result_before_done_is_typed_conflict(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            # Never started: the job stays queued.
+            record = service.submit(
+                "t", ExperimentRequest(WORKLOAD, "baseline")
+            )
+            with pytest.raises(ResultNotReadyError):
+                service.result(record.job_id)
+            service.journal.close()
+
+        _run(body())
+
+    def test_draining_service_refuses_submissions(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            service.start()
+            await service.drain(timeout=5)
+            with pytest.raises(ServiceUnavailableError):
+                service.submit("t", ExperimentRequest(WORKLOAD, "baseline"))
+
+        _run(body())
+
+    def test_cancel_queued_job(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            # Workers not started: the job cannot begin running.
+            record = service.submit(
+                "t", ExperimentRequest(WORKLOAD, "baseline")
+            )
+            cancelled = service.cancel(record.job_id)
+            assert cancelled.state is JobState.CANCELLED
+            assert cancelled.error_code == "cancelled"
+            assert service.admission.total_queued == 0
+            service.journal.close()
+
+        _run(body())
+
+
+class TestRetryPolicy:
+    def test_transient_failures_retry_to_success(self, tmp_path):
+        crashes = {"left": 2}
+
+        def flaky(name):
+            from repro.workloads import make_workload
+
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise OSError("injected transient failure")
+            return make_workload(name)
+
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            service.executor.workload_factory = flaky
+            service.start()
+            try:
+                record = service.submit(
+                    "t", ExperimentRequest(WORKLOAD, "baseline")
+                )
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.DONE
+                assert final.attempts >= 2
+                assert service.scheduler.counters["retried"] >= 1
+                states = [
+                    e["state"] for e in service.events(record.job_id)
+                ]
+                assert "retrying" in states
+            finally:
+                await service.drain(timeout=5)
+
+        _run(body())
+
+    def test_transient_budget_exhaustion_fails_typed(self, tmp_path):
+        def always_down(name):
+            raise OSError("environment permanently broken")
+
+        async def body():
+            service = SimulationService(_config(tmp_path, max_attempts=2))
+            service.executor.workload_factory = always_down
+            service.start()
+            try:
+                record = service.submit(
+                    "t", ExperimentRequest(WORKLOAD, "baseline")
+                )
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.FAILED
+                assert final.attempts == 2
+            finally:
+                await service.drain(timeout=5)
+
+        _run(body())
+
+    def test_deterministic_failure_never_retries(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            service.start()
+            try:
+                record = service.submit(
+                    "t", ExperimentRequest(WORKLOAD, "no_such_technique")
+                )
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.FAILED
+                assert final.attempts == 1
+                assert final.error_code == UnknownTechniqueError.__name__
+                assert service.scheduler.counters["retried"] == 0
+                with pytest.raises(SimulationError):
+                    service.result(record.job_id)
+            finally:
+                await service.drain(timeout=5)
+
+        _run(body())
+
+
+class TestDeadlines:
+    def test_expired_deadline_cancels_with_distinct_code(self, tmp_path):
+        async def body():
+            service = SimulationService(_config(tmp_path))
+            service.start()
+            try:
+                record = service.submit(
+                    "t",
+                    ExperimentRequest(WORKLOAD, "baseline"),
+                    deadline_s=1e-6,
+                )
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.CANCELLED
+                assert final.error_code == "deadline_exceeded"
+            finally:
+                await service.drain(timeout=5)
+
+        _run(body())
+
+
+class TestStoreDedupe:
+    def test_restart_serves_finished_work_from_store(self, tmp_path):
+        request = ExperimentRequest(WORKLOAD, "baseline")
+
+        async def first_life():
+            service = SimulationService(_config(tmp_path))
+            service.start()
+            try:
+                record = service.submit("t", request)
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.DONE
+                return service.executor.stats.executed
+            finally:
+                await service.drain(timeout=5)
+
+        async def second_life():
+            service = SimulationService(_config(tmp_path))
+            report = service.start()
+            try:
+                # The done job recovered terminal: nothing requeued.
+                assert report["requeued"] == 0
+                record = service.submit("t", request)
+                final = await service.scheduler.wait(record.job_id, timeout=60)
+                assert final.state is JobState.DONE
+                # Same request, fresh process: served by the store.
+                assert service.executor.stats.executed == 0
+                assert service.executor.stats.store_hits >= 1
+            finally:
+                await service.drain(timeout=5)
+
+        assert _run(first_life()) == 1
+        _run(second_life())
+
+    def test_recovery_requeues_non_terminal_jobs(self, tmp_path):
+        async def submit_only():
+            service = SimulationService(_config(tmp_path))
+            # No start(): the job is journaled submitted and left there,
+            # exactly what a crash between submit and run leaves behind.
+            service.submit("t", ExperimentRequest(WORKLOAD, "baseline"))
+            service.journal.close()
+
+        async def recovered_life():
+            service = SimulationService(_config(tmp_path))
+            report = service.start()
+            try:
+                assert report["requeued"] == 1
+                jobs = service.scheduler.jobs_in_state(
+                    JobState.SUBMITTED, JobState.RUNNING
+                )
+                assert len(jobs) == 1
+                final = await service.scheduler.wait(
+                    jobs[0].job_id, timeout=60
+                )
+                assert final.state is JobState.DONE
+            finally:
+                await service.drain(timeout=5)
+
+        _run(submit_only())
+        _run(recovered_life())
